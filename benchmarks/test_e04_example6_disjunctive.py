@@ -1,0 +1,63 @@
+"""E4 — Table V, Example 6: downward navigation with unknown units (form (10)).
+
+Rule (9) propagates each ``DischargePatients`` tuple down to the Unit level,
+inventing a labeled null for the unknown unit and linking it to the
+institution through ``InstitutionUnit``.  Expected shape: one null-unit
+``PatientUnit`` tuple per discharged patient; the boolean query "was the
+patient in some unit" certainly holds while no specific unit is a certain
+answer.
+"""
+
+from __future__ import annotations
+
+from repro.hospital import DISCHARGE_PATIENTS_ROWS, build_ontology
+from repro.relational.values import Null
+
+
+def test_example6_chase_with_form10_rule(benchmark, scenario):
+    """Time the chase of the ontology including rule (9)."""
+
+    result = benchmark(lambda: build_ontology(scenario.md).chase(refresh=True))
+    patient_unit = result.instance.relation("PatientUnit")
+    null_units = [row for row in patient_unit if isinstance(row[0], Null)]
+    # The restricted chase only fires rule (9) when no known unit of the same
+    # institution already explains the discharge: Lou Reed's Sep/6 stay in the
+    # Intensive unit of H1 satisfies the head, so exactly two of the three
+    # discharges (Tom Waits Sep/9 at H1, Elvis Costello Oct/5 at H2) invent a
+    # null unit.
+    assert len(null_units) == 2
+    assert len(null_units) < len(DISCHARGE_PATIENTS_ROWS)
+    benchmark.extra_info["null_unit_tuples"] = len(null_units)
+    benchmark.extra_info["generated_nulls"] = len(result.generated_nulls())
+
+
+def test_example6_boolean_vs_open_answers(benchmark, scenario):
+    """Time the certain/possible distinction for the discharged patient."""
+    ontology = scenario.ontology
+
+    def run():
+        certainly_some_unit = ontology.holds(
+            "? :- PatientUnit(U, 'Oct/5', 'Elvis Costello').")
+        certain_units = ontology.certain_answers(
+            "?(U) :- PatientUnit(U, 'Oct/5', 'Elvis Costello').")
+        return certainly_some_unit, certain_units
+
+    certainly_some_unit, certain_units = benchmark(run)
+    assert certainly_some_unit is True
+    assert certain_units == []
+    benchmark.extra_info["boolean_holds"] = certainly_some_unit
+    benchmark.extra_info["certain_unit_answers"] = len(certain_units)
+
+
+def test_example6_institution_unit_links(benchmark, scenario):
+    """Time retrieval of the generated institution→unknown-unit edges."""
+    ontology = scenario.ontology
+
+    def run():
+        chased = ontology.chase().instance.relation("InstitutionUnit")
+        return [row for row in chased if isinstance(row[1], Null)]
+
+    generated = benchmark(run)
+    institutions = sorted({row[0] for row in generated})
+    assert institutions == ["H1", "H2"]
+    benchmark.extra_info["institutions_with_unknown_units"] = institutions

@@ -1,0 +1,48 @@
+"""E6 — Section III claims: weak stickiness and separability certification.
+
+Times the syntactic analysis (sticky marking, finite-rank positions, EGD
+separability) on the hospital ontology and on synthetic ontologies of
+growing size, and checks the claims the paper states: the MD ontologies are
+weakly sticky (but not sticky), and the dimensional EGD is separable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.classes import classify
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+def test_section3_hospital_ontology_classification(benchmark, scenario):
+    """Time the full class/separability analysis of the hospital ontology."""
+
+    analysis = benchmark(scenario.ontology.analysis)
+    summary = analysis.summary()
+    assert summary["weakly_sticky"] is True
+    assert summary["sticky"] is False
+    assert summary["separable_egds"] is True
+    benchmark.extra_info["summary"] = {k: bool(v) for k, v in summary.items()}
+
+
+def test_section3_sticky_marking_on_hospital_rules(benchmark, scenario):
+    """Time just the sticky-marking/rank computation on the dimensional rules."""
+    tgds = [rule.tgd for rule in scenario.ontology.rules]
+
+    report = benchmark(lambda: classify(tgds))
+    assert report.is_weakly_sticky and not report.is_sticky
+    benchmark.extra_info["finite_rank_positions"] = len(report.finite_rank_positions)
+    benchmark.extra_info["infinite_rank_positions"] = len(report.infinite_rank_positions)
+
+
+@pytest.mark.parametrize("relations", [2, 4, 8])
+def test_section3_classification_scales_with_rule_count(benchmark, relations):
+    """Time the analysis as the number of dimensional rules grows."""
+    workload = generate_workload(WorkloadSpec(
+        dimensions=2, depth=3, fanout=2, top_members=2, base_relations=relations,
+        tuples_per_relation=5, upward_rules=True, downward_rules=True, seed=31))
+
+    analysis = benchmark(workload.ontology.analysis)
+    assert analysis.is_weakly_sticky
+    benchmark.extra_info["rules"] = len(workload.ontology.rules)
+    benchmark.extra_info["weakly_sticky"] = analysis.is_weakly_sticky

@@ -1,0 +1,62 @@
+"""E9 — Section V / Fig. 2: the end-to-end contextual quality pipeline.
+
+Times the whole assessment loop — map the instance under assessment into the
+context, chase (with dimensional navigation), materialize the quality
+versions, compute the departure measures, and answer a quality query — on
+the hospital scenario and on synthetic instances of growing size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hospital import HospitalScenario
+from repro.quality import assess_database, compare_answers
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+def test_section5_hospital_pipeline_end_to_end(benchmark):
+    """Time the complete hospital assessment starting from raw tables."""
+
+    def run():
+        scenario = HospitalScenario()
+        versions = scenario.context.quality_versions_for(scenario.measurements)
+        return assess_database(scenario.measurements, versions)
+
+    assessment = benchmark(run)
+    assert assessment.relations["Measurements"].kept_tuples == 2
+    benchmark.extra_info["quality_ratio"] = round(assessment.quality_ratio, 4)
+    benchmark.extra_info["departure"] = assessment.departure
+
+
+@pytest.mark.parametrize("rows", [100, 200, 400])
+def test_section5_quality_pipeline_scaling(benchmark, rows):
+    """Time quality-version materialization + assessment as |D| grows."""
+    workload = generate_workload(WorkloadSpec(
+        dimensions=1, depth=3, fanout=3, top_members=2, base_relations=1,
+        tuples_per_relation=40, assessment_tuples=rows, dirty_fraction=0.3,
+        upward_rules=True, downward_rules=False, seed=17))
+
+    def run():
+        versions = workload.context.quality_versions_for(workload.assessment_instance)
+        return assess_database(workload.assessment_instance, versions)
+
+    assessment = benchmark(run)
+    assert 0.0 < assessment.quality_ratio <= 1.0
+    benchmark.extra_info["assessed_rows"] = rows
+    benchmark.extra_info["quality_ratio"] = round(assessment.quality_ratio, 4)
+
+
+def test_section5_spurious_answer_detection(benchmark, scenario):
+    """Time the direct-vs-quality comparison that motivates the paper's intro."""
+
+    def run():
+        return compare_answers(
+            scenario.context, scenario.measurements,
+            "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
+
+    comparison = benchmark(run)
+    assert len(comparison.direct) == 4 and len(comparison.quality) == 2
+    benchmark.extra_info["direct_answers"] = len(comparison.direct)
+    benchmark.extra_info["quality_answers"] = len(comparison.quality)
+    benchmark.extra_info["precision"] = round(comparison.precision, 4)

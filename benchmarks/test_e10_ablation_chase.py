@@ -1,0 +1,61 @@
+"""E10 — Ablations of design choices called out in DESIGN.md.
+
+* restricted vs oblivious chase on the same MD ontology (the restricted
+  chase fires fewer triggers because it skips already-satisfied heads);
+* navigation-direction mix: upward-only vs downward-only vs both;
+* constraint-checking overhead (referential constraints on vs off).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog.chase import OBLIVIOUS, RESTRICTED, chase
+from repro.hospital import build_ontology
+from repro.ontology.mdontology import MDOntology
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+@pytest.mark.parametrize("mode", [RESTRICTED, OBLIVIOUS])
+def test_ablation_chase_flavour(benchmark, scenario, mode):
+    """Restricted vs oblivious chase on the hospital ontology."""
+    program = scenario.ontology.program()
+
+    result = benchmark(lambda: chase(program, mode=mode, check_constraints=False))
+    assert result.terminated
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["trigger_applications"] = result.steps
+    benchmark.extra_info["facts_after_chase"] = result.instance.total_tuples()
+
+
+@pytest.mark.parametrize("direction", ["upward", "downward", "both"])
+def test_ablation_navigation_direction_mix(benchmark, direction):
+    """Chase cost as a function of which navigation directions are enabled."""
+    workload = generate_workload(WorkloadSpec(
+        dimensions=1, depth=3, fanout=3, top_members=2, base_relations=1,
+        tuples_per_relation=60, seed=23,
+        upward_rules=direction in ("upward", "both"),
+        downward_rules=direction in ("downward", "both")))
+    program = workload.ontology.program()
+
+    result = benchmark(lambda: chase(program, check_constraints=False))
+    benchmark.extra_info["direction"] = direction
+    benchmark.extra_info["trigger_applications"] = result.steps
+    benchmark.extra_info["generated_nulls"] = len(result.generated_nulls())
+
+
+@pytest.mark.parametrize("with_constraints", [True, False],
+                         ids=["with-referential", "without-referential"])
+def test_ablation_referential_constraint_overhead(benchmark, scenario, with_constraints):
+    """Cost of checking the form-(1) referential constraints during assessment."""
+
+    def run():
+        ontology = MDOntology(scenario.md,
+                              generate_referential_constraints=with_constraints)
+        ontology.add_rule("PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).")
+        return ontology.check_consistency()
+
+    result = benchmark(run)
+    assert result.is_consistent
+    benchmark.extra_info["constraints_checked"] = (
+        len(scenario.ontology.program().constraints) if with_constraints else 0)

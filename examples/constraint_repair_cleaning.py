@@ -1,0 +1,58 @@
+"""Constraint-driven cleaning: discarding the tuples Example 1 says to discard.
+
+The closure constraint of Example 1 ("no patient was in the intensive care
+unit after August 2005") is violated by one reconstructed ``PatientWard``
+tuple.  Quality *query answering* simply avoids the bad data; this example
+shows the complementary *cleaning* action: repair the categorical relations
+by removing the offending tuples, then re-run the assessment on the cleaned
+ontology.
+
+Run with::
+
+    python examples/constraint_repair_cleaning.py
+"""
+
+from __future__ import annotations
+
+from repro.hospital import build_md_instance, build_ontology
+from repro.quality import repair_md_instance
+from repro.reporting import render_analysis, render_relation, render_validation
+from repro.md.validation import validate_md_instance
+
+
+def main() -> None:
+    ontology = build_ontology(include_closure_constraints=True)
+
+    print("== PatientWard before cleaning ==")
+    print(render_relation(ontology.md.relation("PatientWard")))
+
+    print("\n== constraint check ==")
+    result = ontology.check_consistency()
+    for violation in result.violations:
+        print(f"  {violation}")
+
+    print("\n== repairing the MD instance ==")
+    report = repair_md_instance(ontology)
+    print(report)
+
+    print("\n== PatientWard after cleaning ==")
+    print(render_relation(ontology.md.relation("PatientWard")))
+
+    print("\n== consistency after cleaning ==")
+    print("  consistent:", ontology.check_consistency().is_consistent)
+
+    print("\n== model validation after cleaning ==")
+    print(render_validation(validate_md_instance(ontology.md)))
+
+    print("\n== ontology analysis (unchanged by the repair) ==")
+    print(render_analysis(ontology.analysis()))
+
+    print("\n== a dangling categorical value is repaired the same way ==")
+    md = build_md_instance()
+    md.database.add("PatientWard", ("W99", "Sep/5", "Ghost"))
+    broken = build_ontology(md)
+    print(repair_md_instance(broken))
+
+
+if __name__ == "__main__":
+    main()

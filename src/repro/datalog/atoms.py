@@ -1,0 +1,185 @@
+"""Atoms and comparison (built-in) atoms of the Datalog± language."""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import DatalogError
+from .terms import Constant, Null, Term, Variable, term_value, to_term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``P(t1, ..., tn)``.
+
+    ``negated`` marks negative body literals (``¬P(...)``); the paper only
+    uses these in referential negative constraints of form (1), and the
+    engine only allows them in constraint bodies, never in TGD bodies.
+    """
+
+    predicate: str
+    terms: Tuple[Term, ...]
+    negated: bool = False
+
+    def __init__(self, predicate: str, terms: Sequence[Any], negated: bool = False):
+        if not predicate:
+            raise DatalogError("atom predicate must be a non-empty string")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(to_term(t) for t in terms))
+        object.__setattr__(self, "negated", bool(negated))
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    def variables(self) -> List[Variable]:
+        """Variables of the atom, in order of first occurrence."""
+        seen: List[Variable] = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return seen
+
+    def constants(self) -> List[Constant]:
+        """Constants of the atom, in order of first occurrence."""
+        seen: List[Constant] = []
+        for term in self.terms:
+            if isinstance(term, Constant) and term not in seen:
+                seen.append(term)
+        return seen
+
+    def is_ground(self) -> bool:
+        """``True`` if the atom contains no variables."""
+        return all(not isinstance(term, Variable) for term in self.terms)
+
+    def positions(self) -> List[Tuple[str, int]]:
+        """The positions ``(predicate, index)`` of the atom, 0-based."""
+        return [(self.predicate, index) for index in range(self.arity)]
+
+    def positions_of(self, variable: Variable) -> List[Tuple[str, int]]:
+        """Positions at which ``variable`` occurs in this atom."""
+        return [
+            (self.predicate, index)
+            for index, term in enumerate(self.terms)
+            if term == variable
+        ]
+
+    # -- construction helpers ----------------------------------------------
+
+    def negate(self) -> "Atom":
+        """Return the same atom with the opposite polarity."""
+        return Atom(self.predicate, self.terms, negated=not self.negated)
+
+    def positive(self) -> "Atom":
+        """Return the positive version of this atom."""
+        if not self.negated:
+            return self
+        return Atom(self.predicate, self.terms, negated=False)
+
+    def with_terms(self, terms: Sequence[Any]) -> "Atom":
+        """Return an atom over the same predicate with different terms."""
+        return Atom(self.predicate, terms, negated=self.negated)
+
+    def to_fact_row(self) -> Tuple[Any, ...]:
+        """Convert a ground atom into a storable tuple of values."""
+        if not self.is_ground():
+            raise DatalogError(f"cannot convert non-ground atom {self} to a fact row")
+        return tuple(term_value(term) for term in self.terms)
+
+    @staticmethod
+    def fact(predicate: str, row: Sequence[Any]) -> "Atom":
+        """Build a ground atom from a relation name and a tuple of values."""
+        return Atom(predicate, [to_term(value) for value in row])
+
+    def __str__(self) -> str:
+        body = f"{self.predicate}({', '.join(str(t) for t in self.terms)})"
+        return f"not {body}" if self.negated else body
+
+
+#: Comparison operators supported in query bodies and constraint bodies.
+COMPARISON_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in comparison atom, e.g. ``t >= 'Sep/5-11:45'`` or ``x = y``.
+
+    Comparisons never generate bindings; they filter candidate substitutions
+    once both sides are ground.  Comparing a labeled null with anything other
+    than itself under ``=`` yields ``False`` (nulls are unknown values).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __init__(self, op: str, left: Any, right: Any):
+        if op not in COMPARISON_OPERATORS:
+            raise DatalogError(
+                f"unsupported comparison operator {op!r}; "
+                f"supported: {sorted(COMPARISON_OPERATORS)}"
+            )
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", to_term(left))
+        object.__setattr__(self, "right", to_term(right))
+
+    def variables(self) -> List[Variable]:
+        """Variables occurring in the comparison."""
+        result = []
+        for term in (self.left, self.right):
+            if isinstance(term, Variable) and term not in result:
+                result.append(term)
+        return result
+
+    def evaluate(self, left_value: Any, right_value: Any) -> bool:
+        """Evaluate the comparison on two ground values."""
+        if isinstance(left_value, Null) or isinstance(right_value, Null):
+            if self.op in ("=", "=="):
+                return left_value == right_value
+            if self.op == "!=":
+                return left_value != right_value
+            return False
+        try:
+            return COMPARISON_OPERATORS[self.op](left_value, right_value)
+        except TypeError:
+            # Incomparable types (e.g. int vs str): fall back to string order
+            # for ordering operators, strict inequality for equality.
+            if self.op in ("=", "=="):
+                return False
+            if self.op == "!=":
+                return True
+            return COMPARISON_OPERATORS[self.op](str(left_value), str(right_value))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+def atoms_variables(atoms: Iterable[Atom]) -> List[Variable]:
+    """Variables of a sequence of atoms, in order of first occurrence."""
+    seen: List[Variable] = []
+    for atom in atoms:
+        for variable in atom.variables():
+            if variable not in seen:
+                seen.append(variable)
+    return seen
+
+
+def atoms_positions_of(atoms: Iterable[Atom], variable: Variable) -> Set[Tuple[str, int]]:
+    """All positions at which ``variable`` occurs across ``atoms``."""
+    positions: Set[Tuple[str, int]] = set()
+    for atom in atoms:
+        positions.update(atom.positions_of(variable))
+    return positions

@@ -1,0 +1,262 @@
+"""The chase procedure for Datalog± programs.
+
+The chase takes an extensional database and a set of dependencies and
+repairs the database until every dependency is satisfied:
+
+* an applicable **TGD** trigger adds the (ground) head atoms, inventing a
+  fresh labeled null for each existential variable;
+* an applicable **EGD** trigger equates two values — replacing a labeled
+  null by the other value, or failing hard when two distinct constants
+  would have to be equated;
+* **negative constraints** are checked on the final result (or eagerly,
+  when ``fail_fast`` is set) and produce :class:`InconsistencyError`.
+
+Two flavours are provided (ablation experiment E10 in DESIGN.md):
+
+* the **restricted** (standard) chase only fires a TGD trigger when the head
+  is not already satisfied by some extension of the trigger homomorphism;
+* the **oblivious** chase fires every trigger exactly once regardless.
+
+For the paper's MD ontologies the restricted chase terminates: dimensional
+rules of forms (1)–(4) invent nulls only at non-categorical positions and
+form (10) only finitely many member nulls (Section III).  Arbitrary user
+programs may not terminate, so the engine enforces a step budget and raises
+:class:`ChaseNonTerminationError` when it is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ChaseNonTerminationError, EGDConflictError, InconsistencyError
+from ..relational.instance import DatabaseInstance
+from ..relational.values import Null, NullFactory
+from .atoms import Atom
+from .program import DatalogProgram
+from .rules import EGD, NegativeConstraint, TGD
+from .terms import Constant, Variable, term_value
+from .unify import (Substitution, apply_to_atom, apply_to_term, find_homomorphisms,
+                    match_atom)
+
+RESTRICTED = "restricted"
+OBLIVIOUS = "oblivious"
+
+
+@dataclass
+class ConstraintViolation:
+    """A witnessed violation of a negative constraint."""
+
+    constraint: NegativeConstraint
+    witness: Dict[str, object]
+
+    def __str__(self) -> str:
+        bindings = ", ".join(f"{var}={val}" for var, val in sorted(self.witness.items()))
+        return f"violation of [{self.constraint}] with {bindings}"
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    instance: DatabaseInstance
+    steps: int
+    rounds: int
+    terminated: bool
+    mode: str
+    egd_merges: int = 0
+    violations: List[ConstraintViolation] = field(default_factory=list)
+
+    @property
+    def is_consistent(self) -> bool:
+        """``True`` when no negative constraint was violated."""
+        return not self.violations
+
+    def generated_nulls(self) -> Set[Null]:
+        """Labeled nulls present in the chased instance."""
+        return self.instance.nulls()
+
+
+class ChaseEngine:
+    """Configurable chase runner.
+
+    Parameters
+    ----------
+    mode:
+        ``"restricted"`` (default) or ``"oblivious"``.
+    max_steps:
+        Budget on the number of applied TGD triggers; exceeding it raises
+        :class:`ChaseNonTerminationError`.
+    check_constraints:
+        When ``True`` (default), negative constraints are evaluated on the
+        chased instance and collected as violations.
+    fail_fast:
+        When ``True``, the first constraint violation or hard EGD conflict
+        raises immediately instead of being collected.
+    null_prefix:
+        Prefix for the labels of invented nulls.
+    """
+
+    def __init__(self, mode: str = RESTRICTED, max_steps: int = 100_000,
+                 check_constraints: bool = True, fail_fast: bool = False,
+                 null_prefix: str = "n"):
+        if mode not in (RESTRICTED, OBLIVIOUS):
+            raise ValueError(f"unknown chase mode {mode!r}")
+        self.mode = mode
+        self.max_steps = max_steps
+        self.check_constraints = check_constraints
+        self.fail_fast = fail_fast
+        self.null_prefix = null_prefix
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, program: DatalogProgram) -> ChaseResult:
+        """Chase ``program``'s database; the input program is not mutated."""
+        program = program.copy()
+        program.ensure_relations()
+        instance = program.database
+        nulls = NullFactory(self.null_prefix)
+        steps = 0
+        rounds = 0
+        egd_merges = 0
+        applied_triggers: Set[Tuple[int, Tuple]] = set()
+
+        changed = True
+        while changed:
+            rounds += 1
+            changed = False
+
+            # EGDs first: they may merge nulls and unblock/blot out TGD triggers.
+            merges = self._apply_egds(program.egds, instance)
+            if merges:
+                egd_merges += merges
+                changed = True
+
+            for index, tgd in enumerate(program.tgds):
+                triggers = list(find_homomorphisms(tgd.body, instance))
+                for homomorphism in triggers:
+                    trigger_key = self._trigger_key(index, tgd, homomorphism)
+                    if self.mode == OBLIVIOUS and trigger_key in applied_triggers:
+                        continue
+                    if self.mode == RESTRICTED and self._head_satisfied(tgd, homomorphism, instance):
+                        continue
+                    self._apply_tgd(tgd, homomorphism, instance, nulls)
+                    applied_triggers.add(trigger_key)
+                    steps += 1
+                    changed = True
+                    if steps > self.max_steps:
+                        raise ChaseNonTerminationError(
+                            f"chase exceeded the budget of {self.max_steps} trigger applications; "
+                            "the program may have a non-terminating chase")
+
+        violations = self._check_constraints(program.constraints, instance) \
+            if self.check_constraints else []
+        return ChaseResult(
+            instance=instance,
+            steps=steps,
+            rounds=rounds,
+            terminated=True,
+            mode=self.mode,
+            egd_merges=egd_merges,
+            violations=violations,
+        )
+
+    # -- TGDs ----------------------------------------------------------------
+
+    @staticmethod
+    def _trigger_key(index: int, tgd: TGD, homomorphism: Substitution) -> Tuple[int, Tuple]:
+        relevant = tuple(
+            (variable.name, term_value(apply_to_term(homomorphism, variable)))
+            for variable in sorted(tgd.body_variables(), key=lambda v: v.name)
+        )
+        return (index, relevant)
+
+    @staticmethod
+    def _head_satisfied(tgd: TGD, homomorphism: Substitution,
+                        instance: DatabaseInstance) -> bool:
+        """Check if the head already holds under some extension of the trigger."""
+        partial_head = [apply_to_atom(homomorphism, atom) for atom in tgd.head]
+        for _ in find_homomorphisms(partial_head, instance):
+            return True
+        return False
+
+    def _apply_tgd(self, tgd: TGD, homomorphism: Substitution,
+                   instance: DatabaseInstance, nulls: NullFactory) -> None:
+        extended: Substitution = dict(homomorphism)
+        for variable in tgd.existential_variables():
+            extended[variable] = nulls.fresh()
+        for atom in tgd.head:
+            grounded = apply_to_atom(extended, atom)
+            instance.add(grounded.predicate, grounded.to_fact_row())
+
+    # -- EGDs ----------------------------------------------------------------
+
+    def _apply_egds(self, egds: Sequence[EGD], instance: DatabaseInstance) -> int:
+        """Apply EGDs to a fixpoint; return the number of value merges."""
+        merges = 0
+        changed = True
+        while changed:
+            changed = False
+            for egd in egds:
+                for homomorphism in list(find_homomorphisms(egd.body, instance)):
+                    left = term_value(apply_to_term(homomorphism, egd.left))
+                    right = term_value(apply_to_term(homomorphism, egd.right))
+                    if left == right:
+                        continue
+                    if not isinstance(left, Null) and not isinstance(right, Null):
+                        raise EGDConflictError(
+                            f"EGD [{egd}] requires equating distinct constants "
+                            f"{left!r} and {right!r}",
+                            constraint=egd,
+                            witness={v.name: term_value(apply_to_term(homomorphism, v))
+                                     for v in egd.body_variables()})
+                    # Replace the null by the other value (prefer keeping constants).
+                    if isinstance(left, Null) and not isinstance(right, Null):
+                        self._replace_value(instance, left, right)
+                    elif isinstance(right, Null) and not isinstance(left, Null):
+                        self._replace_value(instance, right, left)
+                    else:
+                        # two nulls: keep the lexicographically smaller label
+                        keep, drop = sorted((left, right), key=lambda n: n.label)
+                        self._replace_value(instance, drop, keep)
+                    merges += 1
+                    changed = True
+        return merges
+
+    @staticmethod
+    def _replace_value(instance: DatabaseInstance, old: object, new: object) -> None:
+        for relation in instance:
+            affected = [row for row in relation.rows() if old in row]
+            for row in affected:
+                relation.discard(row)
+                relation.add(tuple(new if value == old else value for value in row))
+
+    # -- negative constraints ------------------------------------------------
+
+    def _check_constraints(self, constraints: Sequence[NegativeConstraint],
+                           instance: DatabaseInstance) -> List[ConstraintViolation]:
+        violations: List[ConstraintViolation] = []
+        for constraint in constraints:
+            for homomorphism in find_homomorphisms(
+                    constraint.body, instance, comparisons=constraint.comparisons):
+                witness = {
+                    variable.name: term_value(apply_to_term(homomorphism, variable))
+                    for variable in constraint.body_variables()
+                }
+                violation = ConstraintViolation(constraint, witness)
+                if self.fail_fast:
+                    raise InconsistencyError(
+                        f"negative constraint violated: {violation}",
+                        constraint=constraint, witness=witness)
+                violations.append(violation)
+                break  # one witness per constraint is enough for reporting
+        return violations
+
+
+def chase(program: DatalogProgram, mode: str = RESTRICTED,
+          max_steps: int = 100_000, check_constraints: bool = True,
+          fail_fast: bool = False) -> ChaseResult:
+    """Convenience wrapper: run the chase with a one-off engine."""
+    engine = ChaseEngine(mode=mode, max_steps=max_steps,
+                         check_constraints=check_constraints, fail_fast=fail_fast)
+    return engine.run(program)

@@ -1,0 +1,247 @@
+"""Syntactic classes of Datalog± programs.
+
+The paper (Sections II–III) relies on the hierarchy of "good" Datalog±
+classes for which conjunctive query answering is decidable and, for the
+classes used here, tractable in data complexity:
+
+* **linear** — every TGD has a single body atom;
+* **guarded** — every TGD has a body atom (a guard) containing all the
+  universal variables of the body;
+* **sticky** — the marking procedure of Calì–Gottlob–Pieris marks body
+  variable occurrences that may be "lost" during resolution; a program is
+  sticky when no marked variable occurs more than once in a body;
+* **weakly sticky** — the relaxation used by the paper: a variable that
+  occurs more than once in a body must be non-marked **or** occur at some
+  position of *finite rank* (see :mod:`repro.datalog.graphs`);
+* **weakly acyclic** — no cycle through a special edge in the position
+  graph; guarantees chase termination.
+
+The central theoretical claim reproduced here (Section III) is that MD
+ontologies with dimensional rules of forms (1)–(4) and (10) are weakly
+sticky; :mod:`repro.ontology.analysis` applies these checks to compiled MD
+ontologies and the test-suite verifies the claim on the hospital ontology
+and on synthetic ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .graphs import Position, PositionGraph, build_position_graph, build_predicate_graph
+from .rules import TGD
+from .terms import Variable
+
+#: A marked occurrence is (rule index, atom index within the body, position index).
+MarkedOccurrence = Tuple[int, int, int]
+
+
+@dataclass
+class StickyMarking:
+    """Result of the sticky-marking procedure over a set of TGDs."""
+
+    tgds: Tuple[TGD, ...]
+    #: marked body-variable occurrences, as (rule, body atom, argument) indices
+    marked_occurrences: FrozenSet[MarkedOccurrence]
+    #: positions (predicate, index) that carry a marked variable in some body
+    marked_positions: FrozenSet[Position]
+
+    def marked_variables(self, rule_index: int) -> Set[Variable]:
+        """Variables of rule ``rule_index`` with at least one marked occurrence."""
+        rule = self.tgds[rule_index]
+        result: Set[Variable] = set()
+        for (r_index, atom_index, arg_index) in self.marked_occurrences:
+            if r_index != rule_index:
+                continue
+            term = rule.body[atom_index].terms[arg_index]
+            if isinstance(term, Variable):
+                result.add(term)
+        return result
+
+
+def compute_sticky_marking(tgds: Sequence[TGD]) -> StickyMarking:
+    """Run the sticky-marking propagation of Calì–Gottlob–Pieris.
+
+    Initial step: in every TGD, mark each body occurrence of a variable that
+    does **not** appear in the head.  Propagation step: if a variable appears
+    in the head of a TGD at position π, and π is a marked position (i.e. some
+    marked occurrence in any rule body is at π), then mark all body
+    occurrences of that variable in the TGD.  Repeat until fixpoint.
+    """
+    tgds = tuple(tgds)
+    marked: Set[MarkedOccurrence] = set()
+
+    def occurrences_of(rule_index: int, variable: Variable) -> List[MarkedOccurrence]:
+        rule = tgds[rule_index]
+        found = []
+        for atom_index, atom in enumerate(rule.body):
+            for arg_index, term in enumerate(atom.terms):
+                if term == variable:
+                    found.append((rule_index, atom_index, arg_index))
+        return found
+
+    # Initial marking.
+    for rule_index, rule in enumerate(tgds):
+        head_variables = set(rule.head_variables())
+        for variable in rule.body_variables():
+            if variable not in head_variables:
+                marked.update(occurrences_of(rule_index, variable))
+
+    def marked_positions_of(current: Set[MarkedOccurrence]) -> Set[Position]:
+        positions: Set[Position] = set()
+        for (rule_index, atom_index, arg_index) in current:
+            atom = tgds[rule_index].body[atom_index]
+            positions.add((atom.predicate, arg_index))
+        return positions
+
+    # Propagation to fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        positions = marked_positions_of(marked)
+        for rule_index, rule in enumerate(tgds):
+            for variable in rule.frontier_variables():
+                appears_at_marked_position = any(
+                    (atom.predicate, arg_index) in positions
+                    for atom in rule.head
+                    for arg_index, term in enumerate(atom.terms)
+                    if term == variable
+                )
+                if not appears_at_marked_position:
+                    continue
+                for occurrence in occurrences_of(rule_index, variable):
+                    if occurrence not in marked:
+                        marked.add(occurrence)
+                        changed = True
+
+    return StickyMarking(
+        tgds=tgds,
+        marked_occurrences=frozenset(marked),
+        marked_positions=frozenset(marked_positions_of(marked)),
+    )
+
+
+@dataclass
+class ClassReport:
+    """Membership report of a TGD set in the Datalog± class hierarchy."""
+
+    is_linear: bool
+    is_guarded: bool
+    is_sticky: bool
+    is_weakly_sticky: bool
+    is_weakly_acyclic: bool
+    finite_rank_positions: FrozenSet[Position]
+    infinite_rank_positions: FrozenSet[Position]
+    sticky_witness: str = ""
+    weakly_sticky_witness: str = ""
+
+    def summary(self) -> Dict[str, bool]:
+        """Class membership as a plain dictionary (for reports and benches)."""
+        return {
+            "linear": self.is_linear,
+            "guarded": self.is_guarded,
+            "sticky": self.is_sticky,
+            "weakly_sticky": self.is_weakly_sticky,
+            "weakly_acyclic": self.is_weakly_acyclic,
+        }
+
+
+def is_linear(tgds: Sequence[TGD]) -> bool:
+    """Every TGD has exactly one body atom."""
+    return all(len(tgd.body) == 1 for tgd in tgds)
+
+
+def is_guarded(tgds: Sequence[TGD]) -> bool:
+    """Every TGD has a body atom containing all universal body variables."""
+    for tgd in tgds:
+        body_variables = set(tgd.body_variables())
+        if not any(set(atom.variables()) >= body_variables for atom in tgd.body):
+            return False
+    return True
+
+
+def _sticky_violations(tgds: Sequence[TGD], marking: StickyMarking
+                       ) -> List[Tuple[int, Variable]]:
+    """(rule index, variable) pairs where a marked variable is a join variable."""
+    violations = []
+    for rule_index, rule in enumerate(tgds):
+        marked_variables = marking.marked_variables(rule_index)
+        for variable in rule.join_variables():
+            if variable in marked_variables:
+                violations.append((rule_index, variable))
+    return violations
+
+
+def is_sticky(tgds: Sequence[TGD]) -> bool:
+    """No TGD has a marked variable occurring more than once in its body."""
+    marking = compute_sticky_marking(tgds)
+    return not _sticky_violations(tgds, marking)
+
+
+def is_weakly_sticky(tgds: Sequence[TGD]) -> bool:
+    """Marked join variables must occur at some finite-rank position."""
+    return classify(tgds).is_weakly_sticky
+
+
+def is_weakly_acyclic(tgds: Sequence[TGD]) -> bool:
+    """No cycle through a special edge in the position graph."""
+    return build_position_graph(tgds).is_weakly_acyclic()
+
+
+def classify(tgds: Sequence[TGD]) -> ClassReport:
+    """Full class-membership report for a set of TGDs."""
+    tgds = list(tgds)
+    marking = compute_sticky_marking(tgds)
+    graph = build_position_graph(tgds)
+    finite_rank = graph.finite_rank_positions()
+    infinite_rank = graph.infinite_rank_positions()
+
+    sticky_violations = _sticky_violations(tgds, marking)
+    sticky = not sticky_violations
+
+    weakly_sticky = True
+    weakly_sticky_witness = ""
+    for rule_index, variable in sticky_violations:
+        rule = tgds[rule_index]
+        positions = {
+            (atom.predicate, arg_index)
+            for atom in rule.body
+            for arg_index, term in enumerate(atom.terms)
+            if term == variable
+        }
+        if not positions & finite_rank:
+            weakly_sticky = False
+            weakly_sticky_witness = (
+                f"rule {rule_index} ({rule}) joins marked variable {variable} "
+                f"only at infinite-rank positions {sorted(positions)}"
+            )
+            break
+
+    sticky_witness = ""
+    if sticky_violations:
+        rule_index, variable = sticky_violations[0]
+        sticky_witness = (
+            f"rule {rule_index} ({tgds[rule_index]}) joins marked variable {variable}"
+        )
+
+    return ClassReport(
+        is_linear=is_linear(tgds),
+        is_guarded=is_guarded(tgds),
+        is_sticky=sticky,
+        is_weakly_sticky=weakly_sticky,
+        is_weakly_acyclic=graph.is_weakly_acyclic(),
+        finite_rank_positions=frozenset(finite_rank),
+        infinite_rank_positions=frozenset(infinite_rank),
+        sticky_witness=sticky_witness,
+        weakly_sticky_witness=weakly_sticky_witness,
+    )
+
+
+def is_non_recursive(tgds: Sequence[TGD]) -> bool:
+    """``True`` if the predicate dependency graph is acyclic.
+
+    Non-recursive rule sets admit a complete unfolding-based first-order
+    rewriting (used by :mod:`repro.datalog.rewriting` for the paper's
+    upward-navigation-only MD ontologies).
+    """
+    return not build_predicate_graph(tgds).is_recursive()

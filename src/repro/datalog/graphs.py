@@ -1,0 +1,253 @@
+"""Dependency graphs used by the syntactic analysis of Datalog± programs.
+
+Two graphs matter for the classes the paper relies on:
+
+* the **predicate dependency graph** (edges from body predicates to head
+  predicates of TGDs) — used to detect recursion and to order non-recursive
+  rewritings;
+* the **position dependency graph** of weak acyclicity (Fagin et al.):
+  nodes are positions ``(predicate, index)``; a TGD with a frontier variable
+  at body position *p* and head position *q* contributes an ordinary edge
+  ``p → q``; if the same rule has an existential variable at head position
+  *r*, it also contributes a *special* edge ``p ⇒ r``.  Positions from which
+  no cycle through a special edge is reachable have **finite rank**: only
+  finitely many distinct values can ever appear there during the chase.
+  Finite-rank positions are the ingredient that turns *sticky* into
+  *weakly sticky* (Calì, Gottlob & Pieris, AIJ 2012), which is the class the
+  paper's MD ontologies belong to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .rules import TGD
+from .terms import Variable
+
+Position = Tuple[str, int]
+
+
+@dataclass
+class PositionGraph:
+    """The weak-acyclicity position graph of a set of TGDs."""
+
+    positions: Set[Position] = field(default_factory=set)
+    ordinary_edges: Set[Tuple[Position, Position]] = field(default_factory=set)
+    special_edges: Set[Tuple[Position, Position]] = field(default_factory=set)
+
+    def all_edges(self) -> Set[Tuple[Position, Position]]:
+        """Ordinary and special edges together."""
+        return self.ordinary_edges | self.special_edges
+
+    def successors(self, position: Position) -> Set[Position]:
+        """Positions reachable in one step from ``position``."""
+        return {target for source, target in self.all_edges() if source == position}
+
+    # -- analyses -------------------------------------------------------------
+
+    def reachable_from(self, sources: Iterable[Position]) -> Set[Position]:
+        """Positions reachable (in ≥ 0 steps) from any of ``sources``."""
+        adjacency: Dict[Position, Set[Position]] = {}
+        for source, target in self.all_edges():
+            adjacency.setdefault(source, set()).add(target)
+        seen: Set[Position] = set()
+        frontier = [p for p in sources]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(adjacency.get(current, ()))
+        return seen
+
+    def positions_on_special_cycles(self) -> Set[Position]:
+        """Positions lying on a cycle that contains at least one special edge.
+
+        Computed per strongly connected component: a position is on such a
+        cycle iff its SCC has more than one node — or a self-loop — and the
+        SCC contains a special edge between two of its members.
+        """
+        sccs = self._strongly_connected_components()
+        result: Set[Position] = set()
+        for component in sccs:
+            members = set(component)
+            internal_special = any(
+                source in members and target in members
+                for source, target in self.special_edges
+            )
+            internal_any = any(
+                source in members and target in members
+                for source, target in self.all_edges()
+            )
+            if internal_special and (len(members) > 1 or internal_any):
+                result |= members
+        return result
+
+    def infinite_rank_positions(self) -> Set[Position]:
+        """Positions where unboundedly many nulls may appear during the chase.
+
+        These are the positions reachable from a cycle through a special
+        edge.  Their complement is the set of *finite-rank* positions.
+        """
+        on_cycles = self.positions_on_special_cycles()
+        return self.reachable_from(on_cycles)
+
+    def finite_rank_positions(self) -> Set[Position]:
+        """Positions at which only finitely many values can appear."""
+        return self.positions - self.infinite_rank_positions()
+
+    def is_weakly_acyclic(self) -> bool:
+        """``True`` iff no cycle goes through a special edge."""
+        return not self.positions_on_special_cycles()
+
+    # -- internals -------------------------------------------------------------
+
+    def _strongly_connected_components(self) -> List[List[Position]]:
+        """Tarjan's algorithm (iterative) over the full edge set."""
+        adjacency: Dict[Position, List[Position]] = {p: [] for p in self.positions}
+        for source, target in self.all_edges():
+            adjacency.setdefault(source, []).append(target)
+            adjacency.setdefault(target, [])
+
+        index_counter = [0]
+        indices: Dict[Position, int] = {}
+        lowlinks: Dict[Position, int] = {}
+        on_stack: Set[Position] = set()
+        stack: List[Position] = []
+        components: List[List[Position]] = []
+
+        def strongconnect(root: Position) -> None:
+            work = [(root, iter(adjacency[root]))]
+            indices[root] = lowlinks[root] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in indices:
+                        indices[successor] = lowlinks[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append((successor, iter(adjacency[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlinks[node] = min(lowlinks[node], indices[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+                if lowlinks[node] == indices[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    components.append(component)
+
+        for position in adjacency:
+            if position not in indices:
+                strongconnect(position)
+        return components
+
+
+def build_position_graph(tgds: Sequence[TGD],
+                         extra_positions: Iterable[Position] = ()) -> PositionGraph:
+    """Build the weak-acyclicity position graph of ``tgds``."""
+    graph = PositionGraph()
+    graph.positions.update(extra_positions)
+    for tgd in tgds:
+        for atom in (*tgd.body, *tgd.head):
+            graph.positions.update(atom.positions())
+    for tgd in tgds:
+        existentials = set(tgd.existential_variables())
+        body_vars = set(tgd.body_variables())
+        for variable in tgd.frontier_variables():
+            body_positions = [pos for atom in tgd.body for pos in atom.positions_of(variable)]
+            head_positions = [pos for atom in tgd.head for pos in atom.positions_of(variable)]
+            for source in body_positions:
+                for target in head_positions:
+                    graph.ordinary_edges.add((source, target))
+                for atom in tgd.head:
+                    for existential in existentials:
+                        for target in atom.positions_of(existential):
+                            graph.special_edges.add((source, target))
+        # Rules whose body shares no variable with the head still contribute
+        # their positions (already collected above), but no edges.
+        _ = body_vars
+    return graph
+
+
+@dataclass
+class PredicateGraph:
+    """The predicate dependency graph of a set of TGDs."""
+
+    nodes: Set[str] = field(default_factory=set)
+    edges: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def successors(self, node: str) -> Set[str]:
+        """Predicates directly derivable from ``node``."""
+        return {target for source, target in self.edges if source == node}
+
+    def is_recursive(self) -> bool:
+        """``True`` iff the graph has a (possibly self-loop) cycle."""
+        return bool(self.predicates_on_cycles())
+
+    def predicates_on_cycles(self) -> Set[str]:
+        """Predicates that participate in some cycle."""
+        adjacency: Dict[str, Set[str]] = {node: set() for node in self.nodes}
+        for source, target in self.edges:
+            adjacency.setdefault(source, set()).add(target)
+            adjacency.setdefault(target, set())
+        result: Set[str] = set()
+        for start in adjacency:
+            # A node is on a cycle iff it can reach itself in >= 1 step.
+            frontier = list(adjacency[start])
+            seen: Set[str] = set()
+            while frontier:
+                node = frontier.pop()
+                if node == start:
+                    result.add(start)
+                    break
+                if node in seen:
+                    continue
+                seen.add(node)
+                frontier.extend(adjacency.get(node, ()))
+        return result
+
+    def topological_order(self) -> List[str]:
+        """A topological order of the predicates (raises on cycles)."""
+        if self.is_recursive():
+            raise ValueError("predicate graph is cyclic; no topological order exists")
+        in_degree: Dict[str, int] = {node: 0 for node in self.nodes}
+        for _source, target in self.edges:
+            in_degree[target] = in_degree.get(target, 0) + 1
+        order: List[str] = []
+        frontier = sorted(node for node, degree in in_degree.items() if degree == 0)
+        while frontier:
+            node = frontier.pop(0)
+            order.append(node)
+            for target in sorted(self.successors(node)):
+                in_degree[target] -= 1
+                if in_degree[target] == 0:
+                    frontier.append(target)
+        return order
+
+
+def build_predicate_graph(tgds: Sequence[TGD]) -> PredicateGraph:
+    """Build the predicate dependency graph of ``tgds``."""
+    graph = PredicateGraph()
+    for tgd in tgds:
+        graph.nodes |= tgd.body_predicates() | tgd.head_predicates()
+        for source in tgd.body_predicates():
+            for target in tgd.head_predicates():
+                graph.edges.add((source, target))
+    return graph

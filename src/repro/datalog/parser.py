@@ -1,0 +1,397 @@
+"""A textual syntax for Datalog± rules, facts and queries.
+
+The syntax follows Prolog conventions:
+
+* **Variables** start with an uppercase letter or ``_`` (``X``, ``Unit_1``).
+* **Constants** are lowercase identifiers (``w1``), single- or double-quoted
+  strings (``'Tom Waits'``), or numbers (``37.5``).
+* **Atoms** are ``predicate(term, ..., term)``; a negated atom is written
+  ``not predicate(...)``.
+* **TGDs**: ``head1, head2 :- body1, ..., bodyn.`` — head variables not
+  occurring in the body are existential; an optional explicit prefix
+  ``exists Z1, Z2 : head :- body.`` is also accepted (and checked).
+* **EGDs**: ``X = Y :- body.``
+* **Negative constraints**: ``false :- body.`` (``bottom`` also accepted).
+* **Facts**: ``predicate(c1, ..., cn).``
+* **Comparisons** may appear in rule bodies and queries:
+  ``X >= 'Sep/5-11:45'``, ``T != 'night'``.
+* **Queries** (via :func:`parse_query`): ``?(X, Y) :- body.`` for an open
+  query, ``? :- body.`` for a boolean query.  ``ans(X, Y) :- body.`` is
+  accepted as a synonym.
+
+Comments run from ``%`` or ``#`` to the end of the line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ParseError
+from .atoms import Atom, COMPARISON_OPERATORS, Comparison
+from .program import DatalogProgram
+from .rules import EGD, ConjunctiveQuery, NegativeConstraint, TGD
+from .terms import Constant, Term, Variable
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"-?\d+(\.\d+)?"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_/\-]*"),
+    ("IMPLIES", r":-|<-|←"),
+    ("OP", r"!=|<=|>=|==|=|<|>"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("COLON", r":"),
+    ("DOT", r"\."),
+    ("QMARK", r"\?"),
+    ("BANG", r"!"),
+    ("SKIP", r"[ \t\r\n]+"),
+    ("COMMENT", r"[%#][^\n]*"),
+    ("MISMATCH", r"."),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_NEGATION_KEYWORDS = {"not", "neg"}
+_FALSE_KEYWORDS = {"false", "bottom", "bot"}
+_EXISTS_KEYWORDS = {"exists", "exist"}
+_QUERY_HEADS = {"ans", "q"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup or "MISMATCH"
+        value = match.group()
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {value!r}", text, match.start())
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: List[_Token], text: str):
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[_Token]:
+        position = self.index + offset
+        return self.tokens[position] if position < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = f"{kind}" + (f" {value!r}" if value else "")
+            raise ParseError(
+                f"expected {expected}, got {token.kind} {token.value!r}",
+                self.text, token.position)
+        return token
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _is_variable_name(name: str) -> bool:
+    return bool(name) and (name[0].isupper() or name[0] == "_")
+
+
+def _term_from_token(token: _Token) -> Term:
+    if token.kind == "NUMBER":
+        value = float(token.value) if "." in token.value else int(token.value)
+        return Constant(value)
+    if token.kind == "STRING":
+        raw = token.value[1:-1]
+        return Constant(raw.replace("\\'", "'").replace('\\"', '"'))
+    if token.kind == "IDENT":
+        if _is_variable_name(token.value):
+            return Variable(token.value)
+        return Constant(token.value)
+    raise ParseError(f"cannot interpret token {token.value!r} as a term")
+
+
+class _Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.stream = _TokenStream(_tokenize(text), text)
+
+    # -- atoms and terms ----------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self.stream.next()
+        return _term_from_token(token)
+
+    def parse_atom(self, allow_negation: bool = True) -> Atom:
+        negated = False
+        token = self.stream.peek()
+        if token is not None and token.kind == "IDENT" and token.value.lower() in _NEGATION_KEYWORDS:
+            if not allow_negation:
+                raise ParseError("negation is not allowed here", self.text, token.position)
+            self.stream.next()
+            negated = True
+        name_token = self.stream.expect("IDENT")
+        predicate = name_token.value
+        self.stream.expect("LPAREN")
+        terms: List[Term] = []
+        if self.stream.peek() is not None and self.stream.peek().kind != "RPAREN":
+            terms.append(self.parse_term())
+            while self.stream.peek() is not None and self.stream.peek().kind == "COMMA":
+                self.stream.next()
+                terms.append(self.parse_term())
+        self.stream.expect("RPAREN")
+        return Atom(predicate, terms, negated=negated)
+
+    def _looks_like_atom(self) -> bool:
+        token = self.stream.peek()
+        after = self.stream.peek(1)
+        if token is None or token.kind != "IDENT":
+            return False
+        if token.value.lower() in _NEGATION_KEYWORDS:
+            return True
+        return after is not None and after.kind == "LPAREN"
+
+    def _looks_like_comparison(self) -> bool:
+        # term OP term — where the first token is a term-ish token followed
+        # by a comparison operator.
+        token = self.stream.peek()
+        after = self.stream.peek(1)
+        if token is None or after is None:
+            return False
+        if token.kind not in ("IDENT", "NUMBER", "STRING"):
+            return False
+        return after.kind == "OP"
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_term()
+        op_token = self.stream.expect("OP")
+        right = self.parse_term()
+        if op_token.value not in COMPARISON_OPERATORS:
+            raise ParseError(f"unknown comparison operator {op_token.value!r}",
+                             self.text, op_token.position)
+        return Comparison(op_token.value, left, right)
+
+    def parse_body(self, allow_negation: bool = True) -> Tuple[List[Atom], List[Comparison]]:
+        atoms: List[Atom] = []
+        comparisons: List[Comparison] = []
+        while True:
+            if self._looks_like_atom():
+                atoms.append(self.parse_atom(allow_negation=allow_negation))
+            elif self._looks_like_comparison():
+                comparisons.append(self.parse_comparison())
+            else:
+                token = self.stream.peek()
+                raise ParseError("expected an atom or a comparison",
+                                 self.text, token.position if token else len(self.text))
+            token = self.stream.peek()
+            if token is not None and token.kind == "COMMA":
+                self.stream.next()
+                continue
+            break
+        return atoms, comparisons
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> Union[TGD, EGD, NegativeConstraint, Atom]:
+        """Parse one statement up to (and including) its terminating dot."""
+        token = self.stream.peek()
+        if token is None:
+            raise ParseError("empty statement", self.text, len(self.text))
+
+        # Explicit existential prefix: exists Z1, Z2 : head :- body.
+        declared_existentials: List[Variable] = []
+        if token.kind == "IDENT" and token.value.lower() in _EXISTS_KEYWORDS:
+            self.stream.next()
+            declared_existentials.append(self._parse_variable())
+            while self.stream.peek() is not None and self.stream.peek().kind == "COMMA":
+                self.stream.next()
+                declared_existentials.append(self._parse_variable())
+            nxt = self.stream.peek()
+            if nxt is not None and nxt.kind == "COLON":
+                self.stream.next()
+
+        # Negative constraint: false :- body.
+        token = self.stream.peek()
+        if token is not None and token.kind == "IDENT" and \
+                token.value.lower() in _FALSE_KEYWORDS and \
+                (self.stream.peek(1) is None or self.stream.peek(1).kind != "LPAREN"):
+            self.stream.next()
+            self.stream.expect("IMPLIES")
+            atoms, comparisons = self.parse_body(allow_negation=True)
+            self.stream.expect("DOT")
+            return NegativeConstraint(atoms, comparisons)
+
+        # EGD: X = Y :- body.
+        if self._looks_like_comparison():
+            comparison = self.parse_comparison()
+            if comparison.op not in ("=", "=="):
+                raise ParseError(
+                    f"only equality may appear in a rule head, got {comparison.op!r}",
+                    self.text, token.position)
+            self.stream.expect("IMPLIES")
+            atoms, comparisons = self.parse_body(allow_negation=False)
+            if comparisons:
+                raise ParseError("comparisons are not supported in EGD bodies",
+                                 self.text, token.position)
+            self.stream.expect("DOT")
+            return EGD(comparison.left, comparison.right, atoms)
+
+        # TGD or fact: head atoms, optionally ':- body'.
+        head_atoms = [self.parse_atom(allow_negation=False)]
+        while self.stream.peek() is not None and self.stream.peek().kind == "COMMA":
+            self.stream.next()
+            head_atoms.append(self.parse_atom(allow_negation=False))
+
+        nxt = self.stream.peek()
+        if nxt is not None and nxt.kind == "IMPLIES":
+            self.stream.next()
+            body_atoms, comparisons = self.parse_body(allow_negation=False)
+            if comparisons:
+                raise ParseError("comparisons are not supported in TGD bodies",
+                                 self.text, nxt.position)
+            self.stream.expect("DOT")
+            tgd = TGD(head_atoms, body_atoms)
+            if declared_existentials:
+                actual = set(tgd.existential_variables())
+                declared = set(declared_existentials)
+                if declared - actual:
+                    raise ParseError(
+                        f"declared existential variables {sorted(v.name for v in declared - actual)} "
+                        "also occur in the rule body", self.text, nxt.position)
+            return tgd
+
+        # A fact.
+        self.stream.expect("DOT")
+        if len(head_atoms) != 1:
+            raise ParseError("a fact must be a single atom", self.text,
+                             token.position if token else 0)
+        fact = head_atoms[0]
+        if not fact.is_ground():
+            raise ParseError(f"fact {fact} contains variables", self.text,
+                             token.position if token else 0)
+        return fact
+
+    def _parse_variable(self) -> Variable:
+        token = self.stream.expect("IDENT")
+        if not _is_variable_name(token.value):
+            raise ParseError(f"expected a variable, got {token.value!r}",
+                             self.text, token.position)
+        return Variable(token.value)
+
+    def parse_statements(self) -> List[Union[TGD, EGD, NegativeConstraint, Atom]]:
+        statements = []
+        while not self.stream.at_end():
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_query(self) -> ConjunctiveQuery:
+        token = self.stream.peek()
+        if token is None:
+            raise ParseError("empty query", self.text, 0)
+        answer_variables: List[Variable] = []
+        name = "Q"
+        if token.kind == "QMARK":
+            self.stream.next()
+            nxt = self.stream.peek()
+            if nxt is not None and nxt.kind == "LPAREN":
+                self.stream.next()
+                if self.stream.peek() is not None and self.stream.peek().kind != "RPAREN":
+                    answer_variables.append(self._parse_variable())
+                    while self.stream.peek() is not None and self.stream.peek().kind == "COMMA":
+                        self.stream.next()
+                        answer_variables.append(self._parse_variable())
+                self.stream.expect("RPAREN")
+        elif token.kind == "IDENT" and token.value.lower() in _QUERY_HEADS:
+            self.stream.next()
+            name = token.value
+            self.stream.expect("LPAREN")
+            if self.stream.peek() is not None and self.stream.peek().kind != "RPAREN":
+                answer_variables.append(self._parse_variable())
+                while self.stream.peek() is not None and self.stream.peek().kind == "COMMA":
+                    self.stream.next()
+                    answer_variables.append(self._parse_variable())
+            self.stream.expect("RPAREN")
+        else:
+            raise ParseError("a query must start with '?' or 'ans(...)'",
+                             self.text, token.position)
+        self.stream.expect("IMPLIES")
+        atoms, comparisons = self.parse_body(allow_negation=False)
+        if self.stream.peek() is not None and self.stream.peek().kind == "DOT":
+            self.stream.next()
+        if not self.stream.at_end():
+            leftover = self.stream.peek()
+            raise ParseError("unexpected trailing input after query",
+                             self.text, leftover.position if leftover else len(self.text))
+        return ConjunctiveQuery(answer_variables, atoms, comparisons, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def parse_statements(text: str) -> List[Union[TGD, EGD, NegativeConstraint, Atom]]:
+    """Parse a sequence of rules, constraints and facts."""
+    return _Parser(text).parse_statements()
+
+
+def parse_rule(text: str) -> Union[TGD, EGD, NegativeConstraint]:
+    """Parse a single rule or constraint (must not be a fact)."""
+    statements = parse_statements(text)
+    if len(statements) != 1:
+        raise ParseError(f"expected exactly one statement, got {len(statements)}", text)
+    statement = statements[0]
+    if isinstance(statement, Atom):
+        raise ParseError("expected a rule, got a fact", text)
+    return statement
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, which may contain variables (no trailing dot)."""
+    parser = _Parser(text)
+    atom = parser.parse_atom(allow_negation=True)
+    if parser.stream.peek() is not None and parser.stream.peek().kind == "DOT":
+        parser.stream.next()
+    if not parser.stream.at_end():
+        leftover = parser.stream.peek()
+        raise ParseError("unexpected trailing input after atom", text,
+                         leftover.position if leftover else len(text))
+    return atom
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query (``?(X) :- body.`` or ``? :- body.``)."""
+    return _Parser(text).parse_query()
+
+
+def parse_program(text: str, database=None) -> DatalogProgram:
+    """Parse a whole program: rules, constraints and facts.
+
+    Facts appearing in the text are loaded into the program's database
+    (which may be supplied by the caller and is extended in place).
+    """
+    program = DatalogProgram(database=database)
+    for statement in parse_statements(text):
+        if isinstance(statement, Atom):
+            program.add_atom_fact(statement)
+        else:
+            program.add_rules([statement])
+    return program

@@ -1,0 +1,173 @@
+"""Datalog± programs: a set of dependencies plus an extensional database.
+
+A :class:`DatalogProgram` bundles the TGDs, EGDs and negative constraints of
+an ontology with the extensional database instance they are evaluated over.
+It also offers predicate bookkeeping (arities, extensional vs intensional
+predicates) that the chase, the class analyzer and the query-answering
+algorithms all rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DatalogError
+from ..relational.instance import DatabaseInstance
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .atoms import Atom
+from .rules import EGD, ConjunctiveQuery, NegativeConstraint, TGD
+
+
+class DatalogProgram:
+    """A Datalog± program: TGDs + EGDs + negative constraints + data."""
+
+    def __init__(self,
+                 tgds: Iterable[TGD] = (),
+                 egds: Iterable[EGD] = (),
+                 constraints: Iterable[NegativeConstraint] = (),
+                 database: Optional[DatabaseInstance] = None):
+        self.tgds: List[TGD] = list(tgds)
+        self.egds: List[EGD] = list(egds)
+        self.constraints: List[NegativeConstraint] = list(constraints)
+        self.database: DatabaseInstance = database if database is not None else DatabaseInstance()
+
+    # -- construction ---------------------------------------------------------
+
+    def add_tgd(self, tgd: TGD) -> TGD:
+        """Add a TGD to the program."""
+        self.tgds.append(tgd)
+        return tgd
+
+    def add_egd(self, egd: EGD) -> EGD:
+        """Add an EGD to the program."""
+        self.egds.append(egd)
+        return egd
+
+    def add_constraint(self, constraint: NegativeConstraint) -> NegativeConstraint:
+        """Add a negative constraint to the program."""
+        self.constraints.append(constraint)
+        return constraint
+
+    def add_rules(self, rules: Iterable[object]) -> None:
+        """Add a heterogeneous collection of dependencies."""
+        for rule in rules:
+            if isinstance(rule, TGD):
+                self.add_tgd(rule)
+            elif isinstance(rule, EGD):
+                self.add_egd(rule)
+            elif isinstance(rule, NegativeConstraint):
+                self.add_constraint(rule)
+            else:
+                raise DatalogError(f"cannot add object of type {type(rule).__name__} to a program")
+
+    def add_fact(self, predicate: str, row: Sequence) -> bool:
+        """Insert a fact, declaring the relation on first use.
+
+        Attribute names are synthesized (``a0``, ``a1``, ...) when the
+        relation is not yet declared; callers that care about attribute
+        names should declare relations on the database instance first.
+        """
+        if not self.database.has_relation(predicate):
+            self.database.declare(predicate, [f"a{i}" for i in range(len(row))])
+        return self.database.add(predicate, row)
+
+    def add_atom_fact(self, atom: Atom) -> bool:
+        """Insert a ground atom as a fact."""
+        return self.add_fact(atom.predicate, atom.to_fact_row())
+
+    # -- predicate bookkeeping -------------------------------------------------
+
+    def dependencies(self) -> List[object]:
+        """All dependencies (TGDs, EGDs, negative constraints)."""
+        return [*self.tgds, *self.egds, *self.constraints]
+
+    def predicate_arities(self) -> Dict[str, int]:
+        """Predicate name → arity, collected from rules and data.
+
+        Raises :class:`DatalogError` on inconsistent arities.
+        """
+        arities: Dict[str, int] = {}
+
+        def record(predicate: str, arity: int, where: str) -> None:
+            known = arities.get(predicate)
+            if known is None:
+                arities[predicate] = arity
+            elif known != arity:
+                raise DatalogError(
+                    f"predicate {predicate!r} used with arity {arity} in {where} "
+                    f"but previously with arity {known}"
+                )
+
+        for relation in self.database:
+            record(relation.schema.name, relation.schema.arity, "the database")
+        for tgd in self.tgds:
+            for atom in (*tgd.body, *tgd.head):
+                record(atom.predicate, atom.arity, f"TGD {tgd}")
+        for egd in self.egds:
+            for atom in egd.body:
+                record(atom.predicate, atom.arity, f"EGD {egd}")
+        for constraint in self.constraints:
+            for atom in constraint.body:
+                record(atom.predicate, atom.arity, f"constraint {constraint}")
+        return arities
+
+    def predicates(self) -> Set[str]:
+        """All predicate names mentioned anywhere in the program."""
+        return set(self.predicate_arities())
+
+    def intensional_predicates(self) -> Set[str]:
+        """Predicates defined by some TGD head."""
+        return {atom.predicate for tgd in self.tgds for atom in tgd.head}
+
+    def extensional_predicates(self) -> Set[str]:
+        """Predicates that are never defined by a TGD head."""
+        return self.predicates() - self.intensional_predicates()
+
+    def positions(self) -> Set[Tuple[str, int]]:
+        """All positions ``(predicate, index)`` of the program's predicates."""
+        return {
+            (predicate, index)
+            for predicate, arity in self.predicate_arities().items()
+            for index in range(arity)
+        }
+
+    # -- data handling ----------------------------------------------------------
+
+    def ensure_relations(self) -> None:
+        """Declare a relation for every predicate used by the rules.
+
+        The chase writes generated facts into the same database instance it
+        reads from, so every intensional predicate needs a relation even when
+        the input data has none.
+        """
+        for predicate, arity in self.predicate_arities().items():
+            if not self.database.has_relation(predicate):
+                self.database.declare(predicate, [f"a{i}" for i in range(arity)])
+
+    def copy(self, database: Optional[DatabaseInstance] = None) -> "DatalogProgram":
+        """Copy the program; optionally substitute a different database."""
+        return DatalogProgram(
+            tgds=list(self.tgds),
+            egds=list(self.egds),
+            constraints=list(self.constraints),
+            database=database.copy() if database is not None else self.database.copy(),
+        )
+
+    def without_constraints(self) -> "DatalogProgram":
+        """Copy of the program with EGDs and negative constraints removed.
+
+        Used by the separability analysis: for separable programs, certain
+        answers over the TGD-only program coincide with certain answers over
+        the full program (provided the latter is consistent).
+        """
+        return DatalogProgram(tgds=list(self.tgds), database=self.database.copy())
+
+    def __str__(self) -> str:
+        lines = [str(rule) for rule in self.dependencies()]
+        lines.append(f"-- {self.database.total_tuples()} extensional facts")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DatalogProgram({len(self.tgds)} TGDs, {len(self.egds)} EGDs, "
+                f"{len(self.constraints)} constraints, "
+                f"{self.database.total_tuples()} facts)")

@@ -1,0 +1,264 @@
+"""First-order (UCQ) query rewriting for non-recursive Datalog± rule sets.
+
+Section IV of the paper points out that MD ontologies whose dimensional
+rules only perform **upward navigation** admit first-order query rewriting:
+the conjunctive query posed against the ontology can be rewritten into a
+union of conjunctive queries (UCQ) that is evaluated directly over the
+extensional database, with no data generation at all.  Upward-navigating
+rule sets are non-recursive through the category hierarchy (a roll-up never
+returns to a lower level), which is the property the rewriting relies on.
+
+The rewriting implemented here is the classical unfolding-based procedure
+(in the style of PerfectRef / the Gottlob–Orsi–Pieris rewriting, restricted
+to non-recursive rule sets, which is all the paper needs):
+
+* start from the input query;
+* repeatedly pick an atom whose predicate occurs in some TGD head, unify the
+  atom with the (standardized-apart) head and replace it by the rule body —
+  provided the unification respects the *applicability condition* on
+  existential variables (an existential head variable may only be unified
+  with a non-answer, non-shared, non-compared query variable, never with a
+  constant);
+* collect every CQ produced this way; the final rewriting is the union of
+  those CQs, evaluated over the extensional data only.
+
+For recursive rule sets the procedure would not terminate; a
+:class:`~repro.errors.RewritingError` is raised instead (the caller should
+fall back to the chase or to :class:`~repro.datalog.ws_qa.DeterministicWSQAns`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import RewritingError
+from ..relational.instance import DatabaseInstance
+from .answering import AnswerTuple, evaluate_query
+from .atoms import Atom, Comparison
+from .classes import is_non_recursive
+from .program import DatalogProgram
+from .rules import ConjunctiveQuery, TGD
+from .terms import Constant, Term, Variable
+from .unify import Substitution, apply_to_atom, apply_to_term, unify_atoms
+
+
+@dataclass
+class Rewriting:
+    """A UCQ rewriting of a conjunctive query."""
+
+    original: ConjunctiveQuery
+    queries: List[ConjunctiveQuery]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def evaluate(self, database: DatabaseInstance) -> List[AnswerTuple]:
+        """Evaluate the UCQ over ``database`` and union the answers."""
+        answers: Set[AnswerTuple] = set()
+        for query in self.queries:
+            answers.update(evaluate_query(query, database, allow_nulls=False))
+        return sorted(answers, key=lambda row: tuple(map(str, row)))
+
+    def holds(self, database: DatabaseInstance) -> bool:
+        """Boolean evaluation of the UCQ over ``database``."""
+        if self.original.is_boolean():
+            from .answering import evaluate_boolean_query
+            return any(evaluate_boolean_query(query, database) for query in self.queries)
+        return bool(self.evaluate(database))
+
+
+class QueryRewriter:
+    """Unfolding-based UCQ rewriter for non-recursive TGD sets.
+
+    Parameters
+    ----------
+    tgds:
+        The rule set; must be non-recursive (checked unless
+        ``assume_non_recursive`` is set).
+    max_queries:
+        Safety cap on the size of the produced UCQ.
+    """
+
+    def __init__(self, tgds: Sequence[TGD], max_queries: int = 10_000,
+                 assume_non_recursive: bool = False):
+        self.tgds = list(tgds)
+        self.max_queries = max_queries
+        if not assume_non_recursive and not is_non_recursive(self.tgds):
+            raise RewritingError(
+                "the rule set is recursive; first-order rewriting is only "
+                "supported for non-recursive (e.g. upward-navigation-only) rule sets"
+            )
+        self._rename_counter = itertools.count(1)
+        self._rules_by_head: Dict[str, List[Tuple[TGD, int]]] = {}
+        for tgd in self.tgds:
+            for head_index, atom in enumerate(tgd.head):
+                self._rules_by_head.setdefault(atom.predicate, []).append((tgd, head_index))
+
+    # -- public API ------------------------------------------------------------
+
+    def rewrite(self, query: ConjunctiveQuery) -> Rewriting:
+        """Rewrite ``query`` into a UCQ over (mostly) extensional predicates."""
+        seen: Set[Tuple] = set()
+        worklist: List[ConjunctiveQuery] = [query]
+        produced: List[ConjunctiveQuery] = []
+        while worklist:
+            current = worklist.pop()
+            key = self._canonical_key(current)
+            if key in seen:
+                continue
+            seen.add(key)
+            produced.append(current)
+            if len(produced) > self.max_queries:
+                raise RewritingError(
+                    f"rewriting exceeded {self.max_queries} conjunctive queries; "
+                    "the rule set is too prolific for UCQ rewriting")
+            for successor in self._unfoldings(current):
+                if self._canonical_key(successor) not in seen:
+                    worklist.append(successor)
+        return Rewriting(original=query, queries=produced)
+
+    def answers(self, query: ConjunctiveQuery, database: DatabaseInstance) -> List[AnswerTuple]:
+        """Rewrite and evaluate in one step."""
+        return self.rewrite(query).evaluate(database)
+
+    # -- unfolding -------------------------------------------------------------
+
+    def _unfoldings(self, query: ConjunctiveQuery) -> Iterable[ConjunctiveQuery]:
+        protected = self._protected_variables(query)
+        for atom_index, atom in enumerate(query.body):
+            for tgd, head_index in self._rules_by_head.get(atom.predicate, ()):
+                renamed_head, renamed_body, existentials = self._rename_rule(tgd)
+                unifier = unify_atoms(atom, renamed_head[head_index])
+                if unifier is None:
+                    continue
+                if not self._applicable(unifier, existentials, protected, query, atom_index):
+                    continue
+                new_body = [
+                    apply_to_atom(unifier, body_atom)
+                    for index, body_atom in enumerate(query.body)
+                    if index != atom_index
+                ]
+                new_body.extend(apply_to_atom(unifier, body_atom) for body_atom in renamed_body)
+                new_comparisons = [
+                    Comparison(c.op,
+                               apply_to_term(unifier, c.left),
+                               apply_to_term(unifier, c.right))
+                    for c in query.comparisons
+                ]
+                # Answer variables must remain variables in the rewritten CQ.
+                # Rule heads of MD ontologies never carry constants at frontier
+                # positions, so a unification that sends an answer variable to
+                # a constant is a corner case we conservatively skip (sound,
+                # and complete for the rule shapes used by the paper).
+                new_answer_variables: List[Variable] = []
+                skip = False
+                for variable in query.answer_variables:
+                    target = apply_to_term(unifier, variable)
+                    if not isinstance(target, Variable):
+                        skip = True
+                        break
+                    new_answer_variables.append(target)
+                if skip:
+                    continue
+                try:
+                    yield ConjunctiveQuery(new_answer_variables, new_body,
+                                           new_comparisons, name=query.name)
+                except Exception:
+                    # Unfoldings that break query safety are simply skipped.
+                    continue
+
+    def _rename_rule(self, tgd: TGD) -> Tuple[List[Atom], List[Atom], Set[Variable]]:
+        suffix = next(self._rename_counter)
+        mapping: Dict[Variable, Term] = {}
+        for variable in (*tgd.body_variables(), *tgd.head_variables()):
+            mapping.setdefault(variable, Variable(f"{variable.name}__u{suffix}"))
+        head = [apply_to_atom(mapping, atom) for atom in tgd.head]
+        body = [apply_to_atom(mapping, atom) for atom in tgd.body]
+        existentials = {mapping[v] for v in tgd.existential_variables()
+                        if isinstance(mapping[v], Variable)}
+        return head, body, existentials
+
+    @staticmethod
+    def _protected_variables(query: ConjunctiveQuery) -> Set[Variable]:
+        """Variables an existential head variable must not be unified with.
+
+        Answer variables, variables occurring in comparisons, and variables
+        shared between two body atoms are protected: unifying them with an
+        existential would claim that a chase-invented null equals an
+        observable value, which is unsound.
+        """
+        protected: Set[Variable] = set(query.answer_variables)
+        for comparison in query.comparisons:
+            protected.update(comparison.variables())
+        counts: Dict[Variable, int] = {}
+        for atom in query.body:
+            for variable in set(atom.variables()):
+                counts[variable] = counts.get(variable, 0) + 1
+        protected.update(v for v, count in counts.items() if count > 1)
+        return protected
+
+    def _applicable(self, unifier: Substitution, existentials: Set[Variable],
+                    protected: Set[Variable], query: ConjunctiveQuery,
+                    atom_index: int) -> bool:
+        """Check the existential-variable applicability condition.
+
+        An existential head variable stands for a chase-invented null.  The
+        unfolding is applicable only if, under the unifier, no existential is
+        (transitively) identified with a constant or with a *protected* query
+        variable — an answer variable, a variable used in a comparison, a
+        variable shared between body atoms, or a variable repeated within the
+        unfolded atom.  Unification may have oriented the binding either way
+        (query variable ↦ existential or existential ↦ query variable), so
+        both sides are normalized through the unifier before comparison.
+        """
+        atom = query.body[atom_index]
+        repeated_in_atom = {
+            variable for variable in atom.variables()
+            if sum(1 for term in atom.terms if term == variable) > 1
+        }
+        existential_images = set()
+        for existential in existentials:
+            image = apply_to_term(unifier, existential)
+            if not isinstance(image, Variable):
+                # Identified with a constant (or a null): not applicable.
+                return False
+            existential_images.add(image)
+        for variable in protected | repeated_in_atom:
+            if apply_to_term(unifier, variable) in existential_images:
+                return False
+        return True
+
+    @staticmethod
+    def _canonical_key(query: ConjunctiveQuery) -> Tuple:
+        """A structural key used to deduplicate rewritten queries.
+
+        Variables are canonicalized by order of first occurrence so that
+        alphabetic renamings of the same query collapse to one entry.
+        """
+        mapping: Dict[Variable, str] = {}
+
+        def canon(term: Term) -> str:
+            if isinstance(term, Variable):
+                if term not in mapping:
+                    mapping[term] = f"V{len(mapping)}"
+                return mapping[term]
+            return f"c:{term!r}"
+
+        body_key = tuple(
+            (atom.predicate, tuple(canon(term) for term in atom.terms))
+            for atom in query.body
+        )
+        answer_key = tuple(canon(variable) for variable in query.answer_variables)
+        comparison_key = tuple(
+            (comparison.op, canon(comparison.left), canon(comparison.right))
+            for comparison in query.comparisons
+        )
+        return (answer_key, tuple(sorted(body_key)), tuple(sorted(comparison_key)))
+
+
+def rewrite_and_answer(program: DatalogProgram, query: ConjunctiveQuery) -> List[AnswerTuple]:
+    """Rewrite ``query`` over ``program``'s TGDs and evaluate over its data."""
+    rewriter = QueryRewriter(program.tgds)
+    return rewriter.answers(query, program.database)

@@ -1,0 +1,321 @@
+"""Dependencies (rules) and queries of the Datalog± language.
+
+The paper's ontologies use four kinds of statements (Section III):
+
+* **TGDs** (tuple-generating dependencies) — rules of the form
+  ``∃z̄ H(x̄, z̄) ← B1(x̄), ..., Bn(x̄)``; existential variables are simply the
+  head variables that do not occur in the body.  Dimensional rules of forms
+  (4) and (10) are TGDs.
+* **EGDs** (equality-generating dependencies) — ``x = x' ← body``;
+  dimensional constraints of form (2).
+* **Negative constraints** — ``⊥ ← body``; referential constraints of form
+  (1) (which may contain one negated category atom) and dimensional
+  constraints of form (3).
+* **Conjunctive queries**, possibly with built-in comparisons, for the
+  query-answering algorithms of Section IV.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DatalogError, UnsafeRuleError
+from .atoms import Atom, Comparison, atoms_variables
+from .terms import Constant, Term, Variable
+
+
+def _check_positive(atoms: Sequence[Atom], where: str) -> None:
+    for atom in atoms:
+        if atom.negated:
+            raise DatalogError(f"negated atom {atom} is not allowed in {where}")
+
+
+class TGD:
+    """A tuple-generating dependency ``head₁,...,headₖ ← body₁,...,bodyₙ``.
+
+    Head variables that do not occur in the body are existentially
+    quantified.  A TGD with no existential variables and a single head atom
+    is a plain Datalog rule.
+    """
+
+    def __init__(self, head: Sequence[Atom], body: Sequence[Atom], label: str = ""):
+        head = tuple(head)
+        body = tuple(body)
+        if not head:
+            raise DatalogError("a TGD must have at least one head atom")
+        if not body:
+            raise DatalogError("a TGD must have at least one body atom")
+        _check_positive(head, "a TGD head")
+        _check_positive(body, "a TGD body")
+        self.head: Tuple[Atom, ...] = head
+        self.body: Tuple[Atom, ...] = body
+        self.label = label
+        for term in itertools.chain.from_iterable(atom.terms for atom in head):
+            # Constants in heads are fine; what must not happen is a head
+            # term that is neither a variable nor a constant.
+            if not isinstance(term, (Variable, Constant)) and term is not None:
+                # Labeled nulls in rule heads would make the rule non-generic.
+                raise UnsafeRuleError(f"illegal head term {term!r} in TGD {self}")
+
+    # -- variable classification --------------------------------------------
+
+    def body_variables(self) -> List[Variable]:
+        """Variables occurring in the body (the universal variables)."""
+        return atoms_variables(self.body)
+
+    def head_variables(self) -> List[Variable]:
+        """Variables occurring in the head."""
+        return atoms_variables(self.head)
+
+    def frontier_variables(self) -> List[Variable]:
+        """Variables shared between body and head."""
+        body_vars = set(self.body_variables())
+        return [v for v in self.head_variables() if v in body_vars]
+
+    def existential_variables(self) -> List[Variable]:
+        """Head variables that do not occur in the body."""
+        body_vars = set(self.body_variables())
+        return [v for v in self.head_variables() if v not in body_vars]
+
+    def is_existential(self) -> bool:
+        """``True`` if the rule has at least one existential variable."""
+        return bool(self.existential_variables())
+
+    def is_plain_datalog(self) -> bool:
+        """``True`` if the rule has no existential variables."""
+        return not self.is_existential()
+
+    def is_linear(self) -> bool:
+        """``True`` if the body consists of a single atom."""
+        return len(self.body) == 1
+
+    def join_variables(self) -> List[Variable]:
+        """Variables occurring more than once in the body.
+
+        A variable is a join variable if it occurs in two different body
+        atoms or twice within the same body atom.
+        """
+        result = []
+        for variable in self.body_variables():
+            occurrences = sum(
+                sum(1 for term in atom.terms if term == variable)
+                for atom in self.body
+            )
+            if occurrences > 1:
+                result.append(variable)
+        return result
+
+    # -- predicates ----------------------------------------------------------
+
+    def head_predicates(self) -> Set[str]:
+        """Predicate names of the head atoms."""
+        return {atom.predicate for atom in self.head}
+
+    def body_predicates(self) -> Set[str]:
+        """Predicate names of the body atoms."""
+        return {atom.predicate for atom in self.body}
+
+    def __str__(self) -> str:
+        existentials = self.existential_variables()
+        prefix = f"exists {', '.join(map(str, existentials))} " if existentials else ""
+        head = ", ".join(str(atom) for atom in self.head)
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{prefix}{head} :- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TGD({self})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TGD):
+            return NotImplemented
+        return self.head == other.head and self.body == other.body
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+
+class EGD:
+    """An equality-generating dependency ``x = y ← body``.
+
+    Both sides of the head equality must occur in the body (safety).
+    """
+
+    def __init__(self, left: Term, right: Term, body: Sequence[Atom], label: str = ""):
+        body = tuple(body)
+        if not body:
+            raise DatalogError("an EGD must have at least one body atom")
+        _check_positive(body, "an EGD body")
+        self.left = left
+        self.right = right
+        self.body: Tuple[Atom, ...] = body
+        self.label = label
+        body_vars = set(atoms_variables(body))
+        for term in (left, right):
+            if isinstance(term, Variable) and term not in body_vars:
+                raise UnsafeRuleError(
+                    f"EGD head variable {term} does not occur in the body: {self}"
+                )
+
+    def body_variables(self) -> List[Variable]:
+        """Variables occurring in the body."""
+        return atoms_variables(self.body)
+
+    def head_variables(self) -> List[Variable]:
+        """Variables of the head equality."""
+        return [t for t in (self.left, self.right) if isinstance(t, Variable)]
+
+    def body_predicates(self) -> Set[str]:
+        """Predicate names of the body atoms."""
+        return {atom.predicate for atom in self.body}
+
+    def head_positions(self) -> Set[Tuple[str, int]]:
+        """Body positions at which the equated variables occur."""
+        positions: Set[Tuple[str, int]] = set()
+        for variable in self.head_variables():
+            for atom in self.body:
+                positions.update(atom.positions_of(variable))
+        return positions
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{self.left} = {self.right} :- {body}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EGD({self})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EGD):
+            return NotImplemented
+        return (self.left, self.right, self.body) == (other.left, other.right, other.body)
+
+    def __hash__(self) -> int:
+        return hash((self.left, self.right, self.body))
+
+
+class NegativeConstraint:
+    """A negative constraint (denial) ``⊥ ← body``.
+
+    The body may contain negated atoms (used by the paper's referential
+    constraints of form (1), e.g. ``⊥ ← PatientUnit(u,d;p), ¬Unit(u)``) and
+    built-in comparisons.  A constraint is violated when its body has a
+    match in the instance.
+    """
+
+    def __init__(self, body: Sequence[Atom], comparisons: Sequence[Comparison] = (),
+                 label: str = ""):
+        body = tuple(body)
+        if not body:
+            raise DatalogError("a negative constraint must have at least one body atom")
+        if all(atom.negated for atom in body):
+            raise DatalogError(
+                "a negative constraint needs at least one positive body atom"
+            )
+        self.body: Tuple[Atom, ...] = body
+        self.comparisons: Tuple[Comparison, ...] = tuple(comparisons)
+        self.label = label
+
+    def positive_atoms(self) -> List[Atom]:
+        """The positive literals of the body."""
+        return [atom for atom in self.body if not atom.negated]
+
+    def negative_atoms(self) -> List[Atom]:
+        """The negated literals of the body."""
+        return [atom for atom in self.body if atom.negated]
+
+    def body_variables(self) -> List[Variable]:
+        """Variables occurring in the body."""
+        return atoms_variables(self.body)
+
+    def body_predicates(self) -> Set[str]:
+        """Predicate names of the body atoms (positive and negative)."""
+        return {atom.predicate for atom in self.body}
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.body] + [str(c) for c in self.comparisons]
+        return f"false :- {', '.join(parts)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NegativeConstraint({self})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NegativeConstraint):
+            return NotImplemented
+        return self.body == other.body and self.comparisons == other.comparisons
+
+    def __hash__(self) -> int:
+        return hash((self.body, self.comparisons))
+
+
+class ConjunctiveQuery:
+    """A conjunctive query, possibly with built-in comparison atoms.
+
+    ``answer_variables`` empty means a *boolean* conjunctive query (BCQ).
+    Comparisons act as filters over candidate substitutions.
+    """
+
+    def __init__(self, answer_variables: Sequence[Variable], body: Sequence[Atom],
+                 comparisons: Sequence[Comparison] = (), name: str = "Q"):
+        body = tuple(body)
+        if not body:
+            raise DatalogError("a conjunctive query must have at least one body atom")
+        _check_positive(body, "a conjunctive query body")
+        self.answer_variables: Tuple[Variable, ...] = tuple(answer_variables)
+        self.body: Tuple[Atom, ...] = body
+        self.comparisons: Tuple[Comparison, ...] = tuple(comparisons)
+        self.name = name
+        body_vars = set(atoms_variables(body))
+        for variable in self.answer_variables:
+            if variable not in body_vars:
+                raise UnsafeRuleError(
+                    f"answer variable {variable} does not occur in the query body"
+                )
+
+    def is_boolean(self) -> bool:
+        """``True`` if the query has no answer variables."""
+        return not self.answer_variables
+
+    def body_variables(self) -> List[Variable]:
+        """Variables occurring in the body."""
+        return atoms_variables(self.body)
+
+    def body_predicates(self) -> Set[str]:
+        """Predicate names of the body atoms."""
+        return {atom.predicate for atom in self.body}
+
+    def to_boolean(self) -> "ConjunctiveQuery":
+        """Return the boolean version of this query (drop answer variables)."""
+        return ConjunctiveQuery((), self.body, self.comparisons, name=self.name)
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(map(str, self.answer_variables))})"
+        parts = [str(atom) for atom in self.body] + [str(c) for c in self.comparisons]
+        return f"{head} :- {', '.join(parts)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConjunctiveQuery({self})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConjunctiveQuery):
+            return NotImplemented
+        return (self.answer_variables, self.body, self.comparisons) == (
+            other.answer_variables, other.body, other.comparisons)
+
+    def __hash__(self) -> int:
+        return hash((self.answer_variables, self.body, self.comparisons))
+
+
+def plain_rule(head: Atom, body: Sequence[Atom], label: str = "") -> TGD:
+    """Convenience constructor for a plain (existential-free) Datalog rule.
+
+    Raises :class:`UnsafeRuleError` if the head introduces variables not
+    bound in the body — callers that *want* existentials should build the
+    :class:`TGD` directly.
+    """
+    rule = TGD([head], body, label=label)
+    if rule.is_existential():
+        raise UnsafeRuleError(
+            f"plain rule has unbound head variables {rule.existential_variables()}: {rule}"
+        )
+    return rule

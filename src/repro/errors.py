@@ -1,0 +1,154 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single base class.  Sub-hierarchies mirror the package
+layout: relational substrate, Datalog± engine, multidimensional model,
+MD ontologies, and the data-quality framework.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+class RelationalError(ReproError):
+    """Base class for errors in the relational substrate."""
+
+
+class SchemaError(RelationalError):
+    """A relation schema is malformed or used inconsistently."""
+
+
+class UnknownRelationError(RelationalError):
+    """A relation name was not found in a database schema or instance."""
+
+
+class ArityError(RelationalError):
+    """A tuple, atom or query uses the wrong number of attributes."""
+
+
+class DuplicateRelationError(RelationalError):
+    """A relation with the same name was registered twice."""
+
+
+# ---------------------------------------------------------------------------
+# Datalog± engine
+# ---------------------------------------------------------------------------
+
+class DatalogError(ReproError):
+    """Base class for errors in the Datalog± engine."""
+
+
+class ParseError(DatalogError):
+    """A textual rule, atom or query could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if text and position >= 0:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class UnsafeRuleError(DatalogError):
+    """A rule violates a safety condition (e.g. unbound head variable)."""
+
+
+class ChaseNonTerminationError(DatalogError):
+    """The chase exceeded its step or depth budget without terminating."""
+
+
+class InconsistencyError(DatalogError):
+    """A negative constraint or a non-separable EGD is violated.
+
+    Carries the violated constraint and the homomorphism that witnesses the
+    violation, so callers can report *why* the ontology (or the data mapped
+    into it) is inconsistent.
+    """
+
+    def __init__(self, message: str, constraint=None, witness=None):
+        super().__init__(message)
+        self.constraint = constraint
+        self.witness = witness
+
+
+class EGDConflictError(InconsistencyError):
+    """An EGD requires equating two distinct constants (a hard violation)."""
+
+
+class QueryAnsweringError(DatalogError):
+    """A query could not be answered (unsupported shape, missing data...)."""
+
+
+class RewritingError(DatalogError):
+    """A rule set is not eligible for first-order query rewriting."""
+
+
+# ---------------------------------------------------------------------------
+# Multidimensional model
+# ---------------------------------------------------------------------------
+
+class MDModelError(ReproError):
+    """Base class for errors in the extended HM multidimensional model."""
+
+
+class DimensionSchemaError(MDModelError):
+    """A dimension schema is malformed (cycle, missing category...)."""
+
+
+class DimensionInstanceError(MDModelError):
+    """A dimension instance violates its schema (bad member, bad edge...)."""
+
+
+class CategoricalRelationError(MDModelError):
+    """A categorical relation schema or instance is malformed."""
+
+
+class NavigationError(MDModelError):
+    """A roll-up or drill-down between two categories is impossible."""
+
+
+# ---------------------------------------------------------------------------
+# MD ontologies (the paper's core contribution)
+# ---------------------------------------------------------------------------
+
+class OntologyError(ReproError):
+    """Base class for errors in the MD ontology layer."""
+
+
+class DimensionalRuleError(OntologyError):
+    """A dimensional rule does not match the paper's forms (4) or (10)."""
+
+
+class DimensionalConstraintError(OntologyError):
+    """A dimensional constraint does not match the paper's forms (1)-(3)."""
+
+
+class NotWeaklyStickyError(OntologyError):
+    """The compiled Datalog± program is not weakly sticky."""
+
+
+class SeparabilityError(OntologyError):
+    """EGDs are not separable from the TGDs of the ontology."""
+
+
+# ---------------------------------------------------------------------------
+# Data-quality framework
+# ---------------------------------------------------------------------------
+
+class QualityError(ReproError):
+    """Base class for errors in the contextual data-quality framework."""
+
+
+class ContextError(QualityError):
+    """A context specification is malformed (bad mapping, missing schema)."""
+
+
+class QualityVersionError(QualityError):
+    """A quality-version specification cannot be evaluated."""

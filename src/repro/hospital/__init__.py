@@ -1,0 +1,43 @@
+"""The paper's running hospital example, packaged as a reusable scenario.
+
+Dimensions of Fig. 1, tables I and III–V, the reconstructed ``PatientWard``
+and ``Thermometer`` relations, the dimensional rules (7)–(9) and constraints
+of Examples 4–6, and the Example-7 quality context — everything needed to
+replay the paper end to end.
+"""
+
+from .dimensions import build_hospital_dimension, build_time_dimension
+from .data import (DISCHARGE_PATIENTS_ROWS, MEASUREMENTS_QUALITY_ROWS, MEASUREMENTS_ROWS,
+                   PATIENT_WARD_ROWS, SHIFTS_ROWS, THERMOMETER_ROWS,
+                   WORKING_SCHEDULES_ROWS, build_md_instance, build_measurements_instance)
+from .ontology import (CLOSURE_CONSTRAINTS, CLOSURE_CONSTRAINT_COMPARISON,
+                       CONSTRAINT_6_THERMOMETER, RULE_7_PATIENT_UNIT, RULE_8_SHIFTS,
+                       RULE_9_DISCHARGE, build_ontology, build_upward_only_ontology)
+from .scenario import (DOCTOR_QUERY, MARK_SHIFT_QUERY, MARK_SHIFT_W2_QUERY,
+                       HospitalScenario)
+
+__all__ = [
+    "build_hospital_dimension",
+    "build_time_dimension",
+    "DISCHARGE_PATIENTS_ROWS",
+    "MEASUREMENTS_QUALITY_ROWS",
+    "MEASUREMENTS_ROWS",
+    "PATIENT_WARD_ROWS",
+    "SHIFTS_ROWS",
+    "THERMOMETER_ROWS",
+    "WORKING_SCHEDULES_ROWS",
+    "build_md_instance",
+    "build_measurements_instance",
+    "CLOSURE_CONSTRAINTS",
+    "CLOSURE_CONSTRAINT_COMPARISON",
+    "CONSTRAINT_6_THERMOMETER",
+    "RULE_7_PATIENT_UNIT",
+    "RULE_8_SHIFTS",
+    "RULE_9_DISCHARGE",
+    "build_ontology",
+    "build_upward_only_ontology",
+    "DOCTOR_QUERY",
+    "MARK_SHIFT_QUERY",
+    "MARK_SHIFT_W2_QUERY",
+    "HospitalScenario",
+]

@@ -1,0 +1,137 @@
+"""Table data of the paper's running example (Tables I, III, IV, V and Fig. 1).
+
+The paper gives the contents of ``Measurements`` (Table I), its expected
+quality version ``Measurements^q`` (Table II), ``WorkingSchedules``
+(Table III), ``Shifts`` (Table IV) and ``DischargePatients`` (Table V)
+verbatim; ``PatientWard`` and ``Thermometer`` are described in the narrative
+(Examples 1 and 4) and are reconstructed here so that the quality version of
+``Measurements`` comes out exactly as Table II:
+
+* Tom Waits is in a Standard-unit ward (W1/W2) on Sep/5 and Sep/6 — those
+  measurements were therefore taken with a brand-B1 thermometer and by a
+  certified nurse (Helen), so they are the two quality tuples of Table II;
+* on Sep/7 and Sep/9 he is in the Terminal-unit ward W4, so those
+  measurements do not satisfy the guideline;
+* Lou Reed is never in a Standard-unit ward, so none of his measurements
+  qualify;
+* the ``PatientWard`` tuple placing Lou Reed in the Intensive-care ward W3
+  on Sep/6 is the "third tuple" that the inter-dimensional closure
+  constraint of Example 1 flags for removal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..md.builder import MDModelBuilder
+from ..md.instance import MDInstance
+from ..relational.instance import DatabaseInstance
+from .dimensions import build_hospital_dimension, build_time_dimension
+
+#: Table I — the relation under quality assessment.
+MEASUREMENTS_ROWS: List[Tuple[str, str, float]] = [
+    ("Sep/5-12:10", "Tom Waits", 38.2),
+    ("Sep/6-11:50", "Tom Waits", 37.1),
+    ("Sep/7-12:15", "Tom Waits", 37.7),
+    ("Sep/9-12:00", "Tom Waits", 37.0),
+    ("Sep/6-11:05", "Lou Reed", 37.5),
+    ("Sep/5-12:05", "Lou Reed", 38.0),
+]
+
+#: Table II — the expected quality version of Table I.
+MEASUREMENTS_QUALITY_ROWS: List[Tuple[str, str, float]] = [
+    ("Sep/5-12:10", "Tom Waits", 38.2),
+    ("Sep/6-11:50", "Tom Waits", 37.1),
+]
+
+#: PatientWard(Ward, Day; Patient) — reconstructed from the narrative.
+PATIENT_WARD_ROWS: List[Tuple[str, str, str]] = [
+    ("W1", "Sep/5", "Tom Waits"),
+    ("W2", "Sep/6", "Tom Waits"),
+    ("W3", "Sep/6", "Lou Reed"),     # the tuple flagged by the closure constraint
+    ("W4", "Sep/7", "Tom Waits"),
+    ("W4", "Sep/9", "Tom Waits"),
+    ("W4", "Sep/5", "Lou Reed"),
+]
+
+#: Table III — WorkingSchedules(Unit, Day; Nurse, Type).
+WORKING_SCHEDULES_ROWS: List[Tuple[str, str, str, str]] = [
+    ("Intensive", "Sep/5", "Cathy", "cert."),
+    ("Standard", "Sep/5", "Helen", "cert."),
+    ("Standard", "Sep/6", "Helen", "cert."),
+    ("Terminal", "Sep/5", "Susan", "non-c."),
+    ("Standard", "Sep/9", "Mark", "non-c."),
+]
+
+#: Table IV — Shifts(Ward, Day; Nurse, Shift).
+SHIFTS_ROWS: List[Tuple[str, str, str, str]] = [
+    ("W4", "Sep/5", "Cathy", "night"),
+    ("W1", "Sep/6", "Helen", "morning"),
+    ("W4", "Sep/5", "Susan", "evening"),
+]
+
+#: Table V — DischargePatients(Institution, Day; Patient).
+DISCHARGE_PATIENTS_ROWS: List[Tuple[str, str, str]] = [
+    ("H1", "Sep/9", "Tom Waits"),
+    ("H1", "Sep/6", "Lou Reed"),
+    ("H2", "Oct/5", "Elvis Costello"),
+]
+
+#: Thermometer(Ward, ThermometerType; Nurse) — Example 4's categorical relation.
+THERMOMETER_ROWS: List[Tuple[str, str, str]] = [
+    ("W1", "B1", "Helen"),
+    ("W2", "B1", "Helen"),
+    ("W3", "B2", "Cathy"),
+    ("W4", "B2", "Susan"),
+]
+
+
+def build_md_instance(include_discharge: bool = True,
+                      include_thermometer: bool = True) -> MDInstance:
+    """Build the full multidimensional instance of Fig. 1.
+
+    ``PatientUnit`` is declared but left empty: its extension is *generated*
+    by dimensional rule (7) (and, with ``include_discharge``, by rule (9)).
+    """
+    builder = (MDModelBuilder()
+               .dimension(build_hospital_dimension())
+               .dimension(build_time_dimension())
+               .relation("PatientWard",
+                         categorical=[("Ward", "Hospital", "Ward"),
+                                      ("Day", "Time", "Day")],
+                         non_categorical=["Patient"],
+                         rows=PATIENT_WARD_ROWS)
+               .relation("PatientUnit",
+                         categorical=[("Unit", "Hospital", "Unit"),
+                                      ("Day", "Time", "Day")],
+                         non_categorical=["Patient"])
+               .relation("WorkingSchedules",
+                         categorical=[("Unit", "Hospital", "Unit"),
+                                      ("Day", "Time", "Day")],
+                         non_categorical=["Nurse", "Type"],
+                         rows=WORKING_SCHEDULES_ROWS)
+               .relation("Shifts",
+                         categorical=[("Ward", "Hospital", "Ward"),
+                                      ("Day", "Time", "Day")],
+                         non_categorical=["Nurse", "Shift"],
+                         rows=SHIFTS_ROWS))
+    if include_discharge:
+        builder.relation("DischargePatients",
+                         categorical=[("Institution", "Hospital", "Institution"),
+                                      ("Day", "Time", "Day")],
+                         non_categorical=["Patient"],
+                         rows=DISCHARGE_PATIENTS_ROWS)
+    if include_thermometer:
+        builder.relation("Thermometer",
+                         categorical=[("Ward", "Hospital", "Ward")],
+                         non_categorical=["ThermometerType", "Nurse"],
+                         rows=THERMOMETER_ROWS)
+    return builder.build()
+
+
+def build_measurements_instance() -> DatabaseInstance:
+    """The instance under assessment: the ``Measurements`` relation of Table I."""
+    instance = DatabaseInstance()
+    instance.declare("Measurements", ["Time", "Patient", "Value"])
+    instance.add_all("Measurements", MEASUREMENTS_ROWS)
+    return instance

@@ -1,0 +1,88 @@
+"""The Hospital and Time dimensions of the paper's running example (Fig. 1).
+
+* **Hospital**: ``Ward → Unit → Institution → AllHospital``, with wards
+  W1–W4, units Standard / Intensive / Terminal and institutions H1 / H2.
+  W1 and W2 belong to the Standard unit (which is why, by the institutional
+  guideline, their temperature measurements are taken with brand-B1
+  thermometers), W3 to Intensive and W4 to Terminal.
+* **Time**: ``Time → Day → Month → Year → AllTime``; the Time (instant)
+  members are the measurement timestamps of Table I.
+
+Member labels follow the paper (``W1``, ``Standard``, ``Sep/5``,
+``Sep/5-12:10``); month members use the sortable form ``2005-09`` so that
+"after August 2005" can also be expressed with a comparison when desired.
+"""
+
+from __future__ import annotations
+
+from ..md.builder import DimensionBuilder
+from ..md.instance import DimensionInstance
+
+#: Wards and the unit each belongs to.
+WARD_TO_UNIT = {
+    "W1": "Standard",
+    "W2": "Standard",
+    "W3": "Intensive",
+    "W4": "Terminal",
+}
+
+#: Units and the institution each belongs to.
+UNIT_TO_INSTITUTION = {
+    "Standard": "H1",
+    "Intensive": "H1",
+    "Terminal": "H2",
+}
+
+#: Measurement timestamps (Table I) and the day each belongs to.
+TIME_TO_DAY = {
+    "Sep/5-12:10": "Sep/5",
+    "Sep/6-11:50": "Sep/6",
+    "Sep/7-12:15": "Sep/7",
+    "Sep/9-12:00": "Sep/9",
+    "Sep/6-11:05": "Sep/6",
+    "Sep/5-12:05": "Sep/5",
+}
+
+#: Days and the month each belongs to (sortable month labels).
+DAY_TO_MONTH = {
+    "Sep/5": "2005-09",
+    "Sep/6": "2005-09",
+    "Sep/7": "2005-09",
+    "Sep/9": "2005-09",
+    "Oct/5": "2005-10",
+    "Aug/20": "2005-08",
+}
+
+#: Months and the year each belongs to.
+MONTH_TO_YEAR = {
+    "2005-08": "2005",
+    "2005-09": "2005",
+    "2005-10": "2005",
+}
+
+
+def build_hospital_dimension() -> DimensionInstance:
+    """Build the Hospital dimension instance of Fig. 1 (left)."""
+    builder = (DimensionBuilder("Hospital")
+               .category_chain("Ward", "Unit", "Institution", "AllHospital"))
+    for ward, unit in WARD_TO_UNIT.items():
+        builder.member_edge("Ward", ward, "Unit", unit)
+    for unit, institution in UNIT_TO_INSTITUTION.items():
+        builder.member_edge("Unit", unit, "Institution", institution)
+    for institution in sorted(set(UNIT_TO_INSTITUTION.values())):
+        builder.member_edge("Institution", institution, "AllHospital", "allHospital")
+    return builder.build()
+
+
+def build_time_dimension() -> DimensionInstance:
+    """Build the Time dimension instance of Fig. 1 (right)."""
+    builder = (DimensionBuilder("Time")
+               .category_chain("Time", "Day", "Month", "Year", "AllTime"))
+    for instant, day in TIME_TO_DAY.items():
+        builder.member_edge("Time", instant, "Day", day)
+    for day, month in DAY_TO_MONTH.items():
+        builder.member_edge("Day", day, "Month", month)
+    for month, year in MONTH_TO_YEAR.items():
+        builder.member_edge("Month", month, "Year", year)
+    builder.member_edge("Year", "2005", "AllTime", "allTime")
+    return builder.build()

@@ -1,0 +1,103 @@
+"""The hospital MD ontology: dimensional rules and constraints of Examples 4–6.
+
+Rule and constraint numbers refer to the paper:
+
+* **(6)** — EGD: all thermometers used in a unit are of the same type;
+* **(7)** — upward navigation: ``PatientUnit`` is generated from
+  ``PatientWard`` by rolling Ward up to Unit;
+* **(8)** — downward navigation: ``Shifts`` is generated from
+  ``WorkingSchedules`` by drilling Unit down to its wards, with an
+  existential (unknown) shift attribute;
+* **(9)** — downward navigation with an existential *categorical* variable
+  (form (10)): each discharged patient was in exactly one — unknown — unit
+  of the institution;
+* the **closure constraint** of Example 1 (form (3), inter-dimensional):
+  no patient was in the Intensive care unit after August 2005.
+
+The referential constraints of form (1)/(5) are generated automatically by
+the ontology compiler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..md.instance import MDInstance
+from ..ontology.mdontology import MDOntology
+from .data import build_md_instance
+
+#: Rule (7): upward navigation Ward → Unit.
+RULE_7_PATIENT_UNIT = (
+    "PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W)."
+)
+
+#: Rule (8): downward navigation Unit → Ward with an unknown shift.
+RULE_8_SHIFTS = (
+    "exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W)."
+)
+
+#: Rule (9) (form (10)): downward navigation with an unknown unit.
+RULE_9_DISCHARGE = (
+    "exists U : InstitutionUnit(I, U), PatientUnit(U, D, P) :- "
+    "DischargePatients(I, D, P)."
+)
+
+#: Constraint (6): thermometers within one unit have a single type.
+CONSTRAINT_6_THERMOMETER = (
+    "T = T2 :- Thermometer(W, T, N), Thermometer(W2, T2, N2), "
+    "UnitWard(U, W), UnitWard(U, W2)."
+)
+
+#: Example 1's closure constraint, one denial per month after August 2005
+#: present in the Time dimension (form (3), inter-dimensional: Hospital+Time).
+CLOSURE_CONSTRAINTS = [
+    "false :- PatientWard(W, D, P), UnitWard('Intensive', W), MonthDay('2005-09', D).",
+    "false :- PatientWard(W, D, P), UnitWard('Intensive', W), MonthDay('2005-10', D).",
+]
+
+#: The same closure requirement written with a comparison over sortable
+#: month labels ("after August 2005"); used by the constraint experiment.
+CLOSURE_CONSTRAINT_COMPARISON = (
+    "false :- PatientWard(W, D, P), UnitWard('Intensive', W), MonthDay(M, D), "
+    "M > '2005-08'."
+)
+
+
+def build_ontology(md: Optional[MDInstance] = None,
+                   include_rule_7: bool = True,
+                   include_rule_8: bool = True,
+                   include_rule_9: bool = True,
+                   include_thermometer_egd: bool = True,
+                   include_closure_constraints: bool = False) -> MDOntology:
+    """Build the hospital MD ontology.
+
+    ``include_closure_constraints`` is off by default because the paper's
+    ``PatientWard`` deliberately contains a tuple violating it (the tuple to
+    be discarded); the constraint experiment turns it on to witness the
+    violation.
+    """
+    md = md if md is not None else build_md_instance()
+    ontology = MDOntology(md)
+    if include_rule_7:
+        ontology.add_rule(RULE_7_PATIENT_UNIT, label="rule (7)")
+    if include_rule_8:
+        ontology.add_rule(RULE_8_SHIFTS, label="rule (8)")
+    if include_rule_9 and "DischargePatients" in md.relation_schemas:
+        ontology.add_rule(RULE_9_DISCHARGE, label="rule (9)")
+    if include_thermometer_egd and "Thermometer" in md.relation_schemas:
+        ontology.add_constraint(CONSTRAINT_6_THERMOMETER, label="constraint (6)")
+    if include_closure_constraints:
+        for index, constraint in enumerate(CLOSURE_CONSTRAINTS, start=1):
+            ontology.add_constraint(constraint, label=f"closure constraint #{index}")
+    return ontology
+
+
+def build_upward_only_ontology(md: Optional[MDInstance] = None) -> MDOntology:
+    """The upward-navigating fragment (rule (7) only) used for FO rewriting.
+
+    This is the "upward-navigating MD ontology" case of Section IV:
+    non-recursive and roll-up only, hence first-order rewritable.
+    """
+    return build_ontology(md, include_rule_7=True, include_rule_8=False,
+                          include_rule_9=False, include_thermometer_egd=False,
+                          include_closure_constraints=False)

@@ -1,0 +1,155 @@
+"""The complete hospital scenario: ontology + context + queries + expectations.
+
+:class:`HospitalScenario` packages everything the examples, tests and
+benchmarks need to replay the paper's running example end to end:
+
+* the multidimensional instance of Fig. 1 and the ``Measurements`` relation
+  of Table I (the instance under assessment);
+* the MD ontology with rules (7)–(9) and constraint (6);
+* the quality context of Example 7 / Fig. 2 (contextual predicates
+  ``TakenByNurse`` and ``TakenWithTherm``, the broader relation
+  ``MeasurementExt`` and the quality version ``Measurements_q``);
+* the doctor's query, its quality rewriting, and the expected results
+  (Table II, the Sep/9 answer of Example 5, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..datalog.rules import ConjunctiveQuery
+from ..datalog.parser import parse_query
+from ..md.instance import MDInstance
+from ..ontology.mdontology import MDOntology
+from ..quality.assessment import DatabaseAssessment, assess_database
+from ..quality.cleaning import CleanAnswerComparison, compare_answers, quality_answers
+from ..quality.context import Context
+from ..relational.instance import DatabaseInstance, Relation
+from .data import (MEASUREMENTS_QUALITY_ROWS, MEASUREMENTS_ROWS, build_md_instance,
+                   build_measurements_instance)
+from .ontology import build_ontology
+
+#: The doctor's query of Example 1/7, over the original ``Measurements``.
+DOCTOR_QUERY = (
+    "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits', "
+    "T >= 'Sep/5-11:45', T <= 'Sep/5-12:15'."
+)
+
+#: Example 5's query: dates on which Mark has a shift in ward W1.
+MARK_SHIFT_QUERY = "?(D) :- Shifts('W1', D, 'Mark', S)."
+
+#: Example 2's variant: dates on which Mark has a shift in ward W2.
+MARK_SHIFT_W2_QUERY = "?(D) :- Shifts('W2', D, 'Mark', S)."
+
+#: Definition of the contextual predicate TakenByNurse (Example 7).
+TAKEN_BY_NURSE_RULE = (
+    "TakenByNurse(T, P, N, Y) :- WorkingSchedules(U, D, N, Y), DayTime(D, T), "
+    "PatientUnit(U, D, P)."
+)
+
+#: Definition of the quality predicate TakenWithTherm (Example 7): patients of
+#: the Standard unit are measured with brand-B1 thermometers (the guideline).
+TAKEN_WITH_THERM_RULE = (
+    "TakenWithTherm(T, P, 'B1') :- PatientUnit('Standard', D, P), DayTime(D, T)."
+)
+
+#: The broader contextual relation Measurement' of Example 7.
+MEASUREMENT_EXT_RULE = (
+    "MeasurementExt(T, P, V, Y, B) :- Measurements_c(T, P, V), "
+    "TakenByNurse(T, P, N, Y), TakenWithTherm(T, P, B)."
+)
+
+#: The quality version of Measurements: certified nurse and brand-B1 thermometer.
+MEASUREMENTS_Q_RULE = (
+    "Measurements_q(T, P, V) :- MeasurementExt(T, P, V, 'cert.', 'B1')."
+)
+
+
+class HospitalScenario:
+    """The running example of the paper, ready to execute.
+
+    Parameters
+    ----------
+    include_closure_constraints:
+        Add the Example-1 closure constraints to the ontology (they are
+        violated by the reconstructed ``PatientWard``, which is the point of
+        the constraint experiment).
+    include_rule_9:
+        Add the form-(10) discharge rule of Example 6.
+    """
+
+    def __init__(self, include_closure_constraints: bool = False,
+                 include_rule_9: bool = True):
+        self.md: MDInstance = build_md_instance()
+        self.ontology: MDOntology = build_ontology(
+            self.md,
+            include_rule_9=include_rule_9,
+            include_closure_constraints=include_closure_constraints,
+        )
+        self.measurements: DatabaseInstance = build_measurements_instance()
+        self.context: Context = self._build_context()
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_context(self) -> Context:
+        context = Context(ontology=self.ontology, name="hospital-context")
+        context.map_relation("Measurements", arity=3)
+        context.add_contextual_predicate(
+            "TakenByNurse", [TAKEN_BY_NURSE_RULE],
+            description="nurse (and certification status) that took each measurement")
+        context.add_quality_predicate(
+            "TakenWithTherm", [TAKEN_WITH_THERM_RULE],
+            description="measurements taken with a brand-B1 thermometer "
+                        "(institutional guideline for the Standard unit)")
+        context.add_contextual_predicate(
+            "MeasurementExt", [MEASUREMENT_EXT_RULE],
+            description="the broader contextual relation Measurement' of Example 7")
+        context.define_quality_version(
+            "Measurements", [MEASUREMENTS_Q_RULE],
+            description="measurements taken by a certified nurse with a B1 thermometer")
+        return context
+
+    # -- expectations ------------------------------------------------------------
+
+    @staticmethod
+    def expected_quality_measurements() -> List[Tuple[str, str, float]]:
+        """Table II: the expected extension of ``Measurements^q``."""
+        return list(MEASUREMENTS_QUALITY_ROWS)
+
+    @staticmethod
+    def expected_doctor_answers() -> List[Tuple[str, str, float]]:
+        """Expected quality answers of the doctor's query (tuple 1 of Table I)."""
+        return [("Sep/5-12:10", "Tom Waits", 38.2)]
+
+    @staticmethod
+    def expected_mark_shift_dates() -> List[Tuple[str]]:
+        """Expected answer of Example 5: Mark has a shift in W1 on Sep/9."""
+        return [("Sep/9",)]
+
+    # -- execution ---------------------------------------------------------------
+
+    def doctor_query(self) -> ConjunctiveQuery:
+        """The doctor's query as a parsed conjunctive query."""
+        return parse_query(DOCTOR_QUERY)
+
+    def quality_measurements(self) -> Relation:
+        """Materialize ``Measurements^q`` through the context (Table II)."""
+        return self.context.quality_version(self.measurements, "Measurements")
+
+    def quality_answers_to_doctor_query(self) -> List[Tuple]:
+        """Quality answers of the doctor's query (Example 7's ``Q^q``)."""
+        return quality_answers(self.context, self.measurements, DOCTOR_QUERY)
+
+    def compare_doctor_query(self) -> CleanAnswerComparison:
+        """Direct vs quality answers for the doctor's query."""
+        return compare_answers(self.context, self.measurements, DOCTOR_QUERY)
+
+    def assess(self) -> DatabaseAssessment:
+        """Assess ``Measurements`` against its quality version."""
+        versions = self.context.quality_versions_for(self.measurements)
+        return assess_database(self.measurements, versions)
+
+    def mark_shift_answers(self, ward: str = "W1") -> List[Tuple]:
+        """Answers of Example 5's query via the ontology chase."""
+        query = MARK_SHIFT_QUERY if ward == "W1" else MARK_SHIFT_W2_QUERY
+        return self.ontology.certain_answers(query)

@@ -1,0 +1,37 @@
+"""The extended Hurtado–Mendelzon multidimensional model.
+
+Dimension schemas (category DAGs), dimension instances (members and the
+member-level roll-up relation), categorical relations linked to categories
+at arbitrary levels, relation-level navigation (roll-up / drill-down) and
+model validation (conformance, strictness, homogeneity).
+"""
+
+from .schema import DimensionSchema
+from .relations import CategoricalAttribute, CategoricalRelationSchema
+from .instance import DimensionInstance, MDInstance
+from .navigation import drill_down_relation, members_reachable, roll_up_relation
+from .validation import (ValidationIssue, ValidationReport, check_categorical_relations,
+                         check_dimension_conformance, check_homogeneity, check_strictness,
+                         validate_dimension, validate_md_instance)
+from .builder import DimensionBuilder, MDModelBuilder
+
+__all__ = [
+    "DimensionSchema",
+    "CategoricalAttribute",
+    "CategoricalRelationSchema",
+    "DimensionInstance",
+    "MDInstance",
+    "drill_down_relation",
+    "members_reachable",
+    "roll_up_relation",
+    "ValidationIssue",
+    "ValidationReport",
+    "check_categorical_relations",
+    "check_dimension_conformance",
+    "check_homogeneity",
+    "check_strictness",
+    "validate_dimension",
+    "validate_md_instance",
+    "DimensionBuilder",
+    "MDModelBuilder",
+]

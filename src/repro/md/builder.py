@@ -1,0 +1,133 @@
+"""Fluent builders for dimensions and multidimensional instances.
+
+The builders remove the boilerplate of wiring schemas, instances and
+categorical relations together, and are the API the examples and the
+synthetic workload generator use.  A typical construction of the paper's
+Hospital dimension reads::
+
+    hospital = (DimensionBuilder("Hospital")
+                .category_chain("Ward", "Unit", "Institution")
+                .category("AllHospital", parents_of=["Institution"])
+                .member_edge("Ward", "W1", "Unit", "Standard")
+                .member_edge("Ward", "W2", "Unit", "Standard")
+                ...
+                .build())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DimensionSchemaError
+from .instance import DimensionInstance, MDInstance
+from .relations import CategoricalAttribute, CategoricalRelationSchema
+from .schema import DimensionSchema
+
+
+class DimensionBuilder:
+    """Builds a :class:`DimensionInstance` (schema + members + edges)."""
+
+    def __init__(self, name: str):
+        self._schema = DimensionSchema(name)
+        self._members: List[Tuple[str, Any]] = []
+        self._edges: List[Tuple[str, Any, str, Any]] = []
+
+    # -- schema ---------------------------------------------------------------
+
+    def category(self, name: str, parents_of: Sequence[str] = (),
+                 children_of: Sequence[str] = ()) -> "DimensionBuilder":
+        """Declare a category, optionally wiring it to existing categories.
+
+        ``parents_of`` lists categories *below* the new one (the new category
+        becomes their parent); ``children_of`` lists categories *above* it.
+        """
+        self._schema.add_category(name)
+        for child in parents_of:
+            self._schema.add_edge(child, name)
+        for parent in children_of:
+            self._schema.add_edge(name, parent)
+        return self
+
+    def category_chain(self, *names: str) -> "DimensionBuilder":
+        """Declare a bottom-to-top chain of categories: ``Ward, Unit, Institution``."""
+        if len(names) < 1:
+            raise DimensionSchemaError("category_chain needs at least one category")
+        for name in names:
+            self._schema.add_category(name)
+        for child, parent in zip(names, names[1:]):
+            self._schema.add_edge(child, parent)
+        return self
+
+    def edge(self, child_category: str, parent_category: str) -> "DimensionBuilder":
+        """Declare one child→parent category edge."""
+        self._schema.add_edge(child_category, parent_category)
+        return self
+
+    # -- instance -------------------------------------------------------------
+
+    def member(self, category: str, *members: Any) -> "DimensionBuilder":
+        """Add members to a category."""
+        for value in members:
+            self._members.append((category, value))
+        return self
+
+    def member_edge(self, child_category: str, child_member: Any,
+                    parent_category: str, parent_member: Any) -> "DimensionBuilder":
+        """Add a member-level child→parent edge (members auto-registered)."""
+        self._edges.append((child_category, child_member, parent_category, parent_member))
+        return self
+
+    def member_edges(self, child_category: str, parent_category: str,
+                     pairs: Iterable[Tuple[Any, Any]]) -> "DimensionBuilder":
+        """Bulk variant of :meth:`member_edge` for one category pair."""
+        for child_member, parent_member in pairs:
+            self._edges.append((child_category, child_member, parent_category, parent_member))
+        return self
+
+    def build(self) -> DimensionInstance:
+        """Materialize the dimension instance."""
+        self._schema.validate()
+        instance = DimensionInstance(self._schema)
+        for category, member in self._members:
+            instance.add_member(category, member)
+        for child_category, child_member, parent_category, parent_member in self._edges:
+            instance.add_edge(child_category, child_member, parent_category, parent_member)
+        return instance
+
+
+class MDModelBuilder:
+    """Builds an :class:`MDInstance` out of dimensions and categorical relations."""
+
+    def __init__(self):
+        self._instance = MDInstance()
+
+    def dimension(self, dimension: DimensionInstance) -> "MDModelBuilder":
+        """Attach an already-built dimension instance."""
+        self._instance.add_dimension(dimension)
+        return self
+
+    def relation(self, name: str,
+                 categorical: Sequence[Tuple[str, str, str]],
+                 non_categorical: Sequence[str] = (),
+                 rows: Iterable[Sequence[Any]] = ()) -> "MDModelBuilder":
+        """Declare a categorical relation.
+
+        ``categorical`` is a sequence of ``(attribute, dimension, category)``
+        triples; ``rows`` optionally loads the initial extension.
+        """
+        schema = CategoricalRelationSchema(
+            name,
+            [CategoricalAttribute(attr, dim, cat) for attr, dim, cat in categorical],
+            non_categorical,
+        )
+        self._instance.add_relation(schema, rows)
+        return self
+
+    def tuples(self, name: str, rows: Iterable[Sequence[Any]]) -> "MDModelBuilder":
+        """Add tuples to an already-declared categorical relation."""
+        self._instance.add_tuples(name, rows)
+        return self
+
+    def build(self) -> MDInstance:
+        """Return the assembled multidimensional instance."""
+        return self._instance

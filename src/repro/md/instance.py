@@ -1,0 +1,264 @@
+"""Dimension instances and full multidimensional instances.
+
+A dimension instance (Section II) populates a dimension schema with
+*members* for each category and a child→parent relation between members
+that parallels the child→parent relation between categories
+(``W1 → Standard → H1`` in the Hospital dimension of Fig. 1).  The
+transitive closure of the member-level relation is the roll-up relation
+used by upward and downward dimensional navigation.
+
+An :class:`MDInstance` bundles the dimension instances with the extensions
+of the categorical relations (stored in a plain
+:class:`~repro.relational.instance.DatabaseInstance`), forming the
+multidimensional half of a context.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import CategoricalRelationError, DimensionInstanceError, NavigationError
+from ..relational.instance import DatabaseInstance, Relation
+from .relations import CategoricalRelationSchema
+from .schema import DimensionSchema
+
+
+class DimensionInstance:
+    """Members and member-level child→parent edges of one dimension."""
+
+    def __init__(self, schema: DimensionSchema):
+        self.schema = schema
+        self._members: Dict[str, Set[Any]] = {category: set() for category in schema.categories}
+        #: (child_category, parent_category) -> set of (child_member, parent_member)
+        self._edges: Dict[Tuple[str, str], Set[Tuple[Any, Any]]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_member(self, category: str, member: Any) -> Any:
+        """Add ``member`` to ``category`` (idempotent)."""
+        if category not in self.schema:
+            raise DimensionInstanceError(
+                f"dimension {self.schema.name!r} has no category {category!r}")
+        self._members.setdefault(category, set()).add(member)
+        return member
+
+    def add_members(self, category: str, members: Iterable[Any]) -> None:
+        """Add several members to ``category``."""
+        for member in members:
+            self.add_member(category, member)
+
+    def add_edge(self, child_category: str, child_member: Any,
+                 parent_category: str, parent_member: Any) -> None:
+        """Record that ``child_member`` rolls up to ``parent_member``.
+
+        Both members are auto-registered.  The pair of categories must be an
+        edge of the dimension schema.
+        """
+        if (child_category, parent_category) not in self.schema.edges:
+            raise DimensionInstanceError(
+                f"dimension {self.schema.name!r}: {child_category!r} -> "
+                f"{parent_category!r} is not an edge of the category graph")
+        self.add_member(child_category, child_member)
+        self.add_member(parent_category, parent_member)
+        self._edges.setdefault((child_category, parent_category), set()).add(
+            (child_member, parent_member))
+
+    def add_child_parent(self, child_category: str, parent_category: str,
+                         pairs: Iterable[Tuple[Any, Any]]) -> None:
+        """Bulk variant of :meth:`add_edge`."""
+        for child_member, parent_member in pairs:
+            self.add_edge(child_category, child_member, parent_category, parent_member)
+
+    # -- inspection -----------------------------------------------------------
+
+    def members(self, category: str) -> Set[Any]:
+        """Members of ``category``."""
+        if category not in self.schema:
+            raise DimensionInstanceError(
+                f"dimension {self.schema.name!r} has no category {category!r}")
+        return set(self._members.get(category, set()))
+
+    def all_members(self) -> Dict[str, Set[Any]]:
+        """All members, per category."""
+        return {category: set(members) for category, members in self._members.items()}
+
+    def member_count(self) -> int:
+        """Total number of members across all categories."""
+        return sum(len(members) for members in self._members.values())
+
+    def has_member(self, category: str, member: Any) -> bool:
+        """``True`` if ``member`` belongs to ``category``."""
+        return member in self._members.get(category, set())
+
+    def edges_between(self, child_category: str, parent_category: str) -> Set[Tuple[Any, Any]]:
+        """Member-level child→parent pairs between two adjacent categories."""
+        return set(self._edges.get((child_category, parent_category), set()))
+
+    def category_edges(self) -> List[Tuple[str, str]]:
+        """The (child_category, parent_category) pairs that have member edges."""
+        return list(self._edges)
+
+    # -- roll-up / drill-down --------------------------------------------------
+
+    def parents_of(self, category: str, member: Any,
+                   parent_category: Optional[str] = None) -> Set[Tuple[str, Any]]:
+        """Direct parents of a member, as ``(parent_category, parent_member)``."""
+        result: Set[Tuple[str, Any]] = set()
+        for (child_cat, parent_cat), pairs in self._edges.items():
+            if child_cat != category:
+                continue
+            if parent_category is not None and parent_cat != parent_category:
+                continue
+            result.update((parent_cat, parent) for child, parent in pairs if child == member)
+        return result
+
+    def children_of(self, category: str, member: Any,
+                    child_category: Optional[str] = None) -> Set[Tuple[str, Any]]:
+        """Direct children of a member, as ``(child_category, child_member)``."""
+        result: Set[Tuple[str, Any]] = set()
+        for (child_cat, parent_cat), pairs in self._edges.items():
+            if parent_cat != category:
+                continue
+            if child_category is not None and child_cat != child_category:
+                continue
+            result.update((child_cat, child) for child, parent in pairs if parent == member)
+        return result
+
+    def roll_up(self, member: Any, from_category: str, to_category: str) -> Set[Any]:
+        """Ancestors of ``member`` in ``to_category`` (upward navigation).
+
+        ``to_category`` must be above ``from_category`` in the schema;
+        ``from_category == to_category`` returns the member itself.
+        """
+        if from_category == to_category:
+            return {member} if self.has_member(from_category, member) else set()
+        if not self.schema.is_above(to_category, from_category):
+            raise NavigationError(
+                f"dimension {self.schema.name!r}: cannot roll up from "
+                f"{from_category!r} to {to_category!r} (not an ancestor category)")
+        frontier: Set[Tuple[str, Any]] = {(from_category, member)}
+        result: Set[Any] = set()
+        seen: Set[Tuple[str, Any]] = set()
+        while frontier:
+            category, current = frontier.pop()
+            if (category, current) in seen:
+                continue
+            seen.add((category, current))
+            for parent_category, parent_member in self.parents_of(category, current):
+                if parent_category == to_category:
+                    result.add(parent_member)
+                if parent_category == to_category or \
+                        self.schema.is_above(to_category, parent_category):
+                    frontier.add((parent_category, parent_member))
+        return result
+
+    def drill_down(self, member: Any, from_category: str, to_category: str) -> Set[Any]:
+        """Descendants of ``member`` in ``to_category`` (downward navigation)."""
+        if from_category == to_category:
+            return {member} if self.has_member(from_category, member) else set()
+        if not self.schema.is_above(from_category, to_category):
+            raise NavigationError(
+                f"dimension {self.schema.name!r}: cannot drill down from "
+                f"{from_category!r} to {to_category!r} (not a descendant category)")
+        frontier: Set[Tuple[str, Any]] = {(from_category, member)}
+        result: Set[Any] = set()
+        seen: Set[Tuple[str, Any]] = set()
+        while frontier:
+            category, current = frontier.pop()
+            if (category, current) in seen:
+                continue
+            seen.add((category, current))
+            for child_category, child_member in self.children_of(category, current):
+                if child_category == to_category:
+                    result.add(child_member)
+                if child_category == to_category or \
+                        self.schema.is_above(child_category, to_category):
+                    frontier.add((child_category, child_member))
+        return result
+
+    def rollup_pairs(self, lower_category: str, higher_category: str) -> Set[Tuple[Any, Any]]:
+        """All (lower_member, higher_member) pairs of the transitive roll-up."""
+        pairs: Set[Tuple[Any, Any]] = set()
+        for member in self.members(lower_category):
+            for ancestor in self.roll_up(member, lower_category, higher_category):
+                pairs.add((member, ancestor))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        counts = {category: len(members) for category, members in self._members.items()}
+        return f"DimensionInstance({self.schema.name!r}, members={counts})"
+
+
+class MDInstance:
+    """A full multidimensional instance: dimensions + categorical relations."""
+
+    def __init__(self):
+        self.dimensions: Dict[str, DimensionInstance] = {}
+        self.relation_schemas: Dict[str, CategoricalRelationSchema] = {}
+        self.database = DatabaseInstance()
+
+    # -- dimensions -----------------------------------------------------------
+
+    def add_dimension(self, instance: DimensionInstance) -> DimensionInstance:
+        """Register a dimension instance (replacing any previous same-name one)."""
+        self.dimensions[instance.schema.name] = instance
+        return instance
+
+    def dimension(self, name: str) -> DimensionInstance:
+        """Look up a dimension instance by name."""
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise DimensionInstanceError(
+                f"unknown dimension {name!r}; known dimensions: {sorted(self.dimensions)}"
+            ) from None
+
+    # -- categorical relations --------------------------------------------------
+
+    def add_relation(self, schema: CategoricalRelationSchema,
+                     rows: Iterable[Sequence[Any]] = ()) -> Relation:
+        """Register a categorical relation and optionally load its tuples."""
+        for attribute in schema.categorical:
+            if attribute.dimension not in self.dimensions:
+                raise CategoricalRelationError(
+                    f"categorical relation {schema.name!r}: attribute {attribute.name!r} "
+                    f"refers to unknown dimension {attribute.dimension!r}")
+            if attribute.category not in self.dimensions[attribute.dimension].schema:
+                raise CategoricalRelationError(
+                    f"categorical relation {schema.name!r}: attribute {attribute.name!r} "
+                    f"refers to unknown category {attribute.category!r} of dimension "
+                    f"{attribute.dimension!r}")
+        self.relation_schemas[schema.name] = schema
+        relation = self.database.declare(schema.name, schema.attribute_names)
+        relation.add_all(rows)
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        """The stored extension of a categorical relation."""
+        return self.database.relation(name)
+
+    def relation_schema(self, name: str) -> CategoricalRelationSchema:
+        """The categorical schema of a relation."""
+        try:
+            return self.relation_schemas[name]
+        except KeyError:
+            raise CategoricalRelationError(
+                f"unknown categorical relation {name!r}; "
+                f"known relations: {sorted(self.relation_schemas)}") from None
+
+    def add_tuples(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert tuples into a categorical relation."""
+        self.relation_schema(name)
+        return self.database.add_all(name, rows)
+
+    def relations(self) -> List[CategoricalRelationSchema]:
+        """All categorical relation schemas, in registration order."""
+        return list(self.relation_schemas.values())
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across categorical relations."""
+        return self.database.total_tuples()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MDInstance(dimensions={sorted(self.dimensions)}, "
+                f"relations={sorted(self.relation_schemas)})")

@@ -1,0 +1,144 @@
+"""Categorical relations — the paper's extension of HM fact tables.
+
+A categorical relation (Section II) generalizes a fact table: its
+*categorical attributes* take values from the members of a category of a
+dimension — not necessarily a bottom category, and possibly from several
+different dimensions — while its *non-categorical attributes* range over an
+arbitrary domain.  In the running example, ``PatientWard(Ward, Day; Patient)``
+has categorical attributes ``Ward`` (Hospital dimension, Ward category) and
+``Day`` (Time dimension, Day category), and non-categorical attribute
+``Patient``.
+
+The paper writes a categorical atom as ``R(ē; ā)`` with ``ē`` the categorical
+and ``ā`` the non-categorical attributes; this module keeps the same
+convention: categorical attributes come first, in declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CategoricalRelationError
+from ..relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """A categorical attribute: a name linked to a category of a dimension."""
+
+    name: str
+    dimension: str
+    category: str
+
+    def __post_init__(self):
+        if not self.name or not self.dimension or not self.category:
+            raise CategoricalRelationError(
+                "categorical attribute needs a name, a dimension and a category; "
+                f"got name={self.name!r}, dimension={self.dimension!r}, "
+                f"category={self.category!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name}→{self.dimension}.{self.category}"
+
+
+class CategoricalRelationSchema:
+    """Schema of a categorical relation: ``R(ē; ā)``.
+
+    Parameters
+    ----------
+    name:
+        The relation name.
+    categorical:
+        The categorical attributes, in order.
+    non_categorical:
+        The names of the non-categorical attributes, in order.
+    """
+
+    def __init__(self, name: str,
+                 categorical: Sequence[CategoricalAttribute],
+                 non_categorical: Sequence[str] = ()):
+        if not name:
+            raise CategoricalRelationError("categorical relation name must be non-empty")
+        self.name = name
+        self.categorical: Tuple[CategoricalAttribute, ...] = tuple(categorical)
+        self.non_categorical: Tuple[str, ...] = tuple(non_categorical)
+        if not self.categorical:
+            raise CategoricalRelationError(
+                f"categorical relation {name!r} needs at least one categorical attribute")
+        names = [attribute.name for attribute in self.categorical] + list(self.non_categorical)
+        if len(set(names)) != len(names):
+            raise CategoricalRelationError(
+                f"categorical relation {name!r} has duplicate attribute names: {names}")
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """All attribute names, categorical first (paper convention)."""
+        return tuple(a.name for a in self.categorical) + self.non_categorical
+
+    @property
+    def arity(self) -> int:
+        """Total number of attributes."""
+        return len(self.categorical) + len(self.non_categorical)
+
+    def categorical_positions(self) -> List[int]:
+        """0-based positions of the categorical attributes."""
+        return list(range(len(self.categorical)))
+
+    def non_categorical_positions(self) -> List[int]:
+        """0-based positions of the non-categorical attributes."""
+        return list(range(len(self.categorical), self.arity))
+
+    def is_categorical_position(self, position: int) -> bool:
+        """``True`` if the 0-based ``position`` is a categorical attribute."""
+        return 0 <= position < len(self.categorical)
+
+    def categorical_attribute(self, name: str) -> CategoricalAttribute:
+        """Look up a categorical attribute by name."""
+        for attribute in self.categorical:
+            if attribute.name == name:
+                return attribute
+        raise CategoricalRelationError(
+            f"categorical relation {self.name!r} has no categorical attribute {name!r}")
+
+    def position_of(self, attribute_name: str) -> int:
+        """0-based position of an attribute (categorical or not)."""
+        try:
+            return self.attribute_names.index(attribute_name)
+        except ValueError:
+            raise CategoricalRelationError(
+                f"categorical relation {self.name!r} has no attribute {attribute_name!r}; "
+                f"known attributes: {self.attribute_names}") from None
+
+    def attributes_linked_to(self, dimension: str) -> List[CategoricalAttribute]:
+        """Categorical attributes linked to ``dimension``."""
+        return [a for a in self.categorical if a.dimension == dimension]
+
+    def dimensions(self) -> List[str]:
+        """Dimensions this relation is linked to (duplicates removed, ordered)."""
+        seen: List[str] = []
+        for attribute in self.categorical:
+            if attribute.dimension not in seen:
+                seen.append(attribute.dimension)
+        return seen
+
+    def to_relation_schema(self) -> RelationSchema:
+        """The plain relational schema underlying this categorical relation."""
+        return RelationSchema(self.name, self.attribute_names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CategoricalRelationSchema):
+            return NotImplemented
+        return (self.name == other.name
+                and self.categorical == other.categorical
+                and self.non_categorical == other.non_categorical)
+
+    def __str__(self) -> str:
+        cat = ", ".join(str(a) for a in self.categorical)
+        non_cat = ", ".join(self.non_categorical)
+        return f"{self.name}({cat}; {non_cat})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CategoricalRelationSchema({self})"

@@ -1,0 +1,199 @@
+"""Dimension schemas of the Hurtado–Mendelzon multidimensional model.
+
+A dimension schema is a directed acyclic graph of *categories* (Section II
+of the paper): nodes are category names, edges go from a **child** category
+to its **parent** category (``Ward → Unit → Institution`` in the Hospital
+dimension of Fig. 1).  The transitive closure of the child→parent relation
+is the partial order between categories that dimensional navigation moves
+along: *upward* navigation (roll-up) follows the order, *downward*
+navigation (drill-down) goes against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import DimensionSchemaError
+
+
+class DimensionSchema:
+    """A named DAG of categories with a child→parent edge relation."""
+
+    def __init__(self, name: str, categories: Iterable[str] = (),
+                 child_parent_edges: Iterable[Tuple[str, str]] = ()):
+        if not name:
+            raise DimensionSchemaError("dimension name must be a non-empty string")
+        self.name = name
+        self._categories: Dict[str, None] = {}
+        self._edges: Set[Tuple[str, str]] = set()
+        for category in categories:
+            self.add_category(category)
+        for child, parent in child_parent_edges:
+            self.add_edge(child, parent)
+
+    # -- construction --------------------------------------------------------
+
+    def add_category(self, category: str) -> str:
+        """Register a category (idempotent)."""
+        if not category:
+            raise DimensionSchemaError(
+                f"dimension {self.name!r}: category name must be non-empty")
+        self._categories.setdefault(category, None)
+        return category
+
+    def add_edge(self, child: str, parent: str) -> Tuple[str, str]:
+        """Add a child→parent edge; both categories are auto-registered.
+
+        Self-loops and edges that would create a cycle are rejected — the
+        category graph of an HM dimension is a DAG.
+        """
+        if child == parent:
+            raise DimensionSchemaError(
+                f"dimension {self.name!r}: category {child!r} cannot be its own parent")
+        self.add_category(child)
+        self.add_category(parent)
+        # A cycle would arise exactly when `child` is already above `parent`.
+        if child in self.ancestors(parent):
+            raise DimensionSchemaError(
+                f"dimension {self.name!r}: adding edge {child!r} -> {parent!r} "
+                "would create a cycle in the category graph")
+        self._edges.add((child, parent))
+        return (child, parent)
+
+    # -- structure ------------------------------------------------------------
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        """All categories, in registration order."""
+        return tuple(self._categories)
+
+    @property
+    def edges(self) -> FrozenSet[Tuple[str, str]]:
+        """All child→parent edges."""
+        return frozenset(self._edges)
+
+    def __contains__(self, category: str) -> bool:
+        return category in self._categories
+
+    def _require(self, category: str) -> None:
+        if category not in self._categories:
+            raise DimensionSchemaError(
+                f"dimension {self.name!r} has no category {category!r}; "
+                f"known categories: {sorted(self._categories)}")
+
+    def parents(self, category: str) -> Set[str]:
+        """Direct parent categories of ``category``."""
+        self._require(category)
+        return {parent for child, parent in self._edges if child == category}
+
+    def children(self, category: str) -> Set[str]:
+        """Direct child categories of ``category``."""
+        self._require(category)
+        return {child for child, parent in self._edges if parent == category}
+
+    def ancestors(self, category: str) -> Set[str]:
+        """Categories strictly above ``category`` (transitive parents)."""
+        self._require(category)
+        result: Set[str] = set()
+        frontier = list(self.parents(category))
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self.parents(current))
+        return result
+
+    def descendants(self, category: str) -> Set[str]:
+        """Categories strictly below ``category`` (transitive children)."""
+        self._require(category)
+        result: Set[str] = set()
+        frontier = list(self.children(category))
+        while frontier:
+            current = frontier.pop()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self.children(current))
+        return result
+
+    def is_above(self, higher: str, lower: str) -> bool:
+        """``True`` iff ``higher`` is a (strict) ancestor of ``lower``."""
+        return higher in self.ancestors(lower)
+
+    def comparable(self, first: str, second: str) -> bool:
+        """``True`` iff the two categories are ordered by the hierarchy."""
+        return first == second or self.is_above(first, second) or self.is_above(second, first)
+
+    def bottom_categories(self) -> Set[str]:
+        """Categories with no children (the finest levels)."""
+        with_children = {parent for _child, parent in self._edges}
+        return {category for category in self._categories
+                if category not in with_children or not self.children(category)}
+
+    def top_categories(self) -> Set[str]:
+        """Categories with no parents (the coarsest levels, often ``All``)."""
+        return {category for category in self._categories if not self.parents(category)}
+
+    def level_of(self, category: str) -> int:
+        """Length of the longest path from a bottom category to ``category``."""
+        self._require(category)
+        children = self.children(category)
+        if not children:
+            return 0
+        return 1 + max(self.level_of(child) for child in children)
+
+    def height(self) -> int:
+        """Longest child→parent path length in the dimension."""
+        if not self._categories:
+            return 0
+        return max(self.level_of(category) for category in self._categories)
+
+    def paths_between(self, lower: str, higher: str) -> List[Tuple[str, ...]]:
+        """All upward category paths from ``lower`` to ``higher`` (inclusive)."""
+        self._require(lower)
+        self._require(higher)
+        if lower == higher:
+            return [(lower,)]
+        paths: List[Tuple[str, ...]] = []
+        for parent in self.parents(lower):
+            if parent == higher or self.is_above(higher, parent):
+                for tail in self.paths_between(parent, higher):
+                    paths.append((lower,) + tail)
+        return paths
+
+    def topological_order(self) -> List[str]:
+        """Categories ordered bottom-up (children before parents)."""
+        order: List[str] = []
+        remaining = dict(self._categories)
+        placed: Set[str] = set()
+        while remaining:
+            progress = False
+            for category in list(remaining):
+                if self.children(category) <= placed:
+                    order.append(category)
+                    placed.add(category)
+                    del remaining[category]
+                    progress = True
+            if not progress:  # pragma: no cover - construction forbids cycles
+                raise DimensionSchemaError(
+                    f"dimension {self.name!r}: category graph has a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Re-check structural well-formedness (acyclicity, known categories)."""
+        for child, parent in self._edges:
+            self._require(child)
+            self._require(parent)
+        self.topological_order()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DimensionSchema):
+            return NotImplemented
+        return (self.name == other.name
+                and set(self._categories) == set(other._categories)
+                and self._edges == other._edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DimensionSchema({self.name!r}, categories={list(self._categories)}, "
+                f"edges={sorted(self._edges)})")

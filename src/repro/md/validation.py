@@ -1,0 +1,185 @@
+"""Validation of multidimensional schemas and instances.
+
+The HM model comes with well-formedness conditions that make dimensional
+navigation well behaved (and summarizable, in OLAP terms — Hurtado,
+Gutierrez & Mendelzon, TODS 2005):
+
+* **conformance** — member-level edges only connect members of categories
+  that are adjacent in the schema; categorical-relation tuples only use
+  members of the category their attribute is linked to;
+* **strictness** — every member rolls up to *at most one* member of each
+  ancestor category (needed for roll-up to be a function, and assumed by
+  the paper when rule (7) produces "the" unit of a ward);
+* **homogeneity** (covering) — every member of a non-top category has at
+  least one parent in each parent category, so upward navigation never
+  dead-ends.
+
+Violations are collected into a :class:`ValidationReport` rather than
+raised, because data-quality work routinely needs to *inspect* imperfect
+hierarchies rather than refuse them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .instance import DimensionInstance, MDInstance
+
+
+@dataclass
+class ValidationIssue:
+    """A single validation finding."""
+
+    kind: str
+    dimension: Optional[str]
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"[{self.dimension}] " if self.dimension else ""
+        return f"{self.kind}: {where}{self.subject} — {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """All findings of a validation pass."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """``True`` when no issue was found."""
+        return not self.issues
+
+    def add(self, kind: str, subject: str, detail: str,
+            dimension: Optional[str] = None) -> None:
+        """Record one finding."""
+        self.issues.append(ValidationIssue(kind, dimension, subject, detail))
+
+    def by_kind(self, kind: str) -> List[ValidationIssue]:
+        """Findings of one kind."""
+        return [issue for issue in self.issues if issue.kind == kind]
+
+    def summary(self) -> Dict[str, int]:
+        """Number of findings per kind."""
+        counts: Dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.kind] = counts.get(issue.kind, 0) + 1
+        return counts
+
+    def __str__(self) -> str:
+        if self.is_valid:
+            return "validation passed: no issues"
+        return "\n".join(str(issue) for issue in self.issues)
+
+
+def check_dimension_conformance(dimension: DimensionInstance,
+                                report: Optional[ValidationReport] = None) -> ValidationReport:
+    """Member edges must connect members of schema-adjacent categories."""
+    report = report if report is not None else ValidationReport()
+    name = dimension.schema.name
+    for (child_category, parent_category) in dimension.category_edges():
+        if (child_category, parent_category) not in dimension.schema.edges:
+            report.add("non_conformant_edge", f"{child_category}->{parent_category}",
+                       "member edges exist between categories that are not adjacent "
+                       "in the dimension schema", dimension=name)
+            continue
+        for child_member, parent_member in dimension.edges_between(child_category, parent_category):
+            if not dimension.has_member(child_category, child_member):
+                report.add("unknown_member", str(child_member),
+                           f"appears as a child in {child_category}->{parent_category} "
+                           f"but is not a member of {child_category}", dimension=name)
+            if not dimension.has_member(parent_category, parent_member):
+                report.add("unknown_member", str(parent_member),
+                           f"appears as a parent in {child_category}->{parent_category} "
+                           f"but is not a member of {parent_category}", dimension=name)
+    return report
+
+
+def check_strictness(dimension: DimensionInstance,
+                     report: Optional[ValidationReport] = None) -> ValidationReport:
+    """Each member must roll up to at most one member per ancestor category."""
+    report = report if report is not None else ValidationReport()
+    schema = dimension.schema
+    for category in schema.categories:
+        for ancestor_category in schema.ancestors(category):
+            for member in dimension.members(category):
+                ancestors = dimension.roll_up(member, category, ancestor_category)
+                if len(ancestors) > 1:
+                    report.add("non_strict", f"{category}:{member}",
+                               f"rolls up to {len(ancestors)} members of "
+                               f"{ancestor_category}: {sorted(map(str, ancestors))}",
+                               dimension=schema.name)
+    return report
+
+
+def check_homogeneity(dimension: DimensionInstance,
+                      report: Optional[ValidationReport] = None) -> ValidationReport:
+    """Each member must have at least one parent in every parent category."""
+    report = report if report is not None else ValidationReport()
+    schema = dimension.schema
+    for category in schema.categories:
+        parent_categories = schema.parents(category)
+        for member in dimension.members(category):
+            for parent_category in parent_categories:
+                parents = dimension.parents_of(category, member, parent_category)
+                if not parents:
+                    report.add("non_homogeneous", f"{category}:{member}",
+                               f"has no parent in category {parent_category}",
+                               dimension=schema.name)
+    return report
+
+
+def check_categorical_relations(md: MDInstance,
+                                report: Optional[ValidationReport] = None) -> ValidationReport:
+    """Categorical attribute values must be members of the linked category.
+
+    This is the semantic counterpart of the paper's referential negative
+    constraints of form (1): the compiled ontology enforces the same
+    condition logically, this check enforces it on the raw MD instance.
+    """
+    report = report if report is not None else ValidationReport()
+    for schema in md.relations():
+        relation = md.relation(schema.name)
+        for attribute in schema.categorical:
+            position = schema.position_of(attribute.name)
+            dimension = md.dimension(attribute.dimension)
+            for row in relation:
+                value = row[position]
+                if not dimension.has_member(attribute.category, value):
+                    report.add("dangling_categorical_value", f"{schema.name}.{attribute.name}",
+                               f"value {value!r} is not a member of category "
+                               f"{attribute.category!r} of dimension {attribute.dimension!r}",
+                               dimension=attribute.dimension)
+    return report
+
+
+def validate_dimension(dimension: DimensionInstance) -> ValidationReport:
+    """Run all dimension-level checks."""
+    report = ValidationReport()
+    dimension.schema.validate()
+    check_dimension_conformance(dimension, report)
+    check_strictness(dimension, report)
+    check_homogeneity(dimension, report)
+    return report
+
+
+def validate_md_instance(md: MDInstance, require_strict: bool = True,
+                         require_homogeneous: bool = False) -> ValidationReport:
+    """Validate a full MD instance.
+
+    ``require_strict`` / ``require_homogeneous`` control whether strictness
+    and homogeneity findings are included (heterogeneous hierarchies are
+    legal in the extended HM model, so homogeneity is off by default).
+    """
+    report = ValidationReport()
+    for dimension in md.dimensions.values():
+        dimension.schema.validate()
+        check_dimension_conformance(dimension, report)
+        if require_strict:
+            check_strictness(dimension, report)
+        if require_homogeneous:
+            check_homogeneity(dimension, report)
+    check_categorical_relations(md, report)
+    return report

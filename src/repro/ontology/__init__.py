@@ -1,0 +1,39 @@
+"""MD ontologies in Datalog± — the paper's core contribution.
+
+This package turns an extended-HM multidimensional instance into a Datalog±
+ontology ``M = (S_M, D_M, Σ_M)`` (Section III), validates dimensional rules
+and constraints against the paper's forms (1)–(4) and (10), and exposes the
+query-answering and analysis services of Section IV on top of the generic
+Datalog± engine.
+"""
+
+from .predicates import (CategoryPredicate, OntologyVocabulary, ParentChildPredicate,
+                         PredicateNaming)
+from .rules import (DOWNWARD, FORM_4, FORM_10, MIXED, NONE, UPWARD, DimensionalConstraint,
+                    DimensionalRule, referential_constraint)
+from .compiler import CompiledOntology, OntologyCompiler
+from .analysis import OntologyAnalysis, analyze, is_downward_only, is_upward_only
+from .mdontology import MDOntology
+
+__all__ = [
+    "CategoryPredicate",
+    "OntologyVocabulary",
+    "ParentChildPredicate",
+    "PredicateNaming",
+    "DOWNWARD",
+    "FORM_4",
+    "FORM_10",
+    "MIXED",
+    "NONE",
+    "UPWARD",
+    "DimensionalConstraint",
+    "DimensionalRule",
+    "referential_constraint",
+    "CompiledOntology",
+    "OntologyCompiler",
+    "OntologyAnalysis",
+    "analyze",
+    "is_downward_only",
+    "is_upward_only",
+    "MDOntology",
+]

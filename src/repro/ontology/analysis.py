@@ -1,0 +1,140 @@
+"""Analysis of compiled MD ontologies.
+
+Section III of the paper makes three analytical claims about MD ontologies:
+
+1. ontologies whose dimensional rules are of forms (1)–(4) are **weakly
+   sticky** — because shared body variables only occur at categorical
+   positions, where the fixed dimensional structure bounds the set of values;
+2. adding rules of form (10) preserves weak stickiness — the new member
+   nulls they invent are bounded because navigation only goes downward;
+3. EGDs whose heads equate only categorical variables are **separable** from
+   the TGDs; with form-(10) rules this becomes application dependent.
+
+:func:`analyze` certifies these properties for a concrete ontology by
+combining the generic Datalog± class machinery
+(:mod:`repro.datalog.classes`, :mod:`repro.datalog.separability`) with the
+MD-specific information in the vocabulary, and additionally reports the
+navigation direction of every dimensional rule — which is what decides
+whether the first-order rewriting of Section IV applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.classes import ClassReport, classify, is_non_recursive
+from ..datalog.rules import EGD, TGD
+from ..datalog.separability import SeparabilityReport, egd_separability_report
+from .predicates import OntologyVocabulary
+from .rules import DOWNWARD, DimensionalConstraint, DimensionalRule, UPWARD
+
+
+@dataclass
+class OntologyAnalysis:
+    """Full analysis report of an MD ontology."""
+
+    class_report: ClassReport
+    separability: SeparabilityReport
+    rule_directions: Dict[str, str]
+    upward_only: bool
+    downward_only: bool
+    non_recursive: bool
+    categorical_positions_finite_rank: bool
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def is_weakly_sticky(self) -> bool:
+        """Whether the compiled TGD set is weakly sticky."""
+        return self.class_report.is_weakly_sticky
+
+    @property
+    def is_separable(self) -> bool:
+        """Whether every EGD was certified separable."""
+        return self.separability.separable
+
+    def summary(self) -> Dict[str, bool]:
+        """A compact dictionary used by reports and benchmarks."""
+        return {
+            **self.class_report.summary(),
+            "separable_egds": self.is_separable,
+            "upward_only": self.upward_only,
+            "downward_only": self.downward_only,
+            "non_recursive": self.non_recursive,
+            "fo_rewritable": self.upward_only and self.non_recursive,
+        }
+
+
+def rule_directions(rules: Sequence[DimensionalRule]) -> Dict[str, str]:
+    """Navigation direction per rule, keyed by the rule's label (or text)."""
+    directions: Dict[str, str] = {}
+    for index, rule in enumerate(rules):
+        key = rule.label or f"rule#{index}"
+        directions[key] = rule.direction
+    return directions
+
+
+def is_upward_only(rules: Sequence[DimensionalRule]) -> bool:
+    """``True`` when every navigating rule navigates upward.
+
+    These are the "upward-navigating MD ontologies" of Section IV for which
+    the paper develops the first-order rewriting approach.
+    """
+    navigating = [rule for rule in rules if rule.direction != "none"]
+    return bool(navigating) and all(rule.direction == UPWARD for rule in navigating) or \
+        not navigating
+
+
+def is_downward_only(rules: Sequence[DimensionalRule]) -> bool:
+    """``True`` when every navigating rule navigates downward."""
+    navigating = [rule for rule in rules if rule.direction != "none"]
+    return bool(navigating) and all(rule.direction == DOWNWARD for rule in navigating)
+
+
+def analyze(vocabulary: OntologyVocabulary,
+            rules: Sequence[DimensionalRule],
+            constraints: Sequence[DimensionalConstraint] = ()) -> OntologyAnalysis:
+    """Analyze an MD ontology given its vocabulary, rules and constraints."""
+    tgds: List[TGD] = [rule.tgd for rule in rules]
+    egds: List[EGD] = [c.dependency for c in constraints if isinstance(c.dependency, EGD)]
+
+    class_report = classify(tgds)
+    separability = egd_separability_report(tgds, egds)
+    directions = rule_directions(rules)
+    upward_only = is_upward_only(rules)
+    downward_only = is_downward_only(rules)
+    non_recursive = is_non_recursive(tgds)
+
+    # The paper's weak-stickiness argument: categorical positions carry a
+    # bounded set of values.  We confirm that every categorical position that
+    # participates in a marked join is of finite rank.
+    categorical = vocabulary.categorical_positions()
+    infinite_categorical = categorical & set(class_report.infinite_rank_positions)
+    categorical_finite = not infinite_categorical
+
+    notes: List[str] = []
+    if not class_report.is_weakly_sticky:
+        notes.append(f"not weakly sticky: {class_report.weakly_sticky_witness}")
+    if not separability.separable:
+        notes.append(
+            "EGD separability could not be certified syntactically for "
+            f"{len(separability.uncertified_egds)} EGD(s); the paper notes this becomes "
+            "application dependent in the presence of form-(10) rules")
+    if infinite_categorical:
+        notes.append(
+            f"categorical positions with infinite rank: {sorted(infinite_categorical)} "
+            "(a form-(10) rule invents member nulls there)")
+    if upward_only and non_recursive:
+        notes.append("ontology is upward-navigating and non-recursive: "
+                     "first-order query rewriting applies (Section IV)")
+
+    return OntologyAnalysis(
+        class_report=class_report,
+        separability=separability,
+        rule_directions=directions,
+        upward_only=upward_only,
+        downward_only=downward_only,
+        non_recursive=non_recursive,
+        categorical_positions_finite_rank=categorical_finite,
+        notes=notes,
+    )

@@ -1,0 +1,168 @@
+"""Compilation of an MD instance into a Datalog± program.
+
+The compiler realizes the representational half of Section III: given a
+multidimensional instance (dimensions + categorical relations), it produces
+
+* the **vocabulary** ``S_M = K ∪ O ∪ R`` (category, parent–child and
+  categorical predicates, cf. :mod:`repro.ontology.predicates`),
+* the **extensional instance** ``D_M`` — one unary fact per category member,
+  one binary fact per member-level edge (parent first), and the tuples of
+  the categorical relations, and
+* the **referential negative constraints** of form (1), one per categorical
+  attribute, unless disabled.
+
+Dimensional rules and constraints (forms (2)–(4), (10)) are added on top of
+the compiled program by :class:`~repro.ontology.mdontology.MDOntology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..datalog.program import DatalogProgram
+from ..md.instance import MDInstance
+from ..relational.instance import DatabaseInstance
+from .predicates import (CategoryPredicate, OntologyVocabulary, ParentChildPredicate,
+                         PredicateNaming)
+from .rules import referential_constraint
+
+
+@dataclass
+class CompiledOntology:
+    """The output of the compiler: vocabulary + Datalog± program."""
+
+    vocabulary: OntologyVocabulary
+    program: DatalogProgram
+    naming: PredicateNaming
+
+    def fact_count(self) -> int:
+        """Number of extensional facts in the compiled program."""
+        return self.program.database.total_tuples()
+
+
+class OntologyCompiler:
+    """Compiles :class:`~repro.md.instance.MDInstance` objects to Datalog±.
+
+    Parameters
+    ----------
+    naming:
+        Predicate naming scheme (category / parent–child predicate names).
+    include_transitive_rollups:
+        When ``True``, the compiler also materializes parent–child facts for
+        *non-adjacent* category pairs (the transitive roll-up), under
+        predicates named by the same scheme.  Dimensional rules that need to
+        jump several levels in one join can then be written directly; the
+        default keeps only the adjacent edges, as in the paper.
+    generate_referential_constraints:
+        When ``True`` (default), a form-(1) negative constraint is generated
+        for every categorical attribute of every categorical relation.
+    """
+
+    def __init__(self, naming: Optional[PredicateNaming] = None,
+                 include_transitive_rollups: bool = False,
+                 generate_referential_constraints: bool = True):
+        self.naming = naming if naming is not None else PredicateNaming()
+        self.include_transitive_rollups = include_transitive_rollups
+        self.generate_referential_constraints = generate_referential_constraints
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(self, md: MDInstance) -> CompiledOntology:
+        """Compile ``md`` into a vocabulary and a Datalog± program."""
+        vocabulary = self.build_vocabulary(md)
+        database = self.build_database(md, vocabulary)
+        program = DatalogProgram(database=database)
+        if self.generate_referential_constraints:
+            for constraint in self.build_referential_constraints(md, vocabulary):
+                program.add_constraint(constraint)
+        return CompiledOntology(vocabulary=vocabulary, program=program, naming=self.naming)
+
+    # -- vocabulary -------------------------------------------------------------
+
+    def build_vocabulary(self, md: MDInstance) -> OntologyVocabulary:
+        """Create the predicate families ``K``, ``O`` and ``R`` for ``md``."""
+        vocabulary = OntologyVocabulary()
+        for dimension in md.dimensions.values():
+            schema = dimension.schema
+            for category in schema.categories:
+                vocabulary.add_category_predicate(CategoryPredicate(
+                    name=self.naming.category_predicate(schema.name, category),
+                    dimension=schema.name,
+                    category=category,
+                ))
+            for child_category, parent_category in schema.edges:
+                vocabulary.add_parent_child_predicate(ParentChildPredicate(
+                    name=self.naming.parent_child_predicate(
+                        schema.name, parent_category, child_category),
+                    dimension=schema.name,
+                    parent_category=parent_category,
+                    child_category=child_category,
+                ))
+            if self.include_transitive_rollups:
+                for lower in schema.categories:
+                    for higher in schema.ancestors(lower):
+                        if (lower, higher) in schema.edges:
+                            continue
+                        name = self.naming.parent_child_predicate(schema.name, higher, lower)
+                        if name in vocabulary.parent_child_predicates:
+                            continue
+                        vocabulary.add_parent_child_predicate(ParentChildPredicate(
+                            name=name, dimension=schema.name,
+                            parent_category=higher, child_category=lower))
+        for relation_schema in md.relations():
+            vocabulary.add_categorical_predicate(relation_schema)
+        return vocabulary
+
+    # -- extensional data ---------------------------------------------------------
+
+    def build_database(self, md: MDInstance,
+                       vocabulary: OntologyVocabulary) -> DatabaseInstance:
+        """Materialize ``D_M``: category, parent–child and categorical facts."""
+        database = DatabaseInstance()
+
+        for predicate in vocabulary.category_predicates.values():
+            relation = database.declare(predicate.name, ["member"])
+            dimension = md.dimension(predicate.dimension)
+            for member in dimension.members(predicate.category):
+                relation.add((member,))
+
+        for predicate in vocabulary.parent_child_predicates.values():
+            relation = database.declare(predicate.name, ["parent", "child"])
+            dimension = md.dimension(predicate.dimension)
+            adjacent = (predicate.child_category, predicate.parent_category) in \
+                dimension.schema.edges
+            if adjacent:
+                pairs = dimension.edges_between(predicate.child_category,
+                                                predicate.parent_category)
+            else:
+                # Transitive roll-up pairs (only reachable with
+                # include_transitive_rollups=True).
+                pairs = dimension.rollup_pairs(predicate.child_category,
+                                               predicate.parent_category)
+            for child_member, parent_member in pairs:
+                relation.add((parent_member, child_member))
+
+        for relation_schema in md.relations():
+            relation = database.declare(relation_schema.name,
+                                        relation_schema.attribute_names)
+            relation.add_all(md.relation(relation_schema.name))
+        return database
+
+    # -- referential constraints ---------------------------------------------------
+
+    def build_referential_constraints(self, md: MDInstance,
+                                      vocabulary: OntologyVocabulary) -> List:
+        """Form-(1) constraints linking categorical attributes to categories."""
+        constraints = []
+        for relation_schema in md.relations():
+            for index, attribute in enumerate(relation_schema.categorical):
+                category_predicate = self.naming.category_predicate(
+                    attribute.dimension, attribute.category)
+                constraints.append(referential_constraint(
+                    relation_name=relation_schema.name,
+                    attribute_position=index,
+                    arity=relation_schema.arity,
+                    category_predicate=category_predicate,
+                ))
+        return constraints

@@ -1,0 +1,226 @@
+"""The :class:`MDOntology` facade — the paper's core artifact ``M = (S_M, D_M, Σ_M)``.
+
+An :class:`MDOntology` wraps a multidimensional instance, compiles it to a
+Datalog± program (vocabulary + extensional facts + referential constraints),
+accepts dimensional rules and constraints of the paper's forms (2)–(4) and
+(10), and exposes the reasoning services built in :mod:`repro.datalog`:
+
+* chase-based materialization and certain-answer query answering;
+* the deterministic weakly-sticky query answering of Section IV;
+* first-order (UCQ) rewriting for upward-navigating ontologies;
+* consistency checking against dimensional constraints;
+* class membership and separability analysis (Section III's claims).
+
+Rules and queries can be given either as engine objects or as text in the
+parser syntax of :mod:`repro.datalog.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.answering import (AnswerTuple, certain_answers, certainly_holds,
+                                 evaluate_query)
+from ..datalog.chase import ChaseResult, chase
+from ..datalog.parser import parse_query, parse_rule
+from ..datalog.program import DatalogProgram
+from ..datalog.rewriting import QueryRewriter, Rewriting
+from ..datalog.rules import EGD, ConjunctiveQuery, NegativeConstraint, TGD
+from ..datalog.ws_qa import DeterministicWSQAns
+from ..errors import InconsistencyError, OntologyError, RewritingError
+from ..md.instance import MDInstance
+from ..md.schema import DimensionSchema
+from .analysis import OntologyAnalysis, analyze
+from .compiler import CompiledOntology, OntologyCompiler
+from .predicates import OntologyVocabulary, PredicateNaming
+from .rules import DimensionalConstraint, DimensionalRule
+
+RuleLike = Union[TGD, str]
+ConstraintLike = Union[EGD, NegativeConstraint, str]
+QueryLike = Union[ConjunctiveQuery, str]
+
+
+class MDOntology:
+    """A multidimensional Datalog± ontology over an MD instance.
+
+    Parameters
+    ----------
+    md:
+        The multidimensional instance (dimensions + categorical relations).
+    naming:
+        Predicate naming scheme used by the compiler.
+    include_transitive_rollups:
+        Materialize non-adjacent parent–child predicates as well.
+    generate_referential_constraints:
+        Emit the form-(1) referential constraints (default ``True``).
+    """
+
+    def __init__(self, md: MDInstance, naming: Optional[PredicateNaming] = None,
+                 include_transitive_rollups: bool = False,
+                 generate_referential_constraints: bool = True):
+        self.md = md
+        self.compiler = OntologyCompiler(
+            naming=naming,
+            include_transitive_rollups=include_transitive_rollups,
+            generate_referential_constraints=generate_referential_constraints,
+        )
+        self._compiled: CompiledOntology = self.compiler.compile(md)
+        self.rules: List[DimensionalRule] = []
+        self.constraints: List[DimensionalConstraint] = []
+        self._program_cache: Optional[DatalogProgram] = None
+        self._chase_cache: Optional[ChaseResult] = None
+
+    # -- vocabulary and schemas ---------------------------------------------------
+
+    @property
+    def vocabulary(self) -> OntologyVocabulary:
+        """The compiled predicate vocabulary ``K ∪ O ∪ R``."""
+        return self._compiled.vocabulary
+
+    @property
+    def naming(self) -> PredicateNaming:
+        """The naming scheme in force."""
+        return self._compiled.naming
+
+    def dimension_schemas(self) -> Dict[str, DimensionSchema]:
+        """Dimension schemas, keyed by dimension name."""
+        return {name: dim.schema for name, dim in self.md.dimensions.items()}
+
+    # -- rules and constraints ------------------------------------------------------
+
+    def add_rule(self, rule: RuleLike, label: str = "") -> DimensionalRule:
+        """Add a dimensional rule (form (4) or (10)); text is parsed first."""
+        tgd = parse_rule(rule) if isinstance(rule, str) else rule
+        if not isinstance(tgd, TGD):
+            raise OntologyError(f"a dimensional rule must be a TGD, got {type(tgd).__name__}")
+        wrapped = DimensionalRule(tgd, self.vocabulary,
+                                  dimension_schemas=self.dimension_schemas(), label=label)
+        self.rules.append(wrapped)
+        self._invalidate()
+        return wrapped
+
+    def add_constraint(self, constraint: ConstraintLike, label: str = "") -> DimensionalConstraint:
+        """Add a dimensional constraint (form (2) EGD or form (3) denial)."""
+        dependency = parse_rule(constraint) if isinstance(constraint, str) else constraint
+        if not isinstance(dependency, (EGD, NegativeConstraint)):
+            raise OntologyError(
+                "a dimensional constraint must be an EGD or a negative constraint, "
+                f"got {type(dependency).__name__}")
+        wrapped = DimensionalConstraint(dependency, self.vocabulary, label=label)
+        self.constraints.append(wrapped)
+        self._invalidate()
+        return wrapped
+
+    def _invalidate(self) -> None:
+        self._program_cache = None
+        self._chase_cache = None
+
+    # -- program assembly --------------------------------------------------------------
+
+    def program(self) -> DatalogProgram:
+        """The full Datalog± program ``M``: data + Σ_M (rules and constraints)."""
+        if self._program_cache is None:
+            base = self._compiled.program
+            program = DatalogProgram(
+                tgds=[rule.tgd for rule in self.rules],
+                egds=[c.dependency for c in self.constraints if isinstance(c.dependency, EGD)],
+                constraints=list(base.constraints) + [
+                    c.dependency for c in self.constraints
+                    if isinstance(c.dependency, NegativeConstraint)],
+                database=base.database.copy(),
+            )
+            program.ensure_relations()
+            self._program_cache = program
+        return self._program_cache
+
+    def extensional_fact_count(self) -> int:
+        """Number of extensional facts of the compiled ontology."""
+        return self._compiled.program.database.total_tuples()
+
+    # -- reasoning services ---------------------------------------------------------------
+
+    def chase(self, refresh: bool = False, **chase_options) -> ChaseResult:
+        """Chase the ontology (cached across calls unless ``refresh``)."""
+        if self._chase_cache is None or refresh or chase_options:
+            result = chase(self.program(), **chase_options)
+            if chase_options:
+                return result
+            self._chase_cache = result
+        return self._chase_cache
+
+    def _coerce_query(self, query: QueryLike) -> ConjunctiveQuery:
+        return parse_query(query) if isinstance(query, str) else query
+
+    def certain_answers(self, query: QueryLike) -> List[AnswerTuple]:
+        """Certain answers via the chase (the reference semantics)."""
+        cq = self._coerce_query(query)
+        return evaluate_query(cq, self.chase().instance, allow_nulls=False)
+
+    def answers_with_nulls(self, query: QueryLike) -> List[AnswerTuple]:
+        """Query answers that may contain labeled nulls (open-world view)."""
+        cq = self._coerce_query(query)
+        return evaluate_query(cq, self.chase().instance, allow_nulls=True)
+
+    def holds(self, query: QueryLike) -> bool:
+        """Boolean certain answer of ``query``."""
+        cq = self._coerce_query(query)
+        return certainly_holds(self.program(), cq, chase_result=self.chase())
+
+    def ws_answers(self, query: QueryLike, max_depth: Optional[int] = None) -> List[AnswerTuple]:
+        """Answers via the deterministic weakly-sticky algorithm (Section IV)."""
+        cq = self._coerce_query(query)
+        solver = DeterministicWSQAns(self.program(), max_depth=max_depth)
+        return solver.answers(cq)
+
+    def ws_holds(self, query: QueryLike, max_depth: Optional[int] = None) -> bool:
+        """Boolean answer via the deterministic weakly-sticky algorithm."""
+        cq = self._coerce_query(query)
+        solver = DeterministicWSQAns(self.program(), max_depth=max_depth)
+        return solver.holds(cq)
+
+    def rewrite(self, query: QueryLike) -> Rewriting:
+        """First-order (UCQ) rewriting of ``query`` (upward-only ontologies)."""
+        cq = self._coerce_query(query)
+        if not self.analysis().summary()["fo_rewritable"]:
+            raise RewritingError(
+                "this ontology is not upward-navigating/non-recursive; "
+                "first-order rewriting does not apply (use certain_answers or ws_answers)")
+        rewriter = QueryRewriter([rule.tgd for rule in self.rules])
+        return rewriter.rewrite(cq)
+
+    def rewrite_answers(self, query: QueryLike) -> List[AnswerTuple]:
+        """Answers obtained by evaluating the UCQ rewriting over the data."""
+        rewriting = self.rewrite(query)
+        return rewriting.evaluate(self.program().database)
+
+    # -- consistency ------------------------------------------------------------------------
+
+    def check_consistency(self, fail_fast: bool = False) -> ChaseResult:
+        """Chase with constraint checking; violations are reported (or raised)."""
+        return chase(self.program(), check_constraints=True, fail_fast=fail_fast)
+
+    def is_consistent(self) -> bool:
+        """``True`` when no dimensional or referential constraint is violated."""
+        try:
+            return self.check_consistency().is_consistent
+        except InconsistencyError:
+            return False
+
+    # -- analysis ----------------------------------------------------------------------------
+
+    def analysis(self) -> OntologyAnalysis:
+        """Class membership / separability / navigation-direction report."""
+        return analyze(self.vocabulary, self.rules, self.constraints)
+
+    def is_weakly_sticky(self) -> bool:
+        """Section III claim: the ontology's TGDs are weakly sticky."""
+        return self.analysis().is_weakly_sticky
+
+    def is_upward_only(self) -> bool:
+        """``True`` when every navigating rule rolls up (Section IV rewriting case)."""
+        return self.analysis().upward_only
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MDOntology({len(self.md.dimensions)} dimensions, "
+                f"{len(self.md.relation_schemas)} categorical relations, "
+                f"{len(self.rules)} rules, {len(self.constraints)} constraints)")

@@ -1,0 +1,201 @@
+"""Predicate vocabulary of a compiled MD ontology.
+
+Section III defines the schema of an MD ontology as ``S_M = K ∪ O ∪ R``:
+
+* ``K`` — unary **category predicates**, one per category (``Unit(u)``);
+* ``O`` — binary **parent–child predicates**, one per category edge, with
+  the *parent member first* (``UnitWard(u, w)``, ``DayTime(d, t)`` — the
+  naming and argument order follow the paper's examples);
+* ``R`` — **categorical predicates**, one per categorical relation, with
+  categorical attributes first and non-categorical attributes last
+  (``PatientWard(w, d; p)``).
+
+:class:`OntologyVocabulary` records which predicate plays which role and
+which argument positions are categorical; the compiler fills it in and the
+rule validators, the weak-stickiness analysis, and the quality layer consult
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import OntologyError
+from ..md.relations import CategoricalRelationSchema
+
+Position = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class CategoryPredicate:
+    """A unary predicate holding the members of one category."""
+
+    name: str
+    dimension: str
+    category: str
+
+
+@dataclass(frozen=True)
+class ParentChildPredicate:
+    """A binary predicate holding member-level (parent, child) pairs."""
+
+    name: str
+    dimension: str
+    parent_category: str
+    child_category: str
+
+
+class PredicateNaming:
+    """Naming scheme mapping MD-model elements to predicate names.
+
+    The default scheme mirrors the paper: a category predicate is named
+    after its category (``Unit``), a parent–child predicate concatenates
+    parent and child category names (``UnitWard``).  ``qualified=True``
+    prefixes names with the dimension (``Hospital_Unit``) to avoid
+    collisions when two dimensions share category names.
+    """
+
+    def __init__(self, qualified: bool = False):
+        self.qualified = qualified
+
+    def category_predicate(self, dimension: str, category: str) -> str:
+        """Predicate name for a category."""
+        return f"{dimension}_{category}" if self.qualified else category
+
+    def parent_child_predicate(self, dimension: str, parent_category: str,
+                               child_category: str) -> str:
+        """Predicate name for a (parent, child) category edge."""
+        base = f"{parent_category}{child_category}"
+        return f"{dimension}_{base}" if self.qualified else base
+
+
+class OntologyVocabulary:
+    """The three predicate families ``K``, ``O``, ``R`` of an MD ontology."""
+
+    def __init__(self):
+        self.category_predicates: Dict[str, CategoryPredicate] = {}
+        self.parent_child_predicates: Dict[str, ParentChildPredicate] = {}
+        self.categorical_predicates: Dict[str, CategoricalRelationSchema] = {}
+
+    # -- registration ---------------------------------------------------------
+
+    def add_category_predicate(self, predicate: CategoryPredicate) -> CategoryPredicate:
+        """Register a category predicate, rejecting name clashes across roles."""
+        self._check_fresh(predicate.name)
+        self.category_predicates[predicate.name] = predicate
+        return predicate
+
+    def add_parent_child_predicate(self, predicate: ParentChildPredicate) -> ParentChildPredicate:
+        """Register a parent–child predicate."""
+        self._check_fresh(predicate.name)
+        self.parent_child_predicates[predicate.name] = predicate
+        return predicate
+
+    def add_categorical_predicate(self, schema: CategoricalRelationSchema
+                                  ) -> CategoricalRelationSchema:
+        """Register a categorical predicate (one per categorical relation)."""
+        self._check_fresh(schema.name)
+        self.categorical_predicates[schema.name] = schema
+        return schema
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.category_predicates or name in self.parent_child_predicates \
+                or name in self.categorical_predicates:
+            raise OntologyError(
+                f"predicate name {name!r} is already used by another ontology predicate; "
+                "use PredicateNaming(qualified=True) to disambiguate")
+
+    # -- classification ---------------------------------------------------------
+
+    def role_of(self, predicate: str) -> str:
+        """One of ``"category"``, ``"parent_child"``, ``"categorical"``, ``"other"``."""
+        if predicate in self.category_predicates:
+            return "category"
+        if predicate in self.parent_child_predicates:
+            return "parent_child"
+        if predicate in self.categorical_predicates:
+            return "categorical"
+        return "other"
+
+    def is_category(self, predicate: str) -> bool:
+        """``True`` if ``predicate`` is a category predicate (family ``K``)."""
+        return predicate in self.category_predicates
+
+    def is_parent_child(self, predicate: str) -> bool:
+        """``True`` if ``predicate`` is a parent–child predicate (family ``O``)."""
+        return predicate in self.parent_child_predicates
+
+    def is_categorical(self, predicate: str) -> bool:
+        """``True`` if ``predicate`` is a categorical predicate (family ``R``)."""
+        return predicate in self.categorical_predicates
+
+    def arity_of(self, predicate: str) -> int:
+        """Arity of an ontology predicate."""
+        if self.is_category(predicate):
+            return 1
+        if self.is_parent_child(predicate):
+            return 2
+        if self.is_categorical(predicate):
+            return self.categorical_predicates[predicate].arity
+        raise OntologyError(f"unknown ontology predicate {predicate!r}")
+
+    def categorical_positions(self) -> Set[Position]:
+        """Positions that carry category members.
+
+        These are the positions the paper's weak-stickiness argument relies
+        on: the dimensional structure is fixed, so only a bounded set of
+        values can ever occur there.  They comprise every position of the
+        category and parent–child predicates plus the categorical-attribute
+        positions of categorical predicates.
+        """
+        positions: Set[Position] = set()
+        for name in self.category_predicates:
+            positions.add((name, 0))
+        for name in self.parent_child_predicates:
+            positions.add((name, 0))
+            positions.add((name, 1))
+        for name, schema in self.categorical_predicates.items():
+            for index in schema.categorical_positions():
+                positions.add((name, index))
+        return positions
+
+    def non_categorical_positions(self) -> Set[Position]:
+        """Positions of non-categorical attributes of categorical predicates."""
+        positions: Set[Position] = set()
+        for name, schema in self.categorical_predicates.items():
+            for index in schema.non_categorical_positions():
+                positions.add((name, index))
+        return positions
+
+    def is_categorical_position(self, predicate: str, index: int) -> bool:
+        """``True`` if ``(predicate, index)`` carries category members."""
+        return (predicate, index) in self.categorical_positions()
+
+    def category_of_position(self, predicate: str, index: int) -> Optional[Tuple[str, str]]:
+        """The ``(dimension, category)`` linked to a position, if any."""
+        if self.is_category(predicate) and index == 0:
+            info = self.category_predicates[predicate]
+            return (info.dimension, info.category)
+        if self.is_parent_child(predicate):
+            info = self.parent_child_predicates[predicate]
+            if index == 0:
+                return (info.dimension, info.parent_category)
+            if index == 1:
+                return (info.dimension, info.child_category)
+        if self.is_categorical(predicate):
+            schema = self.categorical_predicates[predicate]
+            if schema.is_categorical_position(index):
+                attribute = schema.categorical[index]
+                return (attribute.dimension, attribute.category)
+        return None
+
+    def predicates(self) -> Set[str]:
+        """All predicate names of the vocabulary."""
+        return (set(self.category_predicates) | set(self.parent_child_predicates)
+                | set(self.categorical_predicates))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"OntologyVocabulary(K={sorted(self.category_predicates)}, "
+                f"O={sorted(self.parent_child_predicates)}, "
+                f"R={sorted(self.categorical_predicates)})")

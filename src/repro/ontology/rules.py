@@ -1,0 +1,309 @@
+"""Dimensional rules and dimensional constraints (the paper's forms (1)–(4), (10)).
+
+These classes wrap plain Datalog± dependencies with MD-aware validation and
+metadata:
+
+* :class:`DimensionalRule` — a TGD of form (4) (existential variables only
+  at non-categorical positions; joins only on categorical positions) or of
+  form (10) (downward navigation with existential *categorical* variables,
+  possibly with parent–child atoms in the head);
+* :class:`DimensionalConstraint` — an EGD of form (2) or a negative
+  constraint of form (3), classified as intra- or inter-dimensional;
+* :func:`referential_constraint` — builds the form-(1) negative constraint
+  tying a categorical attribute to its category.
+
+Validation needs to know which positions are categorical, which is exactly
+what :class:`~repro.ontology.predicates.OntologyVocabulary` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom
+from ..datalog.rules import EGD, NegativeConstraint, TGD
+from ..datalog.terms import Variable
+from ..errors import DimensionalConstraintError, DimensionalRuleError
+from ..md.schema import DimensionSchema
+from .predicates import OntologyVocabulary
+
+UPWARD = "upward"
+DOWNWARD = "downward"
+MIXED = "mixed"
+NONE = "none"
+
+FORM_4 = "form-4"
+FORM_10 = "form-10"
+
+
+def _role_check(vocabulary: OntologyVocabulary, atom: Atom, allowed_roles: Set[str],
+                where: str) -> None:
+    role = vocabulary.role_of(atom.predicate)
+    if role not in allowed_roles:
+        raise DimensionalRuleError(
+            f"{where}: atom {atom} over {role!r} predicate {atom.predicate!r} is not "
+            f"allowed (allowed roles: {sorted(allowed_roles)})")
+
+
+class DimensionalRule:
+    """A dimensional rule: a TGD of the paper's form (4) or form (10).
+
+    Parameters
+    ----------
+    tgd:
+        The underlying TGD.
+    vocabulary:
+        The ontology vocabulary used to classify predicates and positions.
+    dimension_schemas:
+        Optional map of dimension name → :class:`DimensionSchema`, used for
+        the level check of form (10) (body categories must be at the same or
+        a higher level than head categories).
+    label:
+        Human-readable name (e.g. ``"rule (7)"``).
+    """
+
+    def __init__(self, tgd: TGD, vocabulary: OntologyVocabulary,
+                 dimension_schemas: Optional[Dict[str, DimensionSchema]] = None,
+                 label: str = ""):
+        self.tgd = tgd
+        self.vocabulary = vocabulary
+        self.label = label or tgd.label
+        self.form = self._validate(dimension_schemas or {})
+        self.direction = self._navigation_direction()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate(self, dimension_schemas: Dict[str, DimensionSchema]) -> str:
+        vocabulary = self.vocabulary
+        tgd = self.tgd
+        where = f"dimensional rule {self.label or tgd}"
+
+        # Body: categorical, parent-child and category atoms only.
+        for atom in tgd.body:
+            _role_check(vocabulary, atom, {"categorical", "parent_child", "category"}, where)
+
+        head_categorical = [a for a in tgd.head if vocabulary.is_categorical(a.predicate)]
+        head_parent_child = [a for a in tgd.head if vocabulary.is_parent_child(a.predicate)]
+        head_other = [a for a in tgd.head
+                      if not vocabulary.is_categorical(a.predicate)
+                      and not vocabulary.is_parent_child(a.predicate)]
+        if head_other:
+            raise DimensionalRuleError(
+                f"{where}: head atoms must be categorical or parent-child atoms, "
+                f"got {[str(a) for a in head_other]}")
+        if len(head_categorical) != 1:
+            raise DimensionalRuleError(
+                f"{where}: a dimensional rule must have exactly one categorical head atom "
+                f"(the paper splits conjunctive heads into single-atom rules), got "
+                f"{len(head_categorical)}")
+
+        existentials = set(tgd.existential_variables())
+        existential_categorical = self._existential_categorical_positions(existentials)
+
+        if not head_parent_child and not existential_categorical:
+            self._validate_form_4(existentials, where)
+            return FORM_4
+        self._validate_form_10(dimension_schemas, where)
+        return FORM_10
+
+    def _existential_categorical_positions(self, existentials: Set[Variable]
+                                           ) -> List[Tuple[Atom, int]]:
+        """Head occurrences of existential variables at categorical positions."""
+        found = []
+        for atom in self.tgd.head:
+            for index, term in enumerate(atom.terms):
+                if term in existentials and \
+                        self.vocabulary.is_categorical_position(atom.predicate, index):
+                    found.append((atom, index))
+        return found
+
+    def _validate_form_4(self, existentials: Set[Variable], where: str) -> None:
+        # Existential variables only at non-categorical positions (already
+        # known from the caller); additionally the paper requires shared body
+        # variables to occur only at categorical positions.
+        for variable in self.tgd.join_variables():
+            for atom in self.tgd.body:
+                for index, term in enumerate(atom.terms):
+                    if term != variable:
+                        continue
+                    if not self.vocabulary.is_categorical_position(atom.predicate, index):
+                        raise DimensionalRuleError(
+                            f"{where}: join variable {variable} occurs at the "
+                            f"non-categorical position {index} of {atom.predicate!r}; "
+                            "form (4) only allows joins on categorical attributes")
+
+    def _validate_form_10(self, dimension_schemas: Dict[str, DimensionSchema],
+                          where: str) -> None:
+        # Body: categorical atoms only (the paper's form (10)).
+        for atom in self.tgd.body:
+            if not self.vocabulary.is_categorical(atom.predicate):
+                raise DimensionalRuleError(
+                    f"{where}: form (10) rules may only have categorical atoms in the "
+                    f"body, got {atom}")
+        if not dimension_schemas:
+            return
+        # Level check: every body categorical attribute must be linked to a
+        # category at the same or a higher level than every head categorical
+        # attribute of the same dimension.
+        head_atom = next(a for a in self.tgd.head
+                         if self.vocabulary.is_categorical(a.predicate))
+        head_categories = self._linked_categories(head_atom)
+        for atom in self.tgd.body:
+            for dimension, category in self._linked_categories(atom):
+                schema = dimension_schemas.get(dimension)
+                if schema is None:
+                    continue
+                for head_dimension, head_category in head_categories:
+                    if head_dimension != dimension:
+                        continue
+                    same = category == head_category
+                    higher = schema.is_above(category, head_category)
+                    if not (same or higher):
+                        raise DimensionalRuleError(
+                            f"{where}: form (10) requires body categories to be at the "
+                            f"same or a higher level than head categories; "
+                            f"{category!r} is not >= {head_category!r} in dimension "
+                            f"{dimension!r}")
+
+    def _linked_categories(self, atom: Atom) -> List[Tuple[str, str]]:
+        linked = []
+        for index in range(atom.arity):
+            info = self.vocabulary.category_of_position(atom.predicate, index)
+            if info is not None:
+                linked.append(info)
+        return linked
+
+    # -- navigation direction ---------------------------------------------------
+
+    def _navigation_direction(self) -> str:
+        """Infer the navigation direction(s) enabled by this rule.
+
+        Following the paper's reading of form (4): with a body join between a
+        categorical atom ``R_i`` and a parent–child atom ``D(parent, child)``,
+        the rule navigates *upward* when the child variable occurs in ``R_i``
+        and the parent variable occurs in the head, and *downward* when the
+        parent variable occurs in ``R_i`` (or the body at large) and the child
+        variable occurs in the head.  Form (10) rules navigate downward by
+        construction.
+        """
+        if self.form == FORM_10:
+            return DOWNWARD
+        head_variables = set(self.tgd.head_variables())
+        body_categorical_variables = {
+            term
+            for atom in self.tgd.body
+            if self.vocabulary.is_categorical(atom.predicate)
+            for term in atom.terms
+            if isinstance(term, Variable)
+        }
+        directions: Set[str] = set()
+        for atom in self.tgd.body:
+            if not self.vocabulary.is_parent_child(atom.predicate):
+                continue
+            parent_term, child_term = atom.terms[0], atom.terms[1]
+            if isinstance(child_term, Variable) and child_term in body_categorical_variables \
+                    and isinstance(parent_term, Variable) and parent_term in head_variables:
+                directions.add(UPWARD)
+            if isinstance(parent_term, Variable) and parent_term in body_categorical_variables \
+                    and isinstance(child_term, Variable) and child_term in head_variables:
+                directions.add(DOWNWARD)
+        if not directions:
+            return NONE
+        if len(directions) == 2:
+            return MIXED
+        return directions.pop()
+
+    # -- convenience ------------------------------------------------------------
+
+    def is_upward(self) -> bool:
+        """``True`` if the rule performs (only) upward navigation."""
+        return self.direction == UPWARD
+
+    def is_downward(self) -> bool:
+        """``True`` if the rule performs (only) downward navigation."""
+        return self.direction == DOWNWARD
+
+    def dimensions(self) -> Set[str]:
+        """Dimensions touched by the rule (via linked categories)."""
+        result: Set[str] = set()
+        for atom in (*self.tgd.body, *self.tgd.head):
+            for dimension, _category in self._linked_categories(atom):
+                result.add(dimension)
+        return result
+
+    def __str__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        return f"{self.tgd}{tag} ({self.form}, {self.direction})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DimensionalRule({self})"
+
+
+class DimensionalConstraint:
+    """A dimensional constraint: an EGD (form (2)) or a denial (form (3))."""
+
+    def __init__(self, dependency, vocabulary: OntologyVocabulary, label: str = ""):
+        if not isinstance(dependency, (EGD, NegativeConstraint)):
+            raise DimensionalConstraintError(
+                f"a dimensional constraint must be an EGD or a negative constraint, "
+                f"got {type(dependency).__name__}")
+        self.dependency = dependency
+        self.vocabulary = vocabulary
+        self.label = label or getattr(dependency, "label", "")
+        self._validate()
+
+    def _validate(self) -> None:
+        where = f"dimensional constraint {self.label or self.dependency}"
+        for atom in self.dependency.body:
+            role = self.vocabulary.role_of(atom.predicate)
+            if role == "other":
+                raise DimensionalConstraintError(
+                    f"{where}: atom {atom} does not use an ontology predicate")
+
+    @property
+    def kind(self) -> str:
+        """``"egd"`` or ``"denial"``."""
+        return "egd" if isinstance(self.dependency, EGD) else "denial"
+
+    def dimensions(self) -> Set[str]:
+        """Dimensions referenced by the constraint body."""
+        result: Set[str] = set()
+        for atom in self.dependency.body:
+            for index in range(atom.arity):
+                info = self.vocabulary.category_of_position(atom.predicate, index)
+                if info is not None:
+                    result.add(info[0])
+        return result
+
+    def is_inter_dimensional(self) -> bool:
+        """``True`` if the constraint spans more than one dimension."""
+        return len(self.dimensions()) > 1
+
+    def is_intra_dimensional(self) -> bool:
+        """``True`` if the constraint involves at most one dimension."""
+        return len(self.dimensions()) <= 1
+
+    def __str__(self) -> str:
+        tag = f" [{self.label}]" if self.label else ""
+        scope = "inter" if self.is_inter_dimensional() else "intra"
+        return f"{self.dependency}{tag} ({self.kind}, {scope}-dimensional)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DimensionalConstraint({self})"
+
+
+def referential_constraint(relation_name: str, attribute_position: int, arity: int,
+                           category_predicate: str, label: str = "") -> NegativeConstraint:
+    """Build the form-(1) constraint ``⊥ ← R(..., e, ...), ¬K(e)``.
+
+    ``attribute_position`` is the 0-based position of the categorical
+    attribute within ``R`` and ``category_predicate`` the category predicate
+    it must belong to.
+    """
+    variables = [Variable(f"X{i}") for i in range(arity)]
+    relation_atom = Atom(relation_name, variables)
+    category_atom = Atom(category_predicate, [variables[attribute_position]], negated=True)
+    return NegativeConstraint(
+        [relation_atom, category_atom],
+        label=label or f"ref:{relation_name}[{attribute_position}]→{category_predicate}")

@@ -1,0 +1,42 @@
+"""Contextual, multidimensional data-quality assessment (Section V).
+
+Contexts embed an MD ontology, contextual and quality predicates, and
+quality-version specifications; clean query answering rewrites queries over
+the original relations into queries over their quality versions; assessment
+quantifies how far an instance departs from its quality version.
+"""
+
+from .predicates import (CONTEXTUAL, QUALITY, ContextualPredicate, contextual_predicate,
+                         quality_predicate)
+from .versions import QualityVersionSpec, default_quality_name
+from .context import Context, RelationMapping, default_context_name
+from .cleaning import (CleanAnswerComparison, compare_answers, direct_answers,
+                       quality_answers, rewrite_query_to_quality)
+from .assessment import (DatabaseAssessment, RelationAssessment, assess_database,
+                         assess_relation)
+from .repair import RemovedTuple, RepairReport, repair_md_instance
+
+__all__ = [
+    "RemovedTuple",
+    "RepairReport",
+    "repair_md_instance",
+    "CONTEXTUAL",
+    "QUALITY",
+    "ContextualPredicate",
+    "contextual_predicate",
+    "quality_predicate",
+    "QualityVersionSpec",
+    "default_quality_name",
+    "Context",
+    "RelationMapping",
+    "default_context_name",
+    "CleanAnswerComparison",
+    "compare_answers",
+    "direct_answers",
+    "quality_answers",
+    "rewrite_query_to_quality",
+    "DatabaseAssessment",
+    "RelationAssessment",
+    "assess_database",
+    "assess_relation",
+]

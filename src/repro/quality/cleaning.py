@@ -1,0 +1,114 @@
+"""Clean (quality) query answering: rewriting ``Q`` into ``Q^q``.
+
+The second problem of Section V: given a query ``Q`` expressed over the
+*original* relations ``S_i``, compute its **quality answers** — the answers
+``Q`` would have over the quality versions ``S_i^q``.  The paper solves it
+by rewriting ``Q`` into ``Q^q``, the same query with every occurrence of a
+relation that has a quality version replaced by that quality version, and
+answering ``Q^q`` in the context (which may trigger dimensional navigation
+and data generation in the MD ontology).
+
+This module provides the rewriting, the end-to-end clean answering entry
+point, and a comparison helper that contrasts the ordinary answers of ``Q``
+over ``D`` with its quality answers — the difference is what the quality
+assessment of :mod:`repro.quality.assessment` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.answering import AnswerTuple, evaluate_query
+from ..datalog.atoms import Atom
+from ..datalog.chase import ChaseResult
+from ..datalog.parser import parse_query
+from ..datalog.rules import ConjunctiveQuery
+from ..relational.instance import DatabaseInstance
+from .context import Context
+
+QueryLike = Union[ConjunctiveQuery, str]
+
+
+def rewrite_query_to_quality(query: QueryLike, context: Context) -> ConjunctiveQuery:
+    """Rewrite ``Q`` into ``Q^q`` by renaming relations to their quality versions.
+
+    Only relations for which the context declares a quality version are
+    renamed; other predicates (contextual predicates, ontology predicates,
+    external sources) are left untouched.
+    """
+    cq = parse_query(query) if isinstance(query, str) else query
+    renamed_atoms = []
+    for atom in cq.body:
+        if atom.predicate in context.quality_versions:
+            renamed_atoms.append(Atom(context.quality_relation_name(atom.predicate),
+                                      atom.terms, negated=atom.negated))
+        else:
+            renamed_atoms.append(atom)
+    return ConjunctiveQuery(cq.answer_variables, renamed_atoms, cq.comparisons,
+                            name=f"{cq.name}_q")
+
+
+def quality_answers(context: Context, instance: DatabaseInstance, query: QueryLike,
+                    chase_result: Optional[ChaseResult] = None) -> List[AnswerTuple]:
+    """Quality (clean) answers of ``query`` over ``instance`` through ``context``.
+
+    The context program is assembled and chased (unless a pre-computed chase
+    is supplied), the query is rewritten to its quality version ``Q^q`` and
+    evaluated over the chased instance.  Answers containing labeled nulls
+    are not returned — they are not certain.
+    """
+    rewritten = rewrite_query_to_quality(query, context)
+    result = chase_result if chase_result is not None else context.chase(
+        instance, check_constraints=False)
+    return evaluate_query(rewritten, result.instance, allow_nulls=False)
+
+
+def direct_answers(instance: DatabaseInstance, query: QueryLike) -> List[AnswerTuple]:
+    """Answers of ``query`` directly over the instance under assessment.
+
+    This is the "no context" baseline the paper's introduction motivates:
+    ``Measurements`` alone cannot discriminate quality tuples, so the direct
+    answers over-report.
+    """
+    cq = parse_query(query) if isinstance(query, str) else query
+    return evaluate_query(cq, instance, allow_nulls=True)
+
+
+@dataclass
+class CleanAnswerComparison:
+    """Side-by-side comparison of direct answers and quality answers."""
+
+    query: ConjunctiveQuery
+    direct: List[AnswerTuple]
+    quality: List[AnswerTuple]
+
+    @property
+    def spurious(self) -> List[AnswerTuple]:
+        """Answers returned directly over ``D`` but not supported by quality data."""
+        quality_set = set(self.quality)
+        return [row for row in self.direct if row not in quality_set]
+
+    @property
+    def precision(self) -> float:
+        """Fraction of direct answers that are also quality answers."""
+        if not self.direct:
+            return 1.0
+        quality_set = set(self.quality)
+        return sum(1 for row in self.direct if row in quality_set) / len(self.direct)
+
+    def __str__(self) -> str:
+        return (f"query {self.query.name}: {len(self.direct)} direct answers, "
+                f"{len(self.quality)} quality answers, {len(self.spurious)} spurious "
+                f"(precision {self.precision:.2f})")
+
+
+def compare_answers(context: Context, instance: DatabaseInstance, query: QueryLike,
+                    chase_result: Optional[ChaseResult] = None) -> CleanAnswerComparison:
+    """Compute direct and quality answers of ``query`` and compare them."""
+    cq = parse_query(query) if isinstance(query, str) else query
+    return CleanAnswerComparison(
+        query=cq,
+        direct=direct_answers(instance, cq),
+        quality=quality_answers(context, instance, cq, chase_result=chase_result),
+    )

@@ -1,0 +1,92 @@
+"""Quality predicates and contextual predicates.
+
+In the contextual framework of Section V (Fig. 2), the context ``C``
+contains, besides copies of the relations under assessment and the MD
+ontology ``M``:
+
+* **contextual predicates** — auxiliary relations defined by rules over the
+  context (``Measurement'``, ``TakenByNurse``, ``TakenWithTherm`` in
+  Example 7), possibly triggering dimensional navigation through the
+  ontology's categorical relations;
+* **quality predicates** ``P_i`` — contextual predicates that encode a
+  single quality requirement (e.g. "taken by a certified nurse", "taken
+  with a thermometer of brand B1").
+
+Both are ordinary defined predicates; the distinction is bookkeeping that
+helps reporting (which quality requirement filtered which tuples), so this
+module only wraps a defining rule set with a role tag and a description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from ..datalog.parser import parse_rule
+from ..datalog.rules import TGD
+from ..errors import QualityError
+
+CONTEXTUAL = "contextual"
+QUALITY = "quality"
+
+RuleLike = Union[TGD, str]
+
+
+def _coerce_rules(rules: Sequence[RuleLike]) -> Tuple[TGD, ...]:
+    coerced: List[TGD] = []
+    for rule in rules:
+        parsed = parse_rule(rule) if isinstance(rule, str) else rule
+        if not isinstance(parsed, TGD):
+            raise QualityError(
+                f"contextual/quality predicates are defined by TGDs (rules), got "
+                f"{type(parsed).__name__}")
+        coerced.append(parsed)
+    return tuple(coerced)
+
+
+@dataclass
+class ContextualPredicate:
+    """A predicate defined inside the context by one or more rules."""
+
+    name: str
+    rules: Tuple[TGD, ...]
+    role: str = CONTEXTUAL
+    description: str = ""
+
+    def __init__(self, name: str, rules: Sequence[RuleLike], role: str = CONTEXTUAL,
+                 description: str = ""):
+        if role not in (CONTEXTUAL, QUALITY):
+            raise QualityError(f"unknown predicate role {role!r}")
+        if not name:
+            raise QualityError("a contextual predicate needs a name")
+        self.name = name
+        self.rules = _coerce_rules(rules)
+        self.role = role
+        self.description = description
+        if not self.rules:
+            raise QualityError(f"contextual predicate {name!r} needs at least one defining rule")
+        for rule in self.rules:
+            if name not in rule.head_predicates():
+                raise QualityError(
+                    f"every defining rule of {name!r} must have {name!r} in its head; "
+                    f"got {rule}")
+
+    def is_quality(self) -> bool:
+        """``True`` when the predicate encodes a quality requirement ``P_i``."""
+        return self.role == QUALITY
+
+    def __str__(self) -> str:
+        tag = "P" if self.is_quality() else "C"
+        return f"[{tag}] {self.name}: " + "; ".join(str(rule) for rule in self.rules)
+
+
+def quality_predicate(name: str, rules: Sequence[RuleLike],
+                      description: str = "") -> ContextualPredicate:
+    """Convenience constructor for a quality predicate ``P_i``."""
+    return ContextualPredicate(name, rules, role=QUALITY, description=description)
+
+
+def contextual_predicate(name: str, rules: Sequence[RuleLike],
+                         description: str = "") -> ContextualPredicate:
+    """Convenience constructor for an ordinary contextual predicate."""
+    return ContextualPredicate(name, rules, role=CONTEXTUAL, description=description)

@@ -1,0 +1,128 @@
+"""Constraint-driven cleaning of categorical relations.
+
+Example 1 of the paper sketches a cleaning action beyond quality *query
+answering*: the inter-dimensional closure constraint implies that "the third
+tuple in ``PatientWard`` should be discarded".  This module implements that
+action as a simple, deterministic repair procedure in the spirit of database
+repairs (Bertossi, 2011), restricted to denial constraints:
+
+* find every violation of the ontology's negative constraints (including the
+  auto-generated referential constraints of form (1));
+* for each violation, remove one offending tuple from an *extensional*
+  categorical relation — by default the tuple of the first categorical atom
+  of the constraint body that matches an extensional fact;
+* iterate until no violation remains (denial constraints are monotone, so
+  removing tuples never introduces new violations; the loop is a safeguard
+  against overlapping witnesses).
+
+The result is a **repair report**: which tuples were removed, for which
+constraint, plus the cleaned MD instance.  EGD conflicts are reported but
+not repaired automatically (choosing which value to keep is application
+dependent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.chase import ChaseResult
+from ..datalog.rules import NegativeConstraint
+from ..datalog.terms import Variable, term_value
+from ..datalog.unify import apply_to_atom
+from ..errors import QualityError
+from ..ontology.mdontology import MDOntology
+from ..relational.values import Null
+
+
+@dataclass
+class RemovedTuple:
+    """One tuple removed by the repair procedure."""
+
+    relation: str
+    row: Tuple
+    constraint: NegativeConstraint
+
+    def __str__(self) -> str:
+        return f"removed {self.relation}{self.row} (violates [{self.constraint}])"
+
+
+@dataclass
+class RepairReport:
+    """Outcome of a repair run."""
+
+    removed: List[RemovedTuple] = field(default_factory=list)
+    iterations: int = 0
+    clean: bool = True
+
+    def removed_from(self, relation: str) -> List[Tuple]:
+        """Rows removed from one relation."""
+        return [entry.row for entry in self.removed if entry.relation == relation]
+
+    def __str__(self) -> str:
+        if not self.removed:
+            return "no repairs needed"
+        lines = [str(entry) for entry in self.removed]
+        lines.append(f"({len(self.removed)} tuples removed in {self.iterations} pass(es))")
+        return "\n".join(lines)
+
+
+def _pick_offending_fact(violation, ontology: MDOntology) -> Optional[Tuple[str, Tuple]]:
+    """Choose the extensional categorical fact to remove for one violation."""
+    constraint = violation.constraint
+    witness = violation.witness
+    for atom in constraint.positive_atoms():
+        if not ontology.vocabulary.is_categorical(atom.predicate):
+            continue
+        substitution = {Variable(name): _as_term(value) for name, value in witness.items()}
+        grounded = apply_to_atom(substitution, atom)
+        if not grounded.is_ground():
+            continue
+        row = grounded.to_fact_row()
+        if any(isinstance(value, Null) for value in row):
+            continue
+        relation = ontology.md.database
+        if relation.has_relation(atom.predicate) and row in relation.relation(atom.predicate):
+            return atom.predicate, row
+    return None
+
+
+def _as_term(value):
+    from ..datalog.terms import to_term
+    return to_term(value)
+
+
+def repair_md_instance(ontology: MDOntology, max_iterations: int = 10) -> RepairReport:
+    """Remove extensional categorical tuples until no denial constraint is violated.
+
+    The ontology's MD instance is modified **in place** (callers that want to
+    keep the original should rebuild it); the ontology's caches are
+    invalidated so subsequent reasoning sees the cleaned data.
+    """
+    report = RepairReport()
+    for iteration in range(1, max_iterations + 1):
+        report.iterations = iteration
+        result: ChaseResult = ontology.check_consistency()
+        if result.is_consistent:
+            report.clean = True
+            return report
+        progress = False
+        for violation in result.violations:
+            choice = _pick_offending_fact(violation, ontology)
+            if choice is None:
+                continue
+            relation_name, row = choice
+            if ontology.md.database.relation(relation_name).discard(row):
+                report.removed.append(RemovedTuple(relation_name, row, violation.constraint))
+                progress = True
+        # Rebuild the compiled program so the removal is visible.
+        ontology._compiled = ontology.compiler.compile(ontology.md)
+        ontology._invalidate()
+        if not progress:
+            report.clean = False
+            return report
+    report.clean = ontology.check_consistency().is_consistent
+    if not report.clean:
+        raise QualityError(
+            f"repair did not converge within {max_iterations} iterations")
+    return report

@@ -1,0 +1,77 @@
+"""Quality-version specifications ``S_i^q``.
+
+Section V defines, for every relation ``S_i`` of the instance under
+assessment, a *quality version* ``S_i^q`` — a predicate whose extension
+contains exactly the tuples of (the contextual image of) ``S_i`` that meet
+the quality requirements.  In Example 7::
+
+    Measurement'(t,p,v,y,b) ← Measurement_c(t,p,v), TakenByNurse(t,p,n,y),
+                              TakenWithTherm(t,p,b)
+    Measurement^q(t,p,v)    ← Measurement'(t,p,v,y,b), y = 'certified', b = 'B1'
+
+A :class:`QualityVersionSpec` bundles the target relation name, the name of
+its quality version and the defining rules.  Constant-equality conditions
+(``y = 'certified'``) are expressed by simply using the constant in the rule
+body, which the parser supports directly; the spec also accepts a
+convenience ``conditions`` mapping that rewrites selected variables of the
+rule head into constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.parser import parse_rule
+from ..datalog.rules import TGD
+from ..errors import QualityVersionError
+
+RuleLike = Union[TGD, str]
+
+
+def default_quality_name(relation_name: str) -> str:
+    """The default name of the quality version of ``relation_name``."""
+    return f"{relation_name}_q"
+
+
+@dataclass
+class QualityVersionSpec:
+    """Specification of the quality version of one relation."""
+
+    relation: str
+    quality_relation: str
+    rules: Tuple[TGD, ...]
+    description: str = ""
+
+    def __init__(self, relation: str, rules: Sequence[RuleLike],
+                 quality_relation: Optional[str] = None, description: str = ""):
+        if not relation:
+            raise QualityVersionError("a quality version needs the name of the original relation")
+        self.relation = relation
+        self.quality_relation = quality_relation or default_quality_name(relation)
+        self.description = description
+        coerced: List[TGD] = []
+        for rule in rules:
+            parsed = parse_rule(rule) if isinstance(rule, str) else rule
+            if not isinstance(parsed, TGD):
+                raise QualityVersionError(
+                    f"quality versions are defined by TGDs (rules), got "
+                    f"{type(parsed).__name__}")
+            coerced.append(parsed)
+        self.rules = tuple(coerced)
+        if not self.rules:
+            raise QualityVersionError(
+                f"quality version of {relation!r} needs at least one defining rule")
+        for rule in self.rules:
+            if self.quality_relation not in rule.head_predicates():
+                raise QualityVersionError(
+                    f"every defining rule of {self.quality_relation!r} must have it in the "
+                    f"head; got {rule}")
+            if rule.is_existential():
+                raise QualityVersionError(
+                    f"quality-version rules must not invent values (no existential "
+                    f"variables); got {rule}")
+
+    def __str__(self) -> str:
+        return f"{self.quality_relation} (quality version of {self.relation}): " + \
+            "; ".join(str(rule) for rule in self.rules)

@@ -1,0 +1,30 @@
+"""Relational substrate: schemas, instances, algebra and pattern queries.
+
+This package is the storage and evaluation layer that everything else in the
+library is grounded in.  It is intentionally free of any Datalog± or
+multidimensional notions; those live in :mod:`repro.datalog` and
+:mod:`repro.md` respectively and *use* this package.
+"""
+
+from .values import Null, NullFactory, is_ground, is_null
+from .schema import DatabaseSchema, RelationSchema
+from .instance import DatabaseInstance, Relation
+from .cq import PatternAtom, PatternQuery, evaluate, holds
+from . import algebra, csvio
+
+__all__ = [
+    "Null",
+    "NullFactory",
+    "is_ground",
+    "is_null",
+    "DatabaseSchema",
+    "RelationSchema",
+    "DatabaseInstance",
+    "Relation",
+    "PatternAtom",
+    "PatternQuery",
+    "evaluate",
+    "holds",
+    "algebra",
+    "csvio",
+]

@@ -1,0 +1,197 @@
+"""A small relational algebra over :class:`~repro.relational.instance.Relation`.
+
+The algebra is deliberately minimal — selection, projection, renaming,
+natural join, theta join, union, difference, intersection — because the heavy
+lifting in this library is done by the Datalog± engine.  It is used by the
+quality-assessment layer (for computing departure measures between an
+instance and its quality version), by report code and by tests that
+cross-check conjunctive-query evaluation.
+
+All operators are pure: they return new relations and never mutate operands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .instance import Relation, Row
+from .schema import RelationSchema
+
+Predicate = Callable[[Dict[str, Any]], bool]
+
+
+def select(relation: Relation, predicate: Predicate, name: Optional[str] = None) -> Relation:
+    """Return the tuples of ``relation`` satisfying ``predicate``.
+
+    ``predicate`` receives each tuple as an attribute→value dict.
+    """
+    schema = relation.schema if name is None else relation.schema.rename(name)
+    result = Relation(schema)
+    attributes = relation.schema.attributes
+    for row in relation:
+        if predicate(dict(zip(attributes, row))):
+            result.add(row)
+    return result
+
+
+def select_eq(relation: Relation, conditions: Mapping[str, Any],
+              name: Optional[str] = None) -> Relation:
+    """Selection by attribute=constant conditions (conjunctive)."""
+    positions = [(relation.schema.position_of(attr), value)
+                 for attr, value in conditions.items()]
+    schema = relation.schema if name is None else relation.schema.rename(name)
+    result = Relation(schema)
+    for row in relation:
+        if all(row[pos] == value for pos, value in positions):
+            result.add(row)
+    return result
+
+
+def project(relation: Relation, attributes: Sequence[str],
+            name: Optional[str] = None) -> Relation:
+    """Projection on ``attributes`` (duplicates removed, order preserved)."""
+    positions = [relation.schema.position_of(attr) for attr in attributes]
+    schema = RelationSchema(name or relation.schema.name, tuple(attributes))
+    result = Relation(schema)
+    for row in relation:
+        result.add(tuple(row[pos] for pos in positions))
+    return result
+
+
+def rename(relation: Relation, mapping: Mapping[str, str],
+           name: Optional[str] = None) -> Relation:
+    """Rename attributes according to ``mapping`` (old name → new name)."""
+    for old in mapping:
+        if not relation.schema.has_attribute(old):
+            raise SchemaError(
+                f"cannot rename unknown attribute {old!r} of {relation.schema.name!r}"
+            )
+    new_attrs = tuple(mapping.get(attr, attr) for attr in relation.schema.attributes)
+    schema = RelationSchema(name or relation.schema.name, new_attrs)
+    result = Relation(schema)
+    for row in relation:
+        result.add(row)
+    return result
+
+
+def _check_union_compatible(left: Relation, right: Relation) -> None:
+    if left.schema.arity != right.schema.arity:
+        raise SchemaError(
+            f"relations {left.schema.name!r} (arity {left.schema.arity}) and "
+            f"{right.schema.name!r} (arity {right.schema.arity}) are not union-compatible"
+        )
+
+
+def union(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Set union; operands must have the same arity."""
+    _check_union_compatible(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    result = Relation(schema, left)
+    result.add_all(right)
+    return result
+
+
+def difference(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Set difference ``left - right``; operands must have the same arity."""
+    _check_union_compatible(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    right_rows = set(right)
+    result = Relation(schema)
+    for row in left:
+        if row not in right_rows:
+            result.add(row)
+    return result
+
+
+def intersection(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Set intersection; operands must have the same arity."""
+    _check_union_compatible(left, right)
+    schema = left.schema if name is None else left.schema.rename(name)
+    right_rows = set(right)
+    result = Relation(schema)
+    for row in left:
+        if row in right_rows:
+            result.add(row)
+    return result
+
+
+def natural_join(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Natural join on the attributes the two schemas share.
+
+    The result schema is the left schema followed by the right-only
+    attributes.  With no shared attribute this degenerates to the Cartesian
+    product.  A hash join on the shared attributes keeps it linear-ish.
+    """
+    left_attrs = left.schema.attributes
+    right_attrs = right.schema.attributes
+    shared = [attr for attr in left_attrs if attr in right_attrs]
+    right_only = [attr for attr in right_attrs if attr not in shared]
+    result_name = name or f"{left.schema.name}_{right.schema.name}"
+    schema = RelationSchema(result_name, tuple(left_attrs) + tuple(right_only))
+
+    left_shared_pos = [left.schema.position_of(a) for a in shared]
+    right_shared_pos = [right.schema.position_of(a) for a in shared]
+    right_only_pos = [right.schema.position_of(a) for a in right_only]
+
+    index: Dict[Tuple, list] = {}
+    for row in right:
+        key = tuple(row[pos] for pos in right_shared_pos)
+        index.setdefault(key, []).append(row)
+
+    result = Relation(schema)
+    for row in left:
+        key = tuple(row[pos] for pos in left_shared_pos)
+        for other in index.get(key, ()):  # hash-join probe
+            result.add(tuple(row) + tuple(other[pos] for pos in right_only_pos))
+    return result
+
+
+def theta_join(left: Relation, right: Relation,
+               condition: Callable[[Dict[str, Any], Dict[str, Any]], bool],
+               name: Optional[str] = None) -> Relation:
+    """Join with an arbitrary boolean ``condition(left_row, right_row)``.
+
+    Attribute names of the right operand that clash with the left are
+    prefixed with the right relation's name to keep the result schema valid.
+    """
+    left_attrs = left.schema.attributes
+    right_attrs = tuple(
+        attr if attr not in left_attrs else f"{right.schema.name}.{attr}"
+        for attr in right.schema.attributes
+    )
+    result_name = name or f"{left.schema.name}_{right.schema.name}"
+    schema = RelationSchema(result_name, left_attrs + right_attrs)
+    result = Relation(schema)
+    for lrow in left:
+        ldict = dict(zip(left.schema.attributes, lrow))
+        for rrow in right:
+            rdict = dict(zip(right.schema.attributes, rrow))
+            if condition(ldict, rdict):
+                result.add(tuple(lrow) + tuple(rrow))
+    return result
+
+
+def cartesian_product(left: Relation, right: Relation, name: Optional[str] = None) -> Relation:
+    """Cartesian product (theta join with an always-true condition)."""
+    return theta_join(left, right, lambda _l, _r: True, name=name)
+
+
+def distinct_values(relation: Relation, attribute: str) -> set:
+    """The set of distinct values of ``attribute`` in ``relation``."""
+    return set(relation.column(attribute))
+
+
+def tuple_containment_ratio(subject: Relation, reference: Relation) -> float:
+    """Fraction of ``subject`` tuples that also appear in ``reference``.
+
+    This is the basic building block of the data-quality measures of
+    Section V: the quality of an instance is the degree to which it agrees
+    with its quality version.  An empty subject is vacuously of ratio 1.0.
+    """
+    _check_union_compatible(subject, reference)
+    if len(subject) == 0:
+        return 1.0
+    reference_rows = set(reference)
+    kept = sum(1 for row in subject if row in reference_rows)
+    return kept / len(subject)

@@ -1,0 +1,159 @@
+"""Pattern-based conjunctive query evaluation over database instances.
+
+This module offers a small, self-contained conjunctive-query evaluator that
+works directly on :class:`~repro.relational.instance.DatabaseInstance`
+objects, independently of the Datalog± engine.  It exists for two reasons:
+
+* the MD navigation primitives and the quality-measure code need simple
+  "match this pattern against the data" functionality without pulling in the
+  full rule machinery, and
+* the test-suite uses it as an *independent oracle* to cross-check the
+  Datalog± engine's conjunctive-query evaluation.
+
+Queries are written with :class:`PatternAtom` objects; variables are plain
+strings starting with ``?`` (e.g. ``"?x"``), everything else is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ArityError, QueryAnsweringError
+from .instance import DatabaseInstance
+
+Binding = Dict[str, Any]
+
+
+def is_pattern_variable(term: Any) -> bool:
+    """Return ``True`` if ``term`` denotes a pattern variable (``"?name"``)."""
+    return isinstance(term, str) and term.startswith("?") and len(term) > 1
+
+
+@dataclass(frozen=True)
+class PatternAtom:
+    """One atom of a pattern query: a relation name and a list of terms.
+
+    Terms that are strings starting with ``?`` are variables; all other
+    terms (including non-string values) are constants to be matched exactly.
+    """
+
+    relation: str
+    terms: Tuple[Any, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Any]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def variables(self) -> List[str]:
+        """Variables of the atom, in order of first occurrence."""
+        seen: List[str] = []
+        for term in self.terms:
+            if is_pattern_variable(term) and term not in seen:
+                seen.append(term)
+        return seen
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(map(str, self.terms))})"
+
+
+@dataclass
+class PatternQuery:
+    """A conjunctive pattern query: answer variables + a list of atoms.
+
+    ``filters`` are optional arbitrary predicates over a candidate binding,
+    evaluated after all atoms are matched; they model built-in comparisons
+    (``Sep/5-11:45 <= t <= Sep/5-12:15`` in the paper's Example 7) without
+    complicating the atom language.
+    """
+
+    answer_variables: Tuple[str, ...]
+    atoms: Tuple[PatternAtom, ...]
+    filters: Tuple[Callable[[Binding], bool], ...] = ()
+
+    def __init__(self, answer_variables: Sequence[str], atoms: Sequence[PatternAtom],
+                 filters: Sequence[Callable[[Binding], bool]] = ()):
+        self.answer_variables = tuple(answer_variables)
+        self.atoms = tuple(atoms)
+        self.filters = tuple(filters)
+        body_variables = {v for atom in self.atoms for v in atom.variables()}
+        for variable in self.answer_variables:
+            if variable not in body_variables:
+                raise QueryAnsweringError(
+                    f"answer variable {variable!r} does not occur in the query body"
+                )
+
+    def __str__(self) -> str:
+        head = ", ".join(self.answer_variables)
+        body = ", ".join(str(atom) for atom in self.atoms)
+        return f"ans({head}) <- {body}"
+
+
+def _match_atom(atom: PatternAtom, instance: DatabaseInstance,
+                binding: Binding) -> Iterator[Binding]:
+    """Yield all extensions of ``binding`` matching ``atom`` in ``instance``."""
+    relation = instance.relation(atom.relation)
+    if len(atom.terms) != relation.schema.arity:
+        raise ArityError(
+            f"pattern atom {atom} does not match arity {relation.schema.arity} "
+            f"of relation {atom.relation!r}"
+        )
+    for row in relation:
+        extended = dict(binding)
+        ok = True
+        for term, value in zip(atom.terms, row):
+            if is_pattern_variable(term):
+                bound = extended.get(term, _UNBOUND)
+                if bound is _UNBOUND:
+                    extended[term] = value
+                elif bound != value:
+                    ok = False
+                    break
+            elif term != value:
+                ok = False
+                break
+        if ok:
+            yield extended
+
+
+_UNBOUND = object()
+
+
+def evaluate(query: PatternQuery, instance: DatabaseInstance) -> List[Tuple[Any, ...]]:
+    """Evaluate ``query`` over ``instance`` and return the set of answers.
+
+    Answers are tuples of values for the query's answer variables, with
+    duplicates removed; the result order is deterministic (sorted by the
+    textual form of the values).
+    """
+    bindings: List[Binding] = [{}]
+    for atom in query.atoms:
+        bindings = [
+            extended
+            for binding in bindings
+            for extended in _match_atom(atom, instance, binding)
+        ]
+        if not bindings:
+            return []
+    answers = set()
+    for binding in bindings:
+        if all(check(binding) for check in query.filters):
+            answers.add(tuple(binding[v] for v in query.answer_variables))
+    return sorted(answers, key=lambda row: tuple(map(str, row)))
+
+
+def holds(query: PatternQuery, instance: DatabaseInstance) -> bool:
+    """Boolean evaluation: ``True`` iff the query has at least one match."""
+    bindings: List[Binding] = [{}]
+    for atom in query.atoms:
+        bindings = [
+            extended
+            for binding in bindings
+            for extended in _match_atom(atom, instance, binding)
+        ]
+        if not bindings:
+            return False
+    return any(
+        all(check(binding) for check in query.filters)
+        for binding in bindings
+    )

@@ -1,0 +1,94 @@
+"""CSV import/export for relations and database instances.
+
+The on-disk format is deliberately simple: one CSV file per relation, first
+row is the header (attribute names), remaining rows are tuples.  Labeled
+nulls are serialized as ``#null:<label>`` so that round-tripping an instance
+that contains chase-generated nulls is lossless.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from ..errors import SchemaError
+from .instance import DatabaseInstance, Relation
+from .schema import RelationSchema
+from .values import Null
+
+_NULL_PREFIX = "#null:"
+
+PathLike = Union[str, Path]
+
+
+def _encode_value(value: Any) -> str:
+    if isinstance(value, Null):
+        return f"{_NULL_PREFIX}{value.label}"
+    return str(value)
+
+
+def _decode_value(text: str) -> Any:
+    if text.startswith(_NULL_PREFIX):
+        return Null(text[len(_NULL_PREFIX):])
+    return text
+
+
+def write_relation_csv(relation: Relation, path: PathLike) -> None:
+    """Write ``relation`` to ``path`` as a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attributes)
+        for row in relation.sorted_rows():
+            writer.writerow([_encode_value(value) for value in row])
+
+
+def read_relation_csv(path: PathLike, name: Optional[str] = None) -> Relation:
+    """Read a relation from a CSV file written by :func:`write_relation_csv`.
+
+    The relation name defaults to the file stem.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty; expected a header row") from None
+        schema = RelationSchema(name or path.stem, header)
+        relation = Relation(schema)
+        for row in reader:
+            if not row:
+                continue
+            relation.add([_decode_value(cell) for cell in row])
+    return relation
+
+
+def write_instance_csv(instance: DatabaseInstance, directory: PathLike) -> None:
+    """Write every relation of ``instance`` to ``directory`` (one CSV each)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in instance:
+        write_relation_csv(relation, directory / f"{relation.schema.name}.csv")
+
+
+def read_instance_csv(directory: PathLike,
+                      relation_names: Optional[Iterable[str]] = None) -> DatabaseInstance:
+    """Read a database instance from a directory of CSV files.
+
+    When ``relation_names`` is given, only those files are read; otherwise
+    every ``*.csv`` file in the directory becomes a relation.
+    """
+    directory = Path(directory)
+    instance = DatabaseInstance()
+    if relation_names is not None:
+        paths = [directory / f"{name}.csv" for name in relation_names]
+    else:
+        paths = sorted(directory.glob("*.csv"))
+    for path in paths:
+        relation = read_relation_csv(path)
+        target = instance.declare(relation.schema.name, relation.schema.attributes)
+        target.add_all(relation)
+    return instance

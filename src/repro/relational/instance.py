@@ -1,0 +1,269 @@
+"""Relation and database instances.
+
+Instances are in-memory, set-based (duplicate-free) collections of tuples.
+They are the extensional layer on which the relational algebra, the chase
+and the query-answering algorithms operate.
+
+Design notes
+------------
+* Tuples are stored as plain Python tuples.  Values may be ordinary constants
+  or labeled :class:`~repro.relational.values.Null` objects.
+* A :class:`Relation` keeps insertion order (useful for readable reports) but
+  membership and equality are set semantics.
+* A :class:`DatabaseInstance` couples a :class:`DatabaseSchema` with one
+  :class:`Relation` per declared relation; tuples can only be inserted into
+  declared relations and must match the declared arity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ArityError, UnknownRelationError
+from .schema import DatabaseSchema, RelationSchema
+from .values import Null, value_sort_key
+
+Row = Tuple[Any, ...]
+
+
+class Relation:
+    """A duplicate-free, insertion-ordered set of tuples under one schema."""
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()):
+        self.schema = schema
+        self._rows: Dict[Row, None] = {}
+        for row in rows:
+            self.add(row)
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, row: Sequence[Any]) -> bool:
+        """Insert ``row``; return ``True`` if it was not already present."""
+        self.schema.check_arity(row)
+        key = tuple(row)
+        if key in self._rows:
+            return False
+        self._rows[key] = None
+        return True
+
+    def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert every row of ``rows``; return how many were new."""
+        return sum(1 for row in rows if self.add(row))
+
+    def discard(self, row: Sequence[Any]) -> bool:
+        """Remove ``row`` if present; return whether it was present."""
+        key = tuple(row)
+        if key in self._rows:
+            del self._rows[key]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Remove all tuples."""
+        self._rows.clear()
+
+    # -- inspection ---------------------------------------------------------
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def rows(self) -> List[Row]:
+        """All tuples, in insertion order."""
+        return list(self._rows)
+
+    def sorted_rows(self) -> List[Row]:
+        """All tuples, in a deterministic total order (for reports/tests)."""
+        return sorted(self._rows, key=lambda row: tuple(value_sort_key(v) for v in row))
+
+    def column(self, attribute: str) -> List[Any]:
+        """Values of ``attribute`` across all tuples (with duplicates)."""
+        position = self.schema.position_of(attribute)
+        return [row[position] for row in self._rows]
+
+    def active_domain(self) -> Set[Any]:
+        """The set of all values (constants and nulls) appearing in tuples."""
+        return {value for row in self._rows for value in row}
+
+    def constants(self) -> Set[Any]:
+        """The set of non-null values appearing in tuples."""
+        return {value for row in self._rows for value in row if not isinstance(value, Null)}
+
+    def nulls(self) -> Set[Null]:
+        """The set of labeled nulls appearing in tuples."""
+        return {value for row in self._rows for value in row if isinstance(value, Null)}
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Tuples as attribute→value dictionaries (handy for reports)."""
+        return [dict(zip(self.schema.attributes, row)) for row in self._rows]
+
+    def copy(self) -> "Relation":
+        """Return an independent copy with the same schema and tuples."""
+        return Relation(self.schema, self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and set(self._rows) == set(other._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.schema}, {len(self)} tuples)"
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """An aligned, human-readable rendering of the relation."""
+        rows = self.sorted_rows()
+        if limit is not None:
+            rows = rows[:limit]
+        header = list(self.schema.attributes)
+        cells = [[str(v) for v in row] for row in rows]
+        widths = [len(h) for h in header]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(row: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines = [self.schema.name, fmt(header), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(row) for row in cells)
+        if limit is not None and len(self) > limit:
+            lines.append(f"... ({len(self) - limit} more)")
+        return "\n".join(lines)
+
+
+class DatabaseInstance:
+    """A database instance: one :class:`Relation` per schema relation."""
+
+    def __init__(self, schema: Optional[DatabaseSchema] = None):
+        self.schema = schema if schema is not None else DatabaseSchema()
+        self._relations: Dict[str, Relation] = {
+            rel.name: Relation(rel) for rel in self.schema
+        }
+
+    # -- schema-level operations --------------------------------------------
+
+    def declare(self, name: str, attributes: Sequence[str]) -> Relation:
+        """Declare a relation in the schema (if new) and return its instance."""
+        rel_schema = self.schema.add(RelationSchema(name, attributes))
+        if name not in self._relations:
+            self._relations[name] = Relation(rel_schema)
+        return self._relations[name]
+
+    def relation(self, name: str) -> Relation:
+        """Return the :class:`Relation` registered under ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"unknown relation {name!r}; known relations: {sorted(self._relations)}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        """Return ``True`` if a relation of that name exists."""
+        return name in self._relations
+
+    def relations(self) -> List[Relation]:
+        """All relation instances, in declaration order."""
+        return list(self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    # -- tuple-level operations ---------------------------------------------
+
+    def add(self, name: str, row: Sequence[Any]) -> bool:
+        """Insert ``row`` into relation ``name``; the relation must exist."""
+        return self.relation(name).add(row)
+
+    def add_fact(self, name: str, *values: Any) -> bool:
+        """Insert a fact given positionally, declaring nothing implicitly."""
+        return self.add(name, values)
+
+    def add_all(self, name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows into relation ``name``; return how many were new."""
+        return self.relation(name).add_all(rows)
+
+    def facts(self) -> Iterator[Tuple[str, Row]]:
+        """Iterate over all facts as ``(relation_name, row)`` pairs."""
+        for relation in self._relations.values():
+            for row in relation:
+                yield relation.schema.name, row
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def active_domain(self) -> Set[Any]:
+        """Union of the active domains of all relations."""
+        domain: Set[Any] = set()
+        for relation in self._relations.values():
+            domain |= relation.active_domain()
+        return domain
+
+    def constants(self) -> Set[Any]:
+        """Union of the constants of all relations."""
+        values: Set[Any] = set()
+        for relation in self._relations.values():
+            values |= relation.constants()
+        return values
+
+    def nulls(self) -> Set[Null]:
+        """Union of the labeled nulls of all relations."""
+        values: Set[Null] = set()
+        for relation in self._relations.values():
+            values |= relation.nulls()
+        return values
+
+    def copy(self) -> "DatabaseInstance":
+        """Deep-ish copy: fresh relations, shared immutable schemas."""
+        clone = DatabaseInstance(self.schema.copy())
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        return clone
+
+    def merge(self, other: "DatabaseInstance") -> "DatabaseInstance":
+        """Return a new instance holding the union of both instances."""
+        merged = DatabaseInstance(self.schema.merge(other.schema))
+        for name, relation in self._relations.items():
+            merged.relation(name).add_all(relation)
+        for name, relation in other._relations.items():
+            merged.relation(name).add_all(relation)
+        return merged
+
+    def load(self, data: Mapping[str, Iterable[Sequence[Any]]]) -> "DatabaseInstance":
+        """Bulk-load ``{relation_name: [rows...]}``; relations must exist."""
+        for name, rows in data.items():
+            self.add_all(name, rows)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseInstance):
+            return NotImplemented
+        if set(self._relations) != set(other._relations):
+            return False
+        return all(
+            set(self._relations[name]) == set(other._relations[name])
+            for name in self._relations
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"DatabaseInstance({parts})"
+
+    def pretty(self, limit: Optional[int] = None) -> str:
+        """Readable rendering of all non-empty relations."""
+        blocks = [
+            relation.pretty(limit=limit)
+            for relation in self._relations.values()
+            if len(relation)
+        ]
+        return "\n\n".join(blocks) if blocks else "(empty instance)"

@@ -1,0 +1,97 @@
+"""Value domain for the relational substrate.
+
+Relations store ordinary Python values (strings, numbers, dates encoded as
+strings, ...) plus *labeled nulls*.  Labeled nulls are the marked null values
+introduced by the chase when a tuple-generating dependency has existentially
+quantified variables: they denote unknown-but-possibly-equal values and are
+compared by identity of their label.
+
+The module also provides :class:`NullFactory`, a deterministic generator of
+fresh nulls, so chase runs are reproducible, and a handful of small helpers
+shared by the relational algebra and the Datalog± engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Null:
+    """A labeled (marked) null value.
+
+    Two nulls are equal exactly when their labels are equal.  Nulls are
+    hashable and totally ordered (by label) so they can live in sets, dict
+    keys and sorted outputs alongside ordinary values.
+    """
+
+    label: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Null({self.label!r})"
+
+    def __str__(self) -> str:
+        return f"⊥{self.label}"
+
+
+class NullFactory:
+    """Deterministic factory of fresh labeled nulls.
+
+    Each factory owns an independent counter; a chase run (or any other
+    data-generating procedure) creates one factory and draws nulls from it,
+    which makes generated instances reproducible across runs.
+
+    Parameters
+    ----------
+    prefix:
+        Prepended to every generated label.  Useful to distinguish nulls
+        produced by different subsystems (``"n"`` for the chase, ``"u"`` for
+        unit placeholders in downward navigation, ...).
+    """
+
+    def __init__(self, prefix: str = "n"):
+        self.prefix = prefix
+        self._counter = itertools.count(1)
+
+    def fresh(self) -> Null:
+        """Return a new null, never seen before from this factory."""
+        return Null(f"{self.prefix}{next(self._counter)}")
+
+    def fresh_many(self, count: int) -> list[Null]:
+        """Return ``count`` distinct fresh nulls."""
+        return [self.fresh() for _ in range(count)]
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` if ``value`` is a labeled null."""
+    return isinstance(value, Null)
+
+
+def is_ground(value: Any) -> bool:
+    """Return ``True`` if ``value`` is an ordinary (non-null) constant."""
+    return not isinstance(value, Null)
+
+
+def ground_values(values: Iterable[Any]) -> Iterator[Any]:
+    """Yield only the non-null values of ``values``."""
+    for value in values:
+        if not isinstance(value, Null):
+            yield value
+
+
+def value_sort_key(value: Any) -> tuple:
+    """A total order over mixed-type values (constants and nulls).
+
+    Python refuses to compare, say, ``int`` with ``str``; benchmark and
+    report code nevertheless wants deterministic orderings of answer sets.
+    The key orders by (type bucket, textual form) which is stable and total.
+    """
+    if isinstance(value, Null):
+        return (2, value.label)
+    if isinstance(value, bool):
+        return (1, f"b{int(value)}")
+    if isinstance(value, (int, float)):
+        return (0, f"{float(value):030.10f}")
+    return (1, str(value))

@@ -1,0 +1,13 @@
+"""Synthetic multidimensional workloads for the benchmark harness."""
+
+from .generator import GeneratedWorkload, WorkloadSpec, generate_workload
+from .queries import boolean_probe, full_scan_query, point_queries
+
+__all__ = [
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "generate_workload",
+    "boolean_probe",
+    "full_scan_query",
+    "point_queries",
+]

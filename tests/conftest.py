@@ -1,0 +1,69 @@
+"""Shared fixtures for the test-suite.
+
+The expensive objects (the hospital scenario, chased ontologies, generated
+workloads) are session-scoped: the tests only read from them.  Tests that
+need to mutate build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.hospital import HospitalScenario, build_md_instance, build_ontology
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+@pytest.fixture(scope="session")
+def hospital_scenario() -> HospitalScenario:
+    """The paper's running example with rules (7)-(9) and constraint (6)."""
+    return HospitalScenario()
+
+
+@pytest.fixture(scope="session")
+def hospital_ontology(hospital_scenario):
+    """The hospital MD ontology (shared, read-only)."""
+    return hospital_scenario.ontology
+
+
+@pytest.fixture(scope="session")
+def hospital_md(hospital_scenario):
+    """The hospital multidimensional instance (shared, read-only)."""
+    return hospital_scenario.md
+
+
+@pytest.fixture()
+def fresh_hospital_md():
+    """A fresh hospital MD instance for tests that mutate it."""
+    return build_md_instance()
+
+
+@pytest.fixture()
+def fresh_hospital_ontology():
+    """A fresh hospital ontology for tests that add rules/constraints."""
+    return build_ontology()
+
+
+@pytest.fixture(scope="session")
+def small_program():
+    """A small Datalog± program exercising upward and downward navigation."""
+    return parse_program("""
+        PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+        exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).
+        UnitWard('Standard', 'W1').
+        UnitWard('Standard', 'W2').
+        UnitWard('Intensive', 'W3').
+        PatientWard('W1', 'Sep/5', 'Tom Waits').
+        PatientWard('W3', 'Sep/6', 'Lou Reed').
+        WorkingSchedules('Standard', 'Sep/9', 'Mark', 'non-c.').
+    """)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A small synthetic workload for integration tests."""
+    spec = WorkloadSpec(dimensions=2, depth=3, fanout=2, top_members=2,
+                        base_relations=1, tuples_per_relation=20,
+                        assessment_tuples=30, upward_rules=True,
+                        downward_rules=True, seed=7)
+    return generate_workload(spec)

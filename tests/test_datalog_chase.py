@@ -1,0 +1,185 @@
+"""Tests for the chase procedure (restricted and oblivious, TGDs + EGDs + NCs)."""
+
+import pytest
+
+from repro.errors import ChaseNonTerminationError, EGDConflictError, InconsistencyError
+from repro.datalog import parse_program
+from repro.datalog.chase import OBLIVIOUS, RESTRICTED, ChaseEngine, chase
+from repro.relational.values import Null
+
+
+class TestRestrictedChase:
+    def test_upward_navigation_generates_patient_unit(self, small_program):
+        result = chase(small_program)
+        patient_unit = result.instance.relation("PatientUnit")
+        assert ("Standard", "Sep/5", "Tom Waits") in patient_unit
+        assert ("Intensive", "Sep/6", "Lou Reed") in patient_unit
+
+    def test_downward_navigation_generates_shifts_with_nulls(self, small_program):
+        result = chase(small_program)
+        shifts = result.instance.relation("Shifts")
+        rows = {row[:3] for row in shifts}
+        assert ("W1", "Sep/9", "Mark") in rows
+        assert ("W2", "Sep/9", "Mark") in rows
+        assert all(isinstance(row[3], Null) for row in shifts)
+
+    def test_restricted_chase_does_not_refire_satisfied_heads(self, small_program):
+        first = chase(small_program)
+        again = chase(small_program)
+        assert first.instance == again.instance
+
+    def test_termination_flag_and_counts(self, small_program):
+        result = chase(small_program)
+        assert result.terminated
+        assert result.steps >= 3
+        assert result.rounds >= 1
+        assert result.mode == RESTRICTED
+
+    def test_input_program_is_not_mutated(self, small_program):
+        before = small_program.database.total_tuples()
+        chase(small_program)
+        assert small_program.database.total_tuples() == before
+
+    def test_budget_exhaustion_raises(self):
+        # A program with a genuinely infinite oblivious chase (new null each time).
+        program = parse_program("""
+            exists Y : Edge(X, Y) :- Edge(W, X).
+            Edge(a, b).
+        """)
+        with pytest.raises(ChaseNonTerminationError):
+            chase(program, mode=OBLIVIOUS, max_steps=50)
+
+    def test_restricted_chase_terminates_where_oblivious_does_not(self):
+        program = parse_program("""
+            exists Y : Edge(X, Y) :- Edge(W, X).
+            Edge(a, b).
+        """)
+        # The restricted chase keeps creating new nulls here too (the head is
+        # never satisfied for the *new* null), so it must also hit the budget.
+        with pytest.raises(ChaseNonTerminationError):
+            chase(program, max_steps=50)
+
+    def test_generated_nulls_reported(self, small_program):
+        result = chase(small_program)
+        assert len(result.generated_nulls()) == 2
+
+
+class TestObliviousChase:
+    def test_oblivious_chase_fires_every_trigger_once(self, small_program):
+        restricted = chase(small_program, mode=RESTRICTED)
+        oblivious = chase(small_program, mode=OBLIVIOUS)
+        # The oblivious chase fires at least as many triggers.
+        assert oblivious.steps >= restricted.steps
+        # And the certain (null-free) facts coincide.
+        for relation in restricted.instance:
+            name = relation.schema.name
+            restricted_ground = {r for r in relation if not any(isinstance(v, Null) for v in r)}
+            oblivious_ground = {r for r in oblivious.instance.relation(name)
+                                if not any(isinstance(v, Null) for v in r)}
+            assert restricted_ground == oblivious_ground
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ChaseEngine(mode="bogus")
+
+
+class TestEGDs:
+    def test_egd_merges_null_with_constant(self):
+        program = parse_program("""
+            exists Z : HasType(X, Z) :- Item(X).
+            T = T2 :- HasType(X, T), Declared(X, T2).
+            Item(i1).
+            Declared(i1, widget).
+        """)
+        result = chase(program)
+        assert ("i1", "widget") in result.instance.relation("HasType")
+        assert not result.instance.relation("HasType").nulls()
+        assert result.egd_merges >= 1
+
+    def test_egd_conflict_on_distinct_constants(self):
+        program = parse_program("""
+            T = T2 :- Declared(X, T), Declared(X, T2).
+            Declared(i1, widget).
+            Declared(i1, gadget).
+        """)
+        with pytest.raises(EGDConflictError):
+            chase(program)
+
+    def test_egd_merges_two_nulls(self):
+        program = parse_program("""
+            exists Z : P(X, Z) :- Item(X).
+            exists W : Q(X, W) :- Item(X).
+            A = B :- P(X, A), Q(X, B).
+            Item(i1).
+        """)
+        result = chase(program)
+        p_null = next(iter(result.instance.relation("P")))[1]
+        q_null = next(iter(result.instance.relation("Q")))[1]
+        assert p_null == q_null
+
+    def test_consistent_egd_is_silent(self):
+        program = parse_program("""
+            T = T2 :- Declared(X, T), Declared(X, T2).
+            Declared(i1, widget).
+            Declared(i2, gadget).
+        """)
+        result = chase(program)
+        assert result.egd_merges == 0
+
+
+class TestNegativeConstraints:
+    def test_violation_is_collected(self):
+        program = parse_program("""
+            false :- Ward(W), Closed(W).
+            Ward(w3).
+            Closed(w3).
+        """)
+        result = chase(program)
+        assert not result.is_consistent
+        assert len(result.violations) == 1
+        assert "Closed" in str(result.violations[0]) or "Ward" in str(result.violations[0])
+
+    def test_fail_fast_raises(self):
+        program = parse_program("""
+            false :- Ward(W), Closed(W).
+            Ward(w3).
+            Closed(w3).
+        """)
+        with pytest.raises(InconsistencyError):
+            chase(program, fail_fast=True)
+
+    def test_satisfied_constraint_reports_consistent(self):
+        program = parse_program("""
+            false :- Ward(W), Closed(W).
+            Ward(w1).
+            Closed(w3).
+        """)
+        assert chase(program).is_consistent
+
+    def test_constraint_checking_can_be_disabled(self):
+        program = parse_program("""
+            false :- Ward(W), Closed(W).
+            Ward(w3).
+            Closed(w3).
+        """)
+        result = chase(program, check_constraints=False)
+        assert result.is_consistent  # nothing was checked
+
+    def test_constraint_with_negated_atom(self):
+        program = parse_program("""
+            false :- PatientUnit(U, D, P), not Unit(U).
+            Unit('Standard').
+            PatientUnit('Standard', d1, p1).
+            PatientUnit('Bogus', d1, p2).
+        """)
+        result = chase(program)
+        assert not result.is_consistent
+        assert result.violations[0].witness["U"] == "Bogus"
+
+    def test_constraint_with_comparison(self):
+        program = parse_program("""
+            false :- Stay(W, D), MonthDay(M, D), M > '2005-08'.
+            Stay(w3, 'Sep/6').
+            MonthDay('2005-09', 'Sep/6').
+        """)
+        assert not chase(program).is_consistent

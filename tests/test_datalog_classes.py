@@ -1,0 +1,98 @@
+"""Tests for the Datalog± class hierarchy checks (Section II/III of the paper)."""
+
+import pytest
+
+from repro.datalog import parse_rule
+from repro.datalog.classes import (classify, compute_sticky_marking, is_guarded, is_linear,
+                                   is_non_recursive, is_sticky, is_weakly_acyclic,
+                                   is_weakly_sticky)
+
+
+def rules(*texts):
+    return [parse_rule(text) for text in texts]
+
+
+class TestLinearAndGuarded:
+    def test_linear(self):
+        assert is_linear(rules("P(X) :- Q(X, Y)."))
+        assert not is_linear(rules("P(X) :- Q(X), R(X)."))
+
+    def test_guarded(self):
+        assert is_guarded(rules("P(X) :- Q(X, Y), R(Y)."))       # Q guards {X, Y}
+        assert not is_guarded(rules("P(X) :- Q(X, Y), R(Y, Z).")) # nothing guards {X,Y,Z}
+
+    def test_linear_implies_guarded(self):
+        linear = rules("P(X) :- Q(X, Y).")
+        assert is_linear(linear) and is_guarded(linear)
+
+
+class TestStickyMarking:
+    def test_initial_marking_marks_non_head_variables(self):
+        marking = compute_sticky_marking(rules("P(X) :- Q(X, Y)."))
+        # Y does not occur in the head: its occurrence is marked.
+        assert ("Q", 1) in marking.marked_positions
+        assert ("Q", 0) not in marking.marked_positions
+
+    def test_propagation_step(self):
+        marked = compute_sticky_marking(rules(
+            "P(X, Y) :- Q(X, Y).",
+            "S(X) :- P(X, Y).",
+        ))
+        # In the second rule Y is dropped, so (P,1) becomes marked; by
+        # propagation the first rule's Y (at (Q,1)) must be marked too.
+        assert ("P", 1) in marked.marked_positions
+        assert ("Q", 1) in marked.marked_positions
+
+    def test_sticky_program(self):
+        # The classical sticky example: the join variable is propagated to
+        # every head atom.
+        assert is_sticky(rules("P(X, Y, Z) :- Q(X, Y), R(Y, Z)."))
+
+    def test_non_sticky_program(self):
+        # The join variable Y is dropped from the head: marked join => not sticky.
+        assert not is_sticky(rules("P(X, Z) :- Q(X, Y), R(Y, Z)."))
+
+
+class TestWeaklySticky:
+    def test_non_sticky_but_weakly_sticky(self):
+        # Same join, but no existential anywhere: every position has finite
+        # rank, so the marked join variable occurs at a finite-rank position.
+        assert not is_sticky(rules("P(X, Z) :- Q(X, Y), R(Y, Z)."))
+        assert is_weakly_sticky(rules("P(X, Z) :- Q(X, Y), R(Y, Z)."))
+
+    def test_not_weakly_sticky(self):
+        # Join variable marked and only at infinite-rank positions: the
+        # existential feeds back into the joined position.
+        program = rules(
+            "exists Z : Q(Y, Z) :- Q(X, Y).",
+            "P(X) :- Q(X, Y), Q(Y, X).",
+        )
+        report = classify(program)
+        assert not report.is_sticky
+        assert not report.is_weakly_sticky
+        assert report.weakly_sticky_witness
+
+    def test_sticky_implies_weakly_sticky(self):
+        program = rules("P(X, Y, Z) :- Q(X, Y), R(Y, Z).")
+        report = classify(program)
+        assert report.is_sticky and report.is_weakly_sticky
+
+    def test_hospital_ontology_is_weakly_sticky_not_sticky(self, hospital_ontology):
+        report = classify([rule.tgd for rule in hospital_ontology.rules])
+        assert report.is_weakly_sticky
+        assert not report.is_sticky
+
+
+class TestWeakAcyclicityAndRecursion:
+    def test_weakly_acyclic(self):
+        assert is_weakly_acyclic(rules("exists Z : P(X, Z) :- Q(X, Y)."))
+        assert not is_weakly_acyclic(rules("exists Y : Edge(X, Y) :- Edge(W, X)."))
+
+    def test_non_recursive(self):
+        assert is_non_recursive(rules("P(X) :- Q(X)."))
+        assert not is_non_recursive(rules("P(X) :- Q(X).", "Q(X) :- P(X)."))
+
+    def test_classify_summary_keys(self):
+        summary = classify(rules("P(X) :- Q(X).")).summary()
+        assert set(summary) == {"linear", "guarded", "sticky", "weakly_sticky",
+                                "weakly_acyclic"}

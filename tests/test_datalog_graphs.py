@@ -1,0 +1,88 @@
+"""Tests for the position graph (weak acyclicity / finite rank) and predicate graph."""
+
+import pytest
+
+from repro.datalog import parse_rule
+from repro.datalog.graphs import build_position_graph, build_predicate_graph
+
+
+class TestPositionGraph:
+    def test_ordinary_and_special_edges(self):
+        rule = parse_rule("exists Z : P(X, Z) :- Q(X, Y).")
+        graph = build_position_graph([rule])
+        assert (("Q", 0), ("P", 0)) in graph.ordinary_edges
+        assert (("Q", 0), ("P", 1)) in graph.special_edges
+
+    def test_weakly_acyclic_program(self):
+        rules = [parse_rule("exists Z : P(X, Z) :- Q(X, Y).")]
+        graph = build_position_graph(rules)
+        assert graph.is_weakly_acyclic()
+        assert graph.infinite_rank_positions() == set()
+
+    def test_non_weakly_acyclic_program(self):
+        rules = [parse_rule("exists Y : Edge(X, Y) :- Edge(W, X).")]
+        graph = build_position_graph(rules)
+        assert not graph.is_weakly_acyclic()
+        assert ("Edge", 1) in graph.infinite_rank_positions()
+        # the value propagates to position 0 as well
+        assert ("Edge", 0) in graph.infinite_rank_positions()
+
+    def test_finite_rank_positions_complement(self):
+        rules = [parse_rule("exists Y : Edge(X, Y) :- Edge(W, X).")]
+        graph = build_position_graph(rules)
+        assert graph.finite_rank_positions() | graph.infinite_rank_positions() == graph.positions
+
+    def test_plain_recursion_is_weakly_acyclic(self):
+        rules = [parse_rule("Path(X, Z) :- Path(X, Y), Edge(Y, Z)."),
+                 parse_rule("Path(X, Y) :- Edge(X, Y).")]
+        graph = build_position_graph(rules)
+        assert graph.is_weakly_acyclic()
+
+    def test_reachable_from(self):
+        rules = [parse_rule("P(X) :- Q(X)."), parse_rule("R(X) :- P(X).")]
+        graph = build_position_graph(rules)
+        assert ("R", 0) in graph.reachable_from({("Q", 0)})
+
+    def test_successors(self):
+        rules = [parse_rule("P(X) :- Q(X).")]
+        graph = build_position_graph(rules)
+        assert graph.successors(("Q", 0)) == {("P", 0)}
+
+    def test_hospital_rules_positions(self, hospital_ontology):
+        tgds = [rule.tgd for rule in hospital_ontology.rules]
+        graph = build_position_graph(tgds)
+        # Rule (8) invents a null at the Shifts shift position.
+        assert ("Shifts", 3) in graph.infinite_rank_positions() or \
+            ("Shifts", 3) in {target for _s, target in graph.special_edges}
+        # Categorical positions of PatientUnit stay finite rank in the
+        # ontology without rule (9)... with rule (9) the Unit position gets a
+        # special edge but no cycle, so the whole graph stays weakly acyclic.
+        assert graph.is_weakly_acyclic()
+
+
+class TestPredicateGraph:
+    def test_edges_from_body_to_head(self):
+        rules = [parse_rule("P(X) :- Q(X), R(X).")]
+        graph = build_predicate_graph(rules)
+        assert ("Q", "P") in graph.edges and ("R", "P") in graph.edges
+
+    def test_recursion_detection(self):
+        recursive = [parse_rule("P(X) :- P(X).")]
+        assert build_predicate_graph(recursive).is_recursive()
+        non_recursive = [parse_rule("P(X) :- Q(X).")]
+        assert not build_predicate_graph(non_recursive).is_recursive()
+
+    def test_mutual_recursion(self):
+        rules = [parse_rule("P(X) :- Q(X)."), parse_rule("Q(X) :- P(X).")]
+        graph = build_predicate_graph(rules)
+        assert graph.predicates_on_cycles() == {"P", "Q"}
+
+    def test_topological_order(self):
+        rules = [parse_rule("P(X) :- Q(X)."), parse_rule("R(X) :- P(X).")]
+        order = build_predicate_graph(rules).topological_order()
+        assert order.index("Q") < order.index("P") < order.index("R")
+
+    def test_topological_order_rejects_cycles(self):
+        rules = [parse_rule("P(X) :- P(X).")]
+        with pytest.raises(ValueError):
+            build_predicate_graph(rules).topological_order()

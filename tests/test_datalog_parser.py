@@ -1,0 +1,148 @@
+"""Tests for the Datalog± textual syntax parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.datalog.atoms import Atom
+from repro.datalog.parser import (parse_atom, parse_program, parse_query, parse_rule,
+                                  parse_statements)
+from repro.datalog.rules import EGD, ConjunctiveQuery, NegativeConstraint, TGD
+from repro.datalog.terms import Constant, Variable
+
+
+class TestTerms:
+    def test_uppercase_is_variable_lowercase_is_constant(self):
+        atom = parse_atom("R(X, abc)")
+        assert atom.terms == (Variable("X"), Constant("abc"))
+
+    def test_quoted_strings_are_constants(self):
+        atom = parse_atom("R('Tom Waits', \"W1\")")
+        assert atom.terms == (Constant("Tom Waits"), Constant("W1"))
+
+    def test_numbers(self):
+        atom = parse_atom("R(3, 38.2, -1)")
+        assert atom.terms == (Constant(3), Constant(38.2), Constant(-1))
+
+    def test_underscore_starts_variable(self):
+        atom = parse_atom("R(_x)")
+        assert atom.terms == (Variable("_x"),)
+
+
+class TestRules:
+    def test_plain_tgd(self):
+        rule = parse_rule("PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).")
+        assert isinstance(rule, TGD)
+        assert not rule.is_existential()
+        assert rule.body_predicates() == {"PatientWard", "UnitWard"}
+
+    def test_implicit_existential(self):
+        rule = parse_rule("Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).")
+        assert isinstance(rule, TGD)
+        assert rule.existential_variables() == [Variable("Z")]
+
+    def test_explicit_existential_prefix(self):
+        rule = parse_rule(
+            "exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).")
+        assert rule.existential_variables() == [Variable("Z")]
+
+    def test_wrong_existential_declaration_rejected(self):
+        with pytest.raises(ParseError):
+            parse_rule("exists W : Shifts(W, D) :- WorkingSchedules(W, D).")
+
+    def test_multi_atom_head(self):
+        rule = parse_rule(
+            "exists U : InstitutionUnit(I, U), PatientUnit(U, D, P) :- DischargePatients(I, D, P).")
+        assert isinstance(rule, TGD)
+        assert len(rule.head) == 2
+        assert rule.existential_variables() == [Variable("U")]
+
+    def test_egd(self):
+        rule = parse_rule("T = T2 :- Thermometer(W, T, N), Thermometer(W2, T2, N2).")
+        assert isinstance(rule, EGD)
+
+    def test_negative_constraint(self):
+        rule = parse_rule("false :- PatientUnit(U, D, P), not Unit(U).")
+        assert isinstance(rule, NegativeConstraint)
+        assert len(rule.negative_atoms()) == 1
+
+    def test_negative_constraint_with_comparison(self):
+        rule = parse_rule("false :- PatientWard(W, D, P), MonthDay(M, D), M > '2005-08'.")
+        assert isinstance(rule, NegativeConstraint)
+        assert len(rule.comparisons) == 1
+
+    def test_arrow_variants(self):
+        for arrow in (":-", "<-", "←"):
+            rule = parse_rule(f"P(X) {arrow} Q(X).")
+            assert isinstance(rule, TGD)
+
+    def test_comments_are_skipped(self):
+        statements = parse_statements("% a comment\nP(X) :- Q(X).  # trailing\n")
+        assert len(statements) == 1
+
+    def test_fact_parsing(self):
+        statements = parse_statements("UnitWard('Standard', 'W1').")
+        assert statements == [Atom("UnitWard", ["Standard", "W1"])]
+
+    def test_fact_with_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statements("UnitWard(X, 'W1').")
+
+    def test_parse_rule_rejects_facts(self):
+        with pytest.raises(ParseError):
+            parse_rule("UnitWard('Standard', 'W1').")
+
+    def test_unterminated_statement(self):
+        with pytest.raises(ParseError):
+            parse_statements("P(X) :- Q(X)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statements("P(X) :- @Q(X).")
+
+
+class TestQueries:
+    def test_open_query(self):
+        query = parse_query("?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
+        assert isinstance(query, ConjunctiveQuery)
+        assert [v.name for v in query.answer_variables] == ["T", "P", "V"]
+        assert len(query.comparisons) == 1
+
+    def test_boolean_query(self):
+        query = parse_query("? :- Shifts('W1', D, 'Mark', S).")
+        assert query.is_boolean()
+
+    def test_ans_syntax(self):
+        query = parse_query("ans(X) :- R(X, Y).")
+        assert query.answer_variables == (Variable("X"),)
+
+    def test_range_comparisons(self):
+        query = parse_query("?(T) :- M(T, P), T >= 'Sep/5-11:45', T <= 'Sep/5-12:15'.")
+        assert len(query.comparisons) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("?(X) :- R(X). S(Y).")
+
+    def test_query_requires_marker(self):
+        with pytest.raises(ParseError):
+            parse_query("R(X) :- S(X).")
+
+
+class TestProgram:
+    def test_parse_program_loads_rules_and_facts(self):
+        program = parse_program("""
+            PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+            T = T2 :- Th(W, T), Th(W, T2).
+            false :- PatientUnit(U, D, P), not Unit(U).
+            UnitWard('Standard', 'W1').
+            PatientWard('W1', 'Sep/5', 'Tom Waits').
+        """)
+        assert len(program.tgds) == 1
+        assert len(program.egds) == 1
+        assert len(program.constraints) == 1
+        assert program.database.total_tuples() == 2
+
+    def test_round_trip_through_str(self):
+        rule = parse_rule("P(X, Z) :- Q(X, Y), R(Y, Z).")
+        reparsed = parse_rule(str(rule) + ".")
+        assert reparsed == rule

@@ -1,0 +1,82 @@
+"""Tests for the DatalogProgram container (predicate bookkeeping, copies)."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.datalog import parse_program, parse_rule
+from repro.datalog.atoms import Atom
+from repro.datalog.program import DatalogProgram
+
+
+@pytest.fixture()
+def program():
+    return parse_program("""
+        PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+        T = T2 :- Thermo(W, T), Thermo(W2, T2).
+        false :- PatientUnit(U, D, P), not Unit(U).
+        UnitWard('Standard', 'W1').
+        PatientWard('W1', 'Sep/5', 'Tom Waits').
+    """)
+
+
+class TestBookkeeping:
+    def test_predicate_arities(self, program):
+        arities = program.predicate_arities()
+        assert arities["PatientUnit"] == 3
+        assert arities["UnitWard"] == 2
+        assert arities["Thermo"] == 2
+        assert arities["Unit"] == 1
+
+    def test_inconsistent_arity_detected(self, program):
+        program.add_tgd(parse_rule("PatientUnit(U, D) :- UnitWard(U, D)."))
+        with pytest.raises(DatalogError):
+            program.predicate_arities()
+
+    def test_intensional_and_extensional_predicates(self, program):
+        assert program.intensional_predicates() == {"PatientUnit"}
+        assert "PatientWard" in program.extensional_predicates()
+        assert "PatientUnit" not in program.extensional_predicates()
+
+    def test_positions(self, program):
+        positions = program.positions()
+        assert ("PatientUnit", 2) in positions and ("Unit", 0) in positions
+
+    def test_dependencies_lists_everything(self, program):
+        assert len(program.dependencies()) == 3
+
+
+class TestDataHandling:
+    def test_add_fact_declares_relation(self):
+        program = DatalogProgram()
+        program.add_fact("R", ("a", "b"))
+        assert program.database.relation("R").rows() == [("a", "b")]
+
+    def test_add_atom_fact(self):
+        program = DatalogProgram()
+        program.add_atom_fact(Atom.fact("R", ("a",)))
+        assert ("a",) in program.database.relation("R")
+
+    def test_ensure_relations_declares_intensional_predicates(self, program):
+        assert not program.database.has_relation("PatientUnit")
+        program.ensure_relations()
+        assert program.database.has_relation("PatientUnit")
+        assert program.database.has_relation("Unit")
+
+    def test_copy_is_independent(self, program):
+        clone = program.copy()
+        clone.add_fact("UnitWard", ("Intensive", "W3"))
+        assert ("Intensive", "W3") not in program.database.relation("UnitWard")
+        assert len(clone.tgds) == len(program.tgds)
+
+    def test_without_constraints(self, program):
+        stripped = program.without_constraints()
+        assert stripped.egds == [] and stripped.constraints == []
+        assert len(stripped.tgds) == 1
+        assert stripped.database.total_tuples() == program.database.total_tuples()
+
+    def test_add_rules_rejects_unknown_objects(self, program):
+        with pytest.raises(DatalogError):
+            program.add_rules(["not a rule object"])
+
+    def test_str_mentions_fact_count(self, program):
+        assert "extensional facts" in str(program)

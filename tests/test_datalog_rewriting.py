@@ -1,0 +1,110 @@
+"""Tests for the first-order (UCQ) query rewriting of Section IV."""
+
+import pytest
+
+from repro.errors import RewritingError
+from repro.datalog import parse_program, parse_query, parse_rule
+from repro.datalog.answering import certain_answers
+from repro.datalog.rewriting import QueryRewriter, rewrite_and_answer
+
+
+@pytest.fixture()
+def upward_program():
+    """Upward navigation only: rule (7) style roll-up over two levels."""
+    return parse_program("""
+        PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+        PatientInstitution(I, D, P) :- PatientUnit(U, D, P), InstitutionUnit(I, U).
+        UnitWard(standard, w1). UnitWard(standard, w2). UnitWard(intensive, w3).
+        InstitutionUnit(h1, standard). InstitutionUnit(h1, intensive).
+        PatientWard(w1, sep5, tom).
+        PatientWard(w3, sep6, lou).
+    """)
+
+
+class TestRewriting:
+    def test_rewriting_produces_a_ucq(self, upward_program):
+        rewriter = QueryRewriter(upward_program.tgds)
+        rewriting = rewriter.rewrite(parse_query("?(U, P) :- PatientUnit(U, sep5, P)."))
+        assert len(rewriting) >= 2  # the original plus at least one unfolding
+        predicates = {atom.predicate for query in rewriting.queries for atom in query.body}
+        assert "PatientWard" in predicates
+
+    def test_rewritten_answers_match_chase(self, upward_program):
+        queries = [
+            "?(U, P) :- PatientUnit(U, sep5, P).",
+            "?(I, P) :- PatientInstitution(I, D, P).",
+            "?(P) :- PatientUnit(intensive, D, P).",
+        ]
+        for text in queries:
+            query = parse_query(text)
+            assert rewrite_and_answer(upward_program, query) == \
+                certain_answers(upward_program, query)
+
+    def test_rewriting_answers_without_data_generation(self, upward_program):
+        # The rewriting is evaluated over the *extensional* database: no
+        # PatientUnit facts exist, yet the answers are found.
+        assert not upward_program.database.has_relation("PatientUnit") or \
+            not len(upward_program.database.relation("PatientUnit"))
+        answers = rewrite_and_answer(upward_program,
+                                     parse_query("?(U) :- PatientUnit(U, sep6, lou)."))
+        assert answers == [("intensive",)]
+
+    def test_boolean_query_rewriting(self, upward_program):
+        rewriter = QueryRewriter(upward_program.tgds)
+        rewriting = rewriter.rewrite(parse_query("? :- PatientInstitution(h1, sep5, tom)."))
+        assert rewriting.holds(upward_program.database)
+
+    def test_multi_level_unfolding_reaches_base_relations(self, upward_program):
+        rewriter = QueryRewriter(upward_program.tgds)
+        rewriting = rewriter.rewrite(parse_query("?(P) :- PatientInstitution(h1, D, P)."))
+        flattened = [
+            {atom.predicate for atom in query.body} for query in rewriting.queries]
+        assert any(preds <= {"PatientWard", "UnitWard", "InstitutionUnit"}
+                   for preds in flattened)
+
+    def test_recursive_rules_rejected(self):
+        rules = [parse_rule("P(X) :- Q(X)."), parse_rule("Q(X) :- P(X).")]
+        with pytest.raises(RewritingError):
+            QueryRewriter(rules)
+
+    def test_existential_applicability_condition(self):
+        # Shifts' existential shift attribute cannot be unified with the
+        # constant 'night', so the unfolding never claims such an answer.
+        program = parse_program("""
+            exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).
+            UnitWard(standard, w1).
+            WorkingSchedules(standard, sep9, mark, nonc).
+        """)
+        rewriter = QueryRewriter(program.tgds)
+        night = rewriter.rewrite(parse_query("?(D) :- Shifts(w1, D, mark, night)."))
+        assert night.evaluate(program.database) == []
+        unconstrained = rewriter.rewrite(parse_query("?(D) :- Shifts(w1, D, mark, S)."))
+        assert unconstrained.evaluate(program.database) == [("sep9",)]
+        assert unconstrained.evaluate(program.database) == \
+            certain_answers(program, parse_query("?(D) :- Shifts(w1, D, mark, S)."))
+
+    def test_shared_existential_variable_blocks_unfolding(self):
+        # S occurs in two atoms of the query: unifying it with the rule's
+        # existential is unsound and must be skipped.
+        program = parse_program("""
+            exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).
+            UnitWard(standard, w1).
+            WorkingSchedules(standard, sep9, mark, nonc).
+            NightShift(night).
+        """)
+        rewriter = QueryRewriter(program.tgds)
+        query = parse_query("?(D) :- Shifts(w1, D, mark, S), NightShift(S).")
+        assert rewriter.rewrite(query).evaluate(program.database) == \
+            certain_answers(program, query) == []
+
+    def test_rewriting_size_cap(self, upward_program):
+        rewriter = QueryRewriter(upward_program.tgds, max_queries=1)
+        with pytest.raises(RewritingError):
+            rewriter.rewrite(parse_query("?(I, P) :- PatientInstitution(I, D, P)."))
+
+    def test_upward_only_hospital_fragment_is_rewritable(self):
+        from repro.hospital import build_upward_only_ontology
+        ontology = build_upward_only_ontology()
+        answers = ontology.rewrite_answers("?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")
+        assert answers == ontology.certain_answers(
+            "?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")

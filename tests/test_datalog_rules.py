@@ -1,0 +1,133 @@
+"""Tests for TGDs, EGDs, negative constraints and conjunctive queries."""
+
+import pytest
+
+from repro.errors import DatalogError, UnsafeRuleError
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.rules import EGD, ConjunctiveQuery, NegativeConstraint, TGD, plain_rule
+from repro.datalog.terms import Variable
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+class TestTGD:
+    def test_variable_classification(self):
+        rule = TGD([Atom("P", [X, Z])], [Atom("Q", [X, Y]), Atom("R", [Y])])
+        assert rule.body_variables() == [X, Y]
+        assert rule.head_variables() == [X, Z]
+        assert rule.frontier_variables() == [X]
+        assert rule.existential_variables() == [Z]
+        assert rule.is_existential()
+        assert not rule.is_plain_datalog()
+
+    def test_plain_rule_detection(self):
+        rule = TGD([Atom("P", [X])], [Atom("Q", [X, Y])])
+        assert rule.is_plain_datalog()
+
+    def test_linear_detection(self):
+        assert TGD([Atom("P", [X])], [Atom("Q", [X])]).is_linear()
+        assert not TGD([Atom("P", [X])], [Atom("Q", [X]), Atom("R", [X])]).is_linear()
+
+    def test_join_variables(self):
+        rule = TGD([Atom("P", [X])], [Atom("Q", [X, Y]), Atom("R", [Y, Y])])
+        assert set(rule.join_variables()) == {Y}
+
+    def test_join_variable_repeated_within_one_atom(self):
+        rule = TGD([Atom("P", [X])], [Atom("Q", [X, X])])
+        assert rule.join_variables() == [X]
+
+    def test_empty_head_or_body_rejected(self):
+        with pytest.raises(DatalogError):
+            TGD([], [Atom("Q", [X])])
+        with pytest.raises(DatalogError):
+            TGD([Atom("P", [X])], [])
+
+    def test_negated_atoms_rejected(self):
+        with pytest.raises(DatalogError):
+            TGD([Atom("P", [X])], [Atom("Q", [X], negated=True)])
+
+    def test_predicates(self):
+        rule = TGD([Atom("P", [X])], [Atom("Q", [X]), Atom("R", [X])])
+        assert rule.head_predicates() == {"P"}
+        assert rule.body_predicates() == {"Q", "R"}
+
+    def test_str_mentions_existentials(self):
+        rule = TGD([Atom("P", [X, Z])], [Atom("Q", [X])])
+        assert "exists" in str(rule) and "Z" in str(rule)
+
+    def test_equality_and_hash(self):
+        first = TGD([Atom("P", [X])], [Atom("Q", [X])])
+        second = TGD([Atom("P", [X])], [Atom("Q", [X])])
+        assert first == second
+        assert len({first, second}) == 1
+
+
+class TestPlainRule:
+    def test_plain_rule_rejects_existentials(self):
+        with pytest.raises(UnsafeRuleError):
+            plain_rule(Atom("P", [X, Z]), [Atom("Q", [X])])
+
+    def test_plain_rule_accepts_safe_rule(self):
+        rule = plain_rule(Atom("P", [X]), [Atom("Q", [X, Y])])
+        assert rule.is_plain_datalog()
+
+
+class TestEGD:
+    def test_head_variables_must_occur_in_body(self):
+        with pytest.raises(UnsafeRuleError):
+            EGD(X, Z, [Atom("Q", [X, Y])])
+
+    def test_head_positions(self):
+        egd = EGD(X, Y, [Atom("Q", [X, W]), Atom("Q", [Y, W])])
+        assert egd.head_positions() == {("Q", 0)}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(DatalogError):
+            EGD(X, Y, [])
+
+    def test_str(self):
+        egd = EGD(X, Y, [Atom("Q", [X, Y])])
+        assert "=" in str(egd)
+
+
+class TestNegativeConstraint:
+    def test_requires_positive_atom(self):
+        with pytest.raises(DatalogError):
+            NegativeConstraint([Atom("Q", [X], negated=True)])
+
+    def test_positive_and_negative_atoms(self):
+        constraint = NegativeConstraint([Atom("R", [X]), Atom("K", [X], negated=True)])
+        assert len(constraint.positive_atoms()) == 1
+        assert len(constraint.negative_atoms()) == 1
+
+    def test_comparisons_are_kept(self):
+        constraint = NegativeConstraint([Atom("R", [X])],
+                                        comparisons=[Comparison(">", X, 5)])
+        assert len(constraint.comparisons) == 1
+
+    def test_str(self):
+        constraint = NegativeConstraint([Atom("R", [X])])
+        assert str(constraint).startswith("false :-")
+
+
+class TestConjunctiveQuery:
+    def test_boolean_query(self):
+        query = ConjunctiveQuery([], [Atom("R", [X])])
+        assert query.is_boolean()
+
+    def test_answer_variable_must_occur_in_body(self):
+        with pytest.raises(UnsafeRuleError):
+            ConjunctiveQuery([Z], [Atom("R", [X])])
+
+    def test_to_boolean(self):
+        query = ConjunctiveQuery([X], [Atom("R", [X])])
+        assert query.to_boolean().is_boolean()
+
+    def test_body_predicates(self):
+        query = ConjunctiveQuery([X], [Atom("R", [X]), Atom("S", [X])])
+        assert query.body_predicates() == {"R", "S"}
+
+    def test_equality(self):
+        first = ConjunctiveQuery([X], [Atom("R", [X])])
+        second = ConjunctiveQuery([X], [Atom("R", [X])])
+        assert first == second

@@ -1,0 +1,74 @@
+"""Tests for semi-naive evaluation of plain Datalog programs."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.datalog import parse_program, parse_rule
+from repro.datalog.chase import chase
+from repro.datalog.seminaive import evaluate_plain_datalog, evaluate_program
+from repro.relational.instance import DatabaseInstance
+
+
+@pytest.fixture()
+def graph_instance():
+    db = DatabaseInstance()
+    db.declare("Edge", ["src", "dst"])
+    db.add_all("Edge", [("a", "b"), ("b", "c"), ("c", "d")])
+    return db
+
+
+class TestEvaluation:
+    def test_transitive_closure(self, graph_instance):
+        rules = [
+            parse_rule("Path(X, Y) :- Edge(X, Y)."),
+            parse_rule("Path(X, Z) :- Path(X, Y), Edge(Y, Z)."),
+        ]
+        result = evaluate_plain_datalog(rules, graph_instance)
+        assert len(result.relation("Path")) == 6
+        assert ("a", "d") in result.relation("Path")
+
+    def test_input_not_mutated(self, graph_instance):
+        rules = [parse_rule("Path(X, Y) :- Edge(X, Y).")]
+        evaluate_plain_datalog(rules, graph_instance)
+        assert not graph_instance.has_relation("Path")
+
+    def test_multiple_rules_same_head(self, graph_instance):
+        rules = [
+            parse_rule("Reach(X) :- Edge(a, X)."),
+            parse_rule("Reach(X) :- Reach(Y), Edge(Y, X)."),
+        ]
+        result = evaluate_plain_datalog(rules, graph_instance)
+        assert set(result.relation("Reach")) == {("b",), ("c",), ("d",)}
+
+    def test_rule_with_constants_in_head(self, graph_instance):
+        rules = [parse_rule("Flag(yes, X) :- Edge(X, Y).")]
+        result = evaluate_plain_datalog(rules, graph_instance)
+        assert ("yes", "a") in result.relation("Flag")
+
+    def test_existential_rules_rejected(self, graph_instance):
+        rules = [parse_rule("exists Z : Out(X, Z) :- Edge(X, Y).")]
+        with pytest.raises(DatalogError):
+            evaluate_plain_datalog(rules, graph_instance)
+
+    def test_empty_rule_set_returns_copy(self, graph_instance):
+        result = evaluate_plain_datalog([], graph_instance)
+        assert set(result.relation("Edge")) == set(graph_instance.relation("Edge"))
+
+    def test_agrees_with_chase_on_plain_programs(self):
+        program = parse_program("""
+            Path(X, Y) :- Edge(X, Y).
+            Path(X, Z) :- Path(X, Y), Edge(Y, Z).
+            Edge(a, b). Edge(b, c). Edge(c, a).
+        """)
+        semi = evaluate_program(program)
+        chased = chase(program).instance
+        assert set(semi.relation("Path")) == set(chased.relation("Path"))
+        assert len(semi.relation("Path")) == 9  # full closure of a 3-cycle
+
+    def test_round_limit(self, graph_instance):
+        rules = [
+            parse_rule("Path(X, Y) :- Edge(X, Y)."),
+            parse_rule("Path(X, Z) :- Path(X, Y), Edge(Y, Z)."),
+        ]
+        with pytest.raises(DatalogError):
+            evaluate_plain_datalog(rules, graph_instance, max_rounds=1)

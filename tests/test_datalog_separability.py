@@ -1,0 +1,91 @@
+"""Tests for EGD/TGD separability analysis (Section III's separability claim)."""
+
+import pytest
+
+from repro.datalog import parse_program, parse_query, parse_rule
+from repro.datalog.separability import (check_separability_empirically, egd_separability_report,
+                                        null_prone_positions)
+
+
+def tgds(*texts):
+    return [parse_rule(text) for text in texts]
+
+
+def egds(*texts):
+    return [parse_rule(text) for text in texts]
+
+
+class TestNullPronePositions:
+    def test_existential_head_positions_are_prone(self):
+        prone = null_prone_positions(tgds("exists Z : P(X, Z) :- Q(X)."))
+        assert ("P", 1) in prone
+        assert ("Q", 0) not in prone
+
+    def test_propagation_through_frontier_variables(self):
+        prone = null_prone_positions(tgds(
+            "exists Z : P(X, Z) :- Q(X).",
+            "R(Y) :- P(X, Y).",
+        ))
+        assert ("R", 0) in prone
+
+    def test_no_existentials_no_prone_positions(self):
+        assert null_prone_positions(tgds("P(X) :- Q(X, Y).")) == set()
+
+
+class TestSyntacticCertificate:
+    def test_egd_on_safe_positions_is_certified(self):
+        report = egd_separability_report(
+            tgds("exists Z : P(X, Z) :- Q(X)."),
+            egds("T = T2 :- Q(T), Q(T2)."))
+        assert report.separable
+        assert len(report.certified_egds) == 1
+
+    def test_egd_on_null_prone_positions_is_not_certified(self):
+        report = egd_separability_report(
+            tgds("exists Z : P(X, Z) :- Q(X)."),
+            egds("A = B :- P(X, A), P(X, B)."))
+        assert not report.separable
+        assert len(report.uncertified_egds) == 1
+        assert report.reasons
+
+    def test_empty_egd_set_is_separable(self):
+        assert egd_separability_report(tgds("P(X) :- Q(X)."), []).separable
+
+    def test_hospital_thermometer_egd_is_certified(self, hospital_ontology):
+        analysis = hospital_ontology.analysis()
+        assert analysis.separability.separable
+
+
+class TestEmpiricalCheck:
+    def test_separable_program_passes(self):
+        program = parse_program("""
+            PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+            T = T2 :- Thermo(W, T), Thermo(W2, T2), UnitWard(U, W), UnitWard(U, W2).
+            UnitWard(standard, w1). UnitWard(standard, w2).
+            Thermo(w1, b1). Thermo(w2, b1).
+            PatientWard(w1, sep5, tom).
+        """)
+        queries = [parse_query("?(U) :- PatientUnit(U, sep5, tom).")]
+        assert check_separability_empirically(program, queries)
+
+    def test_inconsistent_program_fails(self):
+        program = parse_program("""
+            T = T2 :- Thermo(W, T), Thermo(W2, T2), UnitWard(U, W), UnitWard(U, W2).
+            UnitWard(standard, w1). UnitWard(standard, w2).
+            Thermo(w1, b1). Thermo(w2, b2).
+        """)
+        assert not check_separability_empirically(program, [])
+
+    def test_non_separable_program_detected_dynamically(self):
+        # The EGD equates a chase-invented null with a constant, which makes
+        # a new query answer derivable only when EGDs are applied during the
+        # chase: certain answers with vs without EGDs differ.
+        program = parse_program("""
+            exists Z : Assigned(X, Z) :- Item(X).
+            Z = Y :- Assigned(X, Z), Declared(X, Y).
+            Good(X) :- Assigned(X, gold).
+            Item(i1).
+            Declared(i1, gold).
+        """)
+        queries = [parse_query("?(X) :- Good(X).")]
+        assert not check_separability_empirically(program, queries)

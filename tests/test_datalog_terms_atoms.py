@@ -1,0 +1,123 @@
+"""Tests for Datalog± terms, atoms and comparison atoms."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.datalog.atoms import (Atom, Comparison, atoms_positions_of, atoms_variables)
+from repro.datalog.terms import Constant, Null, Variable, is_variable, term_value, to_term
+
+
+class TestTerms:
+    def test_to_term_wraps_plain_values(self):
+        assert to_term("abc") == Constant("abc")
+        assert to_term(3) == Constant(3)
+
+    def test_to_term_preserves_terms(self):
+        variable = Variable("X")
+        assert to_term(variable) is variable
+        null = Null("n1")
+        assert to_term(null) is null
+
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("X"))
+
+    def test_term_value(self):
+        assert term_value(Constant(7)) == 7
+        assert term_value(Null("n")) == Null("n")
+        with pytest.raises(ValueError):
+            term_value(Variable("X"))
+
+    def test_variable_equality_and_order(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("A") < Variable("B")
+
+
+class TestAtom:
+    def test_construction_coerces_terms(self):
+        atom = Atom("R", ["a", Variable("X"), 3])
+        assert atom.terms == (Constant("a"), Variable("X"), Constant(3))
+        assert atom.arity == 3
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(DatalogError):
+            Atom("", ["a"])
+
+    def test_variables_in_order_without_duplicates(self):
+        atom = Atom("R", [Variable("X"), "c", Variable("Y"), Variable("X")])
+        assert atom.variables() == [Variable("X"), Variable("Y")]
+
+    def test_constants(self):
+        atom = Atom("R", ["a", Variable("X"), "a"])
+        assert atom.constants() == [Constant("a")]
+
+    def test_is_ground(self):
+        assert Atom("R", ["a", 1]).is_ground()
+        assert not Atom("R", [Variable("X")]).is_ground()
+
+    def test_positions(self):
+        atom = Atom("R", ["a", "b"])
+        assert atom.positions() == [("R", 0), ("R", 1)]
+
+    def test_positions_of_variable(self):
+        atom = Atom("R", [Variable("X"), "c", Variable("X")])
+        assert atom.positions_of(Variable("X")) == [("R", 0), ("R", 2)]
+
+    def test_negation_helpers(self):
+        atom = Atom("R", ["a"])
+        negated = atom.negate()
+        assert negated.negated
+        assert negated.positive() == atom
+
+    def test_fact_round_trip(self):
+        atom = Atom.fact("R", ("a", 1, Null("n")))
+        assert atom.to_fact_row() == ("a", 1, Null("n"))
+
+    def test_to_fact_row_requires_ground(self):
+        with pytest.raises(DatalogError):
+            Atom("R", [Variable("X")]).to_fact_row()
+
+    def test_str(self):
+        assert str(Atom("R", [Variable("X"), "a"])) == "R(X, a)"
+        assert str(Atom("R", ["a"], negated=True)) == "not R(a)"
+
+
+class TestComparison:
+    def test_supported_operators_only(self):
+        with pytest.raises(DatalogError):
+            Comparison("~", Variable("X"), 1)
+
+    def test_numeric_evaluation(self):
+        assert Comparison("<", Variable("X"), Variable("Y")).evaluate(1, 2)
+        assert not Comparison(">", Variable("X"), Variable("Y")).evaluate(1, 2)
+
+    def test_string_evaluation(self):
+        comparison = Comparison(">=", Variable("T"), "Sep/5-11:45")
+        assert comparison.evaluate("Sep/5-12:10", "Sep/5-11:45")
+        assert not comparison.evaluate("Sep/5-11:30", "Sep/5-11:45")
+
+    def test_null_equality_semantics(self):
+        eq = Comparison("=", Variable("X"), Variable("Y"))
+        assert eq.evaluate(Null("n"), Null("n"))
+        assert not eq.evaluate(Null("n"), "a")
+        lt = Comparison("<", Variable("X"), Variable("Y"))
+        assert not lt.evaluate(Null("n"), "a")
+
+    def test_incomparable_types_fall_back(self):
+        assert not Comparison("=", Variable("X"), Variable("Y")).evaluate(1, "a")
+        assert Comparison("!=", Variable("X"), Variable("Y")).evaluate(1, "a")
+
+    def test_variables(self):
+        comparison = Comparison("<", Variable("X"), "c")
+        assert comparison.variables() == [Variable("X")]
+
+
+class TestAtomCollections:
+    def test_atoms_variables_order(self):
+        atoms = [Atom("R", [Variable("X"), Variable("Y")]),
+                 Atom("S", [Variable("Y"), Variable("Z")])]
+        assert atoms_variables(atoms) == [Variable("X"), Variable("Y"), Variable("Z")]
+
+    def test_atoms_positions_of(self):
+        atoms = [Atom("R", [Variable("X")]), Atom("S", ["c", Variable("X")])]
+        assert atoms_positions_of(atoms, Variable("X")) == {("R", 0), ("S", 1)}

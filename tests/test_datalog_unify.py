@@ -1,0 +1,141 @@
+"""Tests for substitutions, unification, matching and homomorphisms."""
+
+import pytest
+
+from repro.datalog.atoms import Atom, Comparison
+from repro.datalog.terms import Constant, Null, Variable
+from repro.datalog.unify import (apply_to_atom, apply_to_term, compose, evaluate_comparisons,
+                                 find_homomorphisms, freeze_atom, has_homomorphism,
+                                 match_atom, match_atom_against_row, unify_atoms, unify_terms)
+from repro.relational.instance import DatabaseInstance
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture()
+def instance():
+    db = DatabaseInstance()
+    db.declare("UnitWard", ["parent", "child"])
+    db.declare("PatientWard", ["ward", "day", "patient"])
+    db.add_all("UnitWard", [("Standard", "W1"), ("Standard", "W2"), ("Intensive", "W3")])
+    db.add_all("PatientWard", [("W1", "Sep/5", "Tom"), ("W3", "Sep/6", "Lou")])
+    return db
+
+
+class TestTermUnification:
+    def test_variable_binds_to_constant(self):
+        assert unify_terms(X, Constant("a")) == {X: Constant("a")}
+
+    def test_constant_conflict_fails(self):
+        assert unify_terms(Constant("a"), Constant("b")) is None
+
+    def test_existing_binding_is_respected(self):
+        subst = {X: Constant("a")}
+        assert unify_terms(X, Constant("a"), subst) == subst
+        assert unify_terms(X, Constant("b"), subst) is None
+
+    def test_variable_variable(self):
+        result = unify_terms(X, Y)
+        assert result in ({X: Y}, {Y: X})
+
+    def test_null_unifies_only_with_itself(self):
+        assert unify_terms(Null("n1"), Null("n1")) == {}
+        assert unify_terms(Null("n1"), Null("n2")) is None
+        assert unify_terms(Null("n1"), Constant("a")) is None
+
+
+class TestAtomUnification:
+    def test_same_predicate_required(self):
+        assert unify_atoms(Atom("R", [X]), Atom("S", [X])) is None
+
+    def test_arity_must_match(self):
+        assert unify_atoms(Atom("R", [X]), Atom("R", [X, Y])) is None
+
+    def test_successful_unification(self):
+        result = unify_atoms(Atom("R", [X, "a"]), Atom("R", ["b", Y]))
+        assert apply_to_term(result, X) == Constant("b")
+        assert apply_to_term(result, Y) == Constant("a")
+
+    def test_repeated_variable_constraint(self):
+        assert unify_atoms(Atom("R", [X, X]), Atom("R", ["a", "b"])) is None
+        assert unify_atoms(Atom("R", [X, X]), Atom("R", ["a", "a"])) is not None
+
+
+class TestSubstitutionHelpers:
+    def test_apply_to_atom(self):
+        atom = apply_to_atom({X: Constant("a")}, Atom("R", [X, Y]))
+        assert atom == Atom("R", ["a", Y])
+
+    def test_apply_follows_chains(self):
+        subst = {X: Y, Y: Constant("c")}
+        assert apply_to_term(subst, X) == Constant("c")
+
+    def test_compose(self):
+        inner = {X: Y}
+        outer = {Y: Constant("c"), Z: Constant("d")}
+        composed = compose(outer, inner)
+        assert composed[X] == Constant("c")
+        assert composed[Z] == Constant("d")
+
+    def test_freeze_atom_requires_groundness(self):
+        with pytest.raises(ValueError):
+            freeze_atom(Atom("R", [X]), {})
+        assert freeze_atom(Atom("R", [X]), {X: Constant("a")}).is_ground()
+
+
+class TestMatching:
+    def test_match_atom_against_row(self):
+        subst = match_atom_against_row(Atom("R", [X, "Sep/5"]), ("W1", "Sep/5"))
+        assert subst == {X: Constant("W1")}
+
+    def test_match_atom_against_row_conflict(self):
+        assert match_atom_against_row(Atom("R", [X, X]), ("a", "b")) is None
+
+    def test_match_atom_enumerates_rows(self, instance):
+        matches = list(match_atom(Atom("UnitWard", [Variable("U"), Variable("W")]), instance))
+        assert len(matches) == 3
+
+    def test_match_atom_unknown_relation(self, instance):
+        assert list(match_atom(Atom("Missing", [X]), instance)) == []
+
+
+class TestHomomorphisms:
+    def test_join_across_atoms(self, instance):
+        atoms = [Atom("PatientWard", [Variable("W"), Variable("D"), Variable("P")]),
+                 Atom("UnitWard", [Variable("U"), Variable("W")])]
+        results = list(find_homomorphisms(atoms, instance))
+        units = {apply_to_term(h, Variable("U")).value for h in results}
+        assert units == {"Standard", "Intensive"}
+
+    def test_has_homomorphism(self, instance):
+        atoms = [Atom("UnitWard", ["Standard", Variable("W")])]
+        assert has_homomorphism(atoms, instance)
+        assert not has_homomorphism([Atom("UnitWard", ["Terminal", X])], instance)
+
+    def test_negated_atom_blocks_match(self, instance):
+        instance.declare("Unit", ["u"])
+        instance.add("Unit", ("Standard",))
+        atoms = [Atom("UnitWard", [Variable("U"), Variable("W")]),
+                 Atom("Unit", [Variable("U")], negated=True)]
+        results = list(find_homomorphisms(atoms, instance))
+        units = {apply_to_term(h, Variable("U")).value for h in results}
+        assert units == {"Intensive"}
+
+    def test_negated_atom_with_null_is_cautious(self, instance):
+        instance.declare("Unit", ["u"])
+        instance.declare("PatientUnit", ["u", "d", "p"])
+        instance.add("PatientUnit", (Null("u1"), "Sep/9", "Tom"))
+        atoms = [Atom("PatientUnit", [Variable("U"), Variable("D"), Variable("P")]),
+                 Atom("Unit", [Variable("U")], negated=True)]
+        # the only candidate binds U to a null, so no *certain* violation
+        assert list(find_homomorphisms(atoms, instance)) == []
+
+    def test_comparisons_filter_matches(self, instance):
+        atoms = [Atom("PatientWard", [Variable("W"), Variable("D"), Variable("P")])]
+        comparisons = [Comparison(">", Variable("D"), "Sep/5")]
+        results = list(find_homomorphisms(atoms, instance, comparisons=comparisons))
+        assert len(results) == 1
+
+    def test_evaluate_comparisons_requires_ground(self):
+        assert not evaluate_comparisons([Comparison("=", X, "a")], {})
+        assert evaluate_comparisons([Comparison("=", X, "a")], {X: Constant("a")})

@@ -1,0 +1,136 @@
+"""Tests for DeterministicWSQAns, the paper's Section-IV algorithm.
+
+The decisive property (asserted throughout): its answers coincide with the
+chase-based certain answers on every program where the chase terminates.
+"""
+
+import pytest
+
+from repro.datalog import parse_program, parse_query
+from repro.datalog.answering import certain_answers, certainly_holds
+from repro.datalog.ws_qa import (DeterministicWSQAns, deterministic_ws_answers,
+                                 deterministic_ws_holds)
+
+
+class TestBooleanQueries:
+    def test_extensional_fact(self, small_program):
+        assert deterministic_ws_holds(small_program,
+                                      parse_query("? :- UnitWard('Standard', 'W1')."))
+
+    def test_fact_absent(self, small_program):
+        assert not deterministic_ws_holds(small_program,
+                                          parse_query("? :- UnitWard('Terminal', 'W9')."))
+
+    def test_derived_via_upward_rule(self, small_program):
+        assert deterministic_ws_holds(small_program,
+                                      parse_query("? :- PatientUnit('Standard', 'Sep/5', P)."))
+
+    def test_derived_via_downward_rule_with_existential(self, small_program):
+        assert deterministic_ws_holds(small_program,
+                                      parse_query("? :- Shifts('W2', D, 'Mark', S)."))
+
+    def test_existential_cannot_match_constant(self, small_program):
+        # The shift value is a fresh null, never equal to 'night'.
+        assert not deterministic_ws_holds(small_program,
+                                          parse_query("? :- Shifts('W2', D, 'Mark', 'night')."))
+
+    def test_join_in_query(self, small_program):
+        query = parse_query(
+            "? :- PatientUnit(U, 'Sep/5', 'Tom Waits'), WorkingSchedules(U, D, N, T).")
+        assert deterministic_ws_holds(small_program, query)
+
+
+class TestOpenQueries:
+    def test_upward_navigation_answers(self, small_program):
+        query = parse_query("?(U, P) :- PatientUnit(U, 'Sep/5', P).")
+        assert deterministic_ws_answers(small_program, query) == [("Standard", "Tom Waits")]
+
+    def test_downward_navigation_answers(self, small_program):
+        query = parse_query("?(D) :- Shifts('W1', D, 'Mark', S).")
+        assert deterministic_ws_answers(small_program, query) == [("Sep/9",)]
+
+    def test_null_valued_answer_variables_are_not_certain(self, small_program):
+        query = parse_query("?(S) :- Shifts('W1', D, 'Mark', S).")
+        assert deterministic_ws_answers(small_program, query) == []
+
+    def test_comparisons_are_applied(self, small_program):
+        query = parse_query("?(P) :- PatientWard(W, D, P), D > 'Sep/5'.")
+        assert deterministic_ws_answers(small_program, query) == [("Lou Reed",)]
+
+    def test_statistics_are_collected(self, small_program):
+        solver = DeterministicWSQAns(small_program)
+        solver.answers(parse_query("?(D) :- Shifts('W1', D, 'Mark', S)."))
+        assert solver.statistics.resolution_steps > 0
+        assert solver.statistics.rule_applications >= 1
+        assert solver.statistics.proofs_found >= 1
+
+
+class TestAgreementWithChase:
+    QUERIES = [
+        "?(U, D, P) :- PatientUnit(U, D, P).",
+        "?(W, D, N) :- Shifts(W, D, N, S).",
+        "?(D) :- Shifts('W2', D, 'Mark', S).",
+        "? :- PatientUnit('Intensive', 'Sep/6', 'Lou Reed').",
+        "? :- PatientUnit('Intensive', 'Sep/5', 'Tom Waits').",
+    ]
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_agrees_with_certain_answers(self, small_program, query_text):
+        query = parse_query(query_text)
+        if query.is_boolean():
+            assert deterministic_ws_holds(small_program, query) == \
+                certainly_holds(small_program, query)
+        else:
+            assert deterministic_ws_answers(small_program, query) == \
+                certain_answers(small_program, query)
+
+    def test_agrees_on_multi_head_form_10_rule(self):
+        program = parse_program("""
+            exists U : InstitutionUnit(I, U), PatientUnit(U, D, P) :- Discharge(I, D, P).
+            Discharge(h1, sep9, tom).
+        """)
+        boolean = parse_query("? :- PatientUnit(U, sep9, tom), InstitutionUnit(h1, U).")
+        assert deterministic_ws_holds(program, boolean)
+        assert certainly_holds(program, boolean)
+        open_query = parse_query("?(P) :- PatientUnit(U, sep9, P).")
+        assert deterministic_ws_answers(program, open_query) == \
+            certain_answers(program, open_query) == [("tom",)]
+
+    def test_agrees_on_hospital_ontology(self, hospital_ontology):
+        queries = [
+            "?(D) :- Shifts('W1', D, 'Mark', S).",
+            "?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').",
+            "? :- PatientUnit('Standard', 'Sep/6', 'Tom Waits').",
+        ]
+        program = hospital_ontology.program()
+        for text in queries:
+            query = parse_query(text)
+            if query.is_boolean():
+                assert deterministic_ws_holds(program, query) == \
+                    certainly_holds(program, query)
+            else:
+                assert deterministic_ws_answers(program, query) == \
+                    certain_answers(program, query)
+
+
+class TestDepthBound:
+    def test_small_depth_misses_deep_proofs(self):
+        program = parse_program("""
+            B(X) :- A(X).
+            C(X) :- B(X).
+            D(X) :- C(X).
+            A(a).
+        """)
+        query = parse_query("? :- D(a).")
+        assert not deterministic_ws_holds(program, query, max_depth=1)
+        assert deterministic_ws_holds(program, query, max_depth=5)
+
+    def test_depth_cutoffs_counted(self):
+        program = parse_program("""
+            B(X) :- A(X).
+            C(X) :- B(X).
+            A(a).
+        """)
+        solver = DeterministicWSQAns(program, max_depth=1)
+        solver.holds(parse_query("? :- C(a)."))
+        assert solver.statistics.depth_cutoffs >= 1

@@ -1,0 +1,114 @@
+"""Cross-module integration tests.
+
+These tests exercise whole pipelines (MD model → ontology → chase → quality
+context → assessment) and assert cross-algorithm agreement on both the
+hospital scenario and synthetic workloads.
+"""
+
+import pytest
+
+from repro.datalog import DeterministicWSQAns, certain_answers, chase, parse_query
+from repro.datalog.rewriting import QueryRewriter
+from repro.md.navigation import drill_down_relation, roll_up_relation
+from repro.quality import assess_database, compare_answers, quality_answers
+from repro.relational.values import Null
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+class TestNavigationAgreement:
+    """Procedural navigation (repro.md) vs logical navigation (the chase)."""
+
+    def test_roll_up_matches_rule_7_chase(self, hospital_scenario):
+        md = hospital_scenario.md
+        rolled = roll_up_relation(md, "PatientWard", "Ward", "Unit")
+        chased = hospital_scenario.ontology.chase().instance.relation("PatientUnit")
+        chased_ground = {row for row in chased
+                         if not any(isinstance(value, Null) for value in row)}
+        assert set(rolled) == chased_ground
+
+    def test_drill_down_matches_rule_8_chase(self, hospital_scenario):
+        md = hospital_scenario.md
+        drilled = drill_down_relation(md, "WorkingSchedules", "Unit", "Ward",
+                                      extra_non_categorical=["Shift"])
+        chased = hospital_scenario.ontology.chase().instance.relation("Shifts")
+        # compare on the non-invented attributes (ward, day, nurse)
+        drilled_keys = {row[:3] for row in drilled}
+        chased_keys = {row[:3] for row in chased if isinstance(row[3], Null)}
+        assert chased_keys <= drilled_keys
+
+
+class TestAlgorithmAgreementOnSyntheticWorkloads:
+    def test_three_routes_agree_on_upward_only_workload(self):
+        workload = generate_workload(WorkloadSpec(
+            dimensions=1, depth=3, fanout=2, top_members=2, base_relations=1,
+            tuples_per_relation=25, upward_rules=True, downward_rules=False, seed=11))
+        program = workload.ontology.program()
+        rewriter = QueryRewriter([rule.tgd for rule in workload.ontology.rules])
+        solver = DeterministicWSQAns(program)
+        shared_chase = chase(program, check_constraints=False)
+        for query in workload.queries:
+            reference = certain_answers(program, query, chase_result=shared_chase)
+            assert solver.answers(query) == reference
+            assert rewriter.answers(query, program.database) == reference
+
+    def test_chase_and_ws_agree_with_downward_rules(self, tiny_workload):
+        program = tiny_workload.ontology.program()
+        shared_chase = chase(program, check_constraints=False)
+        solver = DeterministicWSQAns(program)
+        for query in tiny_workload.queries:
+            assert solver.answers(query) == \
+                certain_answers(program, query, chase_result=shared_chase)
+
+
+class TestQualityPipelineOnSyntheticWorkload:
+    def test_assessment_ratio_tracks_dirty_fraction(self):
+        clean = generate_workload(WorkloadSpec(dirty_fraction=0.0, assessment_tuples=40,
+                                               seed=5))
+        dirty = generate_workload(WorkloadSpec(dirty_fraction=0.8, assessment_tuples=40,
+                                               seed=5))
+        clean_versions = clean.context.quality_versions_for(clean.assessment_instance)
+        dirty_versions = dirty.context.quality_versions_for(dirty.assessment_instance)
+        clean_ratio = assess_database(clean.assessment_instance, clean_versions).quality_ratio
+        dirty_ratio = assess_database(dirty.assessment_instance, dirty_versions).quality_ratio
+        assert clean_ratio == 1.0
+        assert dirty_ratio < clean_ratio
+
+    def test_quality_answers_are_subset_of_direct_answers(self, tiny_workload):
+        member = next(iter(tiny_workload.assessment_instance.relation("Readings")))[0]
+        query = parse_query(f"?(S, V) :- Readings(E, S, V), E = '{member}'.")
+        comparison = compare_answers(tiny_workload.context,
+                                     tiny_workload.assessment_instance, query)
+        assert set(comparison.quality) <= set(comparison.direct)
+
+    def test_quality_answers_empty_for_dirty_member(self):
+        workload = generate_workload(WorkloadSpec(dirty_fraction=1.0, assessment_tuples=30,
+                                                  seed=9))
+        instance = workload.assessment_instance
+        versions = workload.context.quality_versions_for(instance)
+        dirty_members = {row[0] for row in instance.relation("Readings")} - \
+            {row[0] for row in versions["Readings"]}
+        if dirty_members:
+            member = sorted(dirty_members)[0]
+            answers = quality_answers(workload.context, instance,
+                                      f"?(S, V) :- Readings(E, S, V), E = '{member}'.")
+            assert answers == []
+
+
+class TestScalingSanity:
+    def test_chase_output_grows_linearly_in_base_tuples(self):
+        sizes = []
+        for tuples in (20, 40):
+            workload = generate_workload(WorkloadSpec(
+                dimensions=1, depth=3, fanout=2, base_relations=1,
+                tuples_per_relation=tuples, upward_rules=True, downward_rules=False,
+                seed=2))
+            result = workload.ontology.chase()
+            sizes.append(result.instance.total_tuples())
+        assert sizes[1] > sizes[0]
+
+    def test_chase_is_idempotent_on_its_own_output(self, hospital_ontology):
+        first = hospital_ontology.chase()
+        program = hospital_ontology.program().copy(database=first.instance)
+        second = chase(program, check_constraints=False)
+        assert second.steps == 0
+        assert second.instance.total_tuples() == first.instance.total_tuples()

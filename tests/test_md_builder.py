@@ -1,0 +1,70 @@
+"""Tests for the dimension and MD-model builders."""
+
+import pytest
+
+from repro.errors import DimensionSchemaError
+from repro.md.builder import DimensionBuilder, MDModelBuilder
+
+
+class TestDimensionBuilder:
+    def test_category_chain(self):
+        dim = DimensionBuilder("D").category_chain("A", "B", "C").build()
+        assert dim.schema.is_above("C", "A")
+        assert dim.schema.bottom_categories() == {"A"}
+
+    def test_category_with_parents_of_and_children_of(self):
+        dim = (DimensionBuilder("D")
+               .category("B")
+               .category("A", children_of=["B"])
+               .category("C", parents_of=["B"])
+               .build())
+        assert dim.schema.parents("A") == {"B"}
+        assert dim.schema.parents("B") == {"C"}
+
+    def test_member_edges_register_members(self):
+        dim = (DimensionBuilder("D")
+               .category_chain("A", "B")
+               .member_edge("A", "a1", "B", "b1")
+               .build())
+        assert dim.has_member("A", "a1") and dim.has_member("B", "b1")
+
+    def test_member_edges_bulk(self):
+        dim = (DimensionBuilder("D")
+               .category_chain("A", "B")
+               .member_edges("A", "B", [("a1", "b1"), ("a2", "b1")])
+               .build())
+        assert dim.children_of("B", "b1") == {("A", "a1"), ("A", "a2")}
+
+    def test_explicit_members_without_edges(self):
+        dim = DimensionBuilder("D").category("A").member("A", "a1", "a2").build()
+        assert dim.members("A") == {"a1", "a2"}
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(DimensionSchemaError):
+            DimensionBuilder("D").category_chain()
+
+    def test_build_validates_schema(self):
+        builder = DimensionBuilder("D").category_chain("A", "B")
+        builder.member_edge("A", "a1", "B", "b1")
+        dim = builder.build()
+        assert dim.schema.edges == frozenset({("A", "B")})
+
+
+class TestMDModelBuilder:
+    def test_relations_and_tuples(self):
+        dim = DimensionBuilder("D").category_chain("A", "B") \
+            .member_edge("A", "a1", "B", "b1").build()
+        md = (MDModelBuilder()
+              .dimension(dim)
+              .relation("R", categorical=[("A", "D", "A")], non_categorical=["v"],
+                        rows=[("a1", 1)])
+              .tuples("R", [("a1", 2)])
+              .build())
+        assert len(md.relation("R")) == 2
+
+    def test_multiple_dimensions(self, hospital_md):
+        assert set(hospital_md.dimensions) == {"Hospital", "Time"}
+
+    def test_hospital_relations_present(self, hospital_md):
+        assert {"PatientWard", "PatientUnit", "WorkingSchedules", "Shifts",
+                "DischargePatients", "Thermometer"} <= set(hospital_md.relation_schemas)

@@ -1,0 +1,115 @@
+"""Tests for dimension instances and MD instances (members, roll-up, drill-down)."""
+
+import pytest
+
+from repro.errors import (CategoricalRelationError, DimensionInstanceError, NavigationError)
+from repro.hospital.dimensions import build_hospital_dimension, build_time_dimension
+from repro.md.builder import MDModelBuilder
+from repro.md.instance import DimensionInstance
+from repro.md.schema import DimensionSchema
+
+
+@pytest.fixture()
+def hospital_dim():
+    return build_hospital_dimension()
+
+
+class TestMembership:
+    def test_members_per_category(self, hospital_dim):
+        assert hospital_dim.members("Ward") == {"W1", "W2", "W3", "W4"}
+        assert hospital_dim.members("Unit") == {"Standard", "Intensive", "Terminal"}
+        assert hospital_dim.members("Institution") == {"H1", "H2"}
+
+    def test_unknown_category(self, hospital_dim):
+        with pytest.raises(DimensionInstanceError):
+            hospital_dim.members("Missing")
+
+    def test_has_member(self, hospital_dim):
+        assert hospital_dim.has_member("Ward", "W1")
+        assert not hospital_dim.has_member("Ward", "W9")
+
+    def test_member_count(self, hospital_dim):
+        assert hospital_dim.member_count() == 4 + 3 + 2 + 1
+
+    def test_add_member_requires_known_category(self):
+        dim = DimensionInstance(DimensionSchema("D", categories=["A"]))
+        with pytest.raises(DimensionInstanceError):
+            dim.add_member("B", "x")
+
+    def test_edge_requires_schema_edge(self):
+        dim = DimensionInstance(DimensionSchema("D", child_parent_edges=[("A", "B")]))
+        with pytest.raises(DimensionInstanceError):
+            dim.add_edge("B", "b1", "A", "a1")
+
+
+class TestNavigation:
+    def test_parents_and_children_of_member(self, hospital_dim):
+        assert hospital_dim.parents_of("Ward", "W1") == {("Unit", "Standard")}
+        assert hospital_dim.children_of("Unit", "Standard") == {("Ward", "W1"), ("Ward", "W2")}
+
+    def test_roll_up_adjacent(self, hospital_dim):
+        assert hospital_dim.roll_up("W1", "Ward", "Unit") == {"Standard"}
+
+    def test_roll_up_transitive(self, hospital_dim):
+        assert hospital_dim.roll_up("W1", "Ward", "Institution") == {"H1"}
+        assert hospital_dim.roll_up("W4", "Ward", "Institution") == {"H2"}
+
+    def test_roll_up_same_category(self, hospital_dim):
+        assert hospital_dim.roll_up("W1", "Ward", "Ward") == {"W1"}
+
+    def test_roll_up_wrong_direction(self, hospital_dim):
+        with pytest.raises(NavigationError):
+            hospital_dim.roll_up("Standard", "Unit", "Ward")
+
+    def test_drill_down_adjacent(self, hospital_dim):
+        assert hospital_dim.drill_down("Standard", "Unit", "Ward") == {"W1", "W2"}
+
+    def test_drill_down_transitive(self, hospital_dim):
+        assert hospital_dim.drill_down("H1", "Institution", "Ward") == {"W1", "W2", "W3"}
+
+    def test_drill_down_wrong_direction(self, hospital_dim):
+        with pytest.raises(NavigationError):
+            hospital_dim.drill_down("W1", "Ward", "Unit")
+
+    def test_rollup_pairs(self, hospital_dim):
+        pairs = hospital_dim.rollup_pairs("Ward", "Unit")
+        assert ("W1", "Standard") in pairs and ("W3", "Intensive") in pairs
+        assert len(pairs) == 4
+
+    def test_time_dimension_rollup(self):
+        time_dim = build_time_dimension()
+        assert time_dim.roll_up("Sep/5-12:10", "Time", "Day") == {"Sep/5"}
+        assert time_dim.roll_up("Sep/5", "Day", "Month") == {"2005-09"}
+        assert time_dim.roll_up("Sep/5-12:10", "Time", "Year") == {"2005"}
+
+
+class TestMDInstance:
+    def test_relation_registration_and_tuples(self, fresh_hospital_md):
+        md = fresh_hospital_md
+        assert set(md.relation("PatientWard").column("Patient")) == {"Tom Waits", "Lou Reed"}
+        assert md.total_tuples() > 0
+
+    def test_unknown_dimension_in_relation_rejected(self):
+        builder = MDModelBuilder()
+        with pytest.raises(CategoricalRelationError):
+            builder.relation("R", categorical=[("A", "Nope", "C")])
+
+    def test_unknown_category_in_relation_rejected(self, hospital_dim):
+        builder = MDModelBuilder().dimension(hospital_dim)
+        with pytest.raises(CategoricalRelationError):
+            builder.relation("R", categorical=[("A", "Hospital", "Nope")])
+
+    def test_relation_schema_lookup(self, fresh_hospital_md):
+        schema = fresh_hospital_md.relation_schema("PatientWard")
+        assert schema.attribute_names == ("Ward", "Day", "Patient")
+        with pytest.raises(CategoricalRelationError):
+            fresh_hospital_md.relation_schema("Missing")
+
+    def test_add_tuples_requires_declared_relation(self, fresh_hospital_md):
+        with pytest.raises(CategoricalRelationError):
+            fresh_hospital_md.add_tuples("Missing", [("a",)])
+
+    def test_dimension_lookup(self, fresh_hospital_md):
+        assert fresh_hospital_md.dimension("Hospital").schema.name == "Hospital"
+        with pytest.raises(DimensionInstanceError):
+            fresh_hospital_md.dimension("Nope")

@@ -1,0 +1,89 @@
+"""Tests for relation-level roll-up and drill-down navigation."""
+
+import pytest
+
+from repro.errors import NavigationError
+from repro.md.navigation import drill_down_relation, members_reachable, roll_up_relation
+from repro.relational.values import Null
+
+
+class TestRollUpRelation:
+    def test_patient_ward_to_patient_unit(self, fresh_hospital_md):
+        rolled = roll_up_relation(fresh_hospital_md, "PatientWard", "Ward", "Unit",
+                                  new_name="PatientUnitDirect")
+        assert ("Standard", "Sep/5", "Tom Waits") in rolled
+        assert ("Intensive", "Sep/6", "Lou Reed") in rolled
+        assert ("Terminal", "Sep/9", "Tom Waits") in rolled
+        assert len(rolled) == len(fresh_hospital_md.relation("PatientWard"))
+
+    def test_roll_up_to_institution(self, fresh_hospital_md):
+        rolled = roll_up_relation(fresh_hospital_md, "PatientWard", "Ward", "Institution")
+        institutions = {row[0] for row in rolled}
+        assert institutions == {"H1", "H2"}
+
+    def test_roll_up_day_to_month(self, fresh_hospital_md):
+        rolled = roll_up_relation(fresh_hospital_md, "PatientWard", "Day", "Month")
+        assert all(row[1] == "2005-09" for row in rolled)
+
+    def test_wrong_direction_rejected(self, fresh_hospital_md):
+        with pytest.raises(NavigationError):
+            roll_up_relation(fresh_hospital_md, "WorkingSchedules", "Unit", "Ward")
+
+    def test_matches_chase_generated_patient_unit(self, fresh_hospital_md,
+                                                  hospital_ontology):
+        rolled = roll_up_relation(fresh_hospital_md, "PatientWard", "Ward", "Unit")
+        chased = hospital_ontology.chase().instance.relation("PatientUnit")
+        chased_ground = {row for row in chased
+                         if not any(isinstance(v, Null) for v in row)}
+        assert set(rolled) <= chased_ground
+
+
+class TestDrillDownRelation:
+    def test_working_schedules_to_shifts(self, fresh_hospital_md):
+        drilled = drill_down_relation(fresh_hospital_md, "WorkingSchedules", "Unit", "Ward",
+                                      extra_non_categorical=["Shift"])
+        rows = {row[:3] for row in drilled}
+        # the Standard unit drills down to W1 and W2 (Example 2)
+        assert ("W1", "Sep/9", "Mark") in rows
+        assert ("W2", "Sep/9", "Mark") in rows
+        # generated shift values are fresh nulls
+        assert all(isinstance(row[-1], Null) for row in drilled)
+
+    def test_drill_down_produces_one_tuple_per_child(self, fresh_hospital_md):
+        drilled = drill_down_relation(fresh_hospital_md, "WorkingSchedules", "Unit", "Ward")
+        standard_rows = [row for row in drilled if row[2] == "Helen" and row[1] == "Sep/5"]
+        assert len(standard_rows) == 2
+
+    def test_wrong_direction_rejected(self, fresh_hospital_md):
+        with pytest.raises(NavigationError):
+            drill_down_relation(fresh_hospital_md, "PatientWard", "Ward", "Unit")
+
+    def test_discharge_to_unit(self, fresh_hospital_md):
+        drilled = drill_down_relation(fresh_hospital_md, "DischargePatients",
+                                      "Institution", "Unit")
+        units_for_tom = {row[0] for row in drilled if row[2] == "Tom Waits"}
+        assert units_for_tom == {"Standard", "Intensive"}
+
+
+class TestMembersReachable:
+    def test_upward(self, fresh_hospital_md):
+        dimension = fresh_hospital_md.dimension("Hospital")
+        assert members_reachable(dimension, "W1", "Ward", "Institution") == ("H1",)
+
+    def test_downward(self, fresh_hospital_md):
+        dimension = fresh_hospital_md.dimension("Hospital")
+        assert members_reachable(dimension, "Standard", "Unit", "Ward") == ("W1", "W2")
+
+    def test_same_category(self, fresh_hospital_md):
+        dimension = fresh_hospital_md.dimension("Hospital")
+        assert members_reachable(dimension, "W1", "Ward", "Ward") == ("W1",)
+
+    def test_incomparable_categories_rejected(self):
+        from repro.md.builder import DimensionBuilder
+        dim = (DimensionBuilder("T")
+               .edge("Day", "Week").edge("Day", "Month")
+               .member_edge("Day", "d1", "Week", "w1")
+               .member_edge("Day", "d1", "Month", "m1")
+               .build())
+        with pytest.raises(NavigationError):
+            members_reachable(dim, "w1", "Week", "Month")

@@ -1,0 +1,84 @@
+"""Tests for categorical relation schemas."""
+
+import pytest
+
+from repro.errors import CategoricalRelationError
+from repro.md.relations import CategoricalAttribute, CategoricalRelationSchema
+
+
+@pytest.fixture()
+def patient_ward():
+    return CategoricalRelationSchema(
+        "PatientWard",
+        categorical=[CategoricalAttribute("Ward", "Hospital", "Ward"),
+                     CategoricalAttribute("Day", "Time", "Day")],
+        non_categorical=["Patient"],
+    )
+
+
+class TestCategoricalAttribute:
+    def test_requires_all_fields(self):
+        with pytest.raises(CategoricalRelationError):
+            CategoricalAttribute("", "Hospital", "Ward")
+        with pytest.raises(CategoricalRelationError):
+            CategoricalAttribute("Ward", "", "Ward")
+
+    def test_str(self):
+        attribute = CategoricalAttribute("Ward", "Hospital", "Ward")
+        assert "Hospital" in str(attribute)
+
+
+class TestCategoricalRelationSchema:
+    def test_attribute_order_is_categorical_first(self, patient_ward):
+        assert patient_ward.attribute_names == ("Ward", "Day", "Patient")
+        assert patient_ward.arity == 3
+
+    def test_positions(self, patient_ward):
+        assert patient_ward.categorical_positions() == [0, 1]
+        assert patient_ward.non_categorical_positions() == [2]
+        assert patient_ward.is_categorical_position(0)
+        assert not patient_ward.is_categorical_position(2)
+
+    def test_position_of(self, patient_ward):
+        assert patient_ward.position_of("Patient") == 2
+        with pytest.raises(CategoricalRelationError):
+            patient_ward.position_of("Nope")
+
+    def test_categorical_attribute_lookup(self, patient_ward):
+        assert patient_ward.categorical_attribute("Day").dimension == "Time"
+        with pytest.raises(CategoricalRelationError):
+            patient_ward.categorical_attribute("Patient")
+
+    def test_attributes_linked_to_dimension(self, patient_ward):
+        assert [a.name for a in patient_ward.attributes_linked_to("Hospital")] == ["Ward"]
+
+    def test_dimensions_in_order(self, patient_ward):
+        assert patient_ward.dimensions() == ["Hospital", "Time"]
+
+    def test_needs_at_least_one_categorical_attribute(self):
+        with pytest.raises(CategoricalRelationError):
+            CategoricalRelationSchema("R", categorical=[], non_categorical=["a"])
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(CategoricalRelationError):
+            CategoricalRelationSchema(
+                "R",
+                categorical=[CategoricalAttribute("X", "D", "C")],
+                non_categorical=["X"],
+            )
+
+    def test_to_relation_schema(self, patient_ward):
+        relational = patient_ward.to_relation_schema()
+        assert relational.name == "PatientWard"
+        assert relational.attributes == ("Ward", "Day", "Patient")
+
+    def test_equality(self, patient_ward):
+        clone = CategoricalRelationSchema(
+            "PatientWard",
+            categorical=[CategoricalAttribute("Ward", "Hospital", "Ward"),
+                         CategoricalAttribute("Day", "Time", "Day")],
+            non_categorical=["Patient"])
+        assert clone == patient_ward
+
+    def test_str_uses_paper_notation(self, patient_ward):
+        assert ";" in str(patient_ward)

@@ -1,0 +1,102 @@
+"""Tests for dimension schemas (category DAGs)."""
+
+import pytest
+
+from repro.errors import DimensionSchemaError
+from repro.md.schema import DimensionSchema
+
+
+@pytest.fixture()
+def hospital_schema():
+    return DimensionSchema(
+        "Hospital",
+        categories=["Ward", "Unit", "Institution", "AllHospital"],
+        child_parent_edges=[("Ward", "Unit"), ("Unit", "Institution"),
+                            ("Institution", "AllHospital")],
+    )
+
+
+@pytest.fixture()
+def branching_schema():
+    """A non-linear hierarchy: Day rolls up to both Week and Month."""
+    return DimensionSchema(
+        "Time",
+        child_parent_edges=[("Day", "Week"), ("Day", "Month"),
+                            ("Week", "Year"), ("Month", "Year")],
+    )
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(DimensionSchemaError):
+            DimensionSchema("")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(DimensionSchemaError):
+            DimensionSchema("D", child_parent_edges=[("A", "A")])
+
+    def test_cycle_rejected(self):
+        schema = DimensionSchema("D", child_parent_edges=[("A", "B"), ("B", "C")])
+        with pytest.raises(DimensionSchemaError):
+            schema.add_edge("C", "A")
+
+    def test_edges_register_categories(self):
+        schema = DimensionSchema("D", child_parent_edges=[("A", "B")])
+        assert "A" in schema and "B" in schema
+
+    def test_add_category_idempotent(self, hospital_schema):
+        hospital_schema.add_category("Ward")
+        assert hospital_schema.categories.count("Ward") == 1
+
+
+class TestStructure:
+    def test_parents_and_children(self, hospital_schema):
+        assert hospital_schema.parents("Ward") == {"Unit"}
+        assert hospital_schema.children("Unit") == {"Ward"}
+        assert hospital_schema.parents("AllHospital") == set()
+
+    def test_unknown_category(self, hospital_schema):
+        with pytest.raises(DimensionSchemaError):
+            hospital_schema.parents("Missing")
+
+    def test_ancestors_and_descendants(self, hospital_schema):
+        assert hospital_schema.ancestors("Ward") == {"Unit", "Institution", "AllHospital"}
+        assert hospital_schema.descendants("Institution") == {"Unit", "Ward"}
+
+    def test_is_above(self, hospital_schema):
+        assert hospital_schema.is_above("Unit", "Ward")
+        assert not hospital_schema.is_above("Ward", "Unit")
+        assert not hospital_schema.is_above("Ward", "Ward")
+
+    def test_comparable(self, branching_schema):
+        assert branching_schema.comparable("Day", "Year")
+        assert not branching_schema.comparable("Week", "Month")
+
+    def test_bottom_and_top(self, hospital_schema, branching_schema):
+        assert hospital_schema.bottom_categories() == {"Ward"}
+        assert hospital_schema.top_categories() == {"AllHospital"}
+        assert branching_schema.bottom_categories() == {"Day"}
+        assert branching_schema.top_categories() == {"Year"}
+
+    def test_levels_and_height(self, hospital_schema):
+        assert hospital_schema.level_of("Ward") == 0
+        assert hospital_schema.level_of("AllHospital") == 3
+        assert hospital_schema.height() == 3
+
+    def test_paths_between(self, branching_schema):
+        paths = branching_schema.paths_between("Day", "Year")
+        assert ("Day", "Week", "Year") in paths
+        assert ("Day", "Month", "Year") in paths
+        assert branching_schema.paths_between("Day", "Day") == [("Day",)]
+
+    def test_topological_order(self, hospital_schema):
+        order = hospital_schema.topological_order()
+        assert order.index("Ward") < order.index("Unit") < order.index("AllHospital")
+
+    def test_validate(self, hospital_schema):
+        hospital_schema.validate()  # should not raise
+
+    def test_equality(self):
+        first = DimensionSchema("D", child_parent_edges=[("A", "B")])
+        second = DimensionSchema("D", child_parent_edges=[("A", "B")])
+        assert first == second

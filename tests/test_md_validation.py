@@ -1,0 +1,85 @@
+"""Tests for MD-model validation (conformance, strictness, homogeneity)."""
+
+import pytest
+
+from repro.md.builder import DimensionBuilder, MDModelBuilder
+from repro.md.validation import (check_categorical_relations, check_dimension_conformance,
+                                 check_homogeneity, check_strictness, validate_dimension,
+                                 validate_md_instance)
+
+
+@pytest.fixture()
+def strict_dimension():
+    return (DimensionBuilder("Hospital")
+            .category_chain("Ward", "Unit")
+            .member_edge("Ward", "W1", "Unit", "Standard")
+            .member_edge("Ward", "W2", "Unit", "Standard")
+            .build())
+
+
+@pytest.fixture()
+def non_strict_dimension():
+    return (DimensionBuilder("Hospital")
+            .category_chain("Ward", "Unit")
+            .member_edge("Ward", "W1", "Unit", "Standard")
+            .member_edge("Ward", "W1", "Unit", "Intensive")
+            .build())
+
+
+class TestDimensionChecks:
+    def test_strict_dimension_passes(self, strict_dimension):
+        assert check_strictness(strict_dimension).is_valid
+
+    def test_non_strict_dimension_flagged(self, non_strict_dimension):
+        report = check_strictness(non_strict_dimension)
+        assert not report.is_valid
+        assert report.by_kind("non_strict")
+
+    def test_homogeneity_flags_orphans(self, strict_dimension):
+        strict_dimension.add_member("Ward", "W9")  # no parent
+        report = check_homogeneity(strict_dimension)
+        assert report.by_kind("non_homogeneous")
+
+    def test_homogeneous_dimension_passes(self, strict_dimension):
+        assert check_homogeneity(strict_dimension).is_valid
+
+    def test_conformance_passes_on_builder_output(self, strict_dimension):
+        assert check_dimension_conformance(strict_dimension).is_valid
+
+    def test_validate_dimension_aggregates(self, non_strict_dimension):
+        report = validate_dimension(non_strict_dimension)
+        assert not report.is_valid
+        assert "non_strict" in report.summary()
+
+    def test_hospital_and_time_dimensions_are_valid(self, hospital_md):
+        for dimension in hospital_md.dimensions.values():
+            assert validate_dimension(dimension).is_valid, str(dimension)
+
+
+class TestCategoricalRelationChecks:
+    def test_valid_instance_passes(self, hospital_md):
+        assert check_categorical_relations(hospital_md).is_valid
+
+    def test_dangling_member_flagged(self, strict_dimension):
+        md = (MDModelBuilder()
+              .dimension(strict_dimension)
+              .relation("Stay", categorical=[("Ward", "Hospital", "Ward")],
+                        non_categorical=["Patient"],
+                        rows=[("W1", "Tom"), ("W99", "Lou")])
+              .build())
+        report = check_categorical_relations(md)
+        assert not report.is_valid
+        issues = report.by_kind("dangling_categorical_value")
+        assert any("W99" in issue.detail for issue in issues)
+
+    def test_validate_md_instance_full(self, hospital_md):
+        assert validate_md_instance(hospital_md).is_valid
+
+    def test_validate_md_instance_with_homogeneity(self, hospital_md):
+        # The hospital hierarchy is homogeneous, so even the strict check passes.
+        assert validate_md_instance(hospital_md, require_homogeneous=True).is_valid
+
+    def test_report_string_rendering(self, non_strict_dimension):
+        report = validate_dimension(non_strict_dimension)
+        assert "non_strict" in str(report)
+        assert str(report.issues[0])

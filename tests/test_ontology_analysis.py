@@ -1,0 +1,69 @@
+"""Tests for MD-ontology analysis (weak stickiness, separability, navigation)."""
+
+import pytest
+
+from repro.hospital import build_ontology, build_upward_only_ontology
+from repro.ontology.analysis import analyze, is_downward_only, is_upward_only
+
+
+class TestHospitalOntologyClaims:
+    """The analytical claims of Section III on the running example."""
+
+    def test_full_ontology_is_weakly_sticky(self, hospital_ontology):
+        analysis = hospital_ontology.analysis()
+        assert analysis.is_weakly_sticky
+
+    def test_full_ontology_is_not_sticky(self, hospital_ontology):
+        assert not hospital_ontology.analysis().class_report.is_sticky
+
+    def test_thermometer_egd_is_separable(self, hospital_ontology):
+        assert hospital_ontology.analysis().is_separable
+
+    def test_rule_directions(self, hospital_ontology):
+        directions = hospital_ontology.analysis().rule_directions
+        assert directions["rule (7)"] == "upward"
+        assert directions["rule (8)"] == "downward"
+        assert directions["rule (9)"] == "downward"
+
+    def test_mixed_ontology_not_upward_only(self, hospital_ontology):
+        analysis = hospital_ontology.analysis()
+        assert not analysis.upward_only
+        assert not analysis.summary()["fo_rewritable"]
+
+    def test_upward_fragment_is_fo_rewritable(self):
+        ontology = build_upward_only_ontology()
+        analysis = ontology.analysis()
+        assert analysis.upward_only
+        assert analysis.non_recursive
+        assert analysis.summary()["fo_rewritable"]
+        assert analysis.class_report.is_weakly_sticky
+
+    def test_notes_mention_rewriting_for_upward_fragment(self):
+        ontology = build_upward_only_ontology()
+        notes = " ".join(ontology.analysis().notes)
+        assert "rewriting" in notes
+
+
+class TestDirectionHelpers:
+    def test_upward_only_and_downward_only(self):
+        upward = build_ontology(include_rule_8=False, include_rule_9=False,
+                                include_thermometer_egd=False)
+        downward = build_ontology(include_rule_7=False, include_rule_9=False,
+                                  include_thermometer_egd=False)
+        assert is_upward_only(upward.rules)
+        assert not is_downward_only(upward.rules)
+        assert is_downward_only(downward.rules)
+        assert not is_upward_only(downward.rules)
+
+    def test_analysis_with_form_10_rule_keeps_weak_stickiness(self):
+        ontology = build_ontology(include_rule_9=True)
+        assert ontology.analysis().is_weakly_sticky
+
+    def test_categorical_positions_finite_rank_without_rule_9(self):
+        ontology = build_ontology(include_rule_9=False)
+        assert ontology.analysis().categorical_positions_finite_rank
+
+    def test_analyze_summary_keys(self, hospital_ontology):
+        summary = analyze(hospital_ontology.vocabulary, hospital_ontology.rules,
+                          hospital_ontology.constraints).summary()
+        assert {"weakly_sticky", "separable_egds", "upward_only", "fo_rewritable"} <= set(summary)

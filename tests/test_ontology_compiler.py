@@ -1,0 +1,79 @@
+"""Tests for the MD-instance → Datalog± compiler."""
+
+import pytest
+
+from repro.hospital import build_md_instance
+from repro.ontology.compiler import OntologyCompiler
+from repro.ontology.predicates import PredicateNaming
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return OntologyCompiler().compile(build_md_instance())
+
+
+class TestVocabularyConstruction:
+    def test_category_predicates(self, compiled):
+        names = set(compiled.vocabulary.category_predicates)
+        assert {"Ward", "Unit", "Institution", "Day", "Month", "Year"} <= names
+
+    def test_parent_child_predicates(self, compiled):
+        names = set(compiled.vocabulary.parent_child_predicates)
+        assert {"UnitWard", "InstitutionUnit", "DayTime", "MonthDay", "YearMonth"} <= names
+
+    def test_categorical_predicates(self, compiled):
+        names = set(compiled.vocabulary.categorical_predicates)
+        assert {"PatientWard", "PatientUnit", "WorkingSchedules", "Shifts"} <= names
+
+
+class TestExtensionalData:
+    def test_category_facts(self, compiled):
+        database = compiled.program.database
+        assert ("Standard",) in database.relation("Unit")
+        assert ("W1",) in database.relation("Ward")
+        assert ("Sep/5",) in database.relation("Day")
+
+    def test_parent_child_facts_have_parent_first(self, compiled):
+        database = compiled.program.database
+        assert ("Standard", "W1") in database.relation("UnitWard")
+        assert ("H1", "Standard") in database.relation("InstitutionUnit")
+        assert ("Sep/5", "Sep/5-12:10") in database.relation("DayTime")
+        assert ("2005-09", "Sep/5") in database.relation("MonthDay")
+
+    def test_categorical_relation_tuples_loaded(self, compiled):
+        database = compiled.program.database
+        assert ("W1", "Sep/5", "Tom Waits") in database.relation("PatientWard")
+        assert len(database.relation("PatientUnit")) == 0  # intensional, empty
+
+    def test_fact_count_positive(self, compiled):
+        assert compiled.fact_count() > 40
+
+
+class TestReferentialConstraints:
+    def test_one_constraint_per_categorical_attribute(self, compiled):
+        md = build_md_instance()
+        expected = sum(len(schema.categorical) for schema in md.relations())
+        assert len(compiled.program.constraints) == expected
+
+    def test_constraints_can_be_disabled(self):
+        compiler = OntologyCompiler(generate_referential_constraints=False)
+        compiled = compiler.compile(build_md_instance())
+        assert compiled.program.constraints == []
+
+
+class TestCompilerOptions:
+    def test_qualified_naming(self):
+        compiler = OntologyCompiler(naming=PredicateNaming(qualified=True))
+        compiled = compiler.compile(build_md_instance())
+        assert "Hospital_Unit" in compiled.vocabulary.category_predicates
+        assert "Hospital_UnitWard" in compiled.vocabulary.parent_child_predicates
+
+    def test_transitive_rollups(self):
+        compiler = OntologyCompiler(include_transitive_rollups=True)
+        compiled = compiler.compile(build_md_instance())
+        assert "InstitutionWard" in compiled.vocabulary.parent_child_predicates
+        database = compiled.program.database
+        assert ("H1", "W1") in database.relation("InstitutionWard")
+
+    def test_without_transitive_rollups_absent(self, compiled):
+        assert "InstitutionWard" not in compiled.vocabulary.parent_child_predicates

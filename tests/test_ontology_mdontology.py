@@ -1,0 +1,103 @@
+"""Tests for the MDOntology facade."""
+
+import pytest
+
+from repro.errors import OntologyError, RewritingError
+from repro.hospital import build_md_instance, build_ontology, build_upward_only_ontology
+from repro.ontology.mdontology import MDOntology
+from repro.relational.values import Null
+
+
+class TestConstruction:
+    def test_vocabulary_and_fact_count(self, hospital_ontology):
+        assert hospital_ontology.vocabulary.is_categorical("PatientWard")
+        assert hospital_ontology.extensional_fact_count() > 40
+
+    def test_add_rule_from_text_and_object(self, fresh_hospital_ontology):
+        rule = fresh_hospital_ontology.add_rule(
+            "PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).", label="again")
+        assert rule.label == "again"
+
+    def test_add_rule_rejects_constraints(self, fresh_hospital_ontology):
+        with pytest.raises(OntologyError):
+            fresh_hospital_ontology.add_rule("false :- PatientWard(W, D, P).")
+
+    def test_add_constraint_rejects_tgds(self, fresh_hospital_ontology):
+        with pytest.raises(OntologyError):
+            fresh_hospital_ontology.add_constraint(
+                "PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).")
+
+    def test_program_contains_rules_and_referential_constraints(self, hospital_ontology):
+        program = hospital_ontology.program()
+        assert len(program.tgds) == 3            # rules (7), (8), (9)
+        assert len(program.egds) == 1            # constraint (6)
+        assert len(program.constraints) >= 10    # form-(1) referential constraints
+
+    def test_program_is_cached_until_invalidated(self, fresh_hospital_ontology):
+        first = fresh_hospital_ontology.program()
+        assert fresh_hospital_ontology.program() is first
+        fresh_hospital_ontology.add_rule(
+            "PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).")
+        assert fresh_hospital_ontology.program() is not first
+
+
+class TestReasoning:
+    def test_certain_answers_upward(self, hospital_ontology):
+        answers = hospital_ontology.certain_answers(
+            "?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")
+        assert answers == [("Standard",)]
+
+    def test_certain_answers_downward(self, hospital_ontology):
+        assert hospital_ontology.certain_answers(
+            "?(D) :- Shifts('W2', D, 'Mark', S).") == [("Sep/9",)]
+
+    def test_answers_with_nulls_exposes_unknown_shift(self, hospital_ontology):
+        rows = hospital_ontology.answers_with_nulls(
+            "?(S) :- Shifts('W2', D, 'Mark', S).")
+        assert len(rows) == 1 and isinstance(rows[0][0], Null)
+
+    def test_holds(self, hospital_ontology):
+        assert hospital_ontology.holds("? :- PatientUnit('Intensive', 'Sep/6', 'Lou Reed').")
+        assert not hospital_ontology.holds("? :- PatientUnit('Terminal', 'Sep/6', 'Lou Reed').")
+
+    def test_ws_answers_agree_with_chase(self, hospital_ontology):
+        query = "?(U) :- PatientUnit(U, 'Sep/6', 'Tom Waits')."
+        assert hospital_ontology.ws_answers(query) == hospital_ontology.certain_answers(query)
+
+    def test_ws_holds(self, hospital_ontology):
+        assert hospital_ontology.ws_holds("? :- Shifts('W1', D, 'Mark', S).")
+
+    def test_rewrite_requires_upward_only(self, hospital_ontology):
+        with pytest.raises(RewritingError):
+            hospital_ontology.rewrite("?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")
+
+    def test_rewrite_answers_on_upward_fragment(self):
+        ontology = build_upward_only_ontology()
+        query = "?(U, P) :- PatientUnit(U, 'Sep/5', P)."
+        assert ontology.rewrite_answers(query) == ontology.certain_answers(query)
+        assert len(ontology.rewrite(query)) >= 2
+
+
+class TestConsistency:
+    def test_consistent_without_closure_constraints(self, hospital_ontology):
+        assert hospital_ontology.is_consistent()
+
+    def test_closure_constraint_violation_detected(self):
+        ontology = build_ontology(include_closure_constraints=True)
+        result = ontology.check_consistency()
+        assert not result.is_consistent
+        witnesses = [violation.witness for violation in result.violations]
+        assert any(w.get("W") == "W3" for w in witnesses)
+
+    def test_referential_violation_detected(self):
+        md = build_md_instance()
+        md.database.add("PatientWard", ("W99", "Sep/5", "Ghost"))
+        ontology = MDOntology(md)
+        result = ontology.check_consistency()
+        assert not result.is_consistent
+
+    def test_rule_9_nulls_do_not_violate_referential_constraints(self, hospital_ontology):
+        # Rule (9) invents a null Unit member; under cautious semantics the
+        # referential constraint on PatientUnit.Unit must not fire for it.
+        result = hospital_ontology.check_consistency()
+        assert result.is_consistent

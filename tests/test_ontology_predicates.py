@@ -1,0 +1,78 @@
+"""Tests for the ontology vocabulary (predicate families K, O, R)."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.md.relations import CategoricalAttribute, CategoricalRelationSchema
+from repro.ontology.predicates import (CategoryPredicate, OntologyVocabulary,
+                                       ParentChildPredicate, PredicateNaming)
+
+
+@pytest.fixture()
+def vocabulary():
+    vocab = OntologyVocabulary()
+    vocab.add_category_predicate(CategoryPredicate("Ward", "Hospital", "Ward"))
+    vocab.add_category_predicate(CategoryPredicate("Unit", "Hospital", "Unit"))
+    vocab.add_parent_child_predicate(
+        ParentChildPredicate("UnitWard", "Hospital", "Unit", "Ward"))
+    vocab.add_categorical_predicate(CategoricalRelationSchema(
+        "PatientWard",
+        categorical=[CategoricalAttribute("Ward", "Hospital", "Ward"),
+                     CategoricalAttribute("Day", "Time", "Day")],
+        non_categorical=["Patient"]))
+    return vocab
+
+
+class TestNaming:
+    def test_default_names_match_paper(self):
+        naming = PredicateNaming()
+        assert naming.category_predicate("Hospital", "Unit") == "Unit"
+        assert naming.parent_child_predicate("Hospital", "Unit", "Ward") == "UnitWard"
+
+    def test_qualified_names(self):
+        naming = PredicateNaming(qualified=True)
+        assert naming.category_predicate("Hospital", "Unit") == "Hospital_Unit"
+        assert naming.parent_child_predicate("Time", "Month", "Day") == "Time_MonthDay"
+
+
+class TestVocabulary:
+    def test_roles(self, vocabulary):
+        assert vocabulary.role_of("Ward") == "category"
+        assert vocabulary.role_of("UnitWard") == "parent_child"
+        assert vocabulary.role_of("PatientWard") == "categorical"
+        assert vocabulary.role_of("Whatever") == "other"
+
+    def test_role_predicates_helpers(self, vocabulary):
+        assert vocabulary.is_category("Unit")
+        assert vocabulary.is_parent_child("UnitWard")
+        assert vocabulary.is_categorical("PatientWard")
+
+    def test_arities(self, vocabulary):
+        assert vocabulary.arity_of("Ward") == 1
+        assert vocabulary.arity_of("UnitWard") == 2
+        assert vocabulary.arity_of("PatientWard") == 3
+        with pytest.raises(OntologyError):
+            vocabulary.arity_of("Whatever")
+
+    def test_name_clash_rejected(self, vocabulary):
+        with pytest.raises(OntologyError):
+            vocabulary.add_category_predicate(CategoryPredicate("UnitWard", "X", "Y"))
+
+    def test_categorical_positions(self, vocabulary):
+        positions = vocabulary.categorical_positions()
+        assert ("Ward", 0) in positions
+        assert ("UnitWard", 0) in positions and ("UnitWard", 1) in positions
+        assert ("PatientWard", 0) in positions and ("PatientWard", 1) in positions
+        assert ("PatientWard", 2) not in positions
+
+    def test_non_categorical_positions(self, vocabulary):
+        assert vocabulary.non_categorical_positions() == {("PatientWard", 2)}
+
+    def test_category_of_position(self, vocabulary):
+        assert vocabulary.category_of_position("UnitWard", 0) == ("Hospital", "Unit")
+        assert vocabulary.category_of_position("UnitWard", 1) == ("Hospital", "Ward")
+        assert vocabulary.category_of_position("PatientWard", 1) == ("Time", "Day")
+        assert vocabulary.category_of_position("PatientWard", 2) is None
+
+    def test_predicates_union(self, vocabulary):
+        assert vocabulary.predicates() == {"Ward", "Unit", "UnitWard", "PatientWard"}

@@ -1,0 +1,132 @@
+"""Tests for dimensional rules (forms (4)/(10)) and dimensional constraints."""
+
+import pytest
+
+from repro.errors import DimensionalConstraintError, DimensionalRuleError
+from repro.datalog.parser import parse_rule
+from repro.ontology.compiler import OntologyCompiler
+from repro.ontology.rules import (DOWNWARD, FORM_4, FORM_10, UPWARD, DimensionalConstraint,
+                                  DimensionalRule, referential_constraint)
+
+
+@pytest.fixture(scope="module")
+def hospital_vocab():
+    from repro.hospital import build_md_instance
+    md = build_md_instance()
+    compiler = OntologyCompiler()
+    return md, compiler.build_vocabulary(md)
+
+
+def make_rule(text, hospital_vocab, label=""):
+    md, vocabulary = hospital_vocab
+    schemas = {name: dim.schema for name, dim in md.dimensions.items()}
+    return DimensionalRule(parse_rule(text), vocabulary, dimension_schemas=schemas,
+                           label=label)
+
+
+class TestForm4:
+    def test_rule_7_is_form_4_upward(self, hospital_vocab):
+        rule = make_rule(
+            "PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).", hospital_vocab)
+        assert rule.form == FORM_4
+        assert rule.direction == UPWARD
+        assert rule.is_upward()
+        assert rule.dimensions() == {"Hospital", "Time"}
+
+    def test_rule_8_is_form_4_downward(self, hospital_vocab):
+        rule = make_rule(
+            "exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).",
+            hospital_vocab)
+        assert rule.form == FORM_4
+        assert rule.direction == DOWNWARD
+        assert rule.is_downward()
+
+    def test_non_ontology_predicate_rejected(self, hospital_vocab):
+        with pytest.raises(DimensionalRuleError):
+            make_rule("PatientUnit(U, D, P) :- Bogus(U, D, P).", hospital_vocab)
+
+    def test_head_must_be_categorical(self, hospital_vocab):
+        with pytest.raises(DimensionalRuleError):
+            make_rule("Unit(U) :- PatientUnit(U, D, P).", hospital_vocab)
+
+    def test_join_on_non_categorical_position_rejected(self, hospital_vocab):
+        # Joining on the Patient (non-categorical) attribute violates form (4).
+        with pytest.raises(DimensionalRuleError):
+            make_rule(
+                "PatientUnit(U, D, P) :- PatientWard(W, D, P), PatientUnit(U, D2, P).",
+                hospital_vocab)
+
+    def test_rule_without_navigation_join(self, hospital_vocab):
+        rule = make_rule("PatientUnit(U, D, P) :- WorkingSchedules(U, D, P, T).",
+                         hospital_vocab)
+        assert rule.direction == "none"
+
+
+class TestForm10:
+    def test_rule_9_is_form_10_downward(self, hospital_vocab):
+        rule = make_rule(
+            "exists U : InstitutionUnit(I, U), PatientUnit(U, D, P) :- "
+            "DischargePatients(I, D, P).", hospital_vocab)
+        assert rule.form == FORM_10
+        assert rule.direction == DOWNWARD
+
+    def test_form_10_body_must_be_categorical_only(self, hospital_vocab):
+        with pytest.raises(DimensionalRuleError):
+            make_rule(
+                "exists U : InstitutionUnit(I, U), PatientUnit(U, D, P) :- "
+                "DischargePatients(I, D, P), UnitWard(U2, W).", hospital_vocab)
+
+    def test_form_10_level_check(self, hospital_vocab):
+        # Generating data at the *Institution* level from ward-level data
+        # violates the "body at same or higher level" condition of form (10).
+        with pytest.raises(DimensionalRuleError):
+            make_rule(
+                "exists I : DischargePatients(I, D, P) :- PatientWard(W, D, P).",
+                hospital_vocab)
+
+    def test_two_categorical_head_atoms_rejected(self, hospital_vocab):
+        with pytest.raises(DimensionalRuleError):
+            make_rule(
+                "PatientUnit(U, D, P), PatientWard(W, D, P) :- DischargePatients(I, D, P), "
+                "UnitWard(U, W).", hospital_vocab)
+
+
+class TestDimensionalConstraint:
+    def test_egd_constraint(self, hospital_vocab):
+        md, vocabulary = hospital_vocab
+        constraint = DimensionalConstraint(parse_rule(
+            "T = T2 :- Thermometer(W, T, N), Thermometer(W2, T2, N2), "
+            "UnitWard(U, W), UnitWard(U, W2)."), vocabulary)
+        assert constraint.kind == "egd"
+        assert constraint.is_intra_dimensional()
+
+    def test_denial_constraint_inter_dimensional(self, hospital_vocab):
+        md, vocabulary = hospital_vocab
+        constraint = DimensionalConstraint(parse_rule(
+            "false :- PatientWard(W, D, P), UnitWard('Intensive', W), MonthDay('2005-09', D)."),
+            vocabulary)
+        assert constraint.kind == "denial"
+        assert constraint.is_inter_dimensional()
+        assert constraint.dimensions() == {"Hospital", "Time"}
+
+    def test_tgd_rejected_as_constraint(self, hospital_vocab):
+        md, vocabulary = hospital_vocab
+        with pytest.raises(DimensionalConstraintError):
+            DimensionalConstraint(parse_rule("PatientUnit(U, D, P) :- PatientWard(W, D, P), "
+                                             "UnitWard(U, W)."), vocabulary)
+
+    def test_unknown_predicate_rejected(self, hospital_vocab):
+        md, vocabulary = hospital_vocab
+        with pytest.raises(DimensionalConstraintError):
+            DimensionalConstraint(parse_rule("false :- Bogus(X)."), vocabulary)
+
+
+class TestReferentialConstraint:
+    def test_shape_of_generated_constraint(self):
+        constraint = referential_constraint("PatientUnit", 0, 3, "Unit")
+        assert len(constraint.positive_atoms()) == 1
+        assert len(constraint.negative_atoms()) == 1
+        negated = constraint.negative_atoms()[0]
+        assert negated.predicate == "Unit"
+        # the negated category atom shares the first variable of the relation atom
+        assert negated.terms[0] == constraint.positive_atoms()[0].terms[0]

@@ -1,0 +1,92 @@
+"""Tests for the quality measures (departure from the quality version)."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.assessment import (DatabaseAssessment, RelationAssessment, assess_database,
+                                      assess_relation)
+from repro.relational.instance import DatabaseInstance, Relation
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture()
+def original():
+    rel = Relation(RelationSchema("R", ["a", "b"]))
+    rel.add_all([("x", 1), ("y", 2), ("z", 3), ("w", 4)])
+    return rel
+
+
+@pytest.fixture()
+def quality():
+    rel = Relation(RelationSchema("R_q", ["a", "b"]))
+    rel.add_all([("x", 1), ("y", 2), ("extra", 9)])
+    return rel
+
+
+class TestRelationAssessment:
+    def test_counts(self, original, quality):
+        assessment = assess_relation(original, quality)
+        assert assessment.total_tuples == 4
+        assert assessment.quality_tuples == 3
+        assert assessment.kept_tuples == 2
+        assert assessment.missing_tuples == 1
+
+    def test_ratios(self, original, quality):
+        assessment = assess_relation(original, quality)
+        assert assessment.quality_ratio == pytest.approx(0.5)
+        assert assessment.completeness_ratio == pytest.approx(2 / 3)
+        assert assessment.departure == 3  # 2 non-quality stored + 1 missing
+
+    def test_perfect_relation(self, original):
+        assessment = assess_relation(original, original)
+        assert assessment.quality_ratio == 1.0
+        assert assessment.completeness_ratio == 1.0
+        assert assessment.departure == 0
+
+    def test_empty_relations(self):
+        empty = Relation(RelationSchema("R", ["a"]))
+        assessment = assess_relation(empty, empty)
+        assert assessment.quality_ratio == 1.0
+        assert assessment.completeness_ratio == 1.0
+
+    def test_arity_mismatch_rejected(self, original):
+        other = Relation(RelationSchema("Q", ["a"]))
+        with pytest.raises(QualityError):
+            assess_relation(original, other)
+
+    def test_as_dict_keys(self, original, quality):
+        data = assess_relation(original, quality).as_dict()
+        assert {"quality_ratio", "completeness_ratio", "departure"} <= set(data)
+
+
+class TestDatabaseAssessment:
+    def test_aggregation(self, original, quality):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a", "b"]).add_all(original)
+        assessment = assess_database(instance, {"R": quality})
+        assert assessment.quality_ratio == pytest.approx(0.5)
+        assert assessment.departure == 3
+        assert len(assessment.as_rows()) == 1
+
+    def test_missing_relation_rejected(self, quality):
+        with pytest.raises(QualityError):
+            assess_database(DatabaseInstance(), {"R": quality})
+
+    def test_empty_assessment_is_perfect(self):
+        assert DatabaseAssessment().quality_ratio == 1.0
+
+    def test_str_rendering(self, original, quality):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a", "b"]).add_all(original)
+        text = str(assess_database(instance, {"R": quality}))
+        assert "overall quality ratio" in text
+
+    def test_hospital_measurements_assessment(self, hospital_scenario):
+        assessment = hospital_scenario.assess()
+        measurements = assessment.relations["Measurements"]
+        # 2 of the 6 stored measurements are quality (Table II), none missing.
+        assert measurements.total_tuples == 6
+        assert measurements.kept_tuples == 2
+        assert measurements.missing_tuples == 0
+        assert measurements.quality_ratio == pytest.approx(1 / 3)
+        assert assessment.quality_ratio == pytest.approx(1 / 3)

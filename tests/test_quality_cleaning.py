@@ -1,0 +1,83 @@
+"""Tests for clean (quality) query answering: the Q → Q^q rewriting."""
+
+import pytest
+
+from repro.datalog.parser import parse_query
+from repro.quality.cleaning import (compare_answers, direct_answers, quality_answers,
+                                    rewrite_query_to_quality)
+
+
+class TestQueryRewriting:
+    def test_relations_with_quality_versions_are_renamed(self, hospital_scenario):
+        query = parse_query("?(T, P, V) :- Measurements(T, P, V).")
+        rewritten = rewrite_query_to_quality(query, hospital_scenario.context)
+        assert rewritten.body[0].predicate == "Measurements_q"
+        assert rewritten.name.endswith("_q")
+
+    def test_other_predicates_untouched(self, hospital_scenario):
+        query = parse_query("?(T) :- Measurements(T, P, V), TakenByNurse(T, P, N, Y).")
+        rewritten = rewrite_query_to_quality(query, hospital_scenario.context)
+        predicates = [atom.predicate for atom in rewritten.body]
+        assert predicates == ["Measurements_q", "TakenByNurse"]
+
+    def test_comparisons_preserved(self, hospital_scenario):
+        query = parse_query("?(T) :- Measurements(T, P, V), T >= 'Sep/5-11:45'.")
+        rewritten = rewrite_query_to_quality(query, hospital_scenario.context)
+        assert len(rewritten.comparisons) == 1
+
+    def test_text_queries_accepted(self, hospital_scenario):
+        rewritten = rewrite_query_to_quality("?(T, P, V) :- Measurements(T, P, V).",
+                                             hospital_scenario.context)
+        assert rewritten.body[0].predicate == "Measurements_q"
+
+
+class TestAnswering:
+    def test_direct_answers_do_not_filter(self, hospital_scenario):
+        rows = direct_answers(hospital_scenario.measurements,
+                              "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
+        assert len(rows) == 4
+
+    def test_quality_answers_filter_to_table_2(self, hospital_scenario):
+        rows = quality_answers(hospital_scenario.context, hospital_scenario.measurements,
+                               "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
+        assert rows == [("Sep/5-12:10", "Tom Waits", 38.2),
+                        ("Sep/6-11:50", "Tom Waits", 37.1)]
+
+    def test_doctor_query_quality_answer(self, hospital_scenario):
+        assert hospital_scenario.quality_answers_to_doctor_query() == \
+            hospital_scenario.expected_doctor_answers()
+
+    def test_quality_answers_with_shared_chase(self, hospital_scenario):
+        shared = hospital_scenario.context.chase(hospital_scenario.measurements,
+                                                 check_constraints=False)
+        first = quality_answers(hospital_scenario.context, hospital_scenario.measurements,
+                                "?(T) :- Measurements(T, P, V).", chase_result=shared)
+        second = quality_answers(hospital_scenario.context, hospital_scenario.measurements,
+                                 "?(P) :- Measurements(T, P, V).", chase_result=shared)
+        assert first and second
+
+
+class TestComparison:
+    def test_spurious_answers_and_precision(self, hospital_scenario):
+        comparison = compare_answers(
+            hospital_scenario.context, hospital_scenario.measurements,
+            "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
+        assert len(comparison.direct) == 4
+        assert len(comparison.quality) == 2
+        assert len(comparison.spurious) == 2
+        assert comparison.precision == pytest.approx(0.5)
+
+    def test_precision_one_when_everything_is_quality(self, hospital_scenario):
+        comparison = hospital_scenario.compare_doctor_query()
+        assert comparison.precision == 1.0
+        assert comparison.spurious == []
+
+    def test_empty_direct_answers_give_precision_one(self, hospital_scenario):
+        comparison = compare_answers(
+            hospital_scenario.context, hospital_scenario.measurements,
+            "?(T) :- Measurements(T, P, V), P = 'Nobody'.")
+        assert comparison.precision == 1.0
+
+    def test_str_rendering(self, hospital_scenario):
+        comparison = hospital_scenario.compare_doctor_query()
+        assert "direct" in str(comparison) and "quality" in str(comparison)

@@ -1,0 +1,104 @@
+"""Tests for contexts, quality-version specs and their assembly/evaluation."""
+
+import pytest
+
+from repro.errors import ContextError, QualityVersionError
+from repro.quality.context import Context, default_context_name
+from repro.quality.versions import QualityVersionSpec, default_quality_name
+from repro.relational.instance import DatabaseInstance
+
+
+@pytest.fixture()
+def simple_instance():
+    db = DatabaseInstance()
+    db.declare("Readings", ["sensor", "value"])
+    db.add_all("Readings", [("s1", 10), ("s2", 20), ("s3", 30)])
+    return db
+
+
+@pytest.fixture()
+def simple_context():
+    """A context without any MD ontology: quality = reading from a trusted sensor."""
+    context = Context(name="simple")
+    context.map_relation("Readings", arity=2)
+    context.add_external_source("TrustedSensor", ["sensor"], rows=[("s1",), ("s2",)])
+    context.add_quality_predicate(
+        "Trusted", ["Trusted(S) :- TrustedSensor(S)."],
+        description="sensors on the calibration list")
+    context.define_quality_version(
+        "Readings", ["Readings_q(S, V) :- Readings_c(S, V), Trusted(S)."])
+    return context
+
+
+class TestQualityVersionSpec:
+    def test_default_name(self):
+        assert default_quality_name("Measurements") == "Measurements_q"
+        spec = QualityVersionSpec("R", ["R_q(X) :- R_c(X)."])
+        assert spec.quality_relation == "R_q"
+
+    def test_head_must_be_quality_relation(self):
+        with pytest.raises(QualityVersionError):
+            QualityVersionSpec("R", ["Other(X) :- R_c(X)."])
+
+    def test_existential_rules_rejected(self):
+        with pytest.raises(QualityVersionError):
+            QualityVersionSpec("R", ["exists Z : R_q(X, Z) :- R_c(X, Y)."])
+
+    def test_at_least_one_rule(self):
+        with pytest.raises(QualityVersionError):
+            QualityVersionSpec("R", [])
+
+    def test_custom_quality_relation_name(self):
+        spec = QualityVersionSpec("R", ["Clean(X) :- R_c(X)."], quality_relation="Clean")
+        assert spec.quality_relation == "Clean"
+
+
+class TestContextConstruction:
+    def test_default_context_name(self):
+        assert default_context_name("Measurements") == "Measurements_c"
+
+    def test_contextual_name_requires_mapping(self, simple_context):
+        assert simple_context.contextual_name("Readings") == "Readings_c"
+        with pytest.raises(ContextError):
+            simple_context.contextual_name("Other")
+
+    def test_quality_predicates_listed(self, simple_context):
+        assert [p.name for p in simple_context.quality_predicates()] == ["Trusted"]
+
+    def test_add_rule_rejects_non_tgds(self, simple_context):
+        with pytest.raises(ContextError):
+            simple_context.add_rule("false :- Readings_c(S, V).")
+
+    def test_assemble_requires_mapped_relations(self, simple_context):
+        with pytest.raises(ContextError):
+            simple_context.assemble(DatabaseInstance())
+
+
+class TestContextEvaluation:
+    def test_assembled_program_contains_copy_rules(self, simple_context, simple_instance):
+        program = simple_context.assemble(simple_instance)
+        heads = {atom.predicate for tgd in program.tgds for atom in tgd.head}
+        assert "Readings_c" in heads and "Readings_q" in heads and "Trusted" in heads
+
+    def test_quality_version_materialization(self, simple_context, simple_instance):
+        quality = simple_context.quality_version(simple_instance, "Readings")
+        assert set(quality) == {("s1", 10), ("s2", 20)}
+        assert quality.schema.attributes == ("sensor", "value")
+
+    def test_quality_versions_for_shares_chase(self, simple_context, simple_instance):
+        versions = simple_context.quality_versions_for(simple_instance)
+        assert set(versions) == {"Readings"}
+        assert len(versions["Readings"]) == 2
+
+    def test_quality_version_requires_declaration(self, simple_context, simple_instance):
+        with pytest.raises(ContextError):
+            simple_context.quality_version(simple_instance, "Other")
+
+    def test_chase_includes_external_sources(self, simple_context, simple_instance):
+        result = simple_context.chase(simple_instance)
+        assert ("s1",) in result.instance.relation("TrustedSensor")
+
+    def test_hospital_context_quality_version(self, hospital_scenario):
+        quality = hospital_scenario.context.quality_version(
+            hospital_scenario.measurements, "Measurements")
+        assert set(quality) == set(hospital_scenario.expected_quality_measurements())

@@ -1,0 +1,59 @@
+"""Tests for contextual and quality predicates."""
+
+import pytest
+
+from repro.errors import QualityError
+from repro.quality.predicates import (CONTEXTUAL, QUALITY, ContextualPredicate,
+                                      contextual_predicate, quality_predicate)
+
+
+class TestContextualPredicate:
+    def test_rules_are_parsed_from_text(self):
+        predicate = ContextualPredicate(
+            "TakenByNurse",
+            ["TakenByNurse(T, P, N, Y) :- WorkingSchedules(U, D, N, Y), DayTime(D, T), "
+             "PatientUnit(U, D, P)."])
+        assert len(predicate.rules) == 1
+        assert predicate.role == CONTEXTUAL
+        assert not predicate.is_quality()
+
+    def test_quality_role(self):
+        predicate = quality_predicate("TakenWithTherm",
+                                      ["TakenWithTherm(T, P, 'B1') :- PatientUnit('Standard', D, P), "
+                                       "DayTime(D, T)."])
+        assert predicate.is_quality()
+        assert predicate.role == QUALITY
+
+    def test_contextual_constructor(self):
+        predicate = contextual_predicate("Aux", ["Aux(X) :- R(X)."])
+        assert predicate.role == CONTEXTUAL
+
+    def test_head_must_mention_the_predicate(self):
+        with pytest.raises(QualityError):
+            ContextualPredicate("TakenByNurse", ["SomethingElse(X) :- R(X)."])
+
+    def test_at_least_one_rule_required(self):
+        with pytest.raises(QualityError):
+            ContextualPredicate("P", [])
+
+    def test_non_tgd_definition_rejected(self):
+        with pytest.raises(QualityError):
+            ContextualPredicate("P", ["false :- R(X)."])
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(QualityError):
+            ContextualPredicate("P", ["P(X) :- R(X)."], role="bogus")
+
+    def test_name_required(self):
+        with pytest.raises(QualityError):
+            ContextualPredicate("", ["P(X) :- R(X)."])
+
+    def test_str_marks_quality_predicates(self):
+        predicate = quality_predicate("P", ["P(X) :- R(X)."])
+        assert str(predicate).startswith("[P]")
+        predicate = contextual_predicate("P", ["P(X) :- R(X)."])
+        assert str(predicate).startswith("[C]")
+
+    def test_multiple_defining_rules(self):
+        predicate = ContextualPredicate("P", ["P(X) :- R(X).", "P(X) :- S(X)."])
+        assert len(predicate.rules) == 2

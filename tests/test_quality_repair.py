@@ -1,0 +1,49 @@
+"""Tests for constraint-driven repair of categorical relations."""
+
+import pytest
+
+from repro.hospital import build_md_instance, build_ontology
+from repro.quality.repair import RepairReport, repair_md_instance
+
+
+class TestRepair:
+    def test_consistent_ontology_needs_no_repair(self):
+        ontology = build_ontology()
+        report = repair_md_instance(ontology)
+        assert report.clean
+        assert report.removed == []
+        assert "no repairs" in str(report)
+
+    def test_closure_constraint_removes_third_patient_ward_tuple(self):
+        ontology = build_ontology(include_closure_constraints=True)
+        before = len(ontology.md.relation("PatientWard"))
+        report = repair_md_instance(ontology)
+        assert report.clean
+        assert ("W3", "Sep/6", "Lou Reed") in report.removed_from("PatientWard")
+        assert len(ontology.md.relation("PatientWard")) == before - 1
+        # after the repair, the ontology is consistent
+        assert ontology.check_consistency().is_consistent
+
+    def test_referential_violation_removed(self):
+        md = build_md_instance()
+        md.database.add("PatientWard", ("W99", "Sep/5", "Ghost"))
+        ontology = build_ontology(md)
+        report = repair_md_instance(ontology)
+        assert report.clean
+        assert ("W99", "Sep/5", "Ghost") in report.removed_from("PatientWard")
+        # the legitimate tuples survive
+        assert ("W1", "Sep/5", "Tom Waits") in ontology.md.relation("PatientWard")
+
+    def test_repair_preserves_quality_pipeline(self):
+        ontology = build_ontology(include_closure_constraints=True)
+        repair_md_instance(ontology)
+        # After cleaning, rule (7) still derives the standard-unit stays.
+        answers = ontology.certain_answers(
+            "?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")
+        assert answers == [("Standard",)]
+
+    def test_report_rendering(self):
+        ontology = build_ontology(include_closure_constraints=True)
+        report = repair_md_instance(ontology)
+        assert "PatientWard" in str(report)
+        assert report.iterations >= 1

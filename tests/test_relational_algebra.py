@@ -1,0 +1,126 @@
+"""Tests for the relational algebra operators."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import algebra
+from repro.relational.instance import Relation
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture()
+def employees():
+    rel = Relation(RelationSchema("Emp", ["name", "dept", "salary"]))
+    rel.add_all([
+        ("ann", "db", 100),
+        ("bob", "db", 90),
+        ("carol", "ai", 120),
+    ])
+    return rel
+
+
+@pytest.fixture()
+def departments():
+    rel = Relation(RelationSchema("Dept", ["dept", "floor"]))
+    rel.add_all([("db", 1), ("ai", 2)])
+    return rel
+
+
+class TestSelection:
+    def test_select_with_predicate(self, employees):
+        result = algebra.select(employees, lambda row: row["salary"] > 95)
+        assert set(result) == {("ann", "db", 100), ("carol", "ai", 120)}
+
+    def test_select_eq(self, employees):
+        result = algebra.select_eq(employees, {"dept": "db"})
+        assert len(result) == 2
+
+    def test_select_eq_multiple_conditions(self, employees):
+        result = algebra.select_eq(employees, {"dept": "db", "name": "bob"})
+        assert set(result) == {("bob", "db", 90)}
+
+    def test_select_renames(self, employees):
+        result = algebra.select(employees, lambda row: True, name="All")
+        assert result.schema.name == "All"
+
+
+class TestProjection:
+    def test_project_removes_duplicates(self, employees):
+        result = algebra.project(employees, ["dept"])
+        assert set(result) == {("db",), ("ai",)}
+
+    def test_project_order(self, employees):
+        result = algebra.project(employees, ["salary", "name"])
+        assert result.schema.attributes == ("salary", "name")
+
+    def test_project_unknown_attribute(self, employees):
+        with pytest.raises(SchemaError):
+            algebra.project(employees, ["missing"])
+
+
+class TestRename:
+    def test_rename_attribute(self, employees):
+        result = algebra.rename(employees, {"dept": "department"})
+        assert "department" in result.schema.attributes
+        assert len(result) == len(employees)
+
+    def test_rename_unknown_attribute(self, employees):
+        with pytest.raises(SchemaError):
+            algebra.rename(employees, {"missing": "x"})
+
+
+class TestSetOperators:
+    def test_union(self, employees):
+        extra = Relation(employees.schema, [("dave", "db", 80)])
+        assert len(algebra.union(employees, extra)) == 4
+
+    def test_union_removes_duplicates(self, employees):
+        assert len(algebra.union(employees, employees)) == 3
+
+    def test_difference(self, employees):
+        subset = Relation(employees.schema, [("ann", "db", 100)])
+        result = algebra.difference(employees, subset)
+        assert ("ann", "db", 100) not in result
+        assert len(result) == 2
+
+    def test_intersection(self, employees):
+        subset = Relation(employees.schema, [("ann", "db", 100), ("zed", "x", 1)])
+        assert set(algebra.intersection(employees, subset)) == {("ann", "db", 100)}
+
+    def test_incompatible_arity_rejected(self, employees, departments):
+        with pytest.raises(SchemaError):
+            algebra.union(employees, departments)
+
+
+class TestJoins:
+    def test_natural_join(self, employees, departments):
+        result = algebra.natural_join(employees, departments)
+        assert result.schema.attributes == ("name", "dept", "salary", "floor")
+        assert ("ann", "db", 100, 1) in result
+        assert len(result) == 3
+
+    def test_natural_join_no_shared_attributes_is_product(self, departments):
+        other = Relation(RelationSchema("X", ["k"]), [("a",), ("b",)])
+        result = algebra.natural_join(departments, other)
+        assert len(result) == 4
+
+    def test_theta_join(self, employees, departments):
+        result = algebra.theta_join(
+            employees, departments, lambda e, d: e["dept"] == d["dept"] and d["floor"] == 1)
+        assert len(result) == 2
+
+    def test_cartesian_product(self, employees, departments):
+        assert len(algebra.cartesian_product(employees, departments)) == 6
+
+
+class TestQualityHelpers:
+    def test_distinct_values(self, employees):
+        assert algebra.distinct_values(employees, "dept") == {"db", "ai"}
+
+    def test_tuple_containment_ratio(self, employees):
+        reference = Relation(employees.schema, [("ann", "db", 100), ("bob", "db", 90)])
+        assert algebra.tuple_containment_ratio(employees, reference) == pytest.approx(2 / 3)
+
+    def test_tuple_containment_ratio_empty_subject(self, employees):
+        empty = Relation(employees.schema)
+        assert algebra.tuple_containment_ratio(empty, employees) == 1.0

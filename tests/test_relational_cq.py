@@ -1,0 +1,94 @@
+"""Tests for the pattern-based conjunctive query evaluator."""
+
+import pytest
+
+from repro.errors import ArityError, QueryAnsweringError
+from repro.relational.cq import PatternAtom, PatternQuery, evaluate, holds, is_pattern_variable
+from repro.relational.instance import DatabaseInstance
+
+
+@pytest.fixture()
+def instance():
+    db = DatabaseInstance()
+    db.declare("Parent", ["parent", "child"])
+    db.declare("Person", ["name", "age"])
+    db.add_all("Parent", [("ann", "bob"), ("bob", "carol"), ("ann", "dan")])
+    db.add_all("Person", [("ann", 70), ("bob", 45), ("carol", 20), ("dan", 40)])
+    return db
+
+
+class TestPatternAtom:
+    def test_variable_detection(self):
+        assert is_pattern_variable("?x")
+        assert not is_pattern_variable("x")
+        assert not is_pattern_variable("?")
+        assert not is_pattern_variable(42)
+
+    def test_atom_variables_in_order(self):
+        atom = PatternAtom("R", ["?x", "c", "?y", "?x"])
+        assert atom.variables() == ["?x", "?y"]
+
+
+class TestPatternQuery:
+    def test_answer_variable_must_occur_in_body(self):
+        with pytest.raises(QueryAnsweringError):
+            PatternQuery(["?z"], [PatternAtom("Parent", ["?x", "?y"])])
+
+    def test_str_rendering(self):
+        query = PatternQuery(["?x"], [PatternAtom("Parent", ["?x", "?y"])])
+        assert "Parent" in str(query)
+
+
+class TestEvaluate:
+    def test_single_atom_query(self, instance):
+        query = PatternQuery(["?c"], [PatternAtom("Parent", ["ann", "?c"])])
+        assert evaluate(query, instance) == [("bob",), ("dan",)]
+
+    def test_join_query(self, instance):
+        query = PatternQuery(
+            ["?grandchild"],
+            [PatternAtom("Parent", ["ann", "?x"]),
+             PatternAtom("Parent", ["?x", "?grandchild"])])
+        assert evaluate(query, instance) == [("carol",)]
+
+    def test_join_on_repeated_variable_within_atom(self, instance):
+        instance.declare("Self", ["a", "b"])
+        instance.add("Self", ("x", "x"))
+        instance.add("Self", ("x", "y"))
+        query = PatternQuery(["?a"], [PatternAtom("Self", ["?a", "?a"])])
+        assert evaluate(query, instance) == [("x",)]
+
+    def test_filters(self, instance):
+        query = PatternQuery(
+            ["?name"],
+            [PatternAtom("Person", ["?name", "?age"])],
+            filters=[lambda binding: binding["?age"] >= 45])
+        assert evaluate(query, instance) == [("ann",), ("bob",)]
+
+    def test_constant_mismatch_yields_empty(self, instance):
+        query = PatternQuery(["?c"], [PatternAtom("Parent", ["zoe", "?c"])])
+        assert evaluate(query, instance) == []
+
+    def test_arity_mismatch_raises(self, instance):
+        query = PatternQuery(["?x"], [PatternAtom("Parent", ["?x"])])
+        with pytest.raises(ArityError):
+            evaluate(query, instance)
+
+    def test_duplicate_answers_removed(self, instance):
+        query = PatternQuery(["?p"], [PatternAtom("Parent", ["?p", "?c"])])
+        assert evaluate(query, instance) == [("ann",), ("bob",)]
+
+
+class TestHolds:
+    def test_holds_true(self, instance):
+        query = PatternQuery([], [PatternAtom("Parent", ["ann", "?x"])])
+        assert holds(query, instance)
+
+    def test_holds_false(self, instance):
+        query = PatternQuery([], [PatternAtom("Parent", ["carol", "?x"])])
+        assert not holds(query, instance)
+
+    def test_holds_with_failing_filter(self, instance):
+        query = PatternQuery([], [PatternAtom("Person", ["?n", "?a"])],
+                             filters=[lambda binding: binding["?a"] > 100])
+        assert not holds(query, instance)

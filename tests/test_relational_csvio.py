@@ -1,0 +1,79 @@
+"""Tests for CSV import/export of relations and instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csvio import (read_instance_csv, read_relation_csv,
+                                    write_instance_csv, write_relation_csv)
+from repro.relational.instance import DatabaseInstance, Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.values import Null
+
+
+@pytest.fixture()
+def relation():
+    rel = Relation(RelationSchema("People", ["name", "city"]))
+    rel.add_all([("ann", "ottawa"), ("bob", "toronto")])
+    return rel
+
+
+class TestRelationRoundTrip:
+    def test_round_trip_preserves_rows(self, relation, tmp_path):
+        path = tmp_path / "people.csv"
+        write_relation_csv(relation, path)
+        loaded = read_relation_csv(path)
+        assert set(loaded) == set(relation)
+        assert loaded.schema.attributes == relation.schema.attributes
+
+    def test_relation_name_defaults_to_file_stem(self, relation, tmp_path):
+        path = tmp_path / "staff.csv"
+        write_relation_csv(relation, path)
+        assert read_relation_csv(path).schema.name == "staff"
+
+    def test_explicit_name_overrides_stem(self, relation, tmp_path):
+        path = tmp_path / "staff.csv"
+        write_relation_csv(relation, path)
+        assert read_relation_csv(path, name="Employees").schema.name == "Employees"
+
+    def test_nulls_round_trip(self, tmp_path):
+        rel = Relation(RelationSchema("R", ["a", "b"]))
+        rel.add(("x", Null("n3")))
+        path = tmp_path / "r.csv"
+        write_relation_csv(rel, path)
+        loaded = read_relation_csv(path)
+        assert ("x", Null("n3")) in loaded
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_relation_csv(path)
+
+    def test_values_are_read_as_strings(self, tmp_path):
+        rel = Relation(RelationSchema("R", ["a"]))
+        rel.add((42,))
+        path = tmp_path / "r.csv"
+        write_relation_csv(rel, path)
+        loaded = read_relation_csv(path)
+        assert ("42",) in loaded
+
+
+class TestInstanceRoundTrip:
+    def test_instance_round_trip(self, relation, tmp_path):
+        instance = DatabaseInstance()
+        target = instance.declare("People", ["name", "city"])
+        target.add_all(relation)
+        instance.declare("Empty", ["x"])
+        write_instance_csv(instance, tmp_path)
+        loaded = read_instance_csv(tmp_path)
+        assert set(loaded.relation("People")) == set(relation)
+        assert loaded.has_relation("Empty")
+
+    def test_selective_load(self, relation, tmp_path):
+        instance = DatabaseInstance()
+        instance.declare("People", ["name", "city"]).add_all(relation)
+        instance.declare("Other", ["x"]).add(("v",))
+        write_instance_csv(instance, tmp_path)
+        loaded = read_instance_csv(tmp_path, relation_names=["People"])
+        assert loaded.has_relation("People")
+        assert not loaded.has_relation("Other")

@@ -1,0 +1,150 @@
+"""Tests for relation and database instances."""
+
+import pytest
+
+from repro.errors import ArityError, UnknownRelationError
+from repro.relational.instance import DatabaseInstance, Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.values import Null
+
+
+@pytest.fixture()
+def relation():
+    rel = Relation(RelationSchema("R", ["a", "b"]))
+    rel.add(("x", 1))
+    rel.add(("y", 2))
+    return rel
+
+
+class TestRelation:
+    def test_add_and_contains(self, relation):
+        assert ("x", 1) in relation
+        assert ("z", 3) not in relation
+
+    def test_add_duplicate_returns_false(self, relation):
+        assert relation.add(("x", 1)) is False
+        assert len(relation) == 2
+
+    def test_add_wrong_arity(self, relation):
+        with pytest.raises(ArityError):
+            relation.add(("only-one",))
+
+    def test_discard(self, relation):
+        assert relation.discard(("x", 1)) is True
+        assert relation.discard(("x", 1)) is False
+        assert len(relation) == 1
+
+    def test_column(self, relation):
+        assert relation.column("a") == ["x", "y"]
+
+    def test_active_domain_and_constants_and_nulls(self):
+        rel = Relation(RelationSchema("R", ["a"]))
+        rel.add((Null("n1"),))
+        rel.add(("c",))
+        assert rel.active_domain() == {Null("n1"), "c"}
+        assert rel.constants() == {"c"}
+        assert rel.nulls() == {Null("n1")}
+
+    def test_as_dicts(self, relation):
+        assert {"a": "x", "b": 1} in relation.as_dicts()
+
+    def test_copy_is_independent(self, relation):
+        clone = relation.copy()
+        clone.add(("z", 3))
+        assert ("z", 3) not in relation
+
+    def test_sorted_rows_deterministic(self):
+        rel = Relation(RelationSchema("R", ["a"]))
+        rel.add((3,))
+        rel.add((1,))
+        rel.add(("b",))
+        assert rel.sorted_rows() == rel.sorted_rows()
+
+    def test_equality_is_set_based(self):
+        first = Relation(RelationSchema("R", ["a"]), [("x",), ("y",)])
+        second = Relation(RelationSchema("R", ["a"]), [("y",), ("x",)])
+        assert first == second
+
+    def test_pretty_contains_header_and_rows(self, relation):
+        text = relation.pretty()
+        assert "R" in text and "a" in text and "x" in text
+
+    def test_pretty_limit(self, relation):
+        text = relation.pretty(limit=1)
+        assert "more" in text
+
+
+class TestDatabaseInstance:
+    def test_declare_add_and_lookup(self):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a"])
+        assert instance.add("R", ("x",)) is True
+        assert instance.relation("R").rows() == [("x",)]
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseInstance().relation("missing")
+
+    def test_add_to_undeclared_relation_raises(self):
+        with pytest.raises(UnknownRelationError):
+            DatabaseInstance().add("R", ("x",))
+
+    def test_facts_iteration(self):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a"])
+        instance.declare("S", ["b"])
+        instance.add("R", ("x",))
+        instance.add("S", ("y",))
+        assert set(instance.facts()) == {("R", ("x",)), ("S", ("y",))}
+
+    def test_total_tuples(self):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a"])
+        instance.add_all("R", [("x",), ("y",)])
+        assert instance.total_tuples() == 2
+
+    def test_copy_is_deep_for_rows(self):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a"])
+        instance.add("R", ("x",))
+        clone = instance.copy()
+        clone.add("R", ("y",))
+        assert instance.total_tuples() == 1
+
+    def test_merge(self):
+        left = DatabaseInstance()
+        left.declare("R", ["a"])
+        left.add("R", ("x",))
+        right = DatabaseInstance()
+        right.declare("S", ["b"])
+        right.add("S", ("y",))
+        merged = left.merge(right)
+        assert merged.total_tuples() == 2
+        assert merged.has_relation("R") and merged.has_relation("S")
+
+    def test_load_bulk(self):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a", "b"])
+        instance.load({"R": [("x", 1), ("y", 2)]})
+        assert instance.total_tuples() == 2
+
+    def test_equality(self):
+        first = DatabaseInstance()
+        first.declare("R", ["a"])
+        first.add("R", ("x",))
+        second = DatabaseInstance()
+        second.declare("R", ["a"])
+        second.add("R", ("x",))
+        assert first == second
+
+    def test_active_domain_union(self):
+        instance = DatabaseInstance()
+        instance.declare("R", ["a"])
+        instance.declare("S", ["b"])
+        instance.add("R", ("x",))
+        instance.add("S", (Null("n"),))
+        assert instance.active_domain() == {"x", Null("n")}
+        assert instance.nulls() == {Null("n")}
+
+    def test_pretty_empty(self):
+        assert "empty" in DatabaseInstance().pretty()

@@ -1,0 +1,75 @@
+"""Tests for the text/Markdown report renderers."""
+
+import pytest
+
+from repro.md.validation import ValidationReport
+from repro.quality.cleaning import compare_answers
+from repro.reporting import (render_analysis, render_assessment, render_comparison,
+                             render_key_values, render_relation, render_table,
+                             render_validation)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("a", "bbbb"), [(1, 2), ("xxx", "y")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "xxx" in lines[3]
+
+    def test_markdown_mode(self):
+        text = render_table(("a", "b"), [(1, 2)], markdown=True)
+        assert text.splitlines()[0].startswith("| a")
+        assert set(text.splitlines()[1]) <= {"|", "-"}
+
+    def test_empty_rows(self):
+        text = render_table(("a",), [])
+        assert "a" in text
+
+
+class TestRenderers:
+    def test_render_relation(self, hospital_scenario):
+        text = render_relation(hospital_scenario.measurements.relation("Measurements"))
+        assert "Tom Waits" in text and "Time" in text
+
+    def test_render_relation_limit(self, hospital_scenario):
+        text = render_relation(hospital_scenario.measurements.relation("Measurements"),
+                               limit=2)
+        assert text.count("Tom Waits") <= 2
+
+    def test_render_analysis(self, hospital_ontology):
+        text = render_analysis(hospital_ontology.analysis())
+        assert "weakly_sticky" in text
+        assert "rule (7)" in text
+
+    def test_render_analysis_markdown(self, hospital_ontology):
+        text = render_analysis(hospital_ontology.analysis(), markdown=True)
+        assert "| property" in text
+
+    def test_render_validation_valid(self, hospital_md):
+        from repro.md.validation import validate_md_instance
+        assert "passed" in render_validation(validate_md_instance(hospital_md))
+
+    def test_render_validation_with_issues(self):
+        report = ValidationReport()
+        report.add("non_strict", "Ward:W1", "rolls up twice", dimension="Hospital")
+        text = render_validation(report)
+        assert "non_strict" in text and "Hospital" in text
+
+    def test_render_assessment(self, hospital_scenario):
+        text = render_assessment(hospital_scenario.assess())
+        assert "Measurements" in text and "TOTAL" in text
+        markdown = render_assessment(hospital_scenario.assess(), markdown=True)
+        assert markdown.startswith("| relation")
+
+    def test_render_comparison(self, hospital_scenario):
+        comparison = compare_answers(
+            hospital_scenario.context, hospital_scenario.measurements,
+            "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
+        text = render_comparison(comparison)
+        assert "precision" in text
+        assert text.count("yes") == 2 and text.count("no") >= 2
+
+    def test_render_key_values(self):
+        text = render_key_values({"facts": 10, "rules": 3})
+        assert "facts" in text and "10" in text
