@@ -1,8 +1,9 @@
 """Shared fixtures for the benchmark harness.
 
-Each ``test_eXX_*.py`` module regenerates one experiment of the
-per-experiment index in DESIGN.md (the paper's tables, figures, worked
-examples and analytical claims).  Timings are collected by pytest-benchmark;
+Each ``test_eXX_*.py`` module regenerates one experiment derived from the
+paper's tables, figures, worked examples and analytical claims (the engine
+layering behind them is described in docs/ARCHITECTURE.md).  Timings are
+collected by pytest-benchmark;
 the reproduced values (the "rows" of each paper artifact) are attached to
 ``benchmark.extra_info`` so they appear in the benchmark report and can be
 compared against the expectations recorded in EXPERIMENTS.md.

@@ -1,7 +1,8 @@
-"""E10 — Ablations of design choices called out in DESIGN.md.
+"""E10 — Ablations of design choices (see docs/ARCHITECTURE.md).
 
 * restricted vs oblivious chase on the same MD ontology (the restricted
   chase fires fewer triggers because it skips already-satisfied heads);
+* indexed+delta engine vs the naive reference engine on the same chase;
 * navigation-direction mix: upward-only vs downward-only vs both;
 * constraint-checking overhead (referential constraints on vs off).
 """
@@ -26,6 +27,19 @@ def test_ablation_chase_flavour(benchmark, scenario, mode):
     benchmark.extra_info["mode"] = mode
     benchmark.extra_info["trigger_applications"] = result.steps
     benchmark.extra_info["facts_after_chase"] = result.instance.total_tuples()
+
+
+@pytest.mark.parametrize("engine", ["indexed", "naive"])
+def test_ablation_engine_flavour(benchmark, scenario, engine):
+    """Indexed+delta engine vs the naive reference on the hospital chase."""
+    program = scenario.ontology.program()
+
+    result = benchmark(lambda: chase(program, engine=engine, check_constraints=False))
+    assert result.terminated
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["rows_scanned"] = result.stats.rows_scanned
+    benchmark.extra_info["index_probes"] = result.stats.index_probes
+    benchmark.extra_info["trigger_applications"] = result.steps
 
 
 @pytest.mark.parametrize("direction", ["upward", "downward", "both"])

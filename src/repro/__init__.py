@@ -5,7 +5,12 @@ Multidimensional Data Quality Assessment"* (Milani, Bertossi & Ariyan,
 arXiv:1312.7373 / 2014).  The library provides:
 
 * :mod:`repro.relational` — an in-memory relational substrate (schemas,
-  instances, algebra, pattern queries, labeled nulls, CSV I/O);
+  instances with on-demand hash indexes, algebra, pattern queries, labeled
+  nulls, CSV I/O);
+* :mod:`repro.engine` — the shared evaluation engine: indexed atom matching
+  with selectivity-ordered joins, the naive reference matcher, and the
+  :class:`~repro.engine.stats.EngineStats` instrumentation threaded through
+  every evaluator (see ``docs/ARCHITECTURE.md``);
 * :mod:`repro.datalog` — a Datalog± engine: TGDs/EGDs/negative constraints,
   the chase, syntactic class analysis (linear, guarded, sticky, weakly
   sticky, weakly acyclic), EGD separability, certain-answer query answering,
@@ -24,12 +29,13 @@ arXiv:1312.7373 / 2014).  The library provides:
   used by the benchmark harness.
 """
 
-from . import datalog, errors, md, ontology, quality, relational, reporting
+from . import datalog, engine, errors, md, ontology, quality, relational, reporting
 
 __version__ = "0.1.0"
 
 __all__ = [
     "datalog",
+    "engine",
     "errors",
     "md",
     "ontology",

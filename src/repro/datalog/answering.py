@@ -17,21 +17,24 @@ rewriting (:mod:`repro.datalog.rewriting`) are validated against.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, List, Optional, Set, Tuple
 
+from ..engine.matching import matcher_for
+from ..engine.stats import EngineStats
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null
 from .chase import ChaseResult, chase
 from .program import DatalogProgram
 from .rules import ConjunctiveQuery
 from .terms import term_value
-from .unify import apply_to_term, evaluate_comparisons, find_homomorphisms
+from .unify import apply_to_term
 
 AnswerTuple = Tuple[Any, ...]
 
 
 def evaluate_query(query: ConjunctiveQuery, instance: DatabaseInstance,
-                   allow_nulls: bool = False) -> List[AnswerTuple]:
+                   allow_nulls: bool = False, engine: Optional[str] = None,
+                   stats: Optional[EngineStats] = None) -> List[AnswerTuple]:
     """Evaluate ``query`` over ``instance``.
 
     With ``allow_nulls=False`` (the certain-answer semantics) only answer
@@ -39,10 +42,15 @@ def evaluate_query(query: ConjunctiveQuery, instance: DatabaseInstance,
     ``allow_nulls=True`` the raw matches are returned, which is what the
     quality-version materialization needs (nulls stand for unknown
     non-categorical values and are kept in quality relations, cf. Example 5).
+
+    Matching goes through the shared engine (``engine="indexed"`` by
+    default; pass ``"naive"`` for the row-scanning reference).  An optional
+    ``stats`` object accumulates the matching work done.
     """
+    matcher = matcher_for(engine, stats)
     answers: Set[AnswerTuple] = set()
-    for homomorphism in find_homomorphisms(query.body, instance,
-                                           comparisons=query.comparisons):
+    for homomorphism in matcher.find_homomorphisms(query.body, instance,
+                                                   comparisons=query.comparisons):
         row = tuple(
             term_value(apply_to_term(homomorphism, variable))
             for variable in query.answer_variables
@@ -53,31 +61,37 @@ def evaluate_query(query: ConjunctiveQuery, instance: DatabaseInstance,
     return sorted(answers, key=lambda row: tuple(map(str, row)))
 
 
-def evaluate_boolean_query(query: ConjunctiveQuery, instance: DatabaseInstance) -> bool:
+def evaluate_boolean_query(query: ConjunctiveQuery, instance: DatabaseInstance,
+                           engine: Optional[str] = None,
+                           stats: Optional[EngineStats] = None) -> bool:
     """``True`` iff the (boolean) query body has a match in ``instance``."""
-    for homomorphism in find_homomorphisms(query.body, instance,
-                                           comparisons=query.comparisons):
+    matcher = matcher_for(engine, stats)
+    for _ in matcher.find_homomorphisms(query.body, instance,
+                                        comparisons=query.comparisons):
         return True
     return False
 
 
 def certain_answers(program: DatalogProgram, query: ConjunctiveQuery,
                     max_steps: int = 100_000,
-                    chase_result: Optional[ChaseResult] = None) -> List[AnswerTuple]:
+                    chase_result: Optional[ChaseResult] = None,
+                    engine: Optional[str] = None) -> List[AnswerTuple]:
     """Certain answers of ``query`` over ``program`` via the chase.
 
     A pre-computed ``chase_result`` may be supplied to amortize the chase
-    across many queries (the benchmark harness does this).
+    across many queries (the benchmark harness does this).  ``engine``
+    selects the matching engine for both the chase and the evaluation.
     """
     result = chase_result if chase_result is not None else chase(
-        program, max_steps=max_steps, check_constraints=False)
-    return evaluate_query(query, result.instance, allow_nulls=False)
+        program, max_steps=max_steps, check_constraints=False, engine=engine)
+    return evaluate_query(query, result.instance, allow_nulls=False, engine=engine)
 
 
 def certainly_holds(program: DatalogProgram, query: ConjunctiveQuery,
                     max_steps: int = 100_000,
-                    chase_result: Optional[ChaseResult] = None) -> bool:
+                    chase_result: Optional[ChaseResult] = None,
+                    engine: Optional[str] = None) -> bool:
     """Certain answer of a boolean query over ``program`` via the chase."""
     result = chase_result if chase_result is not None else chase(
-        program, max_steps=max_steps, check_constraints=False)
-    return evaluate_boolean_query(query, result.instance)
+        program, max_steps=max_steps, check_constraints=False, engine=engine)
+    return evaluate_boolean_query(query, result.instance, engine=engine)

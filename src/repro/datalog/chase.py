@@ -11,11 +11,30 @@ repairs the database until every dependency is satisfied:
 * **negative constraints** are checked on the final result (or eagerly,
   when ``fail_fast`` is set) and produce :class:`InconsistencyError`.
 
-Two flavours are provided (ablation experiment E10 in DESIGN.md):
+Two flavours are provided (ablation experiment E10 in the benchmark suite):
 
 * the **restricted** (standard) chase only fires a TGD trigger when the head
   is not already satisfied by some extension of the trigger homomorphism;
 * the **oblivious** chase fires every trigger exactly once regardless.
+
+Independently of the flavour, two **engines** are available (see
+``docs/ARCHITECTURE.md`` for the storage → matching → evaluator layering):
+
+* ``engine="indexed"`` (the default) matches rule bodies through the hash
+  indexes of :mod:`repro.engine.matching` and runs **delta-driven** rounds:
+  after the first round, a rule is only re-evaluated when its body shares a
+  predicate with the facts added (or rewritten by EGD merges) in the
+  previous round, and its triggers are enumerated semi-naively — one body
+  atom pinned to the delta, the rest joined against the full instance.
+  EGD merges use the null-occurrence index so only affected rows are
+  rewritten.
+* ``engine="naive"`` recomputes every trigger from scratch each round with
+  the row-scanning reference matcher — slow, but the oracle the indexed
+  engine is differentially tested against.
+
+An :class:`~repro.engine.stats.EngineStats` object describing the work done
+(rows scanned, index probes, triggers fired, ...) is attached to the
+returned :class:`ChaseResult`.
 
 For the paper's MD ontologies the restricted chase terminates: dimensional
 rules of forms (1)–(4) invent nulls only at non-categorical positions and
@@ -27,17 +46,19 @@ programs may not terminate, so the engine enforces a step budget and raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..engine.matching import NAIVE, Matcher, matcher_for, resolve_engine
+from ..engine.stats import EngineStats
 from ..errors import ChaseNonTerminationError, EGDConflictError, InconsistencyError
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null, NullFactory
 from .atoms import Atom
 from .program import DatalogProgram
 from .rules import EGD, NegativeConstraint, TGD
-from .terms import Constant, Variable, term_value
-from .unify import (Substitution, apply_to_atom, apply_to_term, find_homomorphisms,
-                    match_atom)
+from .terms import Variable, term_value
+from .unify import (Substitution, apply_to_atom, apply_to_term,
+                    match_atom_against_row)
 
 RESTRICTED = "restricted"
 OBLIVIOUS = "oblivious"
@@ -66,6 +87,8 @@ class ChaseResult:
     mode: str
     egd_merges: int = 0
     violations: List[ConstraintViolation] = field(default_factory=list)
+    engine: str = "indexed"
+    stats: EngineStats = field(default_factory=EngineStats)
 
     @property
     def is_consistent(self) -> bool:
@@ -95,11 +118,15 @@ class ChaseEngine:
         raises immediately instead of being collected.
     null_prefix:
         Prefix for the labels of invented nulls.
+    engine:
+        ``"indexed"`` (delta-driven, index-probing; the default) or
+        ``"naive"`` (full recomputation with the reference matcher).
+        ``None`` uses the process-wide default of :mod:`repro.engine`.
     """
 
     def __init__(self, mode: str = RESTRICTED, max_steps: int = 100_000,
                  check_constraints: bool = True, fail_fast: bool = False,
-                 null_prefix: str = "n"):
+                 null_prefix: str = "n", engine: Optional[str] = None):
         if mode not in (RESTRICTED, OBLIVIOUS):
             raise ValueError(f"unknown chase mode {mode!r}")
         self.mode = mode
@@ -107,6 +134,7 @@ class ChaseEngine:
         self.check_constraints = check_constraints
         self.fail_fast = fail_fast
         self.null_prefix = null_prefix
+        self.engine = resolve_engine(engine)
 
     # -- public API ---------------------------------------------------------
 
@@ -116,6 +144,36 @@ class ChaseEngine:
         program.ensure_relations()
         instance = program.database
         nulls = NullFactory(self.null_prefix)
+        stats = EngineStats(engine=self.engine)
+        matcher = matcher_for(self.engine, stats)
+
+        if self.engine == NAIVE:
+            steps, rounds, egd_merges = self._run_naive(program, instance, nulls, matcher)
+        else:
+            steps, rounds, egd_merges = self._run_delta(program, instance, nulls, matcher)
+
+        stats.triggers_fired = steps
+        stats.rounds = rounds
+        stats.egd_merges = egd_merges
+
+        violations = self._check_constraints(program.constraints, instance, matcher) \
+            if self.check_constraints else []
+        return ChaseResult(
+            instance=instance,
+            steps=steps,
+            rounds=rounds,
+            terminated=True,
+            mode=self.mode,
+            egd_merges=egd_merges,
+            violations=violations,
+            engine=self.engine,
+            stats=stats,
+        )
+
+    # -- naive engine: recompute every trigger each round ---------------------
+
+    def _run_naive(self, program: DatalogProgram, instance: DatabaseInstance,
+                   nulls: NullFactory, matcher: Matcher) -> Tuple[int, int, int]:
         steps = 0
         rounds = 0
         egd_merges = 0
@@ -127,41 +185,254 @@ class ChaseEngine:
             changed = False
 
             # EGDs first: they may merge nulls and unblock/blot out TGD triggers.
-            merges = self._apply_egds(program.egds, instance)
+            merges = self._apply_egds_naive(program.egds, instance, matcher)
             if merges:
                 egd_merges += merges
                 changed = True
 
             for index, tgd in enumerate(program.tgds):
-                triggers = list(find_homomorphisms(tgd.body, instance))
+                triggers = list(matcher.find_homomorphisms(tgd.body, instance))
                 for homomorphism in triggers:
-                    trigger_key = self._trigger_key(index, tgd, homomorphism)
-                    if self.mode == OBLIVIOUS and trigger_key in applied_triggers:
-                        continue
-                    if self.mode == RESTRICTED and self._head_satisfied(tgd, homomorphism, instance):
+                    if self.mode == OBLIVIOUS:
+                        # Only the oblivious chase needs fired-trigger memory;
+                        # the restricted chase dedupes via head satisfaction.
+                        trigger_key = self._trigger_key(index, tgd, homomorphism)
+                        if trigger_key in applied_triggers:
+                            continue
+                        applied_triggers.add(trigger_key)
+                    elif self._head_satisfied(tgd, homomorphism, instance, matcher):
                         continue
                     self._apply_tgd(tgd, homomorphism, instance, nulls)
-                    applied_triggers.add(trigger_key)
                     steps += 1
                     changed = True
-                    if steps > self.max_steps:
-                        raise ChaseNonTerminationError(
-                            f"chase exceeded the budget of {self.max_steps} trigger applications; "
-                            "the program may have a non-terminating chase")
+                    self._check_budget(steps)
+        return steps, rounds, egd_merges
 
-        violations = self._check_constraints(program.constraints, instance) \
-            if self.check_constraints else []
-        return ChaseResult(
-            instance=instance,
-            steps=steps,
-            rounds=rounds,
-            terminated=True,
-            mode=self.mode,
-            egd_merges=egd_merges,
-            violations=violations,
-        )
+    def _apply_egds_naive(self, egds: Sequence[EGD], instance: DatabaseInstance,
+                          matcher: Matcher) -> int:
+        """Apply EGDs to a fixpoint by full recomputation; return merge count."""
+        merges = 0
+        changed = True
+        while changed:
+            changed = False
+            for egd in egds:
+                for homomorphism in list(matcher.find_homomorphisms(egd.body, instance)):
+                    keep_drop = self._egd_decision(egd, homomorphism)
+                    if keep_drop is None:
+                        continue
+                    keep, drop = keep_drop
+                    self._replace_value_naive(instance, drop, keep, matcher.stats)
+                    merges += 1
+                    changed = True
+        return merges
 
-    # -- TGDs ----------------------------------------------------------------
+    @staticmethod
+    def _replace_value_naive(instance: DatabaseInstance, old: object, new: object,
+                             stats: EngineStats) -> None:
+        for relation in instance:
+            stats.rows_scanned += len(relation)
+            affected = [row for row in relation.rows() if old in row]
+            for row in affected:
+                relation.discard(row)
+                relation.add(tuple(new if value == old else value for value in row))
+                stats.rows_rewritten += 1
+
+    # -- indexed engine: delta-driven rounds ----------------------------------
+
+    def _run_delta(self, program: DatalogProgram, instance: DatabaseInstance,
+                   nulls: NullFactory, matcher: Matcher) -> Tuple[int, int, int]:
+        steps = 0
+        rounds = 0
+        egd_merges = 0
+        applied_triggers: Set[Tuple[int, Tuple]] = set()
+        tgds = list(program.tgds)
+        tgd_body_preds = [tgd.body_predicates() for tgd in tgds]
+        egd_body_preds = [egd.body_predicates() for egd in program.egds]
+
+        # ``delta`` holds the facts that became true (or were rewritten by EGD
+        # merges) in the previous round; ``None`` means "first round, evaluate
+        # everything".  A rule whose body shares no predicate with the delta
+        # cannot have gained a new trigger and is skipped.
+        delta: Optional[DatabaseInstance] = None
+        while True:
+            rounds += 1
+            new_delta = DatabaseInstance(instance.schema)
+            delta_preds = None if delta is None else \
+                {relation.schema.name for relation in delta if len(relation)}
+
+            merges = self._apply_egds_delta(program.egds, egd_body_preds, instance,
+                                            delta, delta_preds, new_delta, matcher)
+            egd_merges += merges
+
+            produced = 0
+            for index, tgd in enumerate(tgds):
+                if delta_preds is not None and not (tgd_body_preds[index] & delta_preds):
+                    matcher.stats.rules_skipped_by_delta += 1
+                    continue
+                triggers = list(self._delta_triggers(
+                    tgd.body, tgd.body_variables(), instance, delta, matcher))
+                for homomorphism in triggers:
+                    if self.mode == OBLIVIOUS:
+                        # Only the oblivious chase needs fired-trigger memory;
+                        # the restricted chase dedupes via head satisfaction.
+                        trigger_key = self._trigger_key(index, tgd, homomorphism)
+                        if trigger_key in applied_triggers:
+                            continue
+                        applied_triggers.add(trigger_key)
+                    elif self._head_satisfied(tgd, homomorphism, instance, matcher):
+                        continue
+                    for predicate, row in self._apply_tgd(tgd, homomorphism, instance, nulls):
+                        new_delta.add(predicate, row)
+                    steps += 1
+                    produced += 1
+                    self._check_budget(steps)
+
+            if merges == 0 and produced == 0:
+                break
+            delta = new_delta
+        return steps, rounds, egd_merges
+
+    def _delta_triggers(self, body: Sequence[Atom], variables: Sequence[Variable],
+                        instance: DatabaseInstance, delta: Optional[DatabaseInstance],
+                        matcher: Matcher):
+        """Homomorphisms from ``body`` into ``instance`` using ≥ 1 delta fact.
+
+        When ``delta`` is ``None`` every homomorphism is enumerated.
+        Otherwise each body atom in turn is pinned to the delta relation and
+        the remaining atoms are joined against the full instance; duplicate
+        homomorphisms reached through different pivots are suppressed.
+        """
+        if delta is None:
+            yield from matcher.find_homomorphisms(body, instance)
+            return
+        seen: Set[frozenset] = set()
+        for pivot, pivot_atom in enumerate(body):
+            if not delta.has_relation(pivot_atom.predicate):
+                continue
+            delta_relation = delta.relation(pivot_atom.predicate)
+            if not delta_relation:
+                continue
+            live_relation = instance.relation(pivot_atom.predicate)
+            rest = [atom for position, atom in enumerate(body) if position != pivot]
+            for row in delta_relation.rows():
+                if row not in live_relation:
+                    continue  # rewritten away by a later EGD merge
+                matcher.stats.rows_scanned += 1
+                seed = match_atom_against_row(pivot_atom, row)
+                if seed is None:
+                    continue
+                candidates = matcher.find_homomorphisms(rest, instance, substitution=seed) \
+                    if rest else [seed]
+                for homomorphism in candidates:
+                    key = frozenset(
+                        (variable.name, term_value(apply_to_term(homomorphism, variable)))
+                        for variable in variables)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield homomorphism
+
+    def _apply_egds_delta(self, egds: Sequence[EGD], egd_body_preds: Sequence[Set[str]],
+                          instance: DatabaseInstance, delta: Optional[DatabaseInstance],
+                          delta_preds: Optional[Set[str]], new_delta: DatabaseInstance,
+                          matcher: Matcher) -> int:
+        """Apply EGDs to a fixpoint, delta-driven; rewritten rows feed both the
+        inner fixpoint and the caller's round delta."""
+        if not egds:
+            return 0
+        merges = 0
+        current_delta = delta
+        current_preds = delta_preds
+        while True:
+            pass_merges = 0
+            local_delta = DatabaseInstance(instance.schema)
+            for index, egd in enumerate(egds):
+                if current_preds is not None and not (egd_body_preds[index] & current_preds):
+                    matcher.stats.rules_skipped_by_delta += 1
+                    continue
+                triggers = list(self._delta_triggers(
+                    egd.body, egd.body_variables(), instance, current_delta, matcher))
+                for homomorphism in triggers:
+                    # Earlier merges may have rewritten this trigger's facts;
+                    # the rewritten facts are in the local delta and will be
+                    # re-derived, so a stale trigger is simply skipped.
+                    if not self._trigger_live(egd.body, homomorphism, instance, matcher):
+                        continue
+                    keep_drop = self._egd_decision(egd, homomorphism)
+                    if keep_drop is None:
+                        continue
+                    keep, drop = keep_drop
+                    for predicate, row in self._replace_value_indexed(
+                            instance, drop, keep, matcher.stats):
+                        local_delta.add(predicate, row)
+                        new_delta.add(predicate, row)
+                    pass_merges += 1
+            if pass_merges == 0:
+                break
+            merges += pass_merges
+            current_delta = local_delta
+            current_preds = {relation.schema.name for relation in local_delta
+                             if len(relation)}
+        return merges
+
+    @staticmethod
+    def _trigger_live(body: Sequence[Atom], homomorphism: Substitution,
+                      instance: DatabaseInstance, matcher: Matcher) -> bool:
+        """``True`` iff every grounded body fact of the trigger still exists."""
+        for atom in body:
+            grounded = apply_to_atom(homomorphism, atom)
+            matcher.stats.index_probes += 1
+            if grounded.to_fact_row() not in instance.relation(grounded.predicate):
+                return False
+        return True
+
+    @staticmethod
+    def _replace_value_indexed(instance: DatabaseInstance, old: object, new: object,
+                               stats: EngineStats) -> List[Tuple[str, Tuple]]:
+        """Rewrite ``old`` to ``new`` touching only rows that contain ``old``
+        (found through the per-relation occurrence index)."""
+        rewritten: List[Tuple[str, Tuple]] = []
+        for relation in instance:
+            stats.index_probes += 1
+            for row in relation.rows_with_value(old):
+                relation.discard(row)
+                new_row = tuple(new if value == old else value for value in row)
+                relation.add(new_row)
+                stats.rows_rewritten += 1
+                rewritten.append((relation.schema.name, new_row))
+        return rewritten
+
+    # -- shared pieces --------------------------------------------------------
+
+    def _check_budget(self, steps: int) -> None:
+        if steps > self.max_steps:
+            raise ChaseNonTerminationError(
+                f"chase exceeded the budget of {self.max_steps} trigger applications; "
+                "the program may have a non-terminating chase")
+
+    def _egd_decision(self, egd: EGD,
+                      homomorphism: Substitution) -> Optional[Tuple[object, object]]:
+        """Decide an EGD trigger: ``None`` (already equal), ``(keep, drop)``,
+        or raise on a hard conflict between distinct constants."""
+        left = term_value(apply_to_term(homomorphism, egd.left))
+        right = term_value(apply_to_term(homomorphism, egd.right))
+        if left == right:
+            return None
+        if not isinstance(left, Null) and not isinstance(right, Null):
+            raise EGDConflictError(
+                f"EGD [{egd}] requires equating distinct constants "
+                f"{left!r} and {right!r}",
+                constraint=egd,
+                witness={v.name: term_value(apply_to_term(homomorphism, v))
+                         for v in egd.body_variables()})
+        # Replace the null by the other value (prefer keeping constants).
+        if isinstance(left, Null) and not isinstance(right, Null):
+            return right, left
+        if isinstance(right, Null) and not isinstance(left, Null):
+            return left, right
+        # two nulls: keep the lexicographically smaller label
+        keep, drop = sorted((left, right), key=lambda n: n.label)
+        return keep, drop
 
     @staticmethod
     def _trigger_key(index: int, tgd: TGD, homomorphism: Substitution) -> Tuple[int, Tuple]:
@@ -173,71 +444,34 @@ class ChaseEngine:
 
     @staticmethod
     def _head_satisfied(tgd: TGD, homomorphism: Substitution,
-                        instance: DatabaseInstance) -> bool:
+                        instance: DatabaseInstance, matcher: Matcher) -> bool:
         """Check if the head already holds under some extension of the trigger."""
         partial_head = [apply_to_atom(homomorphism, atom) for atom in tgd.head]
-        for _ in find_homomorphisms(partial_head, instance):
-            return True
-        return False
+        return matcher.has_homomorphism(partial_head, instance)
 
     def _apply_tgd(self, tgd: TGD, homomorphism: Substitution,
-                   instance: DatabaseInstance, nulls: NullFactory) -> None:
+                   instance: DatabaseInstance,
+                   nulls: NullFactory) -> List[Tuple[str, Tuple]]:
+        """Fire a trigger; return the head facts that were actually new."""
         extended: Substitution = dict(homomorphism)
         for variable in tgd.existential_variables():
             extended[variable] = nulls.fresh()
+        added: List[Tuple[str, Tuple]] = []
         for atom in tgd.head:
             grounded = apply_to_atom(extended, atom)
-            instance.add(grounded.predicate, grounded.to_fact_row())
-
-    # -- EGDs ----------------------------------------------------------------
-
-    def _apply_egds(self, egds: Sequence[EGD], instance: DatabaseInstance) -> int:
-        """Apply EGDs to a fixpoint; return the number of value merges."""
-        merges = 0
-        changed = True
-        while changed:
-            changed = False
-            for egd in egds:
-                for homomorphism in list(find_homomorphisms(egd.body, instance)):
-                    left = term_value(apply_to_term(homomorphism, egd.left))
-                    right = term_value(apply_to_term(homomorphism, egd.right))
-                    if left == right:
-                        continue
-                    if not isinstance(left, Null) and not isinstance(right, Null):
-                        raise EGDConflictError(
-                            f"EGD [{egd}] requires equating distinct constants "
-                            f"{left!r} and {right!r}",
-                            constraint=egd,
-                            witness={v.name: term_value(apply_to_term(homomorphism, v))
-                                     for v in egd.body_variables()})
-                    # Replace the null by the other value (prefer keeping constants).
-                    if isinstance(left, Null) and not isinstance(right, Null):
-                        self._replace_value(instance, left, right)
-                    elif isinstance(right, Null) and not isinstance(left, Null):
-                        self._replace_value(instance, right, left)
-                    else:
-                        # two nulls: keep the lexicographically smaller label
-                        keep, drop = sorted((left, right), key=lambda n: n.label)
-                        self._replace_value(instance, drop, keep)
-                    merges += 1
-                    changed = True
-        return merges
-
-    @staticmethod
-    def _replace_value(instance: DatabaseInstance, old: object, new: object) -> None:
-        for relation in instance:
-            affected = [row for row in relation.rows() if old in row]
-            for row in affected:
-                relation.discard(row)
-                relation.add(tuple(new if value == old else value for value in row))
+            row = grounded.to_fact_row()
+            if instance.add(grounded.predicate, row):
+                added.append((grounded.predicate, row))
+        return added
 
     # -- negative constraints ------------------------------------------------
 
     def _check_constraints(self, constraints: Sequence[NegativeConstraint],
-                           instance: DatabaseInstance) -> List[ConstraintViolation]:
+                           instance: DatabaseInstance,
+                           matcher: Matcher) -> List[ConstraintViolation]:
         violations: List[ConstraintViolation] = []
         for constraint in constraints:
-            for homomorphism in find_homomorphisms(
+            for homomorphism in matcher.find_homomorphisms(
                     constraint.body, instance, comparisons=constraint.comparisons):
                 witness = {
                     variable.name: term_value(apply_to_term(homomorphism, variable))
@@ -255,8 +489,9 @@ class ChaseEngine:
 
 def chase(program: DatalogProgram, mode: str = RESTRICTED,
           max_steps: int = 100_000, check_constraints: bool = True,
-          fail_fast: bool = False) -> ChaseResult:
+          fail_fast: bool = False, engine: Optional[str] = None) -> ChaseResult:
     """Convenience wrapper: run the chase with a one-off engine."""
-    engine = ChaseEngine(mode=mode, max_steps=max_steps,
-                         check_constraints=check_constraints, fail_fast=fail_fast)
-    return engine.run(program)
+    runner = ChaseEngine(mode=mode, max_steps=max_steps,
+                         check_constraints=check_constraints, fail_fast=fail_fast,
+                         engine=engine)
+    return runner.run(program)

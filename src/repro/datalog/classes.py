@@ -25,10 +25,10 @@ and on synthetic ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
-from .graphs import Position, PositionGraph, build_position_graph, build_predicate_graph
+from .graphs import Position, build_position_graph, build_predicate_graph
 from .rules import TGD
 from .terms import Variable
 

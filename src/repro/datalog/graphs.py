@@ -20,10 +20,9 @@ Two graphs matter for the classes the paper relies on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from .rules import TGD
-from .terms import Variable
 
 Position = Tuple[str, int]
 

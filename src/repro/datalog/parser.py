@@ -25,8 +25,8 @@ Comments run from ``%`` or ``#`` to the end of the line.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 from ..errors import ParseError
 from .atoms import Atom, COMPARISON_OPERATORS, Comparison

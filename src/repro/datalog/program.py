@@ -13,9 +13,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import DatalogError
 from ..relational.instance import DatabaseInstance
-from ..relational.schema import DatabaseSchema, RelationSchema
 from .atoms import Atom
-from .rules import EGD, ConjunctiveQuery, NegativeConstraint, TGD
+from .rules import EGD, NegativeConstraint, TGD
 
 
 class DatalogProgram:

@@ -30,8 +30,8 @@ fall back to the chase or to :class:`~repro.datalog.ws_qa.DeterministicWSQAns`).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from ..errors import RewritingError
 from ..relational.instance import DatabaseInstance
@@ -40,7 +40,7 @@ from .atoms import Atom, Comparison
 from .classes import is_non_recursive
 from .program import DatalogProgram
 from .rules import ConjunctiveQuery, TGD
-from .terms import Constant, Term, Variable
+from .terms import Term, Variable
 from .unify import Substitution, apply_to_atom, apply_to_term, unify_atoms
 
 

@@ -18,8 +18,7 @@ The paper's ontologies use four kinds of statements (Section III):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from ..errors import DatalogError, UnsafeRuleError
 from .atoms import Atom, Comparison, atoms_variables

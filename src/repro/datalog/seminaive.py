@@ -5,18 +5,24 @@ of Section IV are plain Datalog programs: no existential quantifiers, so no
 nulls need to be invented.  Semi-naive evaluation computes their least model
 much faster than the general chase because each round only joins the *delta*
 (facts new in the previous round) against the rest of the data.
+
+Atom matching goes through the shared engine (:mod:`repro.engine`): with the
+default ``"indexed"`` engine each join probes hash indexes on the bound
+positions, and rules are dispatched per predicate — a rule whose body shares
+no predicate with the delta is skipped without matching anything.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..engine.matching import matcher_for
+from ..engine.stats import EngineStats
 from ..errors import DatalogError
 from ..relational.instance import DatabaseInstance
-from .atoms import Atom
 from .program import DatalogProgram
 from .rules import TGD
-from .unify import Substitution, apply_to_atom, find_homomorphisms, match_atom
+from .unify import Substitution, apply_to_atom
 
 
 def _check_plain(rules: Sequence[TGD]) -> None:
@@ -28,7 +34,8 @@ def _check_plain(rules: Sequence[TGD]) -> None:
 
 
 def _new_head_facts(rule: TGD, instance: DatabaseInstance,
-                    delta: Optional[DatabaseInstance]) -> List[Tuple[str, Tuple]]:
+                    delta: Optional[DatabaseInstance],
+                    matcher) -> List[Tuple[str, Tuple]]:
     """Head facts derivable from ``rule`` using at least one delta atom.
 
     When ``delta`` is ``None`` (the first round) all homomorphisms into the
@@ -36,7 +43,7 @@ def _new_head_facts(rule: TGD, instance: DatabaseInstance,
     """
     facts: List[Tuple[str, Tuple]] = []
     if delta is None:
-        for homomorphism in find_homomorphisms(rule.body, instance):
+        for homomorphism in matcher.find_homomorphisms(rule.body, instance):
             for atom in rule.head:
                 grounded = apply_to_atom(homomorphism, atom)
                 facts.append((grounded.predicate, grounded.to_fact_row()))
@@ -49,12 +56,12 @@ def _new_head_facts(rule: TGD, instance: DatabaseInstance,
         if not delta.has_relation(pivot_atom.predicate) or \
                 not len(delta.relation(pivot_atom.predicate)):
             continue
-        for seed in match_atom(pivot_atom, delta):
+        for seed in matcher.match_atom(pivot_atom, delta):
             rest = [atom for index, atom in enumerate(rule.body) if index != pivot]
             if not rest:
                 candidates: Iterable[Substitution] = [seed]
             else:
-                candidates = find_homomorphisms(rest, instance, substitution=seed)
+                candidates = matcher.find_homomorphisms(rest, instance, substitution=seed)
             for homomorphism in candidates:
                 for atom in rule.head:
                     grounded = apply_to_atom(homomorphism, atom)
@@ -63,30 +70,45 @@ def _new_head_facts(rule: TGD, instance: DatabaseInstance,
 
 
 def evaluate_plain_datalog(rules: Sequence[TGD], database: DatabaseInstance,
-                           max_rounds: int = 10_000) -> DatabaseInstance:
+                           max_rounds: int = 10_000, engine: Optional[str] = None,
+                           stats: Optional[EngineStats] = None) -> DatabaseInstance:
     """Compute the least model of ``rules`` over ``database``.
 
     The input database is not mutated; a fresh instance containing the
-    extensional facts plus every derived fact is returned.
+    extensional facts plus every derived fact is returned.  ``engine``
+    selects the matching engine (``"indexed"``/``"naive"``, ``None`` = the
+    process default); ``stats`` optionally collects the work done.
     """
     rules = list(rules)
     _check_plain(rules)
+    matcher = matcher_for(engine, stats)
     program = DatalogProgram(tgds=rules, database=database.copy())
     program.ensure_relations()
     instance = program.database
 
+    # Per-predicate dispatch: which rules can react to new facts of a predicate.
+    body_predicates: List[Set[str]] = [rule.body_predicates() for rule in rules]
+
     delta: Optional[DatabaseInstance] = None
     for _ in range(max_rounds):
+        matcher.stats.rounds += 1
+        delta_predicates: Optional[Set[str]] = None if delta is None else \
+            {relation.schema.name for relation in delta if len(relation)}
         new_delta = DatabaseInstance(instance.schema.copy())
         produced = 0
-        for rule in rules:
-            for predicate, row in _new_head_facts(rule, instance, delta):
+        for index, rule in enumerate(rules):
+            if delta_predicates is not None and \
+                    not (body_predicates[index] & delta_predicates):
+                matcher.stats.rules_skipped_by_delta += 1
+                continue
+            for predicate, row in _new_head_facts(rule, instance, delta, matcher):
                 if row not in instance.relation(predicate):
                     instance.add(predicate, row)
                     if not new_delta.has_relation(predicate):
                         new_delta.declare(predicate, instance.relation(predicate).schema.attributes)
                     new_delta.add(predicate, row)
                     produced += 1
+                    matcher.stats.triggers_fired += 1
         if produced == 0:
             return instance
         delta = new_delta
@@ -95,6 +117,9 @@ def evaluate_plain_datalog(rules: Sequence[TGD], database: DatabaseInstance,
     )
 
 
-def evaluate_program(program: DatalogProgram, max_rounds: int = 10_000) -> DatabaseInstance:
+def evaluate_program(program: DatalogProgram, max_rounds: int = 10_000,
+                     engine: Optional[str] = None,
+                     stats: Optional[EngineStats] = None) -> DatabaseInstance:
     """Semi-naive evaluation of a program's TGDs (which must be plain)."""
-    return evaluate_plain_datalog(program.tgds, program.database, max_rounds=max_rounds)
+    return evaluate_plain_datalog(program.tgds, program.database,
+                                  max_rounds=max_rounds, engine=engine, stats=stats)

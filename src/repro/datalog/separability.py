@@ -25,10 +25,9 @@ module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set
 
 from ..errors import InconsistencyError
-from ..relational.instance import DatabaseInstance
 from .answering import certain_answers
 from .chase import chase
 from .graphs import Position, build_position_graph

@@ -1,19 +1,27 @@
-"""Substitutions, unification and homomorphisms.
+"""Substitutions, unification and homomorphisms (the naive reference).
 
 Substitutions map variables to terms.  The chase needs *homomorphisms* from
 rule bodies to instances (variables map to values, constants map to
 themselves); resolution-based query answering (``DeterministicWSQAns``)
 needs *unification* between query atoms and rule heads, where variables may
 map to variables.
+
+The ``match_atom``/``find_homomorphisms`` implementations here scan
+relations row by row and join body atoms in the order given.  They are the
+**reference oracle**: the production evaluators go through the indexed
+matching engine of :mod:`repro.engine.matching`, which is differentially
+tested against this module (see ``docs/ARCHITECTURE.md``).  Select the
+naive path engine-wide with ``repro.engine.set_default_engine("naive")`` or
+per call with ``engine="naive"``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..relational.instance import DatabaseInstance
 from .atoms import Atom, Comparison
-from .terms import Constant, Null, Term, Variable, term_value, to_term
+from .terms import Null, Term, Variable, term_value, to_term
 
 Substitution = Dict[Variable, Term]
 
@@ -141,16 +149,23 @@ def evaluate_comparisons(comparisons: Sequence[Comparison],
 
 def find_homomorphisms(atoms: Sequence[Atom], instance: DatabaseInstance,
                        substitution: Optional[Substitution] = None,
-                       comparisons: Sequence[Comparison] = ()) -> Iterator[Substitution]:
+                       comparisons: Sequence[Comparison] = (),
+                       match=None) -> Iterator[Substitution]:
     """Yield every homomorphism from ``atoms`` into ``instance``.
 
     Positive atoms are matched left to right with backtracking via recursion;
     negated atoms are checked *after* all positive atoms are matched (safe
     negation: their variables must be bound by then).  Comparisons are
     applied last.
+
+    ``match`` optionally substitutes the per-atom matcher (same signature as
+    :func:`match_atom`); the engine's :class:`~repro.engine.matching.NaiveMatcher`
+    passes its counting wrapper here so the negation/comparison semantics
+    live only in this module.
     """
     positive = [atom for atom in atoms if not atom.negated]
     negative = [atom for atom in atoms if atom.negated]
+    match = match if match is not None else match_atom
 
     def extend(index: int, current: Substitution) -> Iterator[Substitution]:
         if index == len(positive):
@@ -174,7 +189,7 @@ def find_homomorphisms(atoms: Sequence[Atom], instance: DatabaseInstance,
             if evaluate_comparisons(comparisons, current):
                 yield current
             return
-        for extended in match_atom(positive[index], instance, current):
+        for extended in match(positive[index], instance, current):
             yield from extend(index + 1, extended)
 
     yield from extend(0, dict(substitution or {}))

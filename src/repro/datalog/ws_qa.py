@@ -34,17 +34,18 @@ authors validate theirs against the chase semantics.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from ..errors import QueryAnsweringError
+from ..engine.matching import matcher_for
+from ..engine.stats import EngineStats
 from ..relational.values import Null
 from .atoms import Atom
 from .program import DatalogProgram
 from .rules import ConjunctiveQuery, TGD
-from .terms import Constant, Term, Variable, term_value
+from .terms import Term, Variable, term_value
 from .unify import (Substitution, apply_to_atom, apply_to_term, evaluate_comparisons,
-                    match_atom, unify_atoms)
+                    unify_atoms)
 
 
 @dataclass
@@ -85,14 +86,21 @@ class DeterministicWSQAns:
     max_proofs:
         Optional cap on the number of accepting proofs enumerated when
         answering open queries (``None`` = exhaustive).
+    engine:
+        Matching engine for fact resolutions against the extensional
+        database: ``"indexed"`` (default) probes hash indexes on the bound
+        goal positions; ``"naive"`` is the row-scanning reference.
     """
 
     def __init__(self, program: DatalogProgram, max_depth: Optional[int] = None,
-                 max_proofs: Optional[int] = None):
+                 max_proofs: Optional[int] = None, engine: Optional[str] = None,
+                 engine_stats: Optional[EngineStats] = None):
         self.program = program
         self.max_depth = max_depth if max_depth is not None else 3 * len(program.tgds) + 8
         self.max_proofs = max_proofs
         self.statistics = ResolutionStatistics()
+        self._matcher = matcher_for(engine, engine_stats)
+        self.engine_stats = self._matcher.stats
         self._placeholder_counter = itertools.count(1)
         # Rules indexed by head predicate for fast candidate lookup.
         self._rules_by_head: Dict[str, List[Tuple[TGD, int]]] = {}
@@ -151,7 +159,7 @@ class DeterministicWSQAns:
         self.statistics.resolution_steps += 1
 
         # (a) resolve against an extensional (or already chased) fact.
-        for extended in match_atom(goal, self.program.database, substitution):
+        for extended in self._matcher.match_atom(goal, self.program.database, substitution):
             self.statistics.fact_resolutions += 1
             yield from self._prove(rest, extended, derived, depth)
 
@@ -205,14 +213,16 @@ class DeterministicWSQAns:
 
 
 def deterministic_ws_answers(program: DatalogProgram, query: ConjunctiveQuery,
-                             max_depth: Optional[int] = None) -> List[Tuple]:
+                             max_depth: Optional[int] = None,
+                             engine: Optional[str] = None) -> List[Tuple]:
     """Convenience wrapper: answer ``query`` with a one-off solver."""
-    solver = DeterministicWSQAns(program, max_depth=max_depth)
+    solver = DeterministicWSQAns(program, max_depth=max_depth, engine=engine)
     return solver.answers(query)
 
 
 def deterministic_ws_holds(program: DatalogProgram, query: ConjunctiveQuery,
-                           max_depth: Optional[int] = None) -> bool:
+                           max_depth: Optional[int] = None,
+                           engine: Optional[str] = None) -> bool:
     """Convenience wrapper for boolean conjunctive queries."""
-    solver = DeterministicWSQAns(program, max_depth=max_depth)
+    solver = DeterministicWSQAns(program, max_depth=max_depth, engine=engine)
     return solver.holds(query)

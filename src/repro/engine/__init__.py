@@ -1,0 +1,32 @@
+"""The shared evaluation engine: indexed storage access + matching.
+
+Every evaluator of the reproduction — the chase, certain-answer QA, the
+semi-naive least-model computation, the deterministic weakly-sticky solver
+and the quality pipeline — bottoms out in matching rule/query atoms against
+a :class:`~repro.relational.instance.DatabaseInstance`.  This package is the
+single fast matching engine under all of them:
+
+* :mod:`repro.engine.stats` — :class:`EngineStats`, the instrumentation
+  object threaded through evaluations (rows scanned, index probes, triggers
+  fired, rounds, ...);
+* :mod:`repro.engine.matching` — the :class:`IndexedMatcher` (hash-index
+  probes + selectivity-ordered joins) and the :class:`NaiveMatcher`
+  (row-by-row reference oracle wrapping :mod:`repro.datalog.unify`).
+
+Engine selection: evaluators take an ``engine=`` argument (``"indexed"`` or
+``"naive"``); when omitted they use the process-wide default, settable with
+:func:`set_default_engine` — handy to flip an entire pipeline onto the naive
+reference when debugging.  See ``docs/ARCHITECTURE.md``.
+"""
+
+from .matching import (INDEXED, NAIVE, IndexedMatcher, Matcher, NaiveMatcher,
+                       get_default_engine, matcher_for, resolve_engine,
+                       set_default_engine)
+from .stats import EngineStats
+
+__all__ = [
+    "EngineStats",
+    "Matcher", "IndexedMatcher", "NaiveMatcher",
+    "INDEXED", "NAIVE",
+    "matcher_for", "resolve_engine", "get_default_engine", "set_default_engine",
+]

@@ -1,0 +1,248 @@
+"""The matching layer: indexed and naive atom/body matchers.
+
+Both matchers implement the same three operations over a
+:class:`~repro.relational.instance.DatabaseInstance`:
+
+* ``match_atom(atom, instance, substitution)`` — every extension of the
+  substitution matching one atom;
+* ``find_homomorphisms(atoms, instance, substitution, comparisons)`` — every
+  homomorphism from a conjunction into the instance (safe negation and
+  built-in comparisons applied last, as in :mod:`repro.datalog.unify`);
+* ``has_homomorphism(atoms, instance, substitution)`` — existence check.
+
+The :class:`NaiveMatcher` delegates to the row-by-row reference
+implementation in :mod:`repro.datalog.unify` and exists as the oracle that
+the indexed engine is differentially tested against.
+
+The :class:`IndexedMatcher` is the production path:
+
+* **index probes** — an atom with bound positions (constants, nulls, or
+  variables already bound by the substitution) is matched by probing the
+  relation's hash index over exactly those positions, so only rows that
+  agree on the bound values are touched; a fully bound atom becomes an O(1)
+  membership test;
+* **selectivity ordering** — the positive body atoms are reordered greedily
+  before the backtracking join: at each step the atom with the fewest
+  unbound positions is chosen (ties broken by smaller relation), so highly
+  constrained atoms prune the search early and empty relations short-circuit
+  immediately.
+
+Matchers optionally record their work in an
+:class:`~repro.engine.stats.EngineStats` object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..datalog.atoms import Atom, Comparison
+from ..datalog.terms import Variable, term_value
+from ..datalog.unify import (Substitution, apply_to_term, match_atom_against_row)
+from ..datalog import unify as _naive
+from ..relational.instance import DatabaseInstance
+from .stats import EngineStats
+
+INDEXED = "indexed"
+NAIVE = "naive"
+
+_ENGINES = (INDEXED, NAIVE)
+_default_engine = INDEXED
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default engine (``"indexed"`` or ``"naive"``)."""
+    global _default_engine
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known engines: {_ENGINES}")
+    _default_engine = engine
+
+
+def get_default_engine() -> str:
+    """The current process-wide default engine."""
+    return _default_engine
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve an ``engine=`` argument: ``None`` means the default."""
+    if engine is None:
+        return _default_engine
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known engines: {_ENGINES}")
+    return engine
+
+
+class Matcher:
+    """Common interface of the matching engines."""
+
+    name: str = "abstract"
+
+    def __init__(self, stats: Optional[EngineStats] = None):
+        self.stats = stats if stats is not None else EngineStats(engine=self.name)
+
+    # -- interface -----------------------------------------------------------
+
+    def match_atom(self, atom: Atom, instance: DatabaseInstance,
+                   substitution: Optional[Substitution] = None
+                   ) -> Iterator[Substitution]:
+        raise NotImplementedError
+
+    def find_homomorphisms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+                           substitution: Optional[Substitution] = None,
+                           comparisons: Sequence[Comparison] = ()
+                           ) -> Iterator[Substitution]:
+        raise NotImplementedError
+
+    def has_homomorphism(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+                         substitution: Optional[Substitution] = None) -> bool:
+        """``True`` iff at least one homomorphism exists."""
+        for _ in self.find_homomorphisms(atoms, instance, substitution):
+            return True
+        return False
+
+
+class NaiveMatcher(Matcher):
+    """Row-by-row reference matcher (wraps :mod:`repro.datalog.unify`)."""
+
+    name = NAIVE
+
+    def match_atom(self, atom: Atom, instance: DatabaseInstance,
+                   substitution: Optional[Substitution] = None
+                   ) -> Iterator[Substitution]:
+        """Row-by-row scan, billing only the rows actually iterated.
+
+        Same semantics as :func:`repro.datalog.unify.match_atom`; the scan
+        is restated here so early-exiting consumers (``has_homomorphism``,
+        boolean queries) are charged for the prefix they touched, not the
+        whole relation.
+        """
+        if not instance.has_relation(atom.predicate):
+            self.stats.empty_lookups += 1
+            return
+        for row in instance.relation(atom.predicate):
+            self.stats.rows_scanned += 1
+            matched = match_atom_against_row(atom, row, substitution)
+            if matched is not None:
+                yield matched
+
+    def find_homomorphisms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+                           substitution: Optional[Substitution] = None,
+                           comparisons: Sequence[Comparison] = ()
+                           ) -> Iterator[Substitution]:
+        """Delegates to the canonical :func:`repro.datalog.unify.find_homomorphisms`,
+        injecting the counting :meth:`match_atom` so the negation/comparison
+        semantics are not duplicated here."""
+        yield from _naive.find_homomorphisms(atoms, instance,
+                                             substitution=substitution,
+                                             comparisons=comparisons,
+                                             match=self.match_atom)
+
+
+class IndexedMatcher(Matcher):
+    """Index-probing matcher with selectivity-ordered backtracking joins."""
+
+    name = INDEXED
+
+    # -- single-atom matching -------------------------------------------------
+
+    def match_atom(self, atom: Atom, instance: DatabaseInstance,
+                   substitution: Optional[Substitution] = None
+                   ) -> Iterator[Substitution]:
+        """Yield every extension of ``substitution`` matching ``atom``.
+
+        The positions of ``atom`` that are ground under the substitution are
+        used as an index key; only rows agreeing on those values are
+        scanned.  Repeated variables within the atom are handled by the
+        per-row matcher (the first occurrence binds, later ones filter).
+        """
+        if not instance.has_relation(atom.predicate):
+            self.stats.empty_lookups += 1
+            return
+        relation = instance.relation(atom.predicate)
+        if not relation:
+            self.stats.empty_lookups += 1
+            return
+        current = dict(substitution or {})
+        bound_positions: List[int] = []
+        bound_values: List[Any] = []
+        for position, term in enumerate(atom.terms):
+            term = apply_to_term(current, term)
+            if not isinstance(term, Variable):
+                bound_positions.append(position)
+                bound_values.append(term_value(term))
+        if len(bound_positions) == atom.arity:
+            # Fully bound: O(1) membership test.
+            self.stats.index_probes += 1
+            if tuple(bound_values) in relation:
+                yield current
+            return
+        if bound_positions:
+            self.stats.index_probes += 1
+            candidates: Sequence[Tuple[Any, ...]] = relation.probe(
+                tuple(bound_positions), tuple(bound_values))
+        else:
+            candidates = relation.rows()
+        for row in candidates:
+            self.stats.rows_scanned += 1
+            matched = match_atom_against_row(atom, row, current)
+            if matched is not None:
+                yield matched
+
+    # -- conjunction matching -------------------------------------------------
+
+    def find_homomorphisms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+                           substitution: Optional[Substitution] = None,
+                           comparisons: Sequence[Comparison] = ()
+                           ) -> Iterator[Substitution]:
+        """Yield every homomorphism from ``atoms`` into ``instance``.
+
+        Same contract as :func:`repro.datalog.unify.find_homomorphisms`:
+        positive atoms joined with backtracking, negated atoms checked after
+        all positive atoms are matched (cautious over labeled nulls),
+        comparisons applied last.  The positive atoms are joined in
+        selectivity order instead of the order given; the join/negation
+        semantics themselves are delegated to the canonical implementation
+        (with this matcher's index-probing :meth:`match_atom` injected), so
+        they live only in :mod:`repro.datalog.unify`.
+        """
+        initial = dict(substitution or {})
+        positive = [atom for atom in atoms if not atom.negated]
+        negative = [atom for atom in atoms if atom.negated]
+        ordered = self._order_atoms(positive, instance, initial)
+        yield from _naive.find_homomorphisms(ordered + negative, instance,
+                                             substitution=initial,
+                                             comparisons=comparisons,
+                                             match=self.match_atom)
+
+    def _order_atoms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+                     substitution: Substitution) -> List[Atom]:
+        """Greedy join order: most-bound atom first, smaller relation on ties."""
+        if len(atoms) <= 1:
+            return list(atoms)
+        remaining = list(atoms)
+        bound: Set[Variable] = set(substitution)
+        ordered: List[Atom] = []
+
+        def cost(atom: Atom) -> Tuple[int, int]:
+            unbound = {term for term in atom.terms
+                       if isinstance(term, Variable) and term not in bound}
+            size = (len(instance.relation(atom.predicate))
+                    if instance.has_relation(atom.predicate) else 0)
+            return (len(unbound), size)
+
+        while remaining:
+            best = min(remaining, key=cost)
+            remaining.remove(best)
+            ordered.append(best)
+            bound.update(term for term in best.terms if isinstance(term, Variable))
+        return ordered
+
+
+def matcher_for(engine: Optional[str] = None,
+                stats: Optional[EngineStats] = None) -> Matcher:
+    """Build a matcher for ``engine`` (``None`` = process default)."""
+    resolved = resolve_engine(engine)
+    if stats is not None:
+        stats.engine = resolved
+    if resolved == NAIVE:
+        return NaiveMatcher(stats)
+    return IndexedMatcher(stats)

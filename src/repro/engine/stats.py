@@ -1,0 +1,69 @@
+"""Instrumentation counters for the evaluation engine.
+
+An :class:`EngineStats` object is threaded through the matching layer and
+the evaluators built on it.  The counters answer the questions one asks when
+profiling a chase or a query batch: how many stored rows were actually
+scanned, how many lookups were answered by an index probe instead, how many
+triggers fired, how many rounds the fixpoint took and how much work the
+delta discipline avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one evaluation (chase run, query batch, ...)."""
+
+    #: which engine produced these numbers ("indexed" or "naive")
+    engine: str = "indexed"
+    #: stored rows iterated during atom matching (full or candidate scans)
+    rows_scanned: int = 0
+    #: hash-index lookups (pattern probes and full-row membership tests)
+    index_probes: int = 0
+    #: atom-match calls answered without touching the relation (empty/missing)
+    empty_lookups: int = 0
+    #: TGD triggers applied (facts derived) by the chase / fixpoint
+    triggers_fired: int = 0
+    #: EGD value merges applied
+    egd_merges: int = 0
+    #: fixpoint rounds executed
+    rounds: int = 0
+    #: rule evaluations skipped because the rule body was disjoint from the delta
+    rules_skipped_by_delta: int = 0
+    #: rows rewritten by EGD merges (touched via the null-occurrence index)
+    rows_rewritten: int = 0
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate ``other``'s counters into this object (in place)."""
+        self.rows_scanned += other.rows_scanned
+        self.index_probes += other.index_probes
+        self.empty_lookups += other.empty_lookups
+        self.triggers_fired += other.triggers_fired
+        self.egd_merges += other.egd_merges
+        self.rounds += other.rounds
+        self.rules_skipped_by_delta += other.rules_skipped_by_delta
+        self.rows_rewritten += other.rows_rewritten
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The counters as a plain mapping (for reports and JSON artifacts)."""
+        return {
+            "engine": self.engine,
+            "rows_scanned": self.rows_scanned,
+            "index_probes": self.index_probes,
+            "empty_lookups": self.empty_lookups,
+            "triggers_fired": self.triggers_fired,
+            "egd_merges": self.egd_merges,
+            "rounds": self.rounds,
+            "rules_skipped_by_delta": self.rules_skipped_by_delta,
+            "rows_rewritten": self.rows_rewritten,
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{key}={value}" for key, value in self.as_dict().items()
+                          if key != "engine")
+        return f"EngineStats[{self.engine}]({parts})"

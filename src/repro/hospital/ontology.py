@@ -20,7 +20,7 @@ the ontology compiler.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..md.instance import MDInstance
 from ..ontology.mdontology import MDOntology

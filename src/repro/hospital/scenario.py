@@ -25,8 +25,8 @@ from ..quality.assessment import DatabaseAssessment, assess_database
 from ..quality.cleaning import CleanAnswerComparison, compare_answers, quality_answers
 from ..quality.context import Context
 from ..relational.instance import DatabaseInstance, Relation
-from .data import (MEASUREMENTS_QUALITY_ROWS, MEASUREMENTS_ROWS, build_md_instance,
-                   build_measurements_instance)
+from .data import (MEASUREMENTS_QUALITY_ROWS, build_md_instance,
+    build_measurements_instance)
 from .ontology import build_ontology
 
 #: The doctor's query of Example 1/7, over the original ``Measurements``.

@@ -16,7 +16,7 @@ Hospital dimension reads::
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Sequence, Tuple
 
 from ..errors import DimensionSchemaError
 from .instance import DimensionInstance, MDInstance

@@ -15,7 +15,7 @@ multidimensional half of a context.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CategoricalRelationError, DimensionInstanceError, NavigationError
 from ..relational.instance import DatabaseInstance, Relation

@@ -17,11 +17,10 @@ ontology must produce the same tuples that direct navigation produces).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 from ..errors import NavigationError
 from ..relational.instance import Relation
-from ..relational.schema import RelationSchema
 from ..relational.values import NullFactory
 from .instance import DimensionInstance, MDInstance
 from .relations import CategoricalAttribute, CategoricalRelationSchema

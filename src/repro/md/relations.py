@@ -17,7 +17,7 @@ convention: categorical attributes come first, in declaration order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..errors import CategoricalRelationError
 from ..relational.schema import RelationSchema

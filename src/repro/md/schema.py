@@ -11,7 +11,7 @@ navigation (drill-down) goes against it.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
 from ..errors import DimensionSchemaError
 

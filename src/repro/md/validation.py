@@ -22,7 +22,7 @@ hierarchies rather than refuse them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional
 
 from .instance import DimensionInstance, MDInstance
 

@@ -21,7 +21,7 @@ whether the first-order rewriting of Section IV applies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence
 
 from ..datalog.classes import ClassReport, classify, is_non_recursive
 from ..datalog.rules import EGD, TGD

@@ -18,7 +18,7 @@ the compiled program by :class:`~repro.ontology.mdontology.MDOntology`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import List, Optional
 
 from ..datalog.program import DatalogProgram
 from ..md.instance import MDInstance

@@ -17,10 +17,9 @@ parser syntax of :mod:`repro.datalog.parser`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Union
 
-from ..datalog.answering import (AnswerTuple, certain_answers, certainly_holds,
-                                 evaluate_query)
+from ..datalog.answering import AnswerTuple, certainly_holds, evaluate_query
 from ..datalog.chase import ChaseResult, chase
 from ..datalog.parser import parse_query, parse_rule
 from ..datalog.program import DatalogProgram

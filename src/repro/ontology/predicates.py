@@ -18,8 +18,8 @@ it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
 
 from ..errors import OntologyError
 from ..md.relations import CategoricalRelationSchema

@@ -18,8 +18,7 @@ what :class:`~repro.ontology.predicates.OntologyVocabulary` records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..datalog.atoms import Atom
 from ..datalog.rules import EGD, NegativeConstraint, TGD

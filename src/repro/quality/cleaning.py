@@ -17,7 +17,7 @@ assessment of :mod:`repro.quality.assessment` quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Union
 
 from ..datalog.answering import AnswerTuple, evaluate_query
 from ..datalog.atoms import Atom
@@ -50,18 +50,21 @@ def rewrite_query_to_quality(query: QueryLike, context: Context) -> ConjunctiveQ
 
 
 def quality_answers(context: Context, instance: DatabaseInstance, query: QueryLike,
-                    chase_result: Optional[ChaseResult] = None) -> List[AnswerTuple]:
+                    chase_result: Optional[ChaseResult] = None,
+                    engine: Optional[str] = None) -> List[AnswerTuple]:
     """Quality (clean) answers of ``query`` over ``instance`` through ``context``.
 
     The context program is assembled and chased (unless a pre-computed chase
     is supplied), the query is rewritten to its quality version ``Q^q`` and
     evaluated over the chased instance.  Answers containing labeled nulls
-    are not returned — they are not certain.
+    are not returned — they are not certain.  ``engine`` selects the shared
+    matching engine for both the chase and the query evaluation
+    (``"indexed"``/``"naive"``; ``None`` = the process default).
     """
     rewritten = rewrite_query_to_quality(query, context)
     result = chase_result if chase_result is not None else context.chase(
-        instance, check_constraints=False)
-    return evaluate_query(rewritten, result.instance, allow_nulls=False)
+        instance, check_constraints=False, engine=engine)
+    return evaluate_query(rewritten, result.instance, allow_nulls=False, engine=engine)
 
 
 def direct_answers(instance: DatabaseInstance, query: QueryLike) -> List[AnswerTuple]:
@@ -104,11 +107,13 @@ class CleanAnswerComparison:
 
 
 def compare_answers(context: Context, instance: DatabaseInstance, query: QueryLike,
-                    chase_result: Optional[ChaseResult] = None) -> CleanAnswerComparison:
+                    chase_result: Optional[ChaseResult] = None,
+                    engine: Optional[str] = None) -> CleanAnswerComparison:
     """Compute direct and quality answers of ``query`` and compare them."""
     cq = parse_query(query) if isinstance(query, str) else query
     return CleanAnswerComparison(
         query=cq,
         direct=direct_answers(instance, cq),
-        quality=quality_answers(context, instance, cq, chase_result=chase_result),
+        quality=quality_answers(context, instance, cq, chase_result=chase_result,
+                                engine=engine),
     )

@@ -22,7 +22,7 @@ the original relations into one over their quality versions
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..datalog.atoms import Atom
 from ..datalog.chase import ChaseResult, chase
@@ -197,7 +197,13 @@ class Context:
     # -- evaluation ------------------------------------------------------------------
 
     def chase(self, instance: DatabaseInstance, **chase_options) -> ChaseResult:
-        """Assemble and chase the context program for ``instance``."""
+        """Assemble and chase the context program for ``instance``.
+
+        ``chase_options`` are forwarded to :func:`repro.datalog.chase.chase`
+        — including ``engine="indexed"``/``"naive"`` to pick the matching
+        engine; the returned result carries the
+        :class:`~repro.engine.stats.EngineStats` of the run.
+        """
         return chase(self.assemble(instance), **chase_options)
 
     def quality_version(self, instance: DatabaseInstance, relation: str,

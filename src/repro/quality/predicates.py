@@ -19,7 +19,7 @@ module only wraps a defining rule set with a role tag and a description.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple, Union
 
 from ..datalog.parser import parse_rule

@@ -24,11 +24,11 @@ dependent).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Tuple
 
 from ..datalog.chase import ChaseResult
 from ..datalog.rules import NegativeConstraint
-from ..datalog.terms import Variable, term_value
+from ..datalog.terms import Variable
 from ..datalog.unify import apply_to_atom
 from ..errors import QualityError
 from ..ontology.mdontology import MDOntology

@@ -20,7 +20,7 @@ rule head into constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..datalog.parser import parse_rule
 from ..datalog.rules import TGD

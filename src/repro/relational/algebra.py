@@ -12,10 +12,10 @@ All operators are pure: they return new relations and never mutate operands.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
-from .instance import Relation, Row
+from .instance import Relation
 from .schema import RelationSchema
 
 Predicate = Callable[[Dict[str, Any]], bool]

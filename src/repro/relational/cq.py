@@ -17,7 +17,7 @@ strings starting with ``?`` (e.g. ``"?x"``), everything else is a constant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Sequence, Tuple
 
 from ..errors import ArityError, QueryAnsweringError
 from .instance import DatabaseInstance

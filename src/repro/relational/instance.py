@@ -10,16 +10,25 @@ Design notes
   or labeled :class:`~repro.relational.values.Null` objects.
 * A :class:`Relation` keeps insertion order (useful for readable reports) but
   membership and equality are set semantics.
+* A :class:`Relation` builds **hash indexes on demand**: per-position-pattern
+  indexes (``index_on``/``probe``) used by the engine's matching layer to
+  look up rows by their bound positions, and a **null-occurrence index**
+  (``rows_with_value``) used by EGD merges to rewrite only affected rows.
+  Indexes are maintained incrementally on ``add``/``discard`` and dropped on
+  ``clear``; a relation that is never probed pays nothing.
 * A :class:`DatabaseInstance` couples a :class:`DatabaseSchema` with one
   :class:`Relation` per declared relation; tuples can only be inserted into
   declared relations and must match the declared arity.
+
+See ``docs/ARCHITECTURE.md`` for how this storage layer sits under the
+matching and evaluation layers.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import ArityError, UnknownRelationError
+from ..errors import UnknownRelationError
 from .schema import DatabaseSchema, RelationSchema
 from .values import Null, value_sort_key
 
@@ -32,6 +41,10 @@ class Relation:
     def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[Any]] = ()):
         self.schema = schema
         self._rows: Dict[Row, None] = {}
+        #: position-pattern indexes: (positions...) -> key values -> rows
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Dict[Row, None]]] = {}
+        #: value-occurrence index (built on demand): value -> rows containing it
+        self._value_index: Optional[Dict[Any, Dict[Row, None]]] = None
         for row in rows:
             self.add(row)
 
@@ -44,6 +57,12 @@ class Relation:
         if key in self._rows:
             return False
         self._rows[key] = None
+        if self._indexes:
+            for positions, index in self._indexes.items():
+                index.setdefault(tuple(key[p] for p in positions), {})[key] = None
+        if self._value_index is not None:
+            for value in set(key):
+                self._value_index.setdefault(value, {})[key] = None
         return True
 
     def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -55,12 +74,70 @@ class Relation:
         key = tuple(row)
         if key in self._rows:
             del self._rows[key]
+            if self._indexes:
+                for positions, index in self._indexes.items():
+                    bucket_key = tuple(key[p] for p in positions)
+                    bucket = index.get(bucket_key)
+                    if bucket is not None:
+                        bucket.pop(key, None)
+                        if not bucket:
+                            del index[bucket_key]
+            if self._value_index is not None:
+                for value in set(key):
+                    bucket = self._value_index.get(value)
+                    if bucket is not None:
+                        bucket.pop(key, None)
+                        if not bucket:
+                            del self._value_index[value]
             return True
         return False
 
     def clear(self) -> None:
-        """Remove all tuples."""
+        """Remove all tuples (and drop any indexes built over them)."""
         self._rows.clear()
+        self._indexes.clear()
+        self._value_index = None
+
+    # -- indexing -----------------------------------------------------------
+
+    def index_on(self, positions: Tuple[int, ...]) -> Dict[Tuple[Any, ...], Dict[Row, None]]:
+        """The hash index over ``positions`` (built lazily, then maintained).
+
+        The index maps the tuple of values at ``positions`` to the rows
+        carrying those values.  Once built it is kept up to date by
+        ``add``/``discard``, so repeated probes cost one dict lookup.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                index.setdefault(tuple(row[p] for p in positions), {})[row] = None
+            self._indexes[positions] = index
+        return index
+
+    def probe(self, positions: Tuple[int, ...], key: Tuple[Any, ...]) -> List[Row]:
+        """Rows whose values at ``positions`` equal ``key`` (via the index)."""
+        bucket = self.index_on(positions).get(key)
+        return list(bucket) if bucket else []
+
+    def rows_with_value(self, value: Any) -> List[Row]:
+        """Rows containing ``value`` at any position (via the occurrence index).
+
+        This is the null-occurrence index the chase uses for EGD merges: when
+        a labeled null is equated with another value, only the rows returned
+        here need to be rewritten instead of rescanning the whole relation.
+        """
+        if self._value_index is None:
+            self._value_index = {}
+            for row in self._rows:
+                for row_value in set(row):
+                    self._value_index.setdefault(row_value, {})[row] = None
+        bucket = self._value_index.get(value)
+        return list(bucket) if bucket else []
+
+    def index_count(self) -> int:
+        """How many pattern indexes are currently materialized (for stats)."""
+        return len(self._indexes) + (1 if self._value_index is not None else 0)
 
     # -- inspection ---------------------------------------------------------
 

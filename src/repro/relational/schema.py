@@ -9,7 +9,7 @@ mutates them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
 from ..errors import ArityError, DuplicateRelationError, SchemaError, UnknownRelationError

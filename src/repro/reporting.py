@@ -9,8 +9,9 @@ documents.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
+from .engine.stats import EngineStats
 from .md.validation import ValidationReport
 from .ontology.analysis import OntologyAnalysis
 from .quality.assessment import DatabaseAssessment
@@ -100,6 +101,17 @@ def render_comparison(comparison: CleanAnswerComparison, markdown: bool = False)
     summary = (f"direct: {len(comparison.direct)}, quality: {len(comparison.quality)}, "
                f"spurious: {len(comparison.spurious)}, precision: {comparison.precision:.2f}")
     return f"{table}\n\n{summary}"
+
+
+def render_engine_stats(stats: EngineStats, markdown: bool = False) -> str:
+    """Render the engine instrumentation of a run (e.g. ``ChaseResult.stats``).
+
+    The counters come from the shared matching engine: rows actually
+    scanned, index probes, triggers fired, fixpoint rounds, rule evaluations
+    skipped by the delta discipline, and rows rewritten by EGD merges.
+    """
+    return render_table(("counter", "value"), list(stats.as_dict().items()),
+                        markdown=markdown)
 
 
 def render_key_values(data: Mapping[str, Any], markdown: bool = False) -> str:

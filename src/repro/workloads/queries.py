@@ -9,7 +9,7 @@ runs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..datalog.parser import parse_query
 from ..datalog.rules import ConjunctiveQuery

@@ -1,9 +1,9 @@
 """Paper-reproduction tests: every table, figure and worked example.
 
-These tests are the executable counterpart of EXPERIMENTS.md — each test
-class corresponds to one experiment of the per-experiment index in
-DESIGN.md and checks the *shape* the paper reports (exact tuples for the
-tables, derivability and navigation behaviour for the examples).
+Each test class corresponds to one experiment of the benchmark harness
+(``benchmarks/test_eXX_*.py``) and checks the *shape* the paper reports
+(exact tuples for the tables, derivability and navigation behaviour for
+the examples).
 """
 
 import pytest

