@@ -55,6 +55,21 @@ def main() -> None:
     print("\n== quality assessment of the instance ==")
     print(scenario.assess())
 
+    print("\n== live update: two new measurements arrive (incremental chase) ==")
+    update = scenario.record_measurements([
+        ("Sep/5-12:10", "Lou Reed", 37.0),
+        ("Sep/6-11:50", "Lou Reed", 36.5),
+    ])
+    print(f"  strategy: {update.strategy}, triggers fired: {update.steps}, "
+          f"touched: {sorted(update.changed_predicates or [])}")
+    print("  re-assessment (only touched relations recomputed):")
+    print("  " + str(scenario.assess()).replace("\n", "\n  "))
+    session = scenario.session()
+    print(f"  session caches: {session.stats.cache_hits} hits / "
+          f"{session.stats.cache_misses} misses; updates: "
+          f"{session.materialized.stats.incremental_updates} incremental, "
+          f"{session.materialized.stats.full_rechases} full re-chases")
+
     print("\n== Example 1's closure constraint (intensive care closed) ==")
     constrained = build_ontology(include_closure_constraints=True)
     result = constrained.check_consistency()

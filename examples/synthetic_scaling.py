@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import time
 
-from repro.datalog import DeterministicWSQAns, certain_answers, chase
+from repro.datalog import DeterministicWSQAns
 from repro.datalog.rewriting import QueryRewriter
+from repro.engine.session import MaterializedProgram
 from repro.workloads import WorkloadSpec, generate_workload
 
 
@@ -47,8 +48,7 @@ def main() -> None:
         query = workload.queries[-1]          # scan of the rolled-up relation
 
         (_, chase_elapsed) = time_call(
-            lambda: certain_answers(program, query,
-                                    chase_result=chase(program, check_constraints=False)))
+            lambda: MaterializedProgram(program).certain_answers(query))
         solver = DeterministicWSQAns(program)
         (ws_answers, ws_elapsed) = time_call(solver.answers, query)
         rewriter = QueryRewriter([rule.tgd for rule in workload.ontology.rules])

@@ -23,7 +23,7 @@ from ..engine.matching import matcher_for
 from ..engine.stats import EngineStats
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null
-from .chase import ChaseResult, chase
+from .chase import ChaseResult
 from .program import DatalogProgram
 from .rules import ConjunctiveQuery
 from .terms import term_value
@@ -79,19 +79,37 @@ def certain_answers(program: DatalogProgram, query: ConjunctiveQuery,
     """Certain answers of ``query`` over ``program`` via the chase.
 
     A pre-computed ``chase_result`` may be supplied to amortize the chase
-    across many queries (the benchmark harness does this).  ``engine``
+    across many queries (the benchmark harness does this).  Otherwise this
+    is a thin wrapper over a one-shot materialization session
+    (:mod:`repro.engine.session`); workloads that chase once, then answer
+    many queries while the data changes, should hold a
+    :class:`~repro.engine.session.MaterializedProgram` +
+    :class:`~repro.engine.session.QuerySession` directly.  ``engine``
     selects the matching engine for both the chase and the evaluation.
     """
-    result = chase_result if chase_result is not None else chase(
-        program, max_steps=max_steps, check_constraints=False, engine=engine)
-    return evaluate_query(query, result.instance, allow_nulls=False, engine=engine)
+    if chase_result is None:
+        from ..engine.session import MaterializedProgram
+        materialized = MaterializedProgram(program, engine=engine,
+                                           max_steps=max_steps,
+                                           record_provenance=False)
+        return materialized.certain_answers(query)
+    return evaluate_query(query, chase_result.instance, allow_nulls=False,
+                          engine=engine)
 
 
 def certainly_holds(program: DatalogProgram, query: ConjunctiveQuery,
                     max_steps: int = 100_000,
                     chase_result: Optional[ChaseResult] = None,
                     engine: Optional[str] = None) -> bool:
-    """Certain answer of a boolean query over ``program`` via the chase."""
-    result = chase_result if chase_result is not None else chase(
-        program, max_steps=max_steps, check_constraints=False, engine=engine)
-    return evaluate_boolean_query(query, result.instance, engine=engine)
+    """Certain answer of a boolean query over ``program`` via the chase.
+
+    Thin wrapper over a one-shot session when no ``chase_result`` is given
+    (see :func:`certain_answers`).
+    """
+    if chase_result is None:
+        from ..engine.session import MaterializedProgram
+        materialized = MaterializedProgram(program, engine=engine,
+                                           max_steps=max_steps,
+                                           record_provenance=False)
+        return materialized.holds(query)
+    return evaluate_boolean_query(query, chase_result.instance, engine=engine)

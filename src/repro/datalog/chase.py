@@ -46,9 +46,10 @@ programs may not terminate, so the engine enforces a step budget and raises
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..engine.matching import NAIVE, Matcher, matcher_for, resolve_engine
+from ..engine.matching import (NAIVE, Matcher, iter_delta_joins, matcher_for,
+                               resolve_engine)
 from ..engine.stats import EngineStats
 from ..errors import ChaseNonTerminationError, EGDConflictError, InconsistencyError
 from ..relational.instance import DatabaseInstance
@@ -62,6 +63,16 @@ from .unify import (Substitution, apply_to_atom, apply_to_term,
 
 RESTRICTED = "restricted"
 OBLIVIOUS = "oblivious"
+
+#: A stored fact, as ``(predicate, row)`` — the vocabulary of provenance
+#: records and of the session layer's update APIs.
+Fact = Tuple[str, Tuple[Any, ...]]
+
+#: Provenance of derived facts: each fact the chase added maps to the
+#: grounded body facts of the trigger that first derived it.  EGD merges
+#: rewrite rows in place and make recorded provenance stale — the chase
+#: reports merges so sessions can fall back to a full re-chase.
+Provenance = Dict[Fact, Tuple[Fact, ...]]
 
 
 @dataclass
@@ -89,6 +100,9 @@ class ChaseResult:
     violations: List[ConstraintViolation] = field(default_factory=list)
     engine: str = "indexed"
     stats: EngineStats = field(default_factory=EngineStats)
+    #: derived-fact provenance, recorded when the caller asked for it
+    #: (``record_provenance=True``); ``None`` otherwise
+    provenance: Optional[Provenance] = None
 
     @property
     def is_consistent(self) -> bool:
@@ -138,19 +152,37 @@ class ChaseEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def run(self, program: DatalogProgram) -> ChaseResult:
-        """Chase ``program``'s database; the input program is not mutated."""
-        program = program.copy()
+    def run(self, program: DatalogProgram, copy: bool = True,
+            nulls: Optional[NullFactory] = None,
+            record_provenance: bool = False,
+            provenance: Optional[Provenance] = None) -> ChaseResult:
+        """Chase ``program``'s database.
+
+        With ``copy`` (the default) the input program is not mutated; a
+        materialization session passes ``copy=False`` to chase its own
+        program's database in place.  A shared ``nulls`` factory keeps null
+        labels unique across resumed runs.  With ``record_provenance`` the
+        result carries a :data:`Provenance` mapping each derived fact to the
+        grounded body facts of the trigger that first derived it; callers
+        that maintain indexes over the provenance may supply their own
+        (possibly instrumented) ``provenance`` mapping instead.
+        """
+        if copy:
+            program = program.copy()
         program.ensure_relations()
         instance = program.database
-        nulls = NullFactory(self.null_prefix)
+        nulls = nulls if nulls is not None else NullFactory(self.null_prefix)
+        if provenance is None and record_provenance:
+            provenance = {}
         stats = EngineStats(engine=self.engine)
         matcher = matcher_for(self.engine, stats)
 
         if self.engine == NAIVE:
-            steps, rounds, egd_merges = self._run_naive(program, instance, nulls, matcher)
+            steps, rounds, egd_merges = self._run_naive(
+                program, instance, nulls, matcher, provenance)
         else:
-            steps, rounds, egd_merges = self._run_delta(program, instance, nulls, matcher)
+            steps, rounds, egd_merges = self._run_delta(
+                program, instance, nulls, matcher, provenance)
 
         stats.triggers_fired = steps
         stats.rounds = rounds
@@ -168,12 +200,123 @@ class ChaseEngine:
             violations=violations,
             engine=self.engine,
             stats=stats,
+            provenance=provenance,
+        )
+
+    def continue_chase(self, program: DatalogProgram, seed: Iterable[Fact],
+                       nulls: NullFactory,
+                       provenance: Optional[Provenance] = None) -> ChaseResult:
+        """Re-enter the chase on an already-chased ``program.database``.
+
+        ``seed`` names the facts that changed since the last fixpoint (e.g.
+        freshly inserted EDB facts); the delta-driven engine evaluates only
+        rules whose bodies can see them, the naive engine re-checks every
+        trigger.  The database is updated **in place**; the returned result
+        counts only the work of this continuation.  Only the restricted
+        chase can be resumed: the oblivious chase would need its
+        fired-trigger memory carried across calls.
+        """
+        if self.mode != RESTRICTED:
+            raise ValueError("only the restricted chase supports continuation")
+        instance = program.database
+        stats = EngineStats(engine=self.engine)
+        matcher = matcher_for(self.engine, stats)
+
+        if self.engine == NAIVE:
+            steps, rounds, egd_merges = self._run_naive(
+                program, instance, nulls, matcher, provenance)
+        else:
+            seed_delta = DatabaseInstance(instance.schema)
+            for predicate, row in seed:
+                seed_delta.add(predicate, row)
+            steps, rounds, egd_merges = self._run_delta(
+                program, instance, nulls, matcher, provenance,
+                initial_delta=seed_delta)
+
+        stats.triggers_fired = steps
+        stats.rounds = rounds
+        stats.egd_merges = egd_merges
+        return ChaseResult(
+            instance=instance, steps=steps, rounds=rounds, terminated=True,
+            mode=self.mode, egd_merges=egd_merges, violations=[],
+            engine=self.engine, stats=stats, provenance=provenance,
+        )
+
+    def repair_after_deletion(self, program: DatalogProgram,
+                              deleted: Iterable[Fact], nulls: NullFactory,
+                              provenance: Optional[Provenance] = None
+                              ) -> ChaseResult:
+        """Restore the fixpoint after the ``deleted`` facts were removed.
+
+        Deleting a fact can leave a TGD trigger newly unsatisfied: the
+        restricted chase had skipped it because the deleted fact witnessed
+        its head.  Any such trigger's head atom unifies with the deleted
+        fact on its universal positions, so the repair enumerates, per
+        (deleted fact, rule head atom) pair, only the body homomorphisms
+        extending that unification — with the head variables bound the join
+        probes indexes instead of scanning — fires the ones whose heads are
+        no longer satisfied, and lets a normal delta-driven continuation
+        propagate.  Rules whose heads cannot produce a deleted fact are
+        never touched.
+        """
+        if self.mode != RESTRICTED:
+            raise ValueError("only the restricted chase supports repair")
+        instance = program.database
+        stats = EngineStats(engine=self.engine)
+        matcher = matcher_for(self.engine, stats)
+
+        if self.engine == NAIVE:
+            steps, rounds, egd_merges = self._run_naive(
+                program, instance, nulls, matcher, provenance)
+        else:
+            steps = 0
+            seed_delta = DatabaseInstance(instance.schema)
+            heads_by_predicate: Dict[str, List[Tuple[TGD, Atom, Set[Variable]]]] = {}
+            for tgd in program.tgds:
+                existentials = set(tgd.existential_variables())
+                for atom in tgd.head:
+                    heads_by_predicate.setdefault(atom.predicate, []).append(
+                        (tgd, atom, existentials))
+            for predicate, row in deleted:
+                for tgd, head_atom, existentials in \
+                        heads_by_predicate.get(predicate, ()):
+                    unified = match_atom_against_row(head_atom, row)
+                    if unified is None:
+                        continue
+                    # Existential positions of the head are witnessed by *any*
+                    # value; only the universal bindings constrain the body.
+                    seed = {variable: term for variable, term in unified.items()
+                            if variable not in existentials}
+                    triggers = list(matcher.find_homomorphisms(
+                        tgd.body, instance, substitution=seed))
+                    for homomorphism in triggers:
+                        if self._head_satisfied(tgd, homomorphism, instance,
+                                                matcher):
+                            continue
+                        for head_predicate, head_row in self._apply_tgd(
+                                tgd, homomorphism, instance, nulls, provenance):
+                            seed_delta.add(head_predicate, head_row)
+                        steps += 1
+                        self._check_budget(steps)
+            more_steps, rounds, egd_merges = self._run_delta(
+                program, instance, nulls, matcher, provenance,
+                initial_delta=seed_delta) if seed_delta.total_tuples() else (0, 0, 0)
+            steps += more_steps
+
+        stats.triggers_fired = steps
+        stats.rounds = rounds
+        stats.egd_merges = egd_merges
+        return ChaseResult(
+            instance=instance, steps=steps, rounds=rounds, terminated=True,
+            mode=self.mode, egd_merges=egd_merges, violations=[],
+            engine=self.engine, stats=stats, provenance=provenance,
         )
 
     # -- naive engine: recompute every trigger each round ---------------------
 
     def _run_naive(self, program: DatalogProgram, instance: DatabaseInstance,
-                   nulls: NullFactory, matcher: Matcher) -> Tuple[int, int, int]:
+                   nulls: NullFactory, matcher: Matcher,
+                   provenance: Optional[Provenance] = None) -> Tuple[int, int, int]:
         steps = 0
         rounds = 0
         egd_merges = 0
@@ -202,7 +345,7 @@ class ChaseEngine:
                         applied_triggers.add(trigger_key)
                     elif self._head_satisfied(tgd, homomorphism, instance, matcher):
                         continue
-                    self._apply_tgd(tgd, homomorphism, instance, nulls)
+                    self._apply_tgd(tgd, homomorphism, instance, nulls, provenance)
                     steps += 1
                     changed = True
                     self._check_budget(steps)
@@ -240,7 +383,10 @@ class ChaseEngine:
     # -- indexed engine: delta-driven rounds ----------------------------------
 
     def _run_delta(self, program: DatalogProgram, instance: DatabaseInstance,
-                   nulls: NullFactory, matcher: Matcher) -> Tuple[int, int, int]:
+                   nulls: NullFactory, matcher: Matcher,
+                   provenance: Optional[Provenance] = None,
+                   initial_delta: Optional[DatabaseInstance] = None
+                   ) -> Tuple[int, int, int]:
         steps = 0
         rounds = 0
         egd_merges = 0
@@ -251,9 +397,11 @@ class ChaseEngine:
 
         # ``delta`` holds the facts that became true (or were rewritten by EGD
         # merges) in the previous round; ``None`` means "first round, evaluate
-        # everything".  A rule whose body shares no predicate with the delta
+        # everything".  A continuation passes ``initial_delta`` — the facts
+        # that changed since the last fixpoint — so even the first round is
+        # delta-driven.  A rule whose body shares no predicate with the delta
         # cannot have gained a new trigger and is skipped.
-        delta: Optional[DatabaseInstance] = None
+        delta: Optional[DatabaseInstance] = initial_delta
         while True:
             rounds += 1
             new_delta = DatabaseInstance(instance.schema)
@@ -269,8 +417,8 @@ class ChaseEngine:
                 if delta_preds is not None and not (tgd_body_preds[index] & delta_preds):
                     matcher.stats.rules_skipped_by_delta += 1
                     continue
-                triggers = list(self._delta_triggers(
-                    tgd.body, tgd.body_variables(), instance, delta, matcher))
+                triggers = list(iter_delta_joins(
+                    matcher, tgd.body, tgd.body_variables(), instance, delta))
                 for homomorphism in triggers:
                     if self.mode == OBLIVIOUS:
                         # Only the oblivious chase needs fired-trigger memory;
@@ -281,7 +429,8 @@ class ChaseEngine:
                         applied_triggers.add(trigger_key)
                     elif self._head_satisfied(tgd, homomorphism, instance, matcher):
                         continue
-                    for predicate, row in self._apply_tgd(tgd, homomorphism, instance, nulls):
+                    for predicate, row in self._apply_tgd(
+                            tgd, homomorphism, instance, nulls, provenance):
                         new_delta.add(predicate, row)
                     steps += 1
                     produced += 1
@@ -291,46 +440,6 @@ class ChaseEngine:
                 break
             delta = new_delta
         return steps, rounds, egd_merges
-
-    def _delta_triggers(self, body: Sequence[Atom], variables: Sequence[Variable],
-                        instance: DatabaseInstance, delta: Optional[DatabaseInstance],
-                        matcher: Matcher):
-        """Homomorphisms from ``body`` into ``instance`` using ≥ 1 delta fact.
-
-        When ``delta`` is ``None`` every homomorphism is enumerated.
-        Otherwise each body atom in turn is pinned to the delta relation and
-        the remaining atoms are joined against the full instance; duplicate
-        homomorphisms reached through different pivots are suppressed.
-        """
-        if delta is None:
-            yield from matcher.find_homomorphisms(body, instance)
-            return
-        seen: Set[frozenset] = set()
-        for pivot, pivot_atom in enumerate(body):
-            if not delta.has_relation(pivot_atom.predicate):
-                continue
-            delta_relation = delta.relation(pivot_atom.predicate)
-            if not delta_relation:
-                continue
-            live_relation = instance.relation(pivot_atom.predicate)
-            rest = [atom for position, atom in enumerate(body) if position != pivot]
-            for row in delta_relation.rows():
-                if row not in live_relation:
-                    continue  # rewritten away by a later EGD merge
-                matcher.stats.rows_scanned += 1
-                seed = match_atom_against_row(pivot_atom, row)
-                if seed is None:
-                    continue
-                candidates = matcher.find_homomorphisms(rest, instance, substitution=seed) \
-                    if rest else [seed]
-                for homomorphism in candidates:
-                    key = frozenset(
-                        (variable.name, term_value(apply_to_term(homomorphism, variable)))
-                        for variable in variables)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                    yield homomorphism
 
     def _apply_egds_delta(self, egds: Sequence[EGD], egd_body_preds: Sequence[Set[str]],
                           instance: DatabaseInstance, delta: Optional[DatabaseInstance],
@@ -350,8 +459,8 @@ class ChaseEngine:
                 if current_preds is not None and not (egd_body_preds[index] & current_preds):
                     matcher.stats.rules_skipped_by_delta += 1
                     continue
-                triggers = list(self._delta_triggers(
-                    egd.body, egd.body_variables(), instance, current_delta, matcher))
+                triggers = list(iter_delta_joins(
+                    matcher, egd.body, egd.body_variables(), instance, current_delta))
                 for homomorphism in triggers:
                     # Earlier merges may have rewritten this trigger's facts;
                     # the rewritten facts are in the local delta and will be
@@ -450,18 +559,25 @@ class ChaseEngine:
         return matcher.has_homomorphism(partial_head, instance)
 
     def _apply_tgd(self, tgd: TGD, homomorphism: Substitution,
-                   instance: DatabaseInstance,
-                   nulls: NullFactory) -> List[Tuple[str, Tuple]]:
+                   instance: DatabaseInstance, nulls: NullFactory,
+                   provenance: Optional[Provenance] = None) -> List[Fact]:
         """Fire a trigger; return the head facts that were actually new."""
         extended: Substitution = dict(homomorphism)
         for variable in tgd.existential_variables():
             extended[variable] = nulls.fresh()
-        added: List[Tuple[str, Tuple]] = []
+        added: List[Fact] = []
         for atom in tgd.head:
             grounded = apply_to_atom(extended, atom)
             row = grounded.to_fact_row()
             if instance.add(grounded.predicate, row):
                 added.append((grounded.predicate, row))
+        if provenance is not None and added:
+            body_facts = tuple(
+                (grounded_body.predicate, grounded_body.to_fact_row())
+                for grounded_body in
+                (apply_to_atom(homomorphism, atom) for atom in tgd.body))
+            for fact in added:
+                provenance.setdefault(fact, body_facts)
         return added
 
     # -- negative constraints ------------------------------------------------

@@ -14,15 +14,15 @@ no predicate with the delta is skipped without matching anything.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
-from ..engine.matching import matcher_for
+from ..engine.matching import iter_delta_joins, matcher_for
 from ..engine.stats import EngineStats
 from ..errors import DatalogError
 from ..relational.instance import DatabaseInstance
 from .program import DatalogProgram
 from .rules import TGD
-from .unify import Substitution, apply_to_atom
+from .unify import apply_to_atom
 
 
 def _check_plain(rules: Sequence[TGD]) -> None:
@@ -39,33 +39,20 @@ def _new_head_facts(rule: TGD, instance: DatabaseInstance,
     """Head facts derivable from ``rule`` using at least one delta atom.
 
     When ``delta`` is ``None`` (the first round) all homomorphisms into the
-    full instance are used.
+    full instance are used; otherwise the shared delta-pivot join of
+    :func:`repro.engine.matching.iter_delta_joins` pins one body atom to the
+    delta and joins the rest against the full instance.
     """
     facts: List[Tuple[str, Tuple]] = []
-    if delta is None:
-        for homomorphism in matcher.find_homomorphisms(rule.body, instance):
-            for atom in rule.head:
-                grounded = apply_to_atom(homomorphism, atom)
-                facts.append((grounded.predicate, grounded.to_fact_row()))
-        return facts
-
-    # Semi-naive: for each body position, require that atom to match the delta
-    # and the remaining atoms to match the full instance.
-    for pivot in range(len(rule.body)):
-        pivot_atom = rule.body[pivot]
-        if not delta.has_relation(pivot_atom.predicate) or \
-                not len(delta.relation(pivot_atom.predicate)):
-            continue
-        for seed in matcher.match_atom(pivot_atom, delta):
-            rest = [atom for index, atom in enumerate(rule.body) if index != pivot]
-            if not rest:
-                candidates: Iterable[Substitution] = [seed]
-            else:
-                candidates = matcher.find_homomorphisms(rest, instance, substitution=seed)
-            for homomorphism in candidates:
-                for atom in rule.head:
-                    grounded = apply_to_atom(homomorphism, atom)
-                    facts.append((grounded.predicate, grounded.to_fact_row()))
+    # dedupe=False: grounding the head twice is idempotent here (the caller
+    # checks membership before inserting), so the cross-pivot seen-set
+    # would cost more than the duplicates it suppresses.
+    for homomorphism in iter_delta_joins(matcher, rule.body,
+                                         rule.body_variables(), instance, delta,
+                                         dedupe=False):
+        for atom in rule.head:
+            grounded = apply_to_atom(homomorphism, atom)
+            facts.append((grounded.predicate, grounded.to_fact_row()))
     return facts
 
 

@@ -147,6 +147,31 @@ def evaluate_comparisons(comparisons: Sequence[Comparison],
     return True
 
 
+def comparison_bindings(comparisons: Sequence[Comparison],
+                        substitution: Optional[Substitution] = None
+                        ) -> Substitution:
+    """Bindings implied by equality comparisons against a ground term.
+
+    A comparison ``X = 'c'`` (or ``'c' = X``) forces every satisfying
+    homomorphism to bind ``X`` to ``'c'``; seeding the substitution with
+    that binding lets the matchers treat the position as ground — the
+    indexed engine probes instead of scanning — while the final
+    :func:`evaluate_comparisons` filter keeps the semantics unchanged
+    (already-bound variables are left alone and checked there).
+    """
+    bound: Substitution = dict(substitution or {})
+    for comparison in comparisons:
+        if comparison.op not in ("=", "=="):
+            continue
+        left = apply_to_term(bound, comparison.left)
+        right = apply_to_term(bound, comparison.right)
+        if isinstance(left, Variable) and not isinstance(right, Variable):
+            bound[left] = right
+        elif isinstance(right, Variable) and not isinstance(left, Variable):
+            bound[right] = left
+    return bound
+
+
 def find_homomorphisms(atoms: Sequence[Atom], instance: DatabaseInstance,
                        substitution: Optional[Substitution] = None,
                        comparisons: Sequence[Comparison] = (),
@@ -156,7 +181,9 @@ def find_homomorphisms(atoms: Sequence[Atom], instance: DatabaseInstance,
     Positive atoms are matched left to right with backtracking via recursion;
     negated atoms are checked *after* all positive atoms are matched (safe
     negation: their variables must be bound by then).  Comparisons are
-    applied last.
+    applied last — but equality comparisons against a ground term seed the
+    initial substitution (:func:`comparison_bindings`), so matchers see
+    those positions as bound from the start.
 
     ``match`` optionally substitutes the per-atom matcher (same signature as
     :func:`match_atom`); the engine's :class:`~repro.engine.matching.NaiveMatcher`
@@ -166,6 +193,8 @@ def find_homomorphisms(atoms: Sequence[Atom], instance: DatabaseInstance,
     positive = [atom for atom in atoms if not atom.negated]
     negative = [atom for atom in atoms if atom.negated]
     match = match if match is not None else match_atom
+    if comparisons:
+        substitution = comparison_bindings(comparisons, substitution)
 
     def extend(index: int, current: Substitution) -> Iterator[Substitution]:
         if index == len(positive):

@@ -92,9 +92,14 @@ class DeterministicWSQAns:
         goal positions; ``"naive"`` is the row-scanning reference.
     """
 
-    def __init__(self, program: DatalogProgram, max_depth: Optional[int] = None,
+    def __init__(self, program, max_depth: Optional[int] = None,
                  max_proofs: Optional[int] = None, engine: Optional[str] = None,
                  engine_stats: Optional[EngineStats] = None):
+        if not isinstance(program, DatalogProgram):
+            # A MaterializedProgram (repro.engine.session): resolve against
+            # its extensional database — the solver's own search replays the
+            # rules, so it must not see already-chased facts twice.
+            program = program.edb_program()
         self.program = program
         self.max_depth = max_depth if max_depth is not None else 3 * len(program.tgds) + 8
         self.max_proofs = max_proofs
@@ -212,15 +217,22 @@ class DeterministicWSQAns:
         return head, body
 
 
-def deterministic_ws_answers(program: DatalogProgram, query: ConjunctiveQuery,
+def deterministic_ws_answers(program, query: ConjunctiveQuery,
                              max_depth: Optional[int] = None,
                              engine: Optional[str] = None) -> List[Tuple]:
-    """Convenience wrapper: answer ``query`` with a one-off solver."""
+    """Convenience wrapper: answer ``query`` with a one-off solver.
+
+    ``program`` may be a :class:`DatalogProgram` or a
+    :class:`~repro.engine.session.MaterializedProgram`; sessions that answer
+    many queries should use
+    :meth:`~repro.engine.session.QuerySession.ws_answers`, which caches the
+    solver across calls.
+    """
     solver = DeterministicWSQAns(program, max_depth=max_depth, engine=engine)
     return solver.answers(query)
 
 
-def deterministic_ws_holds(program: DatalogProgram, query: ConjunctiveQuery,
+def deterministic_ws_holds(program, query: ConjunctiveQuery,
                            max_depth: Optional[int] = None,
                            engine: Optional[str] = None) -> bool:
     """Convenience wrapper for boolean conjunctive queries."""

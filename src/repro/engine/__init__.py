@@ -20,13 +20,28 @@ reference when debugging.  See ``docs/ARCHITECTURE.md``.
 """
 
 from .matching import (INDEXED, NAIVE, IndexedMatcher, Matcher, NaiveMatcher,
-                       get_default_engine, matcher_for, resolve_engine,
-                       set_default_engine)
+                       get_default_engine, iter_delta_joins, matcher_for,
+                       resolve_engine, set_default_engine)
 from .stats import EngineStats
+
+#: Session-layer names served lazily (PEP 562): :mod:`repro.engine.session`
+#: imports the datalog evaluators, which import this package — a top-level
+#: import here would be circular.
+_SESSION_EXPORTS = ("MaterializedProgram", "QuerySession", "UpdateResult",
+                    "BatchAnswers")
 
 __all__ = [
     "EngineStats",
     "Matcher", "IndexedMatcher", "NaiveMatcher",
     "INDEXED", "NAIVE",
     "matcher_for", "resolve_engine", "get_default_engine", "set_default_engine",
+    "iter_delta_joins",
+    *_SESSION_EXPORTS,
 ]
+
+
+def __getattr__(name):
+    if name in _SESSION_EXPORTS:
+        from . import session
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

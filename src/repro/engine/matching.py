@@ -25,7 +25,17 @@ The :class:`IndexedMatcher` is the production path:
   before the backtracking join: at each step the atom with the fewest
   unbound positions is chosen (ties broken by smaller relation), so highly
   constrained atoms prune the search early and empty relations short-circuit
-  immediately.
+  immediately.  The ordering is exposed as :meth:`Matcher.plan` so callers
+  that evaluate the same conjunction many times (the delta chase pinning a
+  rule to one pivot atom, a query session answering a cached query) can
+  compute it once and replay it with ``preordered=True``.
+
+The module also hosts :func:`iter_delta_joins`, the **delta-pivot join**
+shared by the delta-driven chase and semi-naive Datalog evaluation: each
+body atom in turn is pinned to the delta relation and the remaining atoms
+are joined against the full instance, with the join order hoisted out of
+the per-row loop (one plan per pivot, since bound-ness depends only on the
+pivot atom, not on the delta row).
 
 Matchers optionally record their work in an
 :class:`~repro.engine.stats.EngineStats` object.
@@ -33,7 +43,7 @@ Matchers optionally record their work in an
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..datalog.atoms import Atom, Comparison
 from ..datalog.terms import Variable, term_value
@@ -88,9 +98,21 @@ class Matcher:
 
     def find_homomorphisms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
                            substitution: Optional[Substitution] = None,
-                           comparisons: Sequence[Comparison] = ()
-                           ) -> Iterator[Substitution]:
+                           comparisons: Sequence[Comparison] = (),
+                           preordered: bool = False) -> Iterator[Substitution]:
         raise NotImplementedError
+
+    def plan(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+             bound: Iterable[Variable] = ()) -> List[Atom]:
+        """A join order for ``atoms`` given already-``bound`` variables.
+
+        The returned list can be replayed through
+        ``find_homomorphisms(..., preordered=True)``; computing it once per
+        (rule, pivot) pair or per cached query amortizes the ordering work.
+        The naive matcher preserves the given order (its reference semantics
+        evaluate atoms as written).
+        """
+        return list(atoms)
 
     def has_homomorphism(self, atoms: Sequence[Atom], instance: DatabaseInstance,
                          substitution: Optional[Substitution] = None) -> bool:
@@ -126,11 +148,12 @@ class NaiveMatcher(Matcher):
 
     def find_homomorphisms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
                            substitution: Optional[Substitution] = None,
-                           comparisons: Sequence[Comparison] = ()
-                           ) -> Iterator[Substitution]:
+                           comparisons: Sequence[Comparison] = (),
+                           preordered: bool = False) -> Iterator[Substitution]:
         """Delegates to the canonical :func:`repro.datalog.unify.find_homomorphisms`,
         injecting the counting :meth:`match_atom` so the negation/comparison
-        semantics are not duplicated here."""
+        semantics are not duplicated here.  ``preordered`` is accepted for
+        interface compatibility; the naive matcher never reorders anyway."""
         yield from _naive.find_homomorphisms(atoms, instance,
                                              substitution=substitution,
                                              comparisons=comparisons,
@@ -191,40 +214,52 @@ class IndexedMatcher(Matcher):
 
     def find_homomorphisms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
                            substitution: Optional[Substitution] = None,
-                           comparisons: Sequence[Comparison] = ()
-                           ) -> Iterator[Substitution]:
+                           comparisons: Sequence[Comparison] = (),
+                           preordered: bool = False) -> Iterator[Substitution]:
         """Yield every homomorphism from ``atoms`` into ``instance``.
 
         Same contract as :func:`repro.datalog.unify.find_homomorphisms`:
         positive atoms joined with backtracking, negated atoms checked after
         all positive atoms are matched (cautious over labeled nulls),
         comparisons applied last.  The positive atoms are joined in
-        selectivity order instead of the order given; the join/negation
-        semantics themselves are delegated to the canonical implementation
-        (with this matcher's index-probing :meth:`match_atom` injected), so
-        they live only in :mod:`repro.datalog.unify`.
+        selectivity order instead of the order given — unless ``preordered``
+        is set, in which case ``atoms`` is taken to be a :meth:`plan` and
+        replayed as given.  The join/negation semantics themselves are
+        delegated to the canonical implementation (with this matcher's
+        index-probing :meth:`match_atom` injected), so they live only in
+        :mod:`repro.datalog.unify`.
         """
         initial = dict(substitution or {})
-        positive = [atom for atom in atoms if not atom.negated]
-        negative = [atom for atom in atoms if atom.negated]
-        ordered = self._order_atoms(positive, instance, initial)
-        yield from _naive.find_homomorphisms(ordered + negative, instance,
+        if comparisons:
+            # Equality comparisons bind variables to ground terms; seeing
+            # them bound lets the planner order (and the probes key) on them.
+            initial = _naive.comparison_bindings(comparisons, initial)
+        ordered = list(atoms) if preordered else self.plan(atoms, instance,
+                                                           bound=initial)
+        yield from _naive.find_homomorphisms(ordered, instance,
                                              substitution=initial,
                                              comparisons=comparisons,
                                              match=self.match_atom)
 
-    def _order_atoms(self, atoms: Sequence[Atom], instance: DatabaseInstance,
-                     substitution: Substitution) -> List[Atom]:
-        """Greedy join order: most-bound atom first, smaller relation on ties."""
-        if len(atoms) <= 1:
-            return list(atoms)
-        remaining = list(atoms)
-        bound: Set[Variable] = set(substitution)
+    def plan(self, atoms: Sequence[Atom], instance: DatabaseInstance,
+             bound: Iterable[Variable] = ()) -> List[Atom]:
+        """Greedy join order: most-bound atom first, smaller relation on ties.
+
+        Negated atoms always go last (they are checks, not generators);
+        ``bound`` names variables that will already be bound when the plan
+        is replayed (e.g. by a delta-pivot seed or an outer substitution).
+        """
+        positive = [atom for atom in atoms if not atom.negated]
+        negative = [atom for atom in atoms if atom.negated]
+        if len(positive) <= 1:
+            return positive + negative
+        remaining = positive
+        bound_vars: Set[Variable] = set(bound)
         ordered: List[Atom] = []
 
         def cost(atom: Atom) -> Tuple[int, int]:
             unbound = {term for term in atom.terms
-                       if isinstance(term, Variable) and term not in bound}
+                       if isinstance(term, Variable) and term not in bound_vars}
             size = (len(instance.relation(atom.predicate))
                     if instance.has_relation(atom.predicate) else 0)
             return (len(unbound), size)
@@ -233,8 +268,68 @@ class IndexedMatcher(Matcher):
             best = min(remaining, key=cost)
             remaining.remove(best)
             ordered.append(best)
-            bound.update(term for term in best.terms if isinstance(term, Variable))
-        return ordered
+            bound_vars.update(term for term in best.terms
+                              if isinstance(term, Variable))
+        return ordered + negative
+
+
+def iter_delta_joins(matcher: Matcher, body: Sequence[Atom],
+                     variables: Sequence[Variable], instance: DatabaseInstance,
+                     delta: Optional[DatabaseInstance],
+                     dedupe: bool = True) -> Iterator[Substitution]:
+    """Homomorphisms from ``body`` into ``instance`` using ≥ 1 delta fact.
+
+    The delta-pivot join shared by the delta-driven chase and semi-naive
+    Datalog evaluation.  When ``delta`` is ``None`` (a first round) every
+    homomorphism is enumerated.  Otherwise each body atom in turn is pinned
+    to its delta relation and the remaining atoms are joined against the
+    full instance; delta rows no longer present in the live relation (e.g.
+    rewritten away by a later EGD merge) are skipped.  The join order of the
+    remaining atoms is computed **once per pivot** — bound-ness depends only
+    on which atom is pinned, not on the pinned row — instead of once per
+    delta row.
+
+    With ``dedupe`` (the default) homomorphisms reachable through several
+    pivots are yielded once, keyed by the bindings of ``variables``;
+    consumers whose downstream effect is idempotent (semi-naive evaluation
+    inserting head facts into a set) may disable it.
+    """
+    if delta is None:
+        yield from matcher.find_homomorphisms(body, instance)
+        return
+    seen: Set[frozenset] = set()
+    for pivot, pivot_atom in enumerate(body):
+        if not delta.has_relation(pivot_atom.predicate):
+            continue
+        delta_relation = delta.relation(pivot_atom.predicate)
+        if not delta_relation:
+            continue
+        live_relation = instance.relation(pivot_atom.predicate)
+        rest = [atom for position, atom in enumerate(body) if position != pivot]
+        plan = matcher.plan(
+            rest, instance,
+            bound=(term for term in pivot_atom.terms
+                   if isinstance(term, Variable))) if rest else []
+        for row in delta_relation.rows():
+            if row not in live_relation:
+                continue
+            matcher.stats.rows_scanned += 1
+            seed = match_atom_against_row(pivot_atom, row)
+            if seed is None:
+                continue
+            candidates = matcher.find_homomorphisms(
+                plan, instance, substitution=seed, preordered=True) \
+                if rest else [seed]
+            for homomorphism in candidates:
+                if dedupe:
+                    key = frozenset(
+                        (variable.name,
+                         term_value(apply_to_term(homomorphism, variable)))
+                        for variable in variables)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                yield homomorphism
 
 
 def matcher_for(engine: Optional[str] = None,

@@ -1,0 +1,524 @@
+"""Materialization sessions: chase once, answer many, update in deltas.
+
+The paper's workload is session-shaped: one MD ontology (or assembled
+quality context) is chased once, then many certain-answer queries run
+against the same materialization while the underlying extensional database
+receives small updates.  This module keeps that materialization alive
+between calls instead of re-running the chase per call:
+
+* :class:`MaterializedProgram` owns a chased
+  :class:`~repro.relational.instance.DatabaseInstance` and supports
+  **incremental EDB updates**: :meth:`~MaterializedProgram.add_facts`
+  re-enters the delta-driven chase seeded only with the inserted facts;
+  :meth:`~MaterializedProgram.retract_facts` deletes the retracted facts
+  plus the cone of derived facts recorded against them in the chase's
+  provenance, re-fires only the rules whose heads lost facts, and falls
+  back to a full re-chase when provenance is ambiguous (EGD merges have
+  rewritten rows, or provenance was not recorded).
+* :class:`QuerySession` answers conjunctive queries over a materialized
+  program, caching parsed queries and selectivity-ordered join plans keyed
+  by (program version, query); :meth:`~QuerySession.answer_many` batches a
+  whole workload and reports the
+  :class:`~repro.engine.stats.EngineStats` delta of the batch.
+
+Every update and batch returns its own stats delta; the session objects
+accumulate lifetime totals, including cache hits/misses and the
+incremental-vs-full decision counters.  See ``docs/ARCHITECTURE.md`` for
+the session lifecycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..datalog.atoms import Atom
+from ..datalog.chase import ChaseEngine, ChaseResult, Fact, RESTRICTED
+from ..datalog.parser import parse_query
+from ..datalog.program import DatalogProgram
+from ..datalog.rules import ConjunctiveQuery
+from ..datalog.terms import term_value
+from ..datalog.unify import apply_to_term, comparison_bindings
+from ..errors import UnknownRelationError
+from ..relational.instance import DatabaseInstance
+from ..relational.values import Null, NullFactory
+from .matching import Matcher, matcher_for, resolve_engine
+from .stats import EngineStats
+
+AnswerTuple = Tuple[Any, ...]
+QueryLike = Union[ConjunctiveQuery, str]
+
+INCREMENTAL = "incremental"
+FULL = "full"
+NOOP = "noop"
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one :class:`MaterializedProgram` update."""
+
+    #: ``"add"`` or ``"retract"``
+    action: str
+    #: ``"incremental"`` (delta re-chase), ``"full"`` (from-scratch re-chase)
+    #: or ``"noop"`` (no EDB fact actually changed)
+    strategy: str
+    #: the EDB facts that were actually inserted / removed
+    applied: List[Fact] = field(default_factory=list)
+    #: predicates whose extension changed (EDB and derived); ``None`` means
+    #: unknown — treat as "possibly all" (e.g. after EGD merges)
+    changed_predicates: Optional[Set[str]] = None
+    #: TGD triggers fired by the maintenance chase
+    steps: int = 0
+    #: the work done by this update alone (an :class:`EngineStats` delta)
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    @property
+    def is_incremental(self) -> bool:
+        return self.strategy == INCREMENTAL
+
+    def touched(self, predicate: str) -> bool:
+        """``True`` if ``predicate``'s extension may have changed."""
+        return self.changed_predicates is None or \
+            predicate in self.changed_predicates
+
+
+class _ProvenanceLog(dict):
+    """A provenance mapping that logs newly recorded facts.
+
+    The chase records first derivations with ``setdefault``; logging the
+    genuinely new keys lets the session learn an update's derived facts —
+    and maintain its inverted dependents index — in O(delta) instead of
+    snapshotting the whole mapping per update.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.added: List[Fact] = []
+
+    def setdefault(self, key, default=None):
+        if key not in self:
+            self.added.append(key)
+        return super().setdefault(key, default)
+
+    def drain(self) -> List[Fact]:
+        added, self.added = self.added, []
+        return added
+
+
+@dataclass
+class BatchAnswers:
+    """Answers of one :meth:`QuerySession.answer_many` batch."""
+
+    #: one answer list per query, in the order given
+    answers: List[List[AnswerTuple]]
+    #: the matching work done by this batch alone
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __iter__(self):
+        return iter(self.answers)
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+class MaterializedProgram:
+    """A Datalog± program kept chased across queries and EDB updates.
+
+    Parameters
+    ----------
+    program:
+        The program to materialize.  Its rules are shared; its database is
+        copied (twice: the pristine EDB for re-chases, and the instance the
+        chase materializes into).
+    engine:
+        Matching engine (``"indexed"``/``"naive"``; ``None`` = process
+        default).
+    max_steps:
+        Trigger budget per chase/maintenance run.
+    record_provenance:
+        Record, for every derived fact, the grounded body facts of the
+        trigger that first derived it.  Needed for incremental retraction;
+        one-shot wrappers switch it off to keep their cost unchanged.
+
+    The session always runs the **restricted** chase (the oblivious chase
+    cannot be resumed without its fired-trigger memory) and never checks
+    negative constraints — check them on :attr:`result` explicitly if
+    needed.
+    """
+
+    def __init__(self, program: DatalogProgram, engine: Optional[str] = None,
+                 max_steps: int = 100_000, null_prefix: str = "n",
+                 record_provenance: bool = True):
+        self._chaser = ChaseEngine(mode=RESTRICTED, max_steps=max_steps,
+                                   check_constraints=False,
+                                   null_prefix=null_prefix, engine=engine)
+        self.engine = self._chaser.engine
+        self.record_provenance = record_provenance
+        self._tgds = list(program.tgds)
+        self._egds = list(program.egds)
+        self._constraints = list(program.constraints)
+        self._edb = program.database.copy()
+        #: bumped on every effective update; session caches key on it
+        self.version = 0
+        #: lifetime work counters (materialization + every update)
+        self.stats = EngineStats(engine=self.engine)
+        self._queries: Optional["QuerySession"] = None
+        self._sessions: List["QuerySession"] = []
+        self.result: ChaseResult = self._materialize()
+        self.stats.merge(self.result.stats)
+        self.result.stats = self.stats
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def instance(self) -> DatabaseInstance:
+        """The chased (materialized) database instance."""
+        return self._program.database
+
+    @property
+    def edb(self) -> DatabaseInstance:
+        """The pristine extensional database the materialization started from."""
+        return self._edb
+
+    def edb_program(self) -> DatalogProgram:
+        """A program view over the *extensional* database (for top-down solvers)."""
+        return DatalogProgram(tgds=self._tgds, egds=self._egds,
+                              constraints=self._constraints, database=self._edb)
+
+    def _materialize(self) -> ChaseResult:
+        self._program = DatalogProgram(tgds=self._tgds, egds=self._egds,
+                                       constraints=self._constraints,
+                                       database=self._edb.copy())
+        self._nulls = NullFactory(self._chaser.null_prefix)
+        provenance = _ProvenanceLog() if self.record_provenance else None
+        result = self._chaser.run(self._program, copy=False, nulls=self._nulls,
+                                  provenance=provenance)
+        self._provenance: Optional[_ProvenanceLog] = provenance
+        self._ambiguous = result.egd_merges > 0
+        #: inverted provenance: body fact -> derived facts recorded against it
+        self._dependents: Dict[Fact, List[Fact]] = {}
+        if provenance is not None:
+            for derived in provenance.drain():
+                for body_fact in provenance[derived]:
+                    self._dependents.setdefault(body_fact, []).append(derived)
+        return result
+
+    # -- updates ------------------------------------------------------------
+
+    def add_facts(self, facts: Iterable[Fact]) -> UpdateResult:
+        """Insert EDB facts and restore the fixpoint incrementally.
+
+        The delta-driven chase is re-entered seeded only with the facts that
+        were actually new; rules whose bodies cannot see them are skipped.
+        Returns the facts applied, the predicates whose extension changed,
+        and the stats delta of the maintenance run.
+        """
+        applied: List[Fact] = []
+        for predicate, row in facts:
+            row = tuple(row)
+            if not self._edb.has_relation(predicate):
+                if not self.instance.has_relation(predicate):
+                    # An unknown predicate is almost always a typo; refusing
+                    # matches DatabaseInstance.add instead of silently
+                    # declaring a relation no rule can ever see.
+                    raise UnknownRelationError(
+                        f"unknown relation {predicate!r}; known relations: "
+                        f"{sorted(r.schema.name for r in self.instance)}")
+                # An intensional predicate receiving its first extensional
+                # fact: declare it in the EDB with the program's schema.
+                self._edb.declare(
+                    predicate,
+                    list(self.instance.relation(predicate).schema.attributes))
+            if self._edb.add(predicate, row):
+                applied.append((predicate, row))
+        if not applied:
+            return UpdateResult(action="add", strategy=NOOP,
+                                changed_predicates=set(),
+                                stats=EngineStats(engine=self.engine))
+        self.version += 1
+
+        instance = self.instance
+        seed: List[Fact] = []
+        for fact in applied:
+            predicate, row = fact
+            if instance.add(predicate, row):
+                seed.append(fact)
+            elif self._provenance is not None:
+                # The fact existed as a derived fact; it is extensional now
+                # and must survive retraction of its former support.
+                self._provenance.pop(fact, None)
+
+        result = self._chaser.continue_chase(self._program, seed, self._nulls,
+                                             self._provenance)
+        return self._finish_update("add", INCREMENTAL, applied, result)
+
+    def retract_facts(self, facts: Iterable[Fact]) -> UpdateResult:
+        """Remove EDB facts and restore the fixpoint.
+
+        The incremental path deletes the retracted facts plus the **cone**
+        of derived facts whose recorded derivation depends on them, then
+        re-evaluates only the rules whose heads mention a deleted predicate
+        (the restricted chase had skipped their triggers while the heads
+        were satisfied) and lets a delta-driven continuation propagate.
+        When provenance is ambiguous — EGD merges rewrote rows since the
+        last full chase, or provenance was not recorded — the session falls
+        back to a full re-chase of the updated EDB.
+        """
+        applied: List[Fact] = []
+        for predicate, row in facts:
+            row = tuple(row)
+            if self._edb.has_relation(predicate) and \
+                    self._edb.relation(predicate).discard(row):
+                applied.append((predicate, row))
+        if not applied:
+            return UpdateResult(action="retract", strategy=NOOP,
+                                changed_predicates=set(),
+                                stats=EngineStats(engine=self.engine))
+        self.version += 1
+
+        if self._provenance is None or self._ambiguous:
+            return self._full_update("retract", applied)
+
+        # The deletion cone over the maintained inverted index.  Entries may
+        # point at facts whose provenance was popped by an earlier update
+        # (facts that became extensional, earlier cones); filtering against
+        # the live provenance keeps the traversal exact.
+        cone: Set[Fact] = set()
+        frontier: List[Fact] = list(applied)
+        while frontier:
+            fact = frontier.pop()
+            for dependent in self._dependents.pop(fact, ()):
+                if dependent not in cone and dependent in self._provenance:
+                    cone.add(dependent)
+                    frontier.append(dependent)
+
+        instance = self.instance
+        for predicate, row in applied:
+            if instance.has_relation(predicate):
+                instance.relation(predicate).discard(row)
+        for fact in cone:
+            predicate, row = fact
+            instance.relation(predicate).discard(row)
+            self._provenance.pop(fact, None)
+
+        deleted_predicates = {predicate for predicate, _ in applied} | \
+            {predicate for predicate, _ in cone}
+        result = self._chaser.repair_after_deletion(
+            self._program, list(applied) + sorted(cone, key=str), self._nulls,
+            self._provenance)
+        update = self._finish_update("retract", INCREMENTAL, applied, result)
+        if update.changed_predicates is not None:
+            update.changed_predicates |= deleted_predicates
+        return update
+
+    def _finish_update(self, action: str, strategy: str, applied: List[Fact],
+                       result: ChaseResult) -> UpdateResult:
+        if result.egd_merges:
+            self._ambiguous = True
+        derived = [] if self._provenance is None else self._provenance.drain()
+        for fact in derived:  # keep the inverted index in O(delta) step
+            for body_fact in self._provenance[fact]:
+                self._dependents.setdefault(body_fact, []).append(fact)
+        changed: Optional[Set[str]]
+        if result.egd_merges or self._provenance is None:
+            changed = None  # merges rewrite arbitrary rows: treat as "all"
+        else:
+            changed = {predicate for predicate, _ in applied}
+            changed |= {predicate for predicate, _ in derived}
+        update_stats = result.stats
+        update_stats.incremental_updates += 1
+        self.stats.merge(update_stats)
+        self.result.steps += result.steps
+        self.result.rounds += result.rounds
+        self.result.egd_merges += result.egd_merges
+        update = UpdateResult(action=action, strategy=strategy, applied=applied,
+                              changed_predicates=changed, steps=result.steps,
+                              stats=update_stats)
+        self._notify(update)
+        return update
+
+    def _full_update(self, action: str, applied: List[Fact]) -> UpdateResult:
+        result = self._materialize()
+        update_stats = result.stats
+        update_stats.full_rechases += 1
+        self.stats.merge(update_stats)
+        self.result = result
+        self.result.stats = self.stats
+        update = UpdateResult(action=action, strategy=FULL, applied=applied,
+                              changed_predicates=None, steps=result.steps,
+                              stats=update_stats)
+        self._notify(update)
+        return update
+
+    def _notify(self, update: UpdateResult) -> None:
+        for session in self._sessions:
+            session._note_update(update)
+
+    # -- answering ----------------------------------------------------------
+
+    def queries(self) -> "QuerySession":
+        """The default query session over this materialization (lazy)."""
+        if self._queries is None:
+            self._queries = QuerySession(self)
+        return self._queries
+
+    def certain_answers(self, query: QueryLike) -> List[AnswerTuple]:
+        """Certain answers of ``query`` over the materialized instance."""
+        return self.queries().answers(query)
+
+    def holds(self, query: QueryLike) -> bool:
+        """Boolean certain answer of ``query``."""
+        return self.queries().holds(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MaterializedProgram({len(self._tgds)} TGDs, "
+                f"{self.instance.total_tuples()} facts, "
+                f"version={self.version}, engine={self.engine!r})")
+
+
+class QuerySession:
+    """Answer many queries over one materialization, caching the plumbing.
+
+    Three caches, all keyed by query text:
+
+    * **parsed queries** — parse once per distinct query;
+    * **join plans** — the selectivity order of the body atoms, replayed
+      through the matcher with ``preordered=True``;
+    * **answers** — the full answer list of the query.
+
+    Plans and answers stay valid across updates whose
+    ``changed_predicates`` are disjoint from the query's body predicates
+    (the owning :class:`MaterializedProgram` notifies every session it
+    spawned); an update with unknown impact (EGD merges) drops everything.
+    """
+
+    def __init__(self, materialized: Union[MaterializedProgram, DatalogProgram],
+                 engine: Optional[str] = None):
+        if isinstance(materialized, DatalogProgram):
+            materialized = MaterializedProgram(materialized, engine=engine)
+        self.materialized = materialized
+        self.engine = resolve_engine(engine) if engine is not None \
+            else materialized.engine
+        #: lifetime matching work + cache counters of this session
+        self.stats = EngineStats(engine=self.engine)
+        self._matcher: Matcher = matcher_for(self.engine, self.stats)
+        self._parsed: Dict[str, ConjunctiveQuery] = {}
+        self._plans: Dict[str, Tuple[ConjunctiveQuery, List[Atom]]] = {}
+        self._answers: Dict[Tuple[str, bool],
+                            Tuple[ConjunctiveQuery, List[AnswerTuple]]] = {}
+        self._ws_solver = None
+        self._ws_version: Optional[Tuple[int, Optional[int]]] = None
+        materialized._sessions.append(self)
+
+    # -- caches -------------------------------------------------------------
+
+    def query(self, query: QueryLike) -> ConjunctiveQuery:
+        """Parse ``query`` (cached by source text)."""
+        if isinstance(query, ConjunctiveQuery):
+            return query
+        cached = self._parsed.get(query)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        parsed = parse_query(query)
+        self._parsed[query] = parsed
+        return parsed
+
+    def plan(self, query: QueryLike) -> List[Atom]:
+        """The join plan for ``query`` against the current materialization."""
+        cq = self.query(query)
+        key = str(cq)
+        entry = self._plans.get(key)
+        if entry is not None:
+            self.stats.cache_hits += 1
+            return entry[1]
+        self.stats.cache_misses += 1
+        plan = self._matcher.plan(
+            cq.body, self.materialized.instance,
+            bound=comparison_bindings(cq.comparisons))
+        self._plans[key] = (cq, plan)
+        return plan
+
+    def _note_update(self, update: UpdateResult) -> None:
+        """Invalidate exactly the cache entries ``update`` may have touched."""
+        def touched(cq: ConjunctiveQuery) -> bool:
+            return update.changed_predicates is None or any(
+                atom.predicate in update.changed_predicates for atom in cq.body)
+
+        for key in [key for key, (cq, _) in self._plans.items() if touched(cq)]:
+            del self._plans[key]
+        for key in [key for key, (cq, _) in self._answers.items()
+                    if touched(cq)]:
+            del self._answers[key]
+
+    # -- answering ----------------------------------------------------------
+
+    def answers(self, query: QueryLike,
+                allow_nulls: bool = False) -> List[AnswerTuple]:
+        """Answers of ``query`` over the materialized instance.
+
+        ``allow_nulls=False`` (the default) is the certain-answer
+        semantics: tuples containing labeled nulls are dropped.
+        """
+        cq = self.query(query)
+        cache_key = (str(cq), allow_nulls)
+        cached = self._answers.get(cache_key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return list(cached[1])
+        self.stats.cache_misses += 1
+        ordered = self.plan(cq)
+        instance = self.materialized.instance
+        rows: Set[AnswerTuple] = set()
+        for homomorphism in self._matcher.find_homomorphisms(
+                ordered, instance, comparisons=cq.comparisons, preordered=True):
+            row = tuple(term_value(apply_to_term(homomorphism, variable))
+                        for variable in cq.answer_variables)
+            if not allow_nulls and any(isinstance(value, Null) for value in row):
+                continue
+            rows.add(row)
+        result = sorted(rows, key=lambda row: tuple(map(str, row)))
+        self._answers[cache_key] = (cq, result)
+        return list(result)
+
+    def holds(self, query: QueryLike) -> bool:
+        """``True`` iff the (boolean) query body matches the materialization."""
+        cq = self.query(query)
+        ordered = self.plan(cq)
+        for _ in self._matcher.find_homomorphisms(
+                ordered, self.materialized.instance,
+                comparisons=cq.comparisons, preordered=True):
+            return True
+        return False
+
+    def answer_many(self, queries: Sequence[QueryLike],
+                    allow_nulls: bool = False) -> BatchAnswers:
+        """Answer a whole batch; the result carries the batch's stats delta."""
+        before = self.stats.snapshot()
+        answers = [self.answers(query, allow_nulls=allow_nulls)
+                   for query in queries]
+        return BatchAnswers(answers=answers, stats=self.stats.delta(before))
+
+    def ws_answers(self, query: QueryLike,
+                   max_depth: Optional[int] = None) -> List[AnswerTuple]:
+        """Answers via the deterministic weakly-sticky solver (Section IV).
+
+        The solver (with its rules-by-head index) is cached and rebuilt only
+        when the EDB version changes.
+        """
+        from ..datalog.ws_qa import DeterministicWSQAns
+        key = (self.materialized.version, max_depth)
+        if self._ws_solver is None or self._ws_version != key:
+            self.stats.cache_misses += 1
+            self._ws_solver = DeterministicWSQAns(
+                self.materialized.edb_program(), max_depth=max_depth,
+                engine=self.engine)
+            self._ws_version = key
+        else:
+            self.stats.cache_hits += 1
+        return self._ws_solver.answers(self.query(query))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QuerySession({self.materialized!r}, "
+                f"{len(self._parsed)} parsed, {len(self._plans)} plans)")

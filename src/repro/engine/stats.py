@@ -2,21 +2,26 @@
 
 An :class:`EngineStats` object is threaded through the matching layer and
 the evaluators built on it.  The counters answer the questions one asks when
-profiling a chase or a query batch: how many stored rows were actually
-scanned, how many lookups were answered by an index probe instead, how many
-triggers fired, how many rounds the fixpoint took and how much work the
-delta discipline avoided.
+profiling a chase, a query batch or a materialization session: how many
+stored rows were actually scanned, how many lookups were answered by an
+index probe instead, how many triggers fired, how much work the delta
+discipline avoided, how often session caches hit, and how often an update
+could be served incrementally instead of re-chasing from scratch.
+
+Counters are declared exactly once — as dataclass fields.  ``merge`` and
+``as_dict`` are derived from :func:`dataclasses.fields`, so adding a counter
+is a one-line change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Tuple
 
 
 @dataclass
 class EngineStats:
-    """Counters describing one evaluation (chase run, query batch, ...)."""
+    """Counters describing one evaluation (chase run, query batch, update, ...)."""
 
     #: which engine produced these numbers ("indexed" or "naive")
     engine: str = "indexed"
@@ -36,32 +41,45 @@ class EngineStats:
     rules_skipped_by_delta: int = 0
     #: rows rewritten by EGD merges (touched via the null-occurrence index)
     rows_rewritten: int = 0
+    #: session-cache lookups answered from the cache (parsed queries, join
+    #: plans, quality rewritings, cached assessments)
+    cache_hits: int = 0
+    #: session-cache lookups that had to compute and store a fresh entry
+    cache_misses: int = 0
+    #: EDB updates served by the incremental delta path of a session
+    incremental_updates: int = 0
+    #: EDB updates that fell back to a full from-scratch re-chase
+    full_rechases: int = 0
+
+    @classmethod
+    def counter_names(cls) -> Tuple[str, ...]:
+        """The names of the integer counters (every field except ``engine``)."""
+        return tuple(f.name for f in fields(cls) if f.name != "engine")
 
     def merge(self, other: "EngineStats") -> "EngineStats":
         """Accumulate ``other``'s counters into this object (in place)."""
-        self.rows_scanned += other.rows_scanned
-        self.index_probes += other.index_probes
-        self.empty_lookups += other.empty_lookups
-        self.triggers_fired += other.triggers_fired
-        self.egd_merges += other.egd_merges
-        self.rounds += other.rounds
-        self.rules_skipped_by_delta += other.rules_skipped_by_delta
-        self.rows_rewritten += other.rows_rewritten
+        for name in self.counter_names():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
+
+    def delta(self, since: "EngineStats") -> "EngineStats":
+        """A new object holding this object's counters minus ``since``'s.
+
+        Sessions use this to report the work of one update or one query
+        batch out of a lifetime-accumulating stats object.
+        """
+        diff = EngineStats(engine=self.engine)
+        for name in self.counter_names():
+            setattr(diff, name, getattr(self, name) - getattr(since, name))
+        return diff
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy of the current counter values."""
+        return EngineStats(engine=self.engine).merge(self)
 
     def as_dict(self) -> Dict[str, Any]:
         """The counters as a plain mapping (for reports and JSON artifacts)."""
-        return {
-            "engine": self.engine,
-            "rows_scanned": self.rows_scanned,
-            "index_probes": self.index_probes,
-            "empty_lookups": self.empty_lookups,
-            "triggers_fired": self.triggers_fired,
-            "egd_merges": self.egd_merges,
-            "rounds": self.rounds,
-            "rules_skipped_by_delta": self.rules_skipped_by_delta,
-            "rows_rewritten": self.rows_rewritten,
-        }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def __str__(self) -> str:
         parts = ", ".join(f"{key}={value}" for key, value in self.as_dict().items()

@@ -15,15 +15,17 @@ benchmarks need to replay the paper's running example end to end:
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..datalog.rules import ConjunctiveQuery
 from ..datalog.parser import parse_query
+from ..engine.session import UpdateResult
 from ..md.instance import MDInstance
 from ..ontology.mdontology import MDOntology
-from ..quality.assessment import DatabaseAssessment, assess_database
-from ..quality.cleaning import CleanAnswerComparison, compare_answers, quality_answers
+from ..quality.assessment import DatabaseAssessment
+from ..quality.cleaning import CleanAnswerComparison, compare_answers
 from ..quality.context import Context
+from ..quality.session import QualitySession
 from ..relational.instance import DatabaseInstance, Relation
 from .data import (MEASUREMENTS_QUALITY_ROWS, build_md_instance,
     build_measurements_instance)
@@ -88,6 +90,7 @@ class HospitalScenario:
         )
         self.measurements: DatabaseInstance = build_measurements_instance()
         self.context: Context = self._build_context()
+        self._session: Optional[QualitySession] = None
 
     # -- construction ------------------------------------------------------------
 
@@ -128,26 +131,55 @@ class HospitalScenario:
 
     # -- execution ---------------------------------------------------------------
 
+    def session(self) -> QualitySession:
+        """The scenario's long-lived quality session (chased once, reused).
+
+        Every quality question below runs against this materialization;
+        :meth:`record_measurements` / :meth:`remove_measurements` update it
+        incrementally, the way a live hospital feed would.
+        """
+        if self._session is None:
+            self._session = self.context.session(self.measurements)
+        return self._session
+
     def doctor_query(self) -> ConjunctiveQuery:
         """The doctor's query as a parsed conjunctive query."""
         return parse_query(DOCTOR_QUERY)
 
     def quality_measurements(self) -> Relation:
         """Materialize ``Measurements^q`` through the context (Table II)."""
-        return self.context.quality_version(self.measurements, "Measurements")
+        return self.session().quality_version("Measurements")
 
     def quality_answers_to_doctor_query(self) -> List[Tuple]:
         """Quality answers of the doctor's query (Example 7's ``Q^q``)."""
-        return quality_answers(self.context, self.measurements, DOCTOR_QUERY)
+        return self.session().quality_answers(DOCTOR_QUERY)
 
     def compare_doctor_query(self) -> CleanAnswerComparison:
         """Direct vs quality answers for the doctor's query."""
-        return compare_answers(self.context, self.measurements, DOCTOR_QUERY)
+        return compare_answers(self.context, self.measurements, DOCTOR_QUERY,
+                               chase_result=self.session().chase_result())
 
     def assess(self) -> DatabaseAssessment:
         """Assess ``Measurements`` against its quality version."""
-        versions = self.context.quality_versions_for(self.measurements)
-        return assess_database(self.measurements, versions)
+        return self.session().assess()
+
+    # -- live updates -------------------------------------------------------------
+
+    def record_measurements(self,
+                            rows: Iterable[Sequence]) -> UpdateResult:
+        """Record new ``Measurements`` tuples (incremental materialization)."""
+        update = self.session().add_facts("Measurements", rows)
+        for _, row in update.applied:
+            self.measurements.add("Measurements", row)
+        return update
+
+    def remove_measurements(self,
+                            rows: Iterable[Sequence]) -> UpdateResult:
+        """Retract ``Measurements`` tuples (provenance-driven deletion)."""
+        update = self.session().retract_facts("Measurements", rows)
+        for _, row in update.applied:
+            self.measurements.relation("Measurements").discard(row)
+        return update
 
     def mark_shift_answers(self, ward: str = "W1") -> List[Tuple]:
         """Answers of Example 5's query via the ontology chase."""

@@ -15,8 +15,10 @@ from .cleaning import (CleanAnswerComparison, compare_answers, direct_answers,
 from .assessment import (DatabaseAssessment, RelationAssessment, assess_database,
                          assess_relation)
 from .repair import RemovedTuple, RepairReport, repair_md_instance
+from .session import QualitySession
 
 __all__ = [
+    "QualitySession",
     "RemovedTuple",
     "RepairReport",
     "repair_md_instance",

@@ -61,10 +61,14 @@ def quality_answers(context: Context, instance: DatabaseInstance, query: QueryLi
     matching engine for both the chase and the query evaluation
     (``"indexed"``/``"naive"``; ``None`` = the process default).
     """
+    if chase_result is None:
+        # Thin wrapper over a one-shot quality session; callers answering
+        # many queries (or applying updates) should hold the session.
+        return context.session(instance, engine=engine,
+                               record_provenance=False).quality_answers(query)
     rewritten = rewrite_query_to_quality(query, context)
-    result = chase_result if chase_result is not None else context.chase(
-        instance, check_constraints=False, engine=engine)
-    return evaluate_query(rewritten, result.instance, allow_nulls=False, engine=engine)
+    return evaluate_query(rewritten, chase_result.instance, allow_nulls=False,
+                          engine=engine)
 
 
 def direct_answers(instance: DatabaseInstance, query: QueryLike) -> List[AnswerTuple]:

@@ -206,16 +206,30 @@ class Context:
         """
         return chase(self.assemble(instance), **chase_options)
 
-    def quality_version(self, instance: DatabaseInstance, relation: str,
-                        chase_result: Optional[ChaseResult] = None) -> Relation:
-        """Materialize the quality version ``relation^q`` for ``instance``."""
+    def session(self, instance: DatabaseInstance, engine: Optional[str] = None,
+                max_steps: int = 100_000,
+                record_provenance: bool = True) -> "QualitySession":
+        """Open a :class:`~repro.quality.session.QualitySession` for ``instance``.
+
+        The session keeps the assembled context program materialized across
+        queries and incremental updates — the "chase once, answer many,
+        update in deltas" posture; the one-shot methods below are thin
+        wrappers over a fresh session (and skip provenance recording, which
+        only incremental retraction needs).
+        """
+        from .session import QualitySession
+        return QualitySession(self, instance, engine=engine, max_steps=max_steps,
+                              record_provenance=record_provenance)
+
+    def materialize_quality_version(self, chased: DatabaseInstance,
+                                    instance: DatabaseInstance,
+                                    relation: str) -> Relation:
+        """Extract ``relation``'s quality version from a chased instance."""
         if relation not in self.quality_versions:
             raise ContextError(
                 f"no quality version has been defined for relation {relation!r}")
-        result = chase_result if chase_result is not None else self.chase(
-            instance, check_constraints=False)
         name = self.quality_relation_name(relation)
-        materialized = result.instance.relation(name)
+        materialized = chased.relation(name)
         original_schema = instance.relation(relation).schema
         if materialized.schema.arity != original_schema.arity:
             raise ContextError(
@@ -225,14 +239,30 @@ class Context:
         renamed.add_all(materialized)
         return renamed
 
+    def quality_version(self, instance: DatabaseInstance, relation: str,
+                        chase_result: Optional[ChaseResult] = None) -> Relation:
+        """Materialize the quality version ``relation^q`` for ``instance``."""
+        if relation not in self.quality_versions:
+            raise ContextError(
+                f"no quality version has been defined for relation {relation!r}")
+        result = chase_result if chase_result is not None else self.chase(
+            instance, check_constraints=False)
+        return self.materialize_quality_version(result.instance, instance, relation)
+
     def quality_versions_for(self, instance: DatabaseInstance,
                              chase_result: Optional[ChaseResult] = None
                              ) -> Dict[str, Relation]:
-        """Materialize every declared quality version (shared chase)."""
-        result = chase_result if chase_result is not None else self.chase(
-            instance, check_constraints=False)
+        """Materialize every declared quality version (shared chase).
+
+        With no pre-computed ``chase_result`` this is a thin wrapper over a
+        one-shot :meth:`session`.
+        """
+        if chase_result is None:
+            return self.session(instance,
+                                record_provenance=False).quality_versions()
         return {
-            relation: self.quality_version(instance, relation, chase_result=result)
+            relation: self.quality_version(instance, relation,
+                                           chase_result=chase_result)
             for relation in self.quality_versions
         }
 

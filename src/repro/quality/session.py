@@ -1,0 +1,176 @@
+"""Quality-assessment sessions: keep quality versions materialized.
+
+A :class:`QualitySession` is the session-shaped counterpart of the one-shot
+:class:`~repro.quality.context.Context` methods: the assembled context
+program is chased **once** into a
+:class:`~repro.engine.session.MaterializedProgram`, and then
+
+* quality versions stay materialized and are re-extracted only for
+  relations an update actually touched;
+* per-relation assessments are cached and re-computed only when either the
+  assessed relation or its quality version changed;
+* quality (clean) query answering caches the ``Q -> Q^q`` rewriting per
+  query and evaluates through a :class:`~repro.engine.session.QuerySession`
+  (cached parse + join plan);
+* :meth:`add_facts` / :meth:`retract_facts` apply an update to the instance
+  under assessment (or to any other EDB relation of the context program —
+  external sources, dimensional data) and maintain the materialization
+  incrementally through the delta-driven chase.
+
+Every update returns the underlying
+:class:`~repro.engine.session.UpdateResult`, whose ``changed_predicates``
+drives the dirty tracking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..datalog.chase import ChaseResult
+from ..engine.session import (AnswerTuple, BatchAnswers, MaterializedProgram,
+                              QueryLike, QuerySession, UpdateResult)
+from ..engine.stats import EngineStats
+from ..relational.instance import DatabaseInstance, Relation
+from .assessment import DatabaseAssessment, assess_database
+from .cleaning import rewrite_query_to_quality
+from .context import Context
+
+
+class QualitySession:
+    """A context materialized against one instance, updatable in deltas."""
+
+    def __init__(self, context: Context, instance: DatabaseInstance,
+                 engine: Optional[str] = None, max_steps: int = 100_000,
+                 record_provenance: bool = True):
+        self.context = context
+        #: private copy of the instance under assessment, kept in sync with
+        #: the materialization across updates
+        self.instance = instance.copy()
+        self.materialized = MaterializedProgram(
+            context.assemble(self.instance), engine=engine, max_steps=max_steps,
+            record_provenance=record_provenance)
+        self.query_session = QuerySession(self.materialized)
+        #: cache counters of this session's quality-layer caches (the chase
+        #: and matching work is counted by ``materialized.stats``)
+        self.stats = EngineStats(engine=self.materialized.engine)
+        self._rewritten: Dict[str, object] = {}
+        self._versions: Dict[str, Relation] = {}
+        self._last_assessment: Optional[DatabaseAssessment] = None
+        self._dirty_versions: Set[str] = set(context.quality_versions)
+        self._dirty_assessments: Set[str] = set(context.quality_versions)
+
+    # -- materialization state ----------------------------------------------
+
+    def chase_result(self) -> ChaseResult:
+        """The live chase result (for legacy ``chase_result=`` parameters)."""
+        return self.materialized.result
+
+    def quality_version(self, relation: str) -> Relation:
+        """The (cached) quality version of one assessed relation."""
+        if relation in self._dirty_versions or relation not in self._versions:
+            self.stats.cache_misses += 1
+            self._versions[relation] = self.context.materialize_quality_version(
+                self.materialized.instance, self.instance, relation)
+            self._dirty_versions.discard(relation)
+            self._dirty_assessments.add(relation)
+        else:
+            self.stats.cache_hits += 1
+        return self._versions[relation]
+
+    def quality_versions(self) -> Dict[str, Relation]:
+        """Every declared quality version (re-extracting only stale ones)."""
+        return {relation: self.quality_version(relation)
+                for relation in sorted(self.context.quality_versions)}
+
+    # -- assessment ---------------------------------------------------------
+
+    def assess(self) -> DatabaseAssessment:
+        """Assess every relation, re-computing only what an update touched.
+
+        Partial re-assessment is delegated to
+        :func:`~repro.quality.assessment.assess_database`: the previous
+        assessment and the dirty-relation set tell it which
+        :class:`~repro.quality.assessment.RelationAssessment` objects can be
+        reused as-is.
+        """
+        versions = self.quality_versions()  # refreshes stale versions first
+        previous = self._last_assessment
+        changed = set(self._dirty_assessments) if previous is not None else None
+        if previous is None:
+            self.stats.cache_misses += len(versions)
+        else:
+            recomputed = sum(1 for relation in versions if relation in changed)
+            self.stats.cache_misses += recomputed
+            self.stats.cache_hits += len(versions) - recomputed
+        assessment = assess_database(self.instance, versions,
+                                     previous=previous, changed=changed)
+        self._last_assessment = assessment
+        self._dirty_assessments.clear()
+        return assessment
+
+    # -- clean query answering ----------------------------------------------
+
+    def quality_answers(self, query: QueryLike) -> List[AnswerTuple]:
+        """Quality answers of ``query`` (rewriting cached per query text)."""
+        key = query if isinstance(query, str) else str(query)
+        rewritten = self._rewritten.get(key)
+        if rewritten is None:
+            self.stats.cache_misses += 1
+            rewritten = rewrite_query_to_quality(query, self.context)
+            self._rewritten[key] = rewritten
+        else:
+            self.stats.cache_hits += 1
+        return self.query_session.answers(rewritten)
+
+    def answer_many(self, queries: Sequence[QueryLike]) -> BatchAnswers:
+        """Quality answers for a whole batch, with the batch's stats delta."""
+        before = self.query_session.stats.snapshot()
+        answers = [self.quality_answers(query) for query in queries]
+        return BatchAnswers(answers=answers,
+                            stats=self.query_session.stats.delta(before))
+
+    # -- incremental updates ------------------------------------------------
+
+    def add_facts(self, relation: str,
+                  rows: Iterable[Sequence]) -> UpdateResult:
+        """Insert rows into an EDB relation and refresh the materialization."""
+        update = self.materialized.add_facts(
+            (relation, tuple(row)) for row in rows)
+        self._apply_locally(update, retract=False)
+        self._mark_dirty(update)
+        return update
+
+    def retract_facts(self, relation: str,
+                      rows: Iterable[Sequence]) -> UpdateResult:
+        """Remove rows from an EDB relation and refresh the materialization."""
+        update = self.materialized.retract_facts(
+            (relation, tuple(row)) for row in rows)
+        self._apply_locally(update, retract=True)
+        self._mark_dirty(update)
+        return update
+
+    def _apply_locally(self, update: UpdateResult, retract: bool) -> None:
+        """Mirror applied EDB changes into the instance under assessment."""
+        for predicate, row in update.applied:
+            if not self.instance.has_relation(predicate):
+                continue  # contextual/ontology relation, not under assessment
+            if retract:
+                self.instance.relation(predicate).discard(row)
+            else:
+                self.instance.add(predicate, row)
+
+    def _mark_dirty(self, update: UpdateResult) -> None:
+        if update.strategy == "noop":
+            return
+        applied_predicates = {predicate for predicate, _ in update.applied}
+        for assessed in self.context.quality_versions:
+            quality_name = self.context.quality_relation_name(assessed)
+            if update.touched(quality_name):
+                self._dirty_versions.add(assessed)
+            if assessed in applied_predicates or update.touched(assessed):
+                self._dirty_assessments.add(assessed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"QualitySession({self.context.name!r}, "
+                f"version={self.materialized.version}, "
+                f"dirty={sorted(self._dirty_versions)})")

@@ -2,6 +2,7 @@
 
 from .generator import GeneratedWorkload, WorkloadSpec, generate_workload
 from .queries import boolean_probe, full_scan_query, point_queries
+from .updates import UpdateStep, generate_update_stream
 
 __all__ = [
     "GeneratedWorkload",
@@ -10,4 +11,6 @@ __all__ = [
     "boolean_probe",
     "full_scan_query",
     "point_queries",
+    "UpdateStep",
+    "generate_update_stream",
 ]

@@ -1,0 +1,103 @@
+"""Deterministic EDB update streams for incremental-materialization benchmarks.
+
+The session layer (:mod:`repro.engine.session`) amortizes one chase across
+many queries *and updates*; to exercise it the harness needs update
+sequences of controlled size against a generated workload.  This module
+produces them:
+
+* :class:`UpdateStep` — one batch of inserts and retractions, in the
+  ``(predicate, row)`` vocabulary of
+  :meth:`~repro.engine.session.MaterializedProgram.add_facts`;
+* :func:`generate_update_stream` — a seeded stream of such steps against a
+  :class:`~repro.workloads.generator.GeneratedWorkload`, targeting either
+  the ontology's base categorical relations (``target="base"``, for
+  :class:`~repro.engine.session.MaterializedProgram` benchmarks) or the
+  instance under assessment (``target="assessment"``, for
+  :class:`~repro.quality.session.QualitySession` benchmarks).
+
+Inserted rows reference existing bottom members (so dimensional navigation
+fires on them) with fresh non-categorical payloads; retracted rows are
+drawn from the current simulated extension, including rows added by earlier
+steps.  Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..datalog.chase import Fact
+from .generator import GeneratedWorkload
+
+BASE = "base"
+ASSESSMENT = "assessment"
+
+
+@dataclass
+class UpdateStep:
+    """One update batch: facts to insert and facts to retract."""
+
+    adds: List[Fact] = field(default_factory=list)
+    retracts: List[Fact] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.adds) + len(self.retracts)
+
+
+def _bottom_members_of(workload: GeneratedWorkload) -> List[List[str]]:
+    """Bottom members per dimension, in dimension order."""
+    members: List[List[str]] = []
+    for dimension in workload.md.dimensions.values():  # insertion order = D0, D1, ...
+        bottom = sorted(dimension.schema.bottom_categories())[0]
+        members.append(sorted(dimension.members(bottom), key=str))
+    return members
+
+
+def generate_update_stream(workload: GeneratedWorkload, steps: int = 10,
+                           adds_per_step: int = 2, retracts_per_step: int = 1,
+                           seed: int = 0,
+                           target: str = BASE) -> List[UpdateStep]:
+    """A deterministic stream of :class:`UpdateStep` batches for ``workload``."""
+    if target not in (BASE, ASSESSMENT):
+        raise ValueError(f"unknown update target {target!r}")
+    rng = random.Random(seed)
+    members = _bottom_members_of(workload)
+
+    if target == BASE:
+        if not workload.base_relation_names:
+            raise ValueError("workload has no base relations to update")
+        relation = workload.base_relation_names[0]
+        database = workload.ontology.program().database
+        current = list(database.relation(relation).rows())
+        payload_arity = database.relation(relation).schema.arity - len(members)
+
+        def fresh_row(step: int, index: int) -> Tuple:
+            row = [rng.choice(dimension_members)
+                   for dimension_members in members]
+            row.extend(f"u{seed}_{step}_{index}_{attr}"
+                       for attr in range(payload_arity))
+            return tuple(row)
+    else:
+        relation = "Readings"
+        current = list(
+            workload.assessment_instance.relation(relation).rows())
+        dimension0 = members[0]
+
+        def fresh_row(step: int, index: int) -> Tuple:
+            return (rng.choice(dimension0),
+                    f"subject_u{seed}_{step}_{index}",
+                    float(1000 * step + index))
+
+    stream: List[UpdateStep] = []
+    for step in range(steps):
+        batch = UpdateStep()
+        for index in range(adds_per_step):
+            row = fresh_row(step, index)
+            batch.adds.append((relation, row))
+            current.append(row)
+        for _ in range(min(retracts_per_step, max(0, len(current) - 1))):
+            victim = current.pop(rng.randrange(len(current)))
+            batch.retracts.append((relation, victim))
+        stream.append(batch)
+    return stream
