@@ -23,12 +23,15 @@ from .matching import (INDEXED, NAIVE, IndexedMatcher, Matcher, NaiveMatcher,
                        get_default_engine, iter_delta_joins, matcher_for,
                        resolve_engine, set_default_engine)
 from .stats import EngineStats
+from .versioning import InstanceVersion, ReadTransaction, VersionStore
 
-#: Session-layer names served lazily (PEP 562): :mod:`repro.engine.session`
-#: imports the datalog evaluators, which import this package — a top-level
-#: import here would be circular.
+#: Session/snapshot names served lazily (PEP 562): those modules import the
+#: datalog evaluators, which import this package — a top-level import here
+#: would be circular.
 _SESSION_EXPORTS = ("MaterializedProgram", "QuerySession", "UpdateResult",
                     "BatchAnswers")
+_SNAPSHOT_EXPORTS = ("save_program", "load_program", "load_extras",
+                     "read_document")
 
 __all__ = [
     "EngineStats",
@@ -36,7 +39,9 @@ __all__ = [
     "INDEXED", "NAIVE",
     "matcher_for", "resolve_engine", "get_default_engine", "set_default_engine",
     "iter_delta_joins",
+    "VersionStore", "InstanceVersion", "ReadTransaction",
     *_SESSION_EXPORTS,
+    *_SNAPSHOT_EXPORTS,
 ]
 
 
@@ -44,4 +49,7 @@ def __getattr__(name):
     if name in _SESSION_EXPORTS:
         from . import session
         return getattr(session, name)
+    if name in _SNAPSHOT_EXPORTS:
+        from . import snapshot
+        return getattr(snapshot, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

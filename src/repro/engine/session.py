@@ -29,7 +29,9 @@ the session lifecycle.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from ..datalog.atoms import Atom
@@ -44,6 +46,7 @@ from ..relational.instance import DatabaseInstance
 from ..relational.values import Null, NullFactory
 from .matching import Matcher, matcher_for, resolve_engine
 from .stats import EngineStats
+from .versioning import InstanceVersion, ReadTransaction, VersionStore
 
 AnswerTuple = Tuple[Any, ...]
 QueryLike = Union[ConjunctiveQuery, str]
@@ -164,9 +167,14 @@ class MaterializedProgram:
         self.stats = EngineStats(engine=self.engine)
         self._queries: Optional["QuerySession"] = None
         self._sessions: List["QuerySession"] = []
+        #: serializes writers (updates); readers never take this lock
+        self._write_lock = threading.RLock()
+        #: published instance versions readers pin (MVCC, relation-level COW)
+        self.versions = VersionStore()
         self.result: ChaseResult = self._materialize()
         self.stats.merge(self.result.stats)
         self.result.stats = self.stats
+        self.versions.publish(self.version, self.instance, changed=None)
 
     # -- state --------------------------------------------------------------
 
@@ -211,8 +219,14 @@ class MaterializedProgram:
         The delta-driven chase is re-entered seeded only with the facts that
         were actually new; rules whose bodies cannot see them are skipped.
         Returns the facts applied, the predicates whose extension changed,
-        and the stats delta of the maintenance run.
+        and the stats delta of the maintenance run.  Writers are serialized
+        on the program's write lock; concurrent readers keep answering
+        against the previously published version throughout.
         """
+        with self._write_lock:
+            return self._add_facts(facts)
+
+    def _add_facts(self, facts: Iterable[Fact]) -> UpdateResult:
         applied: List[Fact] = []
         for predicate, row in facts:
             row = tuple(row)
@@ -250,7 +264,11 @@ class MaterializedProgram:
 
         result = self._chaser.continue_chase(self._program, seed, self._nulls,
                                              self._provenance)
-        return self._finish_update("add", INCREMENTAL, applied, result)
+        # ``seed`` (not ``applied``) drives invalidation: an inserted fact
+        # that already existed as a derived fact changes the EDB but not the
+        # materialized instance, so cached answers for it stay valid.
+        return self._finish_update("add", INCREMENTAL, applied, result,
+                                   changed_facts=seed)
 
     def retract_facts(self, facts: Iterable[Fact]) -> UpdateResult:
         """Remove EDB facts and restore the fixpoint.
@@ -264,6 +282,10 @@ class MaterializedProgram:
         last full chase, or provenance was not recorded — the session falls
         back to a full re-chase of the updated EDB.
         """
+        with self._write_lock:
+            return self._retract_facts(facts)
+
+    def _retract_facts(self, facts: Iterable[Fact]) -> UpdateResult:
         applied: List[Fact] = []
         for predicate, row in facts:
             row = tuple(row)
@@ -306,13 +328,14 @@ class MaterializedProgram:
         result = self._chaser.repair_after_deletion(
             self._program, list(applied) + sorted(cone, key=str), self._nulls,
             self._provenance)
-        update = self._finish_update("retract", INCREMENTAL, applied, result)
-        if update.changed_predicates is not None:
-            update.changed_predicates |= deleted_predicates
+        update = self._finish_update("retract", INCREMENTAL, applied, result,
+                                     changed_facts=applied,
+                                     also_changed=deleted_predicates)
         return update
 
     def _finish_update(self, action: str, strategy: str, applied: List[Fact],
-                       result: ChaseResult) -> UpdateResult:
+                       result: ChaseResult, changed_facts: List[Fact],
+                       also_changed: Optional[Set[str]] = None) -> UpdateResult:
         if result.egd_merges:
             self._ambiguous = True
         derived = [] if self._provenance is None else self._provenance.drain()
@@ -323,8 +346,10 @@ class MaterializedProgram:
         if result.egd_merges or self._provenance is None:
             changed = None  # merges rewrite arbitrary rows: treat as "all"
         else:
-            changed = {predicate for predicate, _ in applied}
+            changed = {predicate for predicate, _ in changed_facts}
             changed |= {predicate for predicate, _ in derived}
+            if also_changed:
+                changed |= also_changed
         update_stats = result.stats
         update_stats.incremental_updates += 1
         self.stats.merge(update_stats)
@@ -334,7 +359,7 @@ class MaterializedProgram:
         update = UpdateResult(action=action, strategy=strategy, applied=applied,
                               changed_predicates=changed, steps=result.steps,
                               stats=update_stats)
-        self._notify(update)
+        self._publish(update)
         return update
 
     def _full_update(self, action: str, applied: List[Fact]) -> UpdateResult:
@@ -347,12 +372,53 @@ class MaterializedProgram:
         update = UpdateResult(action=action, strategy=FULL, applied=applied,
                               changed_predicates=None, steps=result.steps,
                               stats=update_stats)
-        self._notify(update)
+        self._publish(update)
         return update
 
-    def _notify(self, update: UpdateResult) -> None:
-        for session in self._sessions:
-            session._note_update(update)
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write a durable snapshot of this materialization to ``path``.
+
+        The snapshot (see :mod:`repro.engine.snapshot`) captures the EDB,
+        the chased instance, the labeled-null state, the provenance graph
+        and the lifetime stats — everything needed to :meth:`load` a fully
+        live session in another process without re-chasing.
+        """
+        from .snapshot import save_program
+        with self._write_lock:
+            return save_program(self, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path], program: Optional[DatalogProgram] = None,
+             engine: Optional[str] = None) -> "MaterializedProgram":
+        """Restore a :meth:`save`-d materialization from ``path``.
+
+        When ``program`` is supplied, its rules and extensional facts are
+        verified against the snapshot (raising
+        :class:`~repro.errors.SnapshotMismatchError` on a stale snapshot);
+        otherwise the rules are reconstructed from the snapshot itself.
+        Restoring skips the chase entirely — see benchmark E13.
+        """
+        from .snapshot import load_program
+        return load_program(path, program=program, engine=engine)
+
+    def _publish(self, update: UpdateResult) -> None:
+        """Invalidate session caches and publish the new version atomically.
+
+        Both happen under the version store's lock so a reader can never
+        pin the new version while a cache still holds the old version's
+        answers (or store stale answers after the invalidation ran) — the
+        reader-side counterpart is ``QuerySession._answers_at``.  The
+        relation copies themselves are prepared before the lock is taken.
+        """
+        copies = self.versions.prepare(self.instance,
+                                       update.changed_predicates)
+        with self.versions.lock:
+            for session in self._sessions:
+                session._note_update(update)
+            self.versions.publish(self.version, self.instance,
+                                  update.changed_predicates, copies=copies)
 
     # -- answering ----------------------------------------------------------
 
@@ -404,8 +470,13 @@ class QuerySession:
         self._matcher: Matcher = matcher_for(self.engine, self.stats)
         self._parsed: Dict[str, ConjunctiveQuery] = {}
         self._plans: Dict[str, Tuple[ConjunctiveQuery, List[Atom]]] = {}
+        #: answer cache entries are (query, version-stamp, answers): an entry
+        #: is valid for every reader at version >= its stamp, because the
+        #: owning program would have invalidated it had a later update
+        #: touched its predicates
         self._answers: Dict[Tuple[str, bool],
-                            Tuple[ConjunctiveQuery, List[AnswerTuple]]] = {}
+                            Tuple[ConjunctiveQuery, int,
+                                  List[AnswerTuple]]] = {}
         self._ws_solver = None
         self._ws_version: Optional[Tuple[int, Optional[int]]] = None
         materialized._sessions.append(self)
@@ -425,7 +496,8 @@ class QuerySession:
         self._parsed[query] = parsed
         return parsed
 
-    def plan(self, query: QueryLike) -> List[Atom]:
+    def plan(self, query: QueryLike,
+             instance: Optional[DatabaseInstance] = None) -> List[Atom]:
         """The join plan for ``query`` against the current materialization."""
         cq = self.query(query)
         key = str(cq)
@@ -434,42 +506,71 @@ class QuerySession:
             self.stats.cache_hits += 1
             return entry[1]
         self.stats.cache_misses += 1
+        if instance is None:
+            instance = self.materialized.versions.latest().instance
         plan = self._matcher.plan(
-            cq.body, self.materialized.instance,
+            cq.body, instance,
             bound=comparison_bindings(cq.comparisons))
         self._plans[key] = (cq, plan)
         return plan
 
     def _note_update(self, update: UpdateResult) -> None:
-        """Invalidate exactly the cache entries ``update`` may have touched."""
+        """Invalidate exactly the cache entries ``update`` may have touched.
+
+        Updates whose delta is empty (``changed_predicates == set()``, e.g.
+        inserting a fact that already existed as a derived fact) touch
+        nothing and invalidate nothing — cached answers keep hitting.
+        """
+        if update.changed_predicates is not None and \
+                not update.changed_predicates:
+            return
+
         def touched(cq: ConjunctiveQuery) -> bool:
             return update.changed_predicates is None or any(
                 atom.predicate in update.changed_predicates for atom in cq.body)
 
         for key in [key for key, (cq, _) in self._plans.items() if touched(cq)]:
             del self._plans[key]
-        for key in [key for key, (cq, _) in self._answers.items()
+        for key in [key for key, (cq, _, _) in self._answers.items()
                     if touched(cq)]:
             del self._answers[key]
 
     # -- answering ----------------------------------------------------------
 
+    def read(self, version: Optional[int] = None) -> ReadTransaction:
+        """Open a read transaction pinning one published version.
+
+        Every ``answers``/``holds`` call on the transaction observes exactly
+        the pinned version, regardless of concurrent updates; the pin also
+        shields the version from garbage collection until the transaction
+        closes.  ``version=None`` pins the latest published version.
+        """
+        return ReadTransaction(self.materialized.versions, session=self,
+                               version=version)
+
     def answers(self, query: QueryLike,
                 allow_nulls: bool = False) -> List[AnswerTuple]:
-        """Answers of ``query`` over the materialized instance.
+        """Answers of ``query`` over the latest published version.
 
         ``allow_nulls=False`` (the default) is the certain-answer
-        semantics: tuples containing labeled nulls are dropped.
+        semantics: tuples containing labeled nulls are dropped.  Each call
+        is its own (single-read) transaction; hold an explicit
+        :meth:`read` transaction to keep several reads on one version.
         """
+        with self.read() as transaction:
+            return transaction.answers(query, allow_nulls=allow_nulls)
+
+    def _answers_at(self, pinned: InstanceVersion, query: QueryLike,
+                    allow_nulls: bool = False) -> List[AnswerTuple]:
         cq = self.query(query)
         cache_key = (str(cq), allow_nulls)
         cached = self._answers.get(cache_key)
-        if cached is not None:
+        if cached is not None and cached[1] <= pinned.version:
             self.stats.cache_hits += 1
-            return list(cached[1])
+            return list(cached[2])
         self.stats.cache_misses += 1
-        ordered = self.plan(cq)
-        instance = self.materialized.instance
+        instance = pinned.instance
+        ordered = self.plan(cq, instance)
         rows: Set[AnswerTuple] = set()
         for homomorphism in self._matcher.find_homomorphisms(
                 ordered, instance, comparisons=cq.comparisons, preordered=True):
@@ -479,15 +580,29 @@ class QuerySession:
                 continue
             rows.add(row)
         result = sorted(rows, key=lambda row: tuple(map(str, row)))
-        self._answers[cache_key] = (cq, result)
+        # Store only when this read still sees the latest version; the
+        # check-and-store runs under the store lock, which the writer holds
+        # across cache invalidation + publication, so a reader of an old
+        # version can never re-introduce answers a newer update invalidated.
+        store = self.materialized.versions
+        with store.lock:
+            if store.latest().version == pinned.version:
+                existing = self._answers.get(cache_key)
+                if existing is None or existing[1] <= pinned.version:
+                    self._answers[cache_key] = (cq, pinned.version, result)
         return list(result)
 
     def holds(self, query: QueryLike) -> bool:
         """``True`` iff the (boolean) query body matches the materialization."""
+        with self.read() as transaction:
+            return transaction.holds(query)
+
+    def _holds_at(self, pinned: InstanceVersion, query: QueryLike) -> bool:
         cq = self.query(query)
-        ordered = self.plan(cq)
+        instance = pinned.instance
+        ordered = self.plan(cq, instance)
         for _ in self._matcher.find_homomorphisms(
-                ordered, self.materialized.instance,
+                ordered, instance,
                 comparisons=cq.comparisons, preordered=True):
             return True
         return False

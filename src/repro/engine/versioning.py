@@ -1,0 +1,265 @@
+"""MVCC-style versioned relations for concurrent sessions.
+
+A :class:`~repro.engine.session.MaterializedProgram` mutates one *working*
+instance in place — the delta-driven chase depends on its incrementally
+maintained indexes.  Concurrent readers therefore never touch the working
+instance: after every effective update the program **publishes** an
+immutable :class:`InstanceVersion` into a :class:`VersionStore`, and
+readers pin a published version for the duration of a
+:class:`ReadTransaction`.
+
+* **Publication is copy-on-write at the relation level.**  A new version
+  copies only the relations the update changed
+  (:meth:`~repro.relational.instance.Relation.snapshot` — a structural copy
+  that carries the already-built position-pattern indexes along) and
+  *attaches* the previous version's relation objects for everything else,
+  so untouched relations share rows and indexes across arbitrarily many
+  versions.
+* **Readers never block on writers.**  Pinning, unpinning and publishing
+  each hold the store lock for a few dictionary operations; the chase work
+  of an update happens under the program's separate write lock, which
+  readers never acquire.  A reader that pinned version *v* keeps seeing
+  exactly *v*'s relations while any number of updates publish *v+1, v+2,
+  ...* — there is no torn state to observe, because published relations are
+  never mutated.
+* **Garbage collection** drops every version that is neither pinned nor the
+  latest, as soon as its last pin is released (or a newer version is
+  published).  A pinned version is never collected.
+
+See ``docs/ARCHITECTURE.md`` ("Durability and concurrency") for how the
+session layer routes queries through this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Set
+
+from ..errors import VersioningError
+from ..relational.instance import DatabaseInstance
+
+
+class InstanceVersion:
+    """One published, immutable version of a materialized instance."""
+
+    __slots__ = ("version", "instance", "pins")
+
+    def __init__(self, version: int, instance: DatabaseInstance):
+        #: the :attr:`MaterializedProgram.version` this snapshot corresponds to
+        self.version = version
+        #: relation-level COW snapshot; treat as strictly read-only
+        self.instance = instance
+        #: number of open pins (read transactions) holding this version
+        self.pins = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"InstanceVersion(v{self.version}, "
+                f"{self.instance.total_tuples()} facts, pins={self.pins})")
+
+
+class VersionStore:
+    """Published versions of one materialization, with pin-based GC.
+
+    All methods are thread-safe.  The :attr:`lock` is public on purpose:
+    the session layer takes it to make *invalidate caches + publish* (the
+    writer) and *re-check latest + store a cache entry* (a reader) atomic
+    with respect to each other — see ``QuerySession._answers_at``.
+    """
+
+    def __init__(self):
+        self.lock = threading.RLock()
+        self._versions: Dict[int, InstanceVersion] = {}
+        self._latest: Optional[InstanceVersion] = None
+        #: lifetime counters (exposed for tests and reports)
+        self.published = 0
+        self.collected = 0
+
+    # -- publication ---------------------------------------------------------
+
+    def prepare(self, working: DatabaseInstance,
+                changed: Optional[Set[str]] = None) -> Dict[str, Any]:
+        """Snapshot-copy the relations a publication will replace.
+
+        The O(relation-size) copies run *outside* the store lock (the
+        single writer holds the program's write lock, so the working
+        instance cannot move under them); :meth:`publish` then only
+        attaches and swaps under the lock, keeping reader pin/unpin stalls
+        to a few dictionary operations.
+        """
+        return {relation.schema.name: relation.snapshot()
+                for relation in working
+                if changed is None or relation.schema.name in changed}
+
+    def publish(self, version: int, working: DatabaseInstance,
+                changed: Optional[Set[str]] = None,
+                copies: Optional[Dict[str, Any]] = None) -> InstanceVersion:
+        """Publish the working instance's current state as ``version``.
+
+        ``changed`` names the relations the update may have touched;
+        ``None`` means "unknown — copy everything".  Untouched relations are
+        shared (attached) from the previous version, touched ones are
+        snapshot-copied from the working instance (pass the result of
+        :meth:`prepare` as ``copies`` to keep those copies out of the
+        locked region).
+        """
+        if copies is None:
+            copies = self.prepare(working, changed)
+        with self.lock:
+            previous = self._latest
+            snapshot = DatabaseInstance()
+            for relation in working:
+                name = relation.schema.name
+                copy = copies.get(name)
+                if copy is not None:
+                    snapshot.attach(copy)
+                elif previous is not None and \
+                        previous.instance.has_relation(name):
+                    snapshot.attach(previous.instance.relation(name))
+                else:  # brand-new relation outside ``changed``
+                    snapshot.attach(relation.snapshot())
+            published = InstanceVersion(version, snapshot)
+            self._versions[version] = published
+            self._latest = published
+            self.published += 1
+            self._collect_locked()
+            return published
+
+    # -- pinning -------------------------------------------------------------
+
+    def latest(self) -> InstanceVersion:
+        """The most recently published version (not pinned)."""
+        with self.lock:
+            if self._latest is None:
+                raise VersioningError("no version has been published yet")
+            return self._latest
+
+    def pin(self, version: Optional[int] = None) -> InstanceVersion:
+        """Pin (and return) ``version``, or the latest when ``None``.
+
+        A pinned version survives garbage collection until every pin is
+        released with :meth:`unpin`.
+        """
+        with self.lock:
+            if version is None:
+                pinned = self._latest
+                if pinned is None:
+                    raise VersioningError("no version has been published yet")
+            else:
+                pinned = self._versions.get(version)
+                if pinned is None:
+                    raise VersioningError(
+                        f"version {version} is not live (it was never "
+                        f"published, or was garbage-collected); live "
+                        f"versions: {sorted(self._versions)}")
+            pinned.pins += 1
+            return pinned
+
+    def unpin(self, pinned: InstanceVersion) -> None:
+        """Release one pin; collects the version once fully unpinned."""
+        with self.lock:
+            if pinned.pins <= 0:
+                raise VersioningError(
+                    f"version {pinned.version} is not pinned")
+            pinned.pins -= 1
+            self._collect_locked()
+
+    def read(self, version: Optional[int] = None) -> "ReadTransaction":
+        """Open a :class:`ReadTransaction` pinning one version."""
+        return ReadTransaction(self, version=version)
+
+    # -- garbage collection ----------------------------------------------------
+
+    def _collect_locked(self) -> int:
+        doomed = [key for key, held in self._versions.items()
+                  if held.pins == 0 and held is not self._latest]
+        for key in doomed:
+            del self._versions[key]
+        self.collected += len(doomed)
+        return len(doomed)
+
+    def collect(self) -> int:
+        """Drop every unpinned, non-latest version; return how many."""
+        with self.lock:
+            return self._collect_locked()
+
+    def live_versions(self) -> List[int]:
+        """Version numbers currently retained (latest and/or pinned)."""
+        with self.lock:
+            return sorted(self._versions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self.lock:
+            latest = self._latest.version if self._latest is not None else None
+            return (f"VersionStore(live={sorted(self._versions)}, "
+                    f"latest={latest}, published={self.published}, "
+                    f"collected={self.collected})")
+
+
+class ReadTransaction:
+    """Pins one published version for a consistent sequence of reads.
+
+    Usable as a context manager.  When opened through
+    :meth:`QuerySession.read`, the transaction also answers queries — every
+    answer is evaluated against (or cached for) the pinned version, so a
+    transaction never observes two different versions ("no torn reads"),
+    no matter how many updates are published while it is open.
+    """
+
+    def __init__(self, store: VersionStore, session=None,
+                 version: Optional[int] = None):
+        self._store = store
+        self._session = session
+        self._pinned: Optional[InstanceVersion] = store.pin(version)
+
+    @property
+    def pinned(self) -> InstanceVersion:
+        if self._pinned is None:
+            raise VersioningError("read transaction is already closed")
+        return self._pinned
+
+    @property
+    def version(self) -> int:
+        """The pinned version number."""
+        return self.pinned.version
+
+    @property
+    def instance(self) -> DatabaseInstance:
+        """The pinned instance (read-only)."""
+        return self.pinned.instance
+
+    # -- answering (when opened through a QuerySession) ------------------------
+
+    def answers(self, query, allow_nulls: bool = False):
+        """Answers of ``query`` against the pinned version."""
+        return self._require_session()._answers_at(self.pinned, query,
+                                                   allow_nulls=allow_nulls)
+
+    def holds(self, query) -> bool:
+        """Boolean answer of ``query`` against the pinned version."""
+        return self._require_session()._holds_at(self.pinned, query)
+
+    def _require_session(self):
+        if self._session is None:
+            raise VersioningError(
+                "this read transaction pins an instance version but is not "
+                "bound to a QuerySession; open it with session.read() to "
+                "answer queries through it")
+        return self._session
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the pin (idempotent)."""
+        if self._pinned is not None:
+            pinned, self._pinned = self._pinned, None
+            self._store.unpin(pinned)
+
+    def __enter__(self) -> "ReadTransaction":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._pinned is None else f"v{self._pinned.version}"
+        return f"ReadTransaction({state})"

@@ -91,6 +91,38 @@ class RewritingError(DatalogError):
 
 
 # ---------------------------------------------------------------------------
+# Engine sessions: persistence and versioning
+# ---------------------------------------------------------------------------
+
+class SnapshotError(ReproError):
+    """A materialization snapshot cannot be written or restored.
+
+    Every failure mode of :mod:`repro.engine.snapshot` raises a subclass of
+    this error with an actionable message — a corrupted or stale snapshot is
+    rejected loudly, never deserialized into a silently wrong instance.
+    """
+
+
+class SnapshotFormatError(SnapshotError):
+    """The file is not a snapshot, or uses an unsupported format version."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """The snapshot file is truncated or corrupted (checksum mismatch)."""
+
+
+class SnapshotMismatchError(SnapshotError):
+    """The snapshot was taken against a different ontology or database.
+
+    Restoring it would silently answer queries for stale rules or data;
+    re-chase from the current program instead."""
+
+
+class VersioningError(ReproError):
+    """A versioned-relation operation is invalid (unknown version, bad pin)."""
+
+
+# ---------------------------------------------------------------------------
 # Multidimensional model
 # ---------------------------------------------------------------------------
 

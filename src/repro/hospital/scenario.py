@@ -15,7 +15,8 @@ benchmarks need to replay the paper's running example end to end:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..datalog.rules import ConjunctiveQuery
 from ..datalog.parser import parse_query
@@ -162,6 +163,30 @@ class HospitalScenario:
     def assess(self) -> DatabaseAssessment:
         """Assess ``Measurements`` against its quality version."""
         return self.session().assess()
+
+    # -- persistence --------------------------------------------------------------
+
+    def save_session(self, path: Union[str, Path]) -> Path:
+        """Snapshot the live quality session (materialization + data) to disk.
+
+        A later process calls :meth:`restore_session` to pick up exactly
+        where this one stopped — same quality versions, same assessments,
+        same incremental-update capability — without re-chasing the
+        context program.
+        """
+        return self.session().save(path)
+
+    def restore_session(self, path: Union[str, Path]) -> QualitySession:
+        """Restore the quality session saved by :meth:`save_session`.
+
+        The scenario's ``measurements`` copy is re-synchronized from the
+        persisted instance under assessment, so subsequent
+        :meth:`record_measurements` / :meth:`remove_measurements` calls
+        behave exactly as they would have in the original process.
+        """
+        self._session = QualitySession.load(self.context, path)
+        self.measurements = self._session.instance.copy()
+        return self._session
 
     # -- live updates -------------------------------------------------------------
 

@@ -24,12 +24,14 @@ drives the dirty tracking.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..datalog.chase import ChaseResult
 from ..engine.session import (AnswerTuple, BatchAnswers, MaterializedProgram,
                               QueryLike, QuerySession, UpdateResult)
 from ..engine.stats import EngineStats
+from ..engine.versioning import ReadTransaction
 from ..relational.instance import DatabaseInstance, Relation
 from .assessment import DatabaseAssessment, assess_database
 from .cleaning import rewrite_query_to_quality
@@ -65,12 +67,24 @@ class QualitySession:
         """The live chase result (for legacy ``chase_result=`` parameters)."""
         return self.materialized.result
 
+    def read(self, version: Optional[int] = None) -> ReadTransaction:
+        """A read transaction pinning one published materialization version.
+
+        Quality-version extraction and clean query answering both run
+        against published versions, so readers holding a transaction keep a
+        consistent view while updates publish newer versions.
+        """
+        return self.query_session.read(version)
+
     def quality_version(self, relation: str) -> Relation:
         """The (cached) quality version of one assessed relation."""
         if relation in self._dirty_versions or relation not in self._versions:
             self.stats.cache_misses += 1
+            # Extract from the latest *published* version, not the working
+            # instance a concurrent update may be mutating.
+            chased = self.materialized.versions.latest().instance
             self._versions[relation] = self.context.materialize_quality_version(
-                self.materialized.instance, self.instance, relation)
+                chased, self.instance, relation)
             self._dirty_versions.discard(relation)
             self._dirty_assessments.add(relation)
         else:
@@ -128,6 +142,58 @@ class QualitySession:
         answers = [self.quality_answers(query) for query in queries]
         return BatchAnswers(answers=answers,
                             stats=self.query_session.stats.delta(before))
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Snapshot the materialized context *and* the instance under
+        assessment to ``path`` (one file, restorable with :meth:`load`)."""
+        from ..engine.snapshot import save_program
+        with self.materialized._write_lock:  # never serialize mid-update
+            return save_program(self.materialized, path,
+                                extras={"assessment": self.instance})
+
+    @classmethod
+    def load(cls, context: Context, path: Union[str, Path],
+             engine: Optional[str] = None) -> "QualitySession":
+        """Restore a :meth:`save`-d quality session without re-chasing.
+
+        The context is re-assembled against the persisted instance under
+        assessment and verified against the snapshot's program hash, so a
+        session restored against a changed context specification is
+        rejected (:class:`~repro.errors.SnapshotMismatchError`) instead of
+        silently assessing with stale rules.
+        """
+        from ..engine.snapshot import load_extras, load_program, read_document
+        from ..errors import SnapshotFormatError
+        document = read_document(path)
+        extras = load_extras(path, document=document)
+        if "assessment" not in extras:
+            raise SnapshotFormatError(
+                f"snapshot {path} has no instance under assessment; it was "
+                "saved by MaterializedProgram.save, not QualitySession.save "
+                "— restore it with MaterializedProgram.load instead")
+        instance = extras["assessment"]
+        program = context.assemble(instance)
+        # check_data=False: the session may have absorbed updates to *any*
+        # EDB relation (external sources, dimensional data), so its
+        # persisted EDB legitimately diverges from the freshly assembled
+        # context data — the snapshot is the authority for the data, the
+        # program hash still rejects a changed context specification.
+        materialized = load_program(path, program=program, engine=engine,
+                                    document=document, check_data=False)
+        session = cls.__new__(cls)
+        session.context = context
+        session.instance = instance
+        session.materialized = materialized
+        session.query_session = QuerySession(materialized)
+        session.stats = EngineStats(engine=materialized.engine)
+        session._rewritten = {}
+        session._versions = {}
+        session._last_assessment = None
+        session._dirty_versions = set(context.quality_versions)
+        session._dirty_assessments = set(context.quality_versions)
+        return session
 
     # -- incremental updates ------------------------------------------------
 

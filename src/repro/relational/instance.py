@@ -186,6 +186,25 @@ class Relation:
         """Return an independent copy with the same schema and tuples."""
         return Relation(self.schema, self._rows)
 
+    def snapshot(self) -> "Relation":
+        """A fast structural copy for version publication.
+
+        Unlike :meth:`copy` (which re-inserts row by row), the snapshot
+        duplicates the row dictionary and the already-built position-pattern
+        indexes at the C level, so probes against the snapshot keep costing
+        one dict lookup without a rebuild.  The occurrence index is dropped:
+        it only serves EGD merges, which never run on published versions.
+        """
+        clone = Relation.__new__(Relation)
+        clone.schema = self.schema
+        clone._rows = dict(self._rows)
+        clone._indexes = {
+            positions: {key: dict(bucket) for key, bucket in index.items()}
+            for positions, index in self._indexes.items()
+        }
+        clone._value_index = None
+        return clone
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
@@ -231,6 +250,19 @@ class DatabaseInstance:
         if name not in self._relations:
             self._relations[name] = Relation(rel_schema)
         return self._relations[name]
+
+    def attach(self, relation: Relation) -> Relation:
+        """Register ``relation`` under its schema name, **sharing** the object.
+
+        This is the copy-on-write primitive of the versioning layer
+        (:mod:`repro.engine.versioning`): a published instance version
+        attaches the previous version's relation objects for relations an
+        update did not touch, so their rows and pattern indexes are reused
+        instead of copied.  Attached relations must be treated as immutable.
+        """
+        self.schema.add(relation.schema)
+        self._relations[relation.schema.name] = relation
+        return relation
 
     def relation(self, name: str) -> Relation:
         """Return the :class:`Relation` registered under ``name``."""

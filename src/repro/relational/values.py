@@ -13,7 +13,6 @@ shared by the relational algebra and the Datalog± engine.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
@@ -49,15 +48,26 @@ class NullFactory:
         Prepended to every generated label.  Useful to distinguish nulls
         produced by different subsystems (``"n"`` for the chase, ``"u"`` for
         unit placeholders in downward navigation, ...).
+    start:
+        First label index to hand out.  Snapshot restoration uses this to
+        resume a persisted factory exactly where it stopped, so nulls
+        invented after a restore never collide with persisted labels.
     """
 
-    def __init__(self, prefix: str = "n"):
+    def __init__(self, prefix: str = "n", start: int = 1):
         self.prefix = prefix
-        self._counter = itertools.count(1)
+        self._next = start
+
+    @property
+    def next_index(self) -> int:
+        """The index the next :meth:`fresh` call will use (serializable state)."""
+        return self._next
 
     def fresh(self) -> Null:
         """Return a new null, never seen before from this factory."""
-        return Null(f"{self.prefix}{next(self._counter)}")
+        label = f"{self.prefix}{self._next}"
+        self._next += 1
+        return Null(label)
 
     def fresh_many(self, count: int) -> list[Null]:
         """Return ``count`` distinct fresh nulls."""

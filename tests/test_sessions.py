@@ -160,6 +160,25 @@ def test_update_invalidates_only_touched_queries(materialized):
     assert delta.cache_hits > 0     # the untouched one came from cache
 
 
+def test_empty_delta_update_keeps_answer_cache(materialized):
+    """An incremental update whose delta is empty (the inserted fact already
+    existed as a derived fact) must not invalidate cached answers —
+    regression for predicate-touch invalidation on no-op updates."""
+    session = QuerySession(materialized)
+    query = "?(P) :- PatientUnit('Standard', D, P)."
+    first = session.answers(query)
+    update = materialized.add_facts(
+        [("PatientUnit", ("Standard", "Sep/5", "Tom"))])
+    assert update.is_incremental
+    assert update.applied  # the EDB did change...
+    assert update.changed_predicates == set()  # ...the materialization didn't
+    before = session.stats.snapshot()
+    assert session.answers(query) == first
+    delta = session.stats.delta(before)
+    assert delta.cache_hits >= 1 and delta.cache_misses == 0
+    assert delta.rows_scanned == 0  # served from the untouched answer cache
+
+
 def test_answer_many_reports_batch_stats(materialized):
     session = QuerySession(materialized)
     batch = session.answer_many(["?(P) :- Standardized(P).",
@@ -211,3 +230,23 @@ def test_scenario_session_reproduces_table2_and_updates():
     # the scenario's own copy of the instance stays in sync
     assert len(scenario.measurements.relation("Measurements")) == \
         baseline.relations["Measurements"].total_tuples
+
+
+def test_scenario_session_survives_save_and_restore(tmp_path):
+    """The hospital feed resumes after a restart: snapshot, restore in a
+    fresh scenario, keep recording measurements incrementally."""
+    scenario = HospitalScenario()
+    baseline = str(scenario.assess())
+    path = tmp_path / "hospital.snapshot"
+    scenario.save_session(path)
+
+    fresh = HospitalScenario()
+    restored = fresh.restore_session(path)
+    assert str(fresh.assess()) == baseline
+    assert {tuple(row) for row in fresh.quality_measurements()} == \
+        {tuple(row) for row in fresh.expected_quality_measurements()}
+    update = fresh.record_measurements([("Sep/5-12:10", "Lou Reed", 37.0)])
+    assert update.strategy == "incremental"
+    assert restored.materialized.stats.full_rechases == 0
+    assert len(fresh.measurements.relation("Measurements")) == \
+        len(scenario.measurements.relation("Measurements")) + 1

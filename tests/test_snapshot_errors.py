@@ -1,0 +1,147 @@
+"""Corruption and compatibility tests for the snapshot format.
+
+Every way a snapshot file can be wrong — truncated, bit-flipped, written
+by a different format version, or taken against a different ontology /
+EDB — must surface as a typed :class:`~repro.errors.SnapshotError`
+subclass with an actionable message: never a raw JSON traceback, and never
+a silently empty or stale instance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine.session import MaterializedProgram
+from repro.errors import (SnapshotError, SnapshotFormatError,
+                          SnapshotIntegrityError, SnapshotMismatchError)
+
+PROGRAM_TEXT = """
+    PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+    exists Z : Shifts(W, D, N, Z) :- WorkingSchedules(U, D, N, T), UnitWard(U, W).
+    UnitWard('Standard', 'W1').
+    PatientWard('W1', 'Sep/5', 'Tom').
+    WorkingSchedules('Standard', 'Sep/9', 'Mark', 'non-c.').
+"""
+
+
+@pytest.fixture
+def saved(tmp_path):
+    materialized = MaterializedProgram(parse_program(PROGRAM_TEXT))
+    path = tmp_path / "session.snapshot"
+    materialized.save(path)
+    return materialized, path
+
+
+def test_truncated_file_raises_integrity_error(saved):
+    _, path = saved
+    text = path.read_text(encoding="utf-8")
+    path.write_text(text[: len(text) // 2], encoding="utf-8")
+    with pytest.raises(SnapshotIntegrityError, match="truncated or corrupted"):
+        MaterializedProgram.load(path)
+
+
+def test_flipped_format_version_raises_format_error(saved):
+    _, path = saved
+    header_text, payload_text = path.read_text(encoding="utf-8").split("\n", 1)
+    header = json.loads(header_text)
+    header["format_version"] = header["format_version"] + 1
+    path.write_text(json.dumps(header) + "\n" + payload_text,
+                    encoding="utf-8")
+    with pytest.raises(SnapshotFormatError, match="format version"):
+        MaterializedProgram.load(path)
+
+
+def test_bit_flip_in_payload_raises_checksum_error(saved):
+    _, path = saved
+    header_text, payload_text = path.read_text(encoding="utf-8").split("\n", 1)
+    flipped = payload_text.replace("Tom", "Tim", 1)  # valid JSON, wrong bytes
+    assert flipped != payload_text
+    path.write_text(header_text + "\n" + flipped, encoding="utf-8")
+    with pytest.raises(SnapshotIntegrityError, match="checksum"):
+        MaterializedProgram.load(path)
+
+
+def test_ontology_hash_mismatch_raises_mismatch_error(saved):
+    materialized, path = saved
+    changed = materialized.edb_program()
+    changed.add_tgd(parse_program(
+        "Flagged(P) :- PatientUnit('Standard', D, P).").tgds[0])
+    with pytest.raises(SnapshotMismatchError, match="re-chase"):
+        MaterializedProgram.load(path, program=changed)
+
+
+def test_changed_edb_raises_mismatch_error(saved):
+    materialized, path = saved
+    changed = materialized.edb_program().copy()
+    changed.database.add("PatientWard", ("W9", "Sep/9", "Eve"))
+    with pytest.raises(SnapshotMismatchError, match="extensional data"):
+        MaterializedProgram.load(path, program=changed)
+
+
+def test_emptied_relation_raises_mismatch_error(saved):
+    """The EDB check is two-directional: a relation the program emptied
+    since the save is stale data, not a free pass."""
+    materialized, path = saved
+    changed = materialized.edb_program().copy()
+    for row in changed.database.relation("PatientWard").rows():
+        changed.database.relation("PatientWard").discard(row)
+    with pytest.raises(SnapshotMismatchError, match="extensional data"):
+        MaterializedProgram.load(path, program=changed)
+
+
+def test_missing_file_raises_snapshot_error(tmp_path):
+    with pytest.raises(SnapshotError, match="does not exist"):
+        MaterializedProgram.load(tmp_path / "never-saved.snapshot")
+
+
+def test_non_snapshot_json_raises_format_error(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"hello": "world"}), encoding="utf-8")
+    with pytest.raises(SnapshotFormatError, match="not a repro snapshot"):
+        MaterializedProgram.load(path)
+
+
+def test_binary_file_raises_format_error(tmp_path):
+    path = tmp_path / "model.bin"
+    path.write_bytes(b"\xff\xfe\x00pickle-ish\x80\x04")
+    with pytest.raises(SnapshotFormatError, match="not a repro snapshot"):
+        MaterializedProgram.load(path)
+
+
+def test_program_snapshot_is_not_a_quality_session(saved):
+    """QualitySession.load on a MaterializedProgram snapshot (no assessment
+    extra) is a typed, actionable refusal — not a KeyError."""
+    from repro.hospital import HospitalScenario
+    from repro.quality.session import QualitySession
+    _, path = saved
+    with pytest.raises(SnapshotFormatError, match="no instance under"):
+        QualitySession.load(HospitalScenario().context, path)
+
+
+def test_all_snapshot_failures_are_typed(saved):
+    """Every snapshot failure derives from SnapshotError — one except clause
+    protects a caller from all of them (and none is a bare json error)."""
+    for error in (SnapshotFormatError, SnapshotIntegrityError,
+                  SnapshotMismatchError):
+        assert issubclass(error, SnapshotError)
+    _, path = saved
+    path.write_text("{not json", encoding="utf-8")
+    try:
+        MaterializedProgram.load(path)
+    except SnapshotError as exc:
+        assert "corrupted" in str(exc)
+    else:  # pragma: no cover - failure path
+        pytest.fail("corrupted snapshot loaded without error")
+
+
+def test_intact_snapshot_still_loads(saved):
+    """The guard rails don't reject healthy files: sanity for this suite."""
+    materialized, path = saved
+    restored = MaterializedProgram.load(
+        path, program=materialized.edb_program())
+    assert restored.instance == materialized.instance
+    assert restored.certain_answers("?(P) :- PatientUnit('Standard', D, P).") \
+        == materialized.certain_answers("?(P) :- PatientUnit('Standard', D, P).")

@@ -1,0 +1,283 @@
+"""Concurrency property suite for MVCC-style versioned relations.
+
+Interleaves reader transactions with update batches — threaded and
+single-threaded schedules — and asserts the three contract properties of
+:mod:`repro.engine.versioning`:
+
+* **no torn reads** — every answer a transaction observes belongs to
+  exactly the one version it pinned, even while updates publish newer
+  versions concurrently;
+* **writers never block readers** — readers only pin published versions
+  and never acquire the program's write lock, so they make progress while
+  a writer is mid-update;
+* **GC never drops a pinned version** — a version survives any number of
+  publications and explicit ``collect()`` calls until its last pin is
+  released.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine.session import MaterializedProgram, QuerySession
+from repro.errors import VersioningError
+
+PROGRAM_TEXT = """
+    PatientUnit(U, D, P) :- PatientWard(W, D, P), UnitWard(U, W).
+    Standardized(P) :- PatientUnit('Standard', D, P).
+    UnitWard('Standard', 'W1').
+    UnitWard('Intensive', 'W2').
+    PatientWard('W1', 'Sep/5', 'Tom').
+    PatientWard('W2', 'Sep/5', 'Lou').
+"""
+
+QUERIES = ("?(P) :- Standardized(P).",
+           "?(W, D, P) :- PatientWard(W, D, P).")
+
+
+def _fresh() -> Tuple[MaterializedProgram, QuerySession]:
+    materialized = MaterializedProgram(parse_program(PROGRAM_TEXT))
+    return materialized, QuerySession(materialized)
+
+
+def _update_batches(steps: int):
+    """A deterministic sequence of always-effective update batches."""
+    batches = []
+    for step in range(steps):
+        if step % 3 == 2:  # retract the fact added two steps earlier
+            batches.append(("retract",
+                            [("PatientWard", ("W1", f"Day/{step - 2}",
+                                              f"p{step - 2}"))]))
+        else:
+            batches.append(("add",
+                            [("PatientWard", ("W1", f"Day/{step}",
+                                              f"p{step}"))]))
+    return batches
+
+
+def _apply(materialized: MaterializedProgram, batch) -> None:
+    action, facts = batch
+    if action == "add":
+        materialized.add_facts(facts)
+    else:
+        materialized.retract_facts(facts)
+
+
+def _expected_answers_by_version(steps: int) -> Dict[int, Tuple]:
+    """Replay the batches single-threaded, recording answers per version."""
+    materialized, session = _fresh()
+    expected = {materialized.version: tuple(session.answers(q)
+                                            for q in QUERIES)}
+    for batch in _update_batches(steps):
+        _apply(materialized, batch)
+        expected[materialized.version] = tuple(session.answers(q)
+                                               for q in QUERIES)
+    return expected
+
+
+# -- single-threaded schedules -------------------------------------------------
+
+
+def test_transaction_pins_one_version_across_updates():
+    """A transaction keeps answering from its pinned version while newer
+    versions are published (updates interleaved on the same thread)."""
+    materialized, session = _fresh()
+    with session.read() as txn:
+        pinned_version = txn.version
+        before = [txn.answers(q) for q in QUERIES]
+        materialized.add_facts([("PatientWard", ("W1", "Sep/6", "Nick"))])
+        materialized.retract_facts([("PatientWard", ("W2", "Sep/5", "Lou"))])
+        assert txn.version == pinned_version
+        assert [txn.answers(q) for q in QUERIES] == before  # no torn reads
+    after = [session.answers(q) for q in QUERIES]
+    assert after != before  # a fresh read sees the newest version
+    assert ("W1", "Sep/6", "Nick") in after[1]
+    assert ("W2", "Sep/5", "Lou") not in after[1]
+
+
+def test_interleaved_transactions_each_see_exactly_one_version():
+    """Readers opened at different points of an update stream each match the
+    single-threaded reference answers of their own version — no mixture."""
+    steps = 6
+    expected = _expected_answers_by_version(steps)
+    materialized, session = _fresh()
+    open_transactions = []
+    for batch in _update_batches(steps):
+        open_transactions.append(session.read())
+        _apply(materialized, batch)
+    open_transactions.append(session.read())
+    try:
+        for txn in open_transactions:
+            assert tuple(txn.answers(q) for q in QUERIES) == \
+                expected[txn.version]
+    finally:
+        for txn in open_transactions:
+            txn.close()
+
+
+def test_gc_never_drops_a_pinned_version():
+    materialized, session = _fresh()
+    store = materialized.versions
+    with session.read() as txn:
+        pinned_version = txn.version
+        for batch in _update_batches(4):
+            _apply(materialized, batch)
+        # explicit GC plus the publication-triggered GC both ran
+        store.collect()
+        assert pinned_version in store.live_versions()
+        assert txn.answers(QUERIES[0]) is not None
+    # last pin released: only the latest version survives
+    assert store.live_versions() == [materialized.version]
+    assert store.collected >= 4
+
+
+def test_unpinned_intermediate_versions_are_collected_immediately():
+    materialized, _ = _fresh()
+    store = materialized.versions
+    for batch in _update_batches(5):
+        _apply(materialized, batch)
+    assert store.live_versions() == [materialized.version]
+    assert store.published == 6  # initial materialization + 5 updates
+    assert store.collected == 5
+
+
+def test_copy_on_write_shares_untouched_relations():
+    """Publication copies only changed relations; untouched relation objects
+    (and their indexes) are shared across versions."""
+    materialized, session = _fresh()
+    with session.read() as txn:
+        materialized.add_facts([("PatientWard", ("W1", "Sep/7", "Iggy"))])
+        latest = materialized.versions.latest()
+        assert latest.instance.relation("UnitWard") is \
+            txn.instance.relation("UnitWard")
+        assert latest.instance.relation("PatientWard") is not \
+            txn.instance.relation("PatientWard")
+
+
+def test_pin_and_unpin_misuse_raise_versioning_errors():
+    materialized, session = _fresh()
+    store = materialized.versions
+    with pytest.raises(VersioningError):
+        store.pin(99)
+    txn = session.read()
+    txn.close()
+    txn.close()  # idempotent
+    with pytest.raises(VersioningError):
+        _ = txn.version
+    bare = store.read()  # store-level transaction: no session attached
+    try:
+        assert bare.instance.has_relation("PatientWard")
+        with pytest.raises(VersioningError):
+            bare.answers(QUERIES[0])
+    finally:
+        bare.close()
+
+
+# -- threaded schedules --------------------------------------------------------
+
+
+def test_threaded_readers_see_consistent_versions():
+    """Reader threads racing a writer thread: every transaction's answers
+    must equal the single-threaded reference answers of its pinned version."""
+    steps = 24
+    expected = _expected_answers_by_version(steps)
+    materialized, session = _fresh()
+
+    observations: List[Tuple[int, Tuple]] = []
+    errors: List[BaseException] = []
+    done = threading.Event()
+
+    def writer():
+        try:
+            for batch in _update_batches(steps):
+                _apply(materialized, batch)
+        finally:
+            done.set()
+
+    def reader():
+        local = []
+        try:
+            while not done.is_set():
+                with session.read() as txn:
+                    local.append((txn.version,
+                                  tuple(txn.answers(q) for q in QUERIES)))
+            with session.read() as txn:  # one final read of the last version
+                local.append((txn.version,
+                              tuple(txn.answers(q) for q in QUERIES)))
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        observations.extend(local)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    threads.append(threading.Thread(target=writer))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors, errors
+    assert observations, "readers never completed a transaction"
+    for version, answers in observations:
+        assert answers == expected[version], \
+            f"torn read at version {version}"
+    final_versions = {version for version, _ in observations}
+    assert materialized.version in final_versions
+    # every unpinned historical version was collected
+    assert materialized.versions.live_versions() == [materialized.version]
+
+
+def test_writers_never_block_readers():
+    """Readers answer from published versions while the write lock is held
+    (simulating a long in-flight update)."""
+    materialized, session = _fresh()
+    reference = [session.answers(q) for q in QUERIES]
+    completed = []
+
+    def reader():
+        for _ in range(5):
+            with session.read() as txn:
+                completed.append([txn.answers(q) for q in QUERIES])
+
+    with materialized._write_lock:  # writer busy mid-update
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "reader blocked behind the writer"
+    assert completed == [reference] * 5
+
+
+def test_threaded_gc_keeps_pinned_versions_alive():
+    """Pins taken from reader threads protect their versions from the GC
+    that runs on every publish/unpin in the writer thread."""
+    materialized, session = _fresh()
+    pinned = []
+    lock = threading.Lock()
+    done = threading.Event()
+
+    def reader():
+        while not done.is_set():
+            txn = session.read()
+            with lock:
+                pinned.append(txn)
+            time.sleep(0.001)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    for batch in _update_batches(12):
+        _apply(materialized, batch)
+    done.set()
+    thread.join(timeout=10)
+    try:
+        store = materialized.versions
+        live = set(store.live_versions())
+        for txn in pinned:
+            assert txn.version in live, "GC dropped a pinned version"
+            assert txn.answers(QUERIES[0]) is not None
+    finally:
+        for txn in pinned:
+            txn.close()
+    assert materialized.versions.live_versions() == [materialized.version]
