@@ -43,7 +43,7 @@ def test_table2_doctor_query_quality_answers(benchmark, scenario):
                                "T >= 'Sep/5-11:45', T <= 'Sep/5-12:15'.")
 
     answers = benchmark(answer)
-    assert answers == [("Sep/5-12:10", "Tom Waits", 38.2)]
+    assert answers == (("Sep/5-12:10", "Tom Waits", 38.2),)
     benchmark.extra_info["quality_answers"] = [list(map(str, row)) for row in answers]
 
 

@@ -23,7 +23,7 @@ def test_example5_chase_based_answering(benchmark, scenario):
         return ontology.certain_answers(MARK_SHIFT_QUERY)
 
     answers = benchmark(answer)
-    assert answers == [("Sep/9",)]
+    assert answers == (("Sep/9",),)
     benchmark.extra_info["answer"] = [list(row) for row in answers]
 
 
@@ -36,7 +36,7 @@ def test_example5_deterministic_ws_answering(benchmark, scenario):
         return DeterministicWSQAns(program).answers(query)
 
     answers = benchmark(answer)
-    assert answers == [("Sep/9",)]
+    assert answers == (("Sep/9",),)
     benchmark.extra_info["answer"] = [list(row) for row in answers]
 
 
@@ -49,7 +49,7 @@ def test_example2_unit_drills_down_to_both_wards(benchmark, scenario):
                 program_ontology.certain_answers(MARK_SHIFT_W2_QUERY))
 
     w1_answers, w2_answers = benchmark(answer)
-    assert w1_answers == w2_answers == [("Sep/9",)]
+    assert w1_answers == w2_answers == (("Sep/9",),)
     chased = program_ontology.chase().instance.relation("Shifts")
     generated_wards = sorted({row[0] for row in chased if row[2] == "Mark"})
     assert generated_wards == ["W1", "W2"]

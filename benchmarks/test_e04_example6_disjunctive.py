@@ -44,7 +44,7 @@ def test_example6_boolean_vs_open_answers(benchmark, scenario):
 
     certainly_some_unit, certain_units = benchmark(run)
     assert certainly_some_unit is True
-    assert certain_units == []
+    assert certain_units == ()
     benchmark.extra_info["boolean_holds"] = certainly_some_unit
     benchmark.extra_info["certain_unit_answers"] = len(certain_units)
 

@@ -26,7 +26,7 @@ def test_section4_chase_based_answering_scaling(benchmark, scaling_workloads, in
                 for query in workload.queries]
 
     answers = benchmark(run)
-    assert all(isinstance(batch, list) for batch in answers)
+    assert all(isinstance(batch, tuple) for batch in answers)
     benchmark.extra_info["extensional_facts"] = workload.total_facts()
     benchmark.extra_info["queries"] = len(workload.queries)
     benchmark.extra_info["total_answers"] = sum(len(batch) for batch in answers)

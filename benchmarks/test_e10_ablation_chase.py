@@ -12,7 +12,6 @@ from __future__ import annotations
 import pytest
 
 from repro.datalog.chase import OBLIVIOUS, RESTRICTED, chase
-from repro.hospital import build_ontology
 from repro.ontology.mdontology import MDOntology
 from repro.workloads import WorkloadSpec, generate_workload
 

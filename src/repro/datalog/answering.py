@@ -17,12 +17,13 @@ rewriting (:mod:`repro.datalog.rewriting`) are validated against.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
-from ..engine.matching import matcher_for
+from ..engine.matching import Matcher, matcher_for
 from ..engine.stats import EngineStats
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null
+from .atoms import Atom
 from .chase import ChaseResult
 from .program import DatalogProgram
 from .rules import ConjunctiveQuery
@@ -31,10 +32,62 @@ from .unify import apply_to_term
 
 AnswerTuple = Tuple[Any, ...]
 
+#: Support counts of a query's answers: each projected answer row (which may
+#: contain labeled nulls) mapped to the number of distinct body valuations
+#: (homomorphisms) deriving it.  This is the plan-shaped representation the
+#: session layer maintains incrementally: an insert/delete delta changes the
+#: counts by ±1 per affected valuation, and a row is an answer iff its count
+#: is positive — no re-join needed.
+AnswerCounts = Dict[AnswerTuple, int]
+
+
+def evaluate_query_counts(query: ConjunctiveQuery, instance: DatabaseInstance,
+                          engine: Optional[str] = None,
+                          stats: Optional[EngineStats] = None,
+                          matcher: Optional[Matcher] = None,
+                          plan: Optional[Sequence[Atom]] = None) -> AnswerCounts:
+    """Answer support counts of ``query`` over ``instance``.
+
+    Each homomorphism from the body into the instance is a distinct
+    valuation of the body variables (set semantics: distinct matched rows
+    imply distinct valuations), so counting homomorphisms per projected
+    answer row gives the exact derivation multiset counting-based view
+    maintenance needs.  ``matcher`` (with an optional precomputed ``plan``,
+    replayed with ``preordered=True``) lets session callers reuse their
+    cached plumbing; otherwise a matcher is built for ``engine``.
+    """
+    if matcher is None:
+        matcher = matcher_for(engine, stats)
+    atoms: Sequence[Atom] = query.body if plan is None else plan
+    counts: AnswerCounts = {}
+    for homomorphism in matcher.find_homomorphisms(
+            atoms, instance, comparisons=query.comparisons,
+            preordered=plan is not None):
+        row = tuple(
+            term_value(apply_to_term(homomorphism, variable))
+            for variable in query.answer_variables
+        )
+        counts[row] = counts.get(row, 0) + 1
+    return counts
+
+
+def rows_from_counts(counts: AnswerCounts,
+                     allow_nulls: bool = False) -> Tuple[AnswerTuple, ...]:
+    """The (sorted, deduplicated) answer rows of a support-count multiset.
+
+    ``allow_nulls=False`` applies the certain-answer semantics: rows
+    containing labeled nulls are dropped.  Returns an immutable tuple — the
+    session layer hands it out on cache hits without copying.
+    """
+    rows = counts if allow_nulls else \
+        [row for row in counts
+         if not any(isinstance(value, Null) for value in row)]
+    return tuple(sorted(rows, key=lambda row: tuple(map(str, row))))
+
 
 def evaluate_query(query: ConjunctiveQuery, instance: DatabaseInstance,
                    allow_nulls: bool = False, engine: Optional[str] = None,
-                   stats: Optional[EngineStats] = None) -> List[AnswerTuple]:
+                   stats: Optional[EngineStats] = None) -> Tuple[AnswerTuple, ...]:
     """Evaluate ``query`` over ``instance``.
 
     With ``allow_nulls=False`` (the certain-answer semantics) only answer
@@ -45,20 +98,12 @@ def evaluate_query(query: ConjunctiveQuery, instance: DatabaseInstance,
 
     Matching goes through the shared engine (``engine="indexed"`` by
     default; pass ``"naive"`` for the row-scanning reference).  An optional
-    ``stats`` object accumulates the matching work done.
+    ``stats`` object accumulates the matching work done.  Answers are an
+    immutable, canonically sorted tuple (shared freely by caches).
     """
-    matcher = matcher_for(engine, stats)
-    answers: Set[AnswerTuple] = set()
-    for homomorphism in matcher.find_homomorphisms(query.body, instance,
-                                                   comparisons=query.comparisons):
-        row = tuple(
-            term_value(apply_to_term(homomorphism, variable))
-            for variable in query.answer_variables
-        )
-        if not allow_nulls and any(isinstance(value, Null) for value in row):
-            continue
-        answers.add(row)
-    return sorted(answers, key=lambda row: tuple(map(str, row)))
+    return rows_from_counts(
+        evaluate_query_counts(query, instance, engine=engine, stats=stats),
+        allow_nulls=allow_nulls)
 
 
 def evaluate_boolean_query(query: ConjunctiveQuery, instance: DatabaseInstance,
@@ -75,7 +120,7 @@ def evaluate_boolean_query(query: ConjunctiveQuery, instance: DatabaseInstance,
 def certain_answers(program: DatalogProgram, query: ConjunctiveQuery,
                     max_steps: int = 100_000,
                     chase_result: Optional[ChaseResult] = None,
-                    engine: Optional[str] = None) -> List[AnswerTuple]:
+                    engine: Optional[str] = None) -> Tuple[AnswerTuple, ...]:
     """Certain answers of ``query`` over ``program`` via the chase.
 
     A pre-computed ``chase_result`` may be supplied to amortize the chase

@@ -54,12 +54,13 @@ class Rewriting:
     def __len__(self) -> int:
         return len(self.queries)
 
-    def evaluate(self, database: DatabaseInstance) -> List[AnswerTuple]:
-        """Evaluate the UCQ over ``database`` and union the answers."""
+    def evaluate(self, database: DatabaseInstance) -> Tuple[AnswerTuple, ...]:
+        """Evaluate the UCQ over ``database``; the union of the answers as
+        an immutable, canonically sorted tuple."""
         answers: Set[AnswerTuple] = set()
         for query in self.queries:
             answers.update(evaluate_query(query, database, allow_nulls=False))
-        return sorted(answers, key=lambda row: tuple(map(str, row)))
+        return tuple(sorted(answers, key=lambda row: tuple(map(str, row))))
 
     def holds(self, database: DatabaseInstance) -> bool:
         """Boolean evaluation of the UCQ over ``database``."""
@@ -119,7 +120,7 @@ class QueryRewriter:
                     worklist.append(successor)
         return Rewriting(original=query, queries=produced)
 
-    def answers(self, query: ConjunctiveQuery, database: DatabaseInstance) -> List[AnswerTuple]:
+    def answers(self, query: ConjunctiveQuery, database: DatabaseInstance) -> Tuple[AnswerTuple, ...]:
         """Rewrite and evaluate in one step."""
         return self.rewrite(query).evaluate(database)
 
@@ -258,7 +259,7 @@ class QueryRewriter:
         return (answer_key, tuple(sorted(body_key)), tuple(sorted(comparison_key)))
 
 
-def rewrite_and_answer(program: DatalogProgram, query: ConjunctiveQuery) -> List[AnswerTuple]:
+def rewrite_and_answer(program: DatalogProgram, query: ConjunctiveQuery) -> Tuple[AnswerTuple, ...]:
     """Rewrite ``query`` over ``program``'s TGDs and evaluate over its data."""
     rewriter = QueryRewriter(program.tgds)
     return rewriter.answers(query, program.database)

@@ -122,15 +122,17 @@ class DeterministicWSQAns:
             return True
         return False
 
-    def answers(self, query: ConjunctiveQuery) -> List[Tuple]:
+    def answers(self, query: ConjunctiveQuery) -> Tuple[Tuple, ...]:
         """Certain answers of an open conjunctive query.
 
         All accepting resolution proofs are enumerated; the bindings of the
         answer variables are collected, and tuples containing placeholder
-        nulls are discarded (they are not certain).
+        nulls are discarded (they are not certain).  Answers are an
+        immutable, canonically sorted tuple (same shape as every other
+        answer surface in the repo).
         """
         if query.is_boolean():
-            return [()] if self.holds(query) else []
+            return ((),) if self.holds(query) else ()
         answers: Set[Tuple] = set()
         for substitution in self._proofs(query):
             row = tuple(
@@ -142,7 +144,7 @@ class DeterministicWSQAns:
             answers.add(row)
             if self.max_proofs is not None and len(answers) >= self.max_proofs:
                 break
-        return sorted(answers, key=lambda row: tuple(map(str, row)))
+        return tuple(sorted(answers, key=lambda row: tuple(map(str, row))))
 
     # -- proof search ------------------------------------------------------------
 
@@ -219,7 +221,7 @@ class DeterministicWSQAns:
 
 def deterministic_ws_answers(program, query: ConjunctiveQuery,
                              max_depth: Optional[int] = None,
-                             engine: Optional[str] = None) -> List[Tuple]:
+                             engine: Optional[str] = None) -> Tuple[Tuple, ...]:
     """Convenience wrapper: answer ``query`` with a one-off solver.
 
     ``program`` may be a :class:`DatalogProgram` or a

@@ -19,9 +19,9 @@ Engine selection: evaluators take an ``engine=`` argument (``"indexed"`` or
 reference when debugging.  See ``docs/ARCHITECTURE.md``.
 """
 
-from .matching import (INDEXED, NAIVE, IndexedMatcher, Matcher, NaiveMatcher,
-                       get_default_engine, iter_delta_joins, matcher_for,
-                       resolve_engine, set_default_engine)
+from .matching import (INDEXED, NAIVE, DeltaJoinPlan, IndexedMatcher, Matcher,
+                       NaiveMatcher, get_default_engine, iter_delta_joins,
+                       matcher_for, resolve_engine, set_default_engine)
 from .stats import EngineStats
 from .versioning import InstanceVersion, ReadTransaction, VersionStore
 
@@ -29,7 +29,7 @@ from .versioning import InstanceVersion, ReadTransaction, VersionStore
 #: datalog evaluators, which import this package — a top-level import here
 #: would be circular.
 _SESSION_EXPORTS = ("MaterializedProgram", "QuerySession", "UpdateResult",
-                    "BatchAnswers")
+                    "BatchAnswers", "MaintainedAnswers")
 _SNAPSHOT_EXPORTS = ("save_program", "load_program", "load_extras",
                      "read_document")
 
@@ -38,7 +38,7 @@ __all__ = [
     "Matcher", "IndexedMatcher", "NaiveMatcher",
     "INDEXED", "NAIVE",
     "matcher_for", "resolve_engine", "get_default_engine", "set_default_engine",
-    "iter_delta_joins",
+    "iter_delta_joins", "DeltaJoinPlan",
     "VersionStore", "InstanceVersion", "ReadTransaction",
     *_SESSION_EXPORTS,
     *_SNAPSHOT_EXPORTS,

@@ -30,12 +30,16 @@ The :class:`IndexedMatcher` is the production path:
   rule to one pivot atom, a query session answering a cached query) can
   compute it once and replay it with ``preordered=True``.
 
-The module also hosts :func:`iter_delta_joins`, the **delta-pivot join**
-shared by the delta-driven chase and semi-naive Datalog evaluation: each
-body atom in turn is pinned to the delta relation and the remaining atoms
-are joined against the full instance, with the join order hoisted out of
-the per-row loop (one plan per pivot, since bound-ness depends only on the
-pivot atom, not on the delta row).
+The module also hosts the **delta-pivot join** shared by the delta-driven
+chase, semi-naive Datalog evaluation and the session layer's answer
+maintenance: each body atom in turn is pinned to the delta and the
+remaining atoms are joined against the full instance, with the join order
+hoisted out of the per-row loop (one plan per pivot, since bound-ness
+depends only on the pivot atom, not on the delta row).  The compiled form
+is :class:`DeltaJoinPlan` — a reusable object the session layer caches per
+query so repeated updates replay the same pivot plans — and
+:func:`iter_delta_joins` is the one-shot wrapper the chase and semi-naive
+evaluator call per (rule, round).
 
 Matchers optionally record their work in an
 :class:`~repro.engine.stats.EngineStats` object.
@@ -43,7 +47,8 @@ Matchers optionally record their work in an
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Union)
 
 from ..datalog.atoms import Atom, Comparison
 from ..datalog.terms import Variable, term_value
@@ -273,63 +278,149 @@ class IndexedMatcher(Matcher):
         return ordered + negative
 
 
+#: An instance-level delta: either a :class:`DatabaseInstance` holding the
+#: changed rows (the chase's round deltas) or a flat iterable of
+#: ``(predicate, row)`` facts (the session layer's update deltas).
+DeltaLike = Union[DatabaseInstance, Iterable[Tuple[str, Tuple[Any, ...]]]]
+
+
+class DeltaJoinPlan:
+    """A compiled delta-pivot join for one conjunction of positive atoms.
+
+    Compiling hoists everything that does not depend on the delta rows out
+    of the per-update loop: for each body atom (the *pivot*), the join
+    order of the remaining atoms is computed once — bound-ness depends only
+    on which atom is pinned, not on the pinned row — and cached on the
+    plan.  Per-pivot plans are compiled lazily on first use, so a pivot
+    whose predicate never appears in a delta costs nothing (the chase's
+    common case).
+
+    :meth:`homomorphisms` then enumerates, for a given instance and delta,
+    every homomorphism from the body into the instance that uses at least
+    one delta fact.  Delta rows not present in the instance (e.g. rewritten
+    away by a later EGD merge, or bogus facts) are skipped.  Optional
+    ``comparisons`` are applied with the same semantics as
+    :func:`repro.datalog.unify.find_homomorphisms` — equality comparisons
+    seed index probes, all comparisons filter the final bindings.
+
+    The plan is valid for the lifetime of the conjunction: the cached join
+    orders are a heuristic (selectivity at compile time), never a
+    correctness requirement, so a plan compiled against one instance can be
+    replayed against old or new versions of it.  The session layer caches
+    one plan per maintained query; the chase compiles one per (rule, round)
+    via :func:`iter_delta_joins`.
+    """
+
+    __slots__ = ("matcher", "body", "variables", "comparisons", "_rest",
+                 "_plans")
+
+    def __init__(self, matcher: Matcher, body: Sequence[Atom],
+                 variables: Optional[Sequence[Variable]] = None,
+                 comparisons: Sequence[Comparison] = ()):
+        self.matcher = matcher
+        self.body: Tuple[Atom, ...] = tuple(body)
+        if variables is None:
+            seen: List[Variable] = []
+            for atom in self.body:
+                for term in atom.terms:
+                    if isinstance(term, Variable) and term not in seen:
+                        seen.append(term)
+            variables = seen
+        self.variables: Tuple[Variable, ...] = tuple(variables)
+        self.comparisons: Tuple[Comparison, ...] = tuple(comparisons)
+        self._rest: List[List[Atom]] = [
+            [atom for position, atom in enumerate(self.body) if position != pivot]
+            for pivot in range(len(self.body))]
+        #: pivot index -> hoisted join order of the remaining atoms
+        self._plans: Dict[int, List[Atom]] = {}
+
+    def _plan_for(self, pivot: int, instance: DatabaseInstance) -> List[Atom]:
+        plan = self._plans.get(pivot)
+        if plan is None:
+            plan = self.matcher.plan(
+                self._rest[pivot], instance,
+                bound=(term for term in self.body[pivot].terms
+                       if isinstance(term, Variable)))
+            self._plans[pivot] = plan
+        return plan
+
+    @staticmethod
+    def _delta_rows(delta: DeltaLike) -> Dict[str, List[Tuple[Any, ...]]]:
+        """Normalize a delta into ``predicate -> rows`` (non-empty only)."""
+        if isinstance(delta, DatabaseInstance):
+            return {relation.schema.name: relation.rows()
+                    for relation in delta if len(relation)}
+        grouped: Dict[str, List[Tuple[Any, ...]]] = {}
+        for predicate, row in delta:
+            grouped.setdefault(predicate, []).append(tuple(row))
+        return grouped
+
+    def homomorphisms(self, instance: DatabaseInstance, delta: DeltaLike,
+                      dedupe: bool = True) -> Iterator[Substitution]:
+        """Homomorphisms from the body into ``instance`` using ≥ 1 delta fact.
+
+        With ``dedupe`` (the default) homomorphisms reachable through
+        several pivots are yielded once, keyed by the bindings of the
+        plan's ``variables`` — with ``variables`` covering every body
+        variable, each distinct valuation is yielded exactly once, which is
+        what counting-based answer maintenance requires.  Consumers whose
+        downstream effect is idempotent (semi-naive evaluation inserting
+        head facts into a set) may disable it.
+        """
+        matcher = self.matcher
+        grouped = self._delta_rows(delta)
+        if not grouped:
+            return
+        seen: Set[frozenset] = set()
+        for pivot, pivot_atom in enumerate(self.body):
+            rows = grouped.get(pivot_atom.predicate)
+            if not rows or not instance.has_relation(pivot_atom.predicate):
+                continue
+            live_relation = instance.relation(pivot_atom.predicate)
+            rest = self._rest[pivot]
+            plan = self._plan_for(pivot, instance) if rest else []
+            for row in rows:
+                if row not in live_relation:
+                    continue
+                matcher.stats.rows_scanned += 1
+                seed = match_atom_against_row(pivot_atom, row)
+                if seed is None:
+                    continue
+                candidates = matcher.find_homomorphisms(
+                    plan, instance, substitution=seed,
+                    comparisons=self.comparisons, preordered=True) \
+                    if rest or self.comparisons else [seed]
+                for homomorphism in candidates:
+                    if dedupe:
+                        key = frozenset(
+                            (variable.name,
+                             term_value(apply_to_term(homomorphism, variable)))
+                            for variable in self.variables)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    yield homomorphism
+
+
 def iter_delta_joins(matcher: Matcher, body: Sequence[Atom],
                      variables: Sequence[Variable], instance: DatabaseInstance,
                      delta: Optional[DatabaseInstance],
                      dedupe: bool = True) -> Iterator[Substitution]:
     """Homomorphisms from ``body`` into ``instance`` using ≥ 1 delta fact.
 
-    The delta-pivot join shared by the delta-driven chase and semi-naive
-    Datalog evaluation.  When ``delta`` is ``None`` (a first round) every
-    homomorphism is enumerated.  Otherwise each body atom in turn is pinned
-    to its delta relation and the remaining atoms are joined against the
-    full instance; delta rows no longer present in the live relation (e.g.
-    rewritten away by a later EGD merge) are skipped.  The join order of the
-    remaining atoms is computed **once per pivot** — bound-ness depends only
-    on which atom is pinned, not on the pinned row — instead of once per
-    delta row.
-
-    With ``dedupe`` (the default) homomorphisms reachable through several
-    pivots are yielded once, keyed by the bindings of ``variables``;
-    consumers whose downstream effect is idempotent (semi-naive evaluation
-    inserting head facts into a set) may disable it.
+    One-shot wrapper over :class:`DeltaJoinPlan` for the delta-driven chase
+    and semi-naive Datalog evaluation.  When ``delta`` is ``None`` (a first
+    round) every homomorphism is enumerated; otherwise a plan is compiled
+    for this call (per-pivot orders are still hoisted out of the row loop)
+    and replayed over the delta.  Callers that evaluate the same
+    conjunction across many deltas — the session layer maintaining cached
+    answers — hold a :class:`DeltaJoinPlan` directly instead.
     """
     if delta is None:
         yield from matcher.find_homomorphisms(body, instance)
         return
-    seen: Set[frozenset] = set()
-    for pivot, pivot_atom in enumerate(body):
-        if not delta.has_relation(pivot_atom.predicate):
-            continue
-        delta_relation = delta.relation(pivot_atom.predicate)
-        if not delta_relation:
-            continue
-        live_relation = instance.relation(pivot_atom.predicate)
-        rest = [atom for position, atom in enumerate(body) if position != pivot]
-        plan = matcher.plan(
-            rest, instance,
-            bound=(term for term in pivot_atom.terms
-                   if isinstance(term, Variable))) if rest else []
-        for row in delta_relation.rows():
-            if row not in live_relation:
-                continue
-            matcher.stats.rows_scanned += 1
-            seed = match_atom_against_row(pivot_atom, row)
-            if seed is None:
-                continue
-            candidates = matcher.find_homomorphisms(
-                plan, instance, substitution=seed, preordered=True) \
-                if rest else [seed]
-            for homomorphism in candidates:
-                if dedupe:
-                    key = frozenset(
-                        (variable.name,
-                         term_value(apply_to_term(homomorphism, variable)))
-                        for variable in variables)
-                    if key in seen:
-                        continue
-                    seen.add(key)
-                yield homomorphism
+    plan = DeltaJoinPlan(matcher, body, variables=variables)
+    yield from plan.homomorphisms(instance, delta, dedupe=dedupe)
 
 
 def matcher_for(engine: Optional[str] = None,

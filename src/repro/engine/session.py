@@ -20,6 +20,15 @@ between calls instead of re-running the chase per call:
   by (program version, query); :meth:`~QuerySession.answer_many` batches a
   whole workload and reports the
   :class:`~repro.engine.stats.EngineStats` delta of the batch.
+* Cached answers are **maintained, not recomputed**: each answered query
+  keeps a :class:`MaintainedAnswers` entry — counting-based incremental
+  view maintenance state mapping every answer row to the number of body
+  valuations deriving it — and every update propagates its exact fact
+  delta through a compiled
+  :class:`~repro.engine.matching.DeltaJoinPlan`, inserting and decrementing
+  answers in place.  Only updates whose delta is unknowable (EGD merges,
+  full re-chases) fall back to dropping the entry, mirroring the
+  materialization's own full-rechase fallback.
 
 Every update and batch returns its own stats delta; the session objects
 accumulate lifetime totals, including cache hits/misses and the
@@ -34,6 +43,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..datalog.answering import (AnswerCounts, evaluate_query_counts,
+                                 rows_from_counts)
 from ..datalog.atoms import Atom
 from ..datalog.chase import ChaseEngine, ChaseResult, Fact, RESTRICTED
 from ..datalog.parser import parse_query
@@ -44,11 +55,12 @@ from ..datalog.unify import apply_to_term, comparison_bindings
 from ..errors import UnknownRelationError
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null, NullFactory
-from .matching import Matcher, matcher_for, resolve_engine
+from .matching import DeltaJoinPlan, Matcher, matcher_for, resolve_engine
 from .stats import EngineStats
 from .versioning import InstanceVersion, ReadTransaction, VersionStore
 
 AnswerTuple = Tuple[Any, ...]
+Answers = Tuple[AnswerTuple, ...]
 QueryLike = Union[ConjunctiveQuery, str]
 
 INCREMENTAL = "incremental"
@@ -70,6 +82,14 @@ class UpdateResult:
     #: predicates whose extension changed (EDB and derived); ``None`` means
     #: unknown — treat as "possibly all" (e.g. after EGD merges)
     changed_predicates: Optional[Set[str]] = None
+    #: the exact instance-level fact delta of this update (EDB and derived):
+    #: facts that became true / stopped being true.  ``None`` means the
+    #: delta is unknown (EGD merges rewrote rows, or a full re-chase ran) —
+    #: answer maintenance must fall back to re-answering.  A fact may appear
+    #: in both lists (retracted from a deletion cone, then re-derived by the
+    #: repair chase); counting maintenance nets such survivors out exactly.
+    added_facts: Optional[List[Fact]] = None
+    removed_facts: Optional[List[Fact]] = None
     #: TGD triggers fired by the maintenance chase
     steps: int = 0
     #: the work done by this update alone (an :class:`EngineStats` delta)
@@ -108,12 +128,110 @@ class _ProvenanceLog(dict):
         return added
 
 
+class MaintainedAnswers:
+    """Support-counted answers of one cached query (counting-based IVM).
+
+    ``counts`` maps every answer row — projected from the body valuations,
+    labeled nulls included — to the number of distinct valuations deriving
+    it.  An update's fact delta moves the counts by ±1 per affected
+    valuation (:meth:`QuerySession._maintain_answers`); a row is an answer
+    while its count is positive, so both certain answers (nulls dropped)
+    and raw answers derive from the same entry without re-joining.
+
+    Entries are immutable once installed: maintenance builds a *fresh*
+    entry and swaps it in under the version store's lock, stamped with the
+    version it belongs to — a reader pinned at ``version >= stamp`` may
+    serve from the entry, because any later update touching the query's
+    predicates would have replaced (or dropped) it.  The compiled
+    :class:`~repro.engine.matching.DeltaJoinPlan` is carried across swaps
+    so repeated updates replay the same hoisted pivot plans, and the sorted
+    answer rows are carried *patched* (:meth:`_patch_rows`): only the rows
+    whose support crossed zero move, so an update never pays a full
+    key-building sort over a large cached answer set.
+    """
+
+    __slots__ = ("cq", "key", "predicates", "counts", "version", "plan",
+                 "_rows")
+
+    def __init__(self, cq: ConjunctiveQuery, counts: AnswerCounts,
+                 version: int, plan: Optional[DeltaJoinPlan] = None):
+        self.cq = cq
+        self.key = str(cq)
+        self.predicates = cq.body_predicates()
+        self.counts = counts
+        self.version = version
+        self.plan = plan
+        #: per flavour: (sorted answer rows, their parallel sort keys)
+        self._rows: Dict[bool, Tuple[Answers, Tuple[Tuple[str, ...], ...]]] = {}
+
+    @staticmethod
+    def _sort_key(row: AnswerTuple) -> Tuple[str, ...]:
+        return tuple(map(str, row))
+
+    def rows(self, allow_nulls: bool = False) -> Answers:
+        """The (sorted, immutable) answer rows; memoized per flavour."""
+        cached = self._rows.get(allow_nulls)
+        if cached is None:
+            rows = rows_from_counts(self.counts, allow_nulls)
+            cached = (rows, tuple(self._sort_key(row) for row in rows))
+            self._rows[allow_nulls] = cached
+        return cached[0]
+
+    def _seed_rows(self, allow_nulls: bool, rows: Answers) -> None:
+        """Install a freshly computed flavour (initial build)."""
+        self._rows[allow_nulls] = (rows,
+                                   tuple(self._sort_key(row) for row in rows))
+
+    def _patch_rows(self, previous: "MaintainedAnswers",
+                    vanished: Set[AnswerTuple],
+                    appeared: Sequence[AnswerTuple]) -> None:
+        """Carry ``previous``'s sorted rows over, moved by the zero
+        crossings of one maintenance pass.
+
+        ``vanished`` rows lost their last support (dropped), ``appeared``
+        rows gained their first (inserted at their sort position via the
+        parallel key list).  A row in both nets out to its old position.
+        Cost is one O(answers) filtered copy plus O(delta) binary
+        insertions — never a full sort with per-row key building.
+
+        ``previous`` may belong to a live session whose readers memoize
+        further flavours concurrently (``rows()`` runs lock-free), so the
+        flavour dict is snapshot atomically (a single C-level copy under
+        the GIL) before iterating; a flavour memoized after the snapshot
+        is simply recomputed on the fresh entry's first read.
+        """
+        from bisect import bisect_left
+        for flavor, (rows, keys) in list(previous._rows.items()):
+            if not vanished and not appeared:
+                self._rows[flavor] = (rows, keys)
+                continue
+            new_rows = []
+            new_keys = []
+            for row, key in zip(rows, keys):
+                if row not in vanished:
+                    new_rows.append(row)
+                    new_keys.append(key)
+            for row in appeared:
+                if not flavor and \
+                        any(isinstance(value, Null) for value in row):
+                    continue
+                key = self._sort_key(row)
+                at = bisect_left(new_keys, key)
+                new_keys.insert(at, key)
+                new_rows.insert(at, row)
+            self._rows[flavor] = (tuple(new_rows), tuple(new_keys))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MaintainedAnswers({self.key!r}, {len(self.counts)} rows, "
+                f"v{self.version})")
+
+
 @dataclass
 class BatchAnswers:
     """Answers of one :meth:`QuerySession.answer_many` batch."""
 
-    #: one answer list per query, in the order given
-    answers: List[List[AnswerTuple]]
+    #: one (immutable) answer tuple per query, in the order given
+    answers: List[Answers]
     #: the matching work done by this batch alone
     stats: EngineStats = field(default_factory=EngineStats)
 
@@ -167,6 +285,10 @@ class MaterializedProgram:
         self.stats = EngineStats(engine=self.engine)
         self._queries: Optional["QuerySession"] = None
         self._sessions: List["QuerySession"] = []
+        #: maintained answer state restored from a snapshot, adopted by the
+        #: first query session created over this program (then cleared)
+        self._restored_maintained: Optional[
+            List[Tuple[ConjunctiveQuery, AnswerCounts]]] = None
         #: serializes writers (updates); readers never take this lock
         self._write_lock = threading.RLock()
         #: published instance versions readers pin (MVCC, relation-level COW)
@@ -264,11 +386,12 @@ class MaterializedProgram:
 
         result = self._chaser.continue_chase(self._program, seed, self._nulls,
                                              self._provenance)
-        # ``seed`` (not ``applied``) drives invalidation: an inserted fact
-        # that already existed as a derived fact changes the EDB but not the
-        # materialized instance, so cached answers for it stay valid.
+        # ``seed`` (not ``applied``) drives invalidation and maintenance: an
+        # inserted fact that already existed as a derived fact changes the
+        # EDB but not the materialized instance, so cached answers for it
+        # stay valid.
         return self._finish_update("add", INCREMENTAL, applied, result,
-                                   changed_facts=seed)
+                                   added_seed=seed, removed=[])
 
     def retract_facts(self, facts: Iterable[Fact]) -> UpdateResult:
         """Remove EDB facts and restore the fixpoint.
@@ -315,27 +438,36 @@ class MaterializedProgram:
                     frontier.append(dependent)
 
         instance = self.instance
+        removed: List[Fact] = []
         for predicate, row in applied:
-            if instance.has_relation(predicate):
-                instance.relation(predicate).discard(row)
+            if instance.has_relation(predicate) and \
+                    instance.relation(predicate).discard(row):
+                removed.append((predicate, row))
         for fact in cone:
             predicate, row = fact
             instance.relation(predicate).discard(row)
             self._provenance.pop(fact, None)
+            removed.append(fact)
 
-        deleted_predicates = {predicate for predicate, _ in applied} | \
-            {predicate for predicate, _ in cone}
         result = self._chaser.repair_after_deletion(
             self._program, list(applied) + sorted(cone, key=str), self._nulls,
             self._provenance)
         update = self._finish_update("retract", INCREMENTAL, applied, result,
-                                     changed_facts=applied,
-                                     also_changed=deleted_predicates)
+                                     added_seed=[], removed=removed)
         return update
 
     def _finish_update(self, action: str, strategy: str, applied: List[Fact],
-                       result: ChaseResult, changed_facts: List[Fact],
-                       also_changed: Optional[Set[str]] = None) -> UpdateResult:
+                       result: ChaseResult, added_seed: List[Fact],
+                       removed: List[Fact]) -> UpdateResult:
+        """Close an incremental update: derive its exact instance delta.
+
+        ``added_seed`` are the facts the update itself inserted into the
+        instance, ``removed`` the facts it discarded (retractions plus their
+        provenance cone); the facts the maintenance chase derived are
+        drained from the provenance log on top.  When EGD merges ran (or no
+        provenance is recorded) the delta is unreconstructable and reported
+        as ``None`` — sessions then invalidate instead of maintain.
+        """
         if result.egd_merges:
             self._ambiguous = True
         derived = [] if self._provenance is None else self._provenance.drain()
@@ -343,13 +475,17 @@ class MaterializedProgram:
             for body_fact in self._provenance[fact]:
                 self._dependents.setdefault(body_fact, []).append(fact)
         changed: Optional[Set[str]]
+        added_facts: Optional[List[Fact]]
+        removed_facts: Optional[List[Fact]]
         if result.egd_merges or self._provenance is None:
             changed = None  # merges rewrite arbitrary rows: treat as "all"
+            added_facts = None
+            removed_facts = None
         else:
-            changed = {predicate for predicate, _ in changed_facts}
-            changed |= {predicate for predicate, _ in derived}
-            if also_changed:
-                changed |= also_changed
+            added_facts = added_seed + derived
+            removed_facts = removed
+            changed = {predicate for predicate, _ in added_facts}
+            changed |= {predicate for predicate, _ in removed_facts}
         update_stats = result.stats
         update_stats.incremental_updates += 1
         self.stats.merge(update_stats)
@@ -358,7 +494,8 @@ class MaterializedProgram:
         self.result.egd_merges += result.egd_merges
         update = UpdateResult(action=action, strategy=strategy, applied=applied,
                               changed_predicates=changed, steps=result.steps,
-                              stats=update_stats)
+                              stats=update_stats, added_facts=added_facts,
+                              removed_facts=removed_facts)
         self._publish(update)
         return update
 
@@ -404,19 +541,32 @@ class MaterializedProgram:
         return load_program(path, program=program, engine=engine)
 
     def _publish(self, update: UpdateResult) -> None:
-        """Invalidate session caches and publish the new version atomically.
+        """Maintain/invalidate session caches and publish the new version.
 
-        Both happen under the version store's lock so a reader can never
-        pin the new version while a cache still holds the old version's
-        answers (or store stale answers after the invalidation ran) — the
-        reader-side counterpart is ``QuerySession._answers_at``.  The
-        relation copies themselves are prepared before the lock is taken.
+        The expensive work — relation snapshot copies and the delta joins
+        that maintain cached answers — runs *before* the store lock is
+        taken (the single writer holds the program's write lock, so the
+        working instance cannot move underneath).  Under the lock, every
+        session atomically swaps in its maintained answers (or drops what
+        could not be maintained) together with the publication of the new
+        version, so a reader can never pin the new version while a cache
+        still serves the old version's answers, nor store stale answers
+        after the swap — the reader-side counterpart is
+        ``QuerySession._answers_at``.  Deletion deltas are joined against
+        the *previous published version* (where the removed facts still
+        exist); insertion deltas against the post-update working instance.
         """
         copies = self.versions.prepare(self.instance,
                                        update.changed_predicates)
+        previous = self.versions.latest_instance()
+        sessions = list(self._sessions)
+        maintained = [(session,
+                       session._maintain_answers(update, previous,
+                                                 self.instance, self.version))
+                      for session in sessions]
         with self.versions.lock:
-            for session in self._sessions:
-                session._note_update(update)
+            for session, refreshed in maintained:
+                session._note_update(update, refreshed)
             self.versions.publish(self.version, self.instance,
                                   update.changed_predicates, copies=copies)
 
@@ -428,7 +578,7 @@ class MaterializedProgram:
             self._queries = QuerySession(self)
         return self._queries
 
-    def certain_answers(self, query: QueryLike) -> List[AnswerTuple]:
+    def certain_answers(self, query: QueryLike) -> Answers:
         """Certain answers of ``query`` over the materialized instance."""
         return self.queries().answers(query)
 
@@ -445,26 +595,37 @@ class MaterializedProgram:
 class QuerySession:
     """Answer many queries over one materialization, caching the plumbing.
 
-    Three caches, all keyed by query text:
+    Caches, all keyed by query text:
 
     * **parsed queries** — parse once per distinct query;
     * **join plans** — the selectivity order of the body atoms, replayed
       through the matcher with ``preordered=True``;
-    * **answers** — the full answer list of the query.
+    * **maintained answers** — :class:`MaintainedAnswers` support counts,
+      updated *in place* from every update's fact delta (the owning
+      :class:`MaterializedProgram` drives maintenance through
+      ``_maintain_answers``/``_note_update``), so a cache hit costs one
+      dictionary lookup and re-answering happens only when an update was
+      too ambiguous to maintain (EGD merges, full re-chases) — tracked by
+      the ``answers_maintained``/``maintenance_fallbacks`` stats counters;
+    * **answers** — plain version-stamped answer tuples, used when
+      maintenance is disabled (``maintain_answers=False`` restores the
+      predicate-invalidation behaviour, e.g. for baselines).
 
-    Plans and answers stay valid across updates whose
-    ``changed_predicates`` are disjoint from the query's body predicates
-    (the owning :class:`MaterializedProgram` notifies every session it
-    spawned); an update with unknown impact (EGD merges) drops everything.
+    Plans and plain answers stay valid across updates whose
+    ``changed_predicates`` are disjoint from the query's body predicates;
+    an update with unknown impact (EGD merges) drops everything.
     """
 
     def __init__(self, materialized: Union[MaterializedProgram, DatalogProgram],
-                 engine: Optional[str] = None):
+                 engine: Optional[str] = None, maintain_answers: bool = True):
         if isinstance(materialized, DatalogProgram):
             materialized = MaterializedProgram(materialized, engine=engine)
         self.materialized = materialized
         self.engine = resolve_engine(engine) if engine is not None \
             else materialized.engine
+        #: maintain cached answers by delta (counting IVM); ``False`` falls
+        #: back to predicate-level invalidation + re-answering
+        self.maintain_answers = maintain_answers
         #: lifetime matching work + cache counters of this session
         self.stats = EngineStats(engine=self.engine)
         self._matcher: Matcher = matcher_for(self.engine, self.stats)
@@ -475,11 +636,32 @@ class QuerySession:
         #: owning program would have invalidated it had a later update
         #: touched its predicates
         self._answers: Dict[Tuple[str, bool],
-                            Tuple[ConjunctiveQuery, int,
-                                  List[AnswerTuple]]] = {}
+                            Tuple[ConjunctiveQuery, int, Answers]] = {}
+        #: maintained support counts per query text (same validity rule)
+        self._maintained: Dict[str, MaintainedAnswers] = {}
         self._ws_solver = None
         self._ws_version: Optional[Tuple[int, Optional[int]]] = None
         materialized._sessions.append(self)
+        if self.maintain_answers:
+            self._adopt_restored()
+
+    def _adopt_restored(self) -> None:
+        """Adopt maintained answers restored from a snapshot (first session).
+
+        A snapshot persists the support counts of the saved session's
+        maintained queries; the first query session created over the
+        restored program installs them, stamped with the restored version,
+        so answering (and maintenance) continues without a single re-join.
+        """
+        restored = self.materialized._restored_maintained
+        if not restored:
+            return
+        self.materialized._restored_maintained = None
+        version = self.materialized.version
+        for cq, counts in restored:
+            entry = MaintainedAnswers(cq, counts, version)
+            self._maintained[entry.key] = entry
+            self._parsed.setdefault(entry.key, cq)
 
     # -- caches -------------------------------------------------------------
 
@@ -514,12 +696,94 @@ class QuerySession:
         self._plans[key] = (cq, plan)
         return plan
 
-    def _note_update(self, update: UpdateResult) -> None:
-        """Invalidate exactly the cache entries ``update`` may have touched.
+    def _maintain_answers(self, update: UpdateResult,
+                          previous: DatabaseInstance,
+                          working: DatabaseInstance,
+                          version: int) -> List[MaintainedAnswers]:
+        """Propagate ``update``'s fact delta through the maintained counts.
 
-        Updates whose delta is empty (``changed_predicates == set()``, e.g.
-        inserting a fact that already existed as a derived fact) touch
-        nothing and invalidate nothing — cached answers keep hitting.
+        Runs on the writer thread *before* the store lock is taken — the
+        delta joins must not stall readers; ``_note_update`` installs the
+        returned fresh entries under the lock, atomically with the
+        publication of ``version``.  Counting maintenance: homomorphisms
+        lost are enumerated by pivoting the removed facts against
+        ``previous`` (the last published version, where they still exist),
+        homomorphisms gained by pivoting the added facts against
+        ``working`` (the post-update instance); each one moves its
+        projected answer row's support count by ±1.  Facts retracted and
+        re-derived within one update net out exactly.  An update whose
+        delta is unknown (EGD merges, no provenance) cannot be maintained:
+        the entry is left for ``_note_update`` to drop, and the fallback is
+        counted in ``stats.maintenance_fallbacks``.
+        """
+        if not self.maintain_answers or not self._maintained:
+            return []
+        changed = update.changed_predicates
+        if changed is not None and not changed:
+            return []
+        ambiguous = changed is None or update.added_facts is None or \
+            update.removed_facts is None
+        refreshed: List[MaintainedAnswers] = []
+        for entry in list(self._maintained.values()):
+            if changed is not None and not (entry.predicates & changed):
+                continue  # untouched: the published entry stays valid
+            if ambiguous:
+                self.stats.maintenance_fallbacks += 1
+                continue
+            cq = entry.cq
+            plan = entry.plan
+            if plan is None:
+                plan = DeltaJoinPlan(self._matcher, cq.body,
+                                     variables=cq.body_variables(),
+                                     comparisons=cq.comparisons)
+            counts = dict(entry.counts)
+            #: rows whose support crossed zero this pass (drives the sorted
+            #: row patching — rows that merely changed support don't move)
+            vanished: Set[AnswerTuple] = set()
+            appeared: Dict[AnswerTuple, None] = {}
+            consistent = True
+            for homomorphism in plan.homomorphisms(previous,
+                                                   update.removed_facts):
+                row = tuple(term_value(apply_to_term(homomorphism, variable))
+                            for variable in cq.answer_variables)
+                support = counts.get(row, 0) - 1
+                if support < 0:
+                    consistent = False  # counts out of sync: never serve them
+                    break
+                if support:
+                    counts[row] = support
+                else:
+                    del counts[row]
+                    vanished.add(row)
+            if not consistent:
+                self.stats.maintenance_fallbacks += 1
+                continue
+            for homomorphism in plan.homomorphisms(working,
+                                                   update.added_facts):
+                row = tuple(term_value(apply_to_term(homomorphism, variable))
+                            for variable in cq.answer_variables)
+                support = counts.get(row, 0)
+                if support == 0:
+                    appeared[row] = None
+                counts[row] = support + 1
+            fresh = MaintainedAnswers(cq, counts, version, plan)
+            fresh._patch_rows(entry, vanished, list(appeared))
+            fresh.rows()  # warm the certain flavour outside the lock
+            refreshed.append(fresh)
+            self.stats.answers_maintained += 1
+        return refreshed
+
+    def _note_update(self, update: UpdateResult,
+                     refreshed: Sequence[MaintainedAnswers] = ()) -> None:
+        """Swap in maintained answers; invalidate what could not be kept.
+
+        Called under the version store's lock, atomically with the
+        publication of the new version.  Every cache entry the update may
+        have touched is dropped, then the entries ``_maintain_answers``
+        refreshed are installed in their place.  Updates whose delta is
+        empty (``changed_predicates == set()``, e.g. inserting a fact that
+        already existed as a derived fact) touch nothing and invalidate
+        nothing — cached answers keep hitting.
         """
         if update.changed_predicates is not None and \
                 not update.changed_predicates:
@@ -529,11 +793,21 @@ class QuerySession:
             return update.changed_predicates is None or any(
                 atom.predicate in update.changed_predicates for atom in cq.body)
 
-        for key in [key for key, (cq, _) in self._plans.items() if touched(cq)]:
-            del self._plans[key]
-        for key in [key for key, (cq, _, _) in self._answers.items()
+        # The sweeps iterate atomic snapshots (single C-level list() calls):
+        # the plan cache is populated by readers without the store lock, so
+        # a Python-level loop over the live dict could observe a concurrent
+        # insert mid-iteration.
+        for key in [key for key, (cq, _) in list(self._plans.items())
                     if touched(cq)]:
-            del self._answers[key]
+            self._plans.pop(key, None)
+        for key in [key for key, (cq, _, _) in list(self._answers.items())
+                    if touched(cq)]:
+            self._answers.pop(key, None)
+        for key in [key for key, entry in list(self._maintained.items())
+                    if touched(entry.cq)]:
+            self._maintained.pop(key, None)
+        for entry in refreshed:
+            self._maintained[entry.key] = entry
 
     # -- answering ----------------------------------------------------------
 
@@ -549,11 +823,13 @@ class QuerySession:
                                version=version)
 
     def answers(self, query: QueryLike,
-                allow_nulls: bool = False) -> List[AnswerTuple]:
+                allow_nulls: bool = False) -> Answers:
         """Answers of ``query`` over the latest published version.
 
         ``allow_nulls=False`` (the default) is the certain-answer
-        semantics: tuples containing labeled nulls are dropped.  Each call
+        semantics: tuples containing labeled nulls are dropped.  The result
+        is an **immutable tuple**, shared across cache hits — a hit costs
+        one dictionary lookup, never a copy of the answer set.  Each call
         is its own (single-read) transaction; hold an explicit
         :meth:`read` transaction to keep several reads on one version.
         """
@@ -561,36 +837,42 @@ class QuerySession:
             return transaction.answers(query, allow_nulls=allow_nulls)
 
     def _answers_at(self, pinned: InstanceVersion, query: QueryLike,
-                    allow_nulls: bool = False) -> List[AnswerTuple]:
+                    allow_nulls: bool = False) -> Answers:
         cq = self.query(query)
-        cache_key = (str(cq), allow_nulls)
+        key = str(cq)
+        entry = self._maintained.get(key)
+        if entry is not None and entry.version <= pinned.version:
+            self.stats.cache_hits += 1
+            return entry.rows(allow_nulls)
+        cache_key = (key, allow_nulls)
         cached = self._answers.get(cache_key)
         if cached is not None and cached[1] <= pinned.version:
             self.stats.cache_hits += 1
-            return list(cached[2])
+            return cached[2]
         self.stats.cache_misses += 1
         instance = pinned.instance
         ordered = self.plan(cq, instance)
-        rows: Set[AnswerTuple] = set()
-        for homomorphism in self._matcher.find_homomorphisms(
-                ordered, instance, comparisons=cq.comparisons, preordered=True):
-            row = tuple(term_value(apply_to_term(homomorphism, variable))
-                        for variable in cq.answer_variables)
-            if not allow_nulls and any(isinstance(value, Null) for value in row):
-                continue
-            rows.add(row)
-        result = sorted(rows, key=lambda row: tuple(map(str, row)))
+        counts = evaluate_query_counts(cq, instance, matcher=self._matcher,
+                                       plan=ordered)
+        result = rows_from_counts(counts, allow_nulls)
         # Store only when this read still sees the latest version; the
         # check-and-store runs under the store lock, which the writer holds
-        # across cache invalidation + publication, so a reader of an old
-        # version can never re-introduce answers a newer update invalidated.
+        # across answer maintenance + publication, so a reader of an old
+        # version can never re-introduce answers a newer update replaced.
         store = self.materialized.versions
         with store.lock:
             if store.latest().version == pinned.version:
-                existing = self._answers.get(cache_key)
-                if existing is None or existing[1] <= pinned.version:
-                    self._answers[cache_key] = (cq, pinned.version, result)
-        return list(result)
+                if self.maintain_answers:
+                    existing = self._maintained.get(key)
+                    if existing is None or existing.version <= pinned.version:
+                        fresh = MaintainedAnswers(cq, counts, pinned.version)
+                        fresh._seed_rows(allow_nulls, result)
+                        self._maintained[key] = fresh
+                else:
+                    previous = self._answers.get(cache_key)
+                    if previous is None or previous[1] <= pinned.version:
+                        self._answers[cache_key] = (cq, pinned.version, result)
+        return result
 
     def holds(self, query: QueryLike) -> bool:
         """``True`` iff the (boolean) query body matches the materialization."""
@@ -616,7 +898,7 @@ class QuerySession:
         return BatchAnswers(answers=answers, stats=self.stats.delta(before))
 
     def ws_answers(self, query: QueryLike,
-                   max_depth: Optional[int] = None) -> List[AnswerTuple]:
+                   max_depth: Optional[int] = None) -> Answers:
         """Answers via the deterministic weakly-sticky solver (Section IV).
 
         The solver (with its rules-by-head index) is cached and rebuilt only

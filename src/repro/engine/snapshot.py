@@ -3,10 +3,12 @@
 A snapshot is a compact, deterministic, versioned on-disk serialization of
 a :class:`~repro.engine.session.MaterializedProgram`: the pristine EDB, the
 chased instance (including labeled nulls), the labeled-null factory state,
-the derived-fact provenance graph, the lifetime engine stats, and the
-program's rules.  Restoring a snapshot rebuilds a fully live session —
-further ``add_facts``/``retract_facts`` continue the delta-driven chase
-exactly as the original process would have — without re-chasing anything.
+the derived-fact provenance graph, the lifetime engine stats, the
+program's rules, and the maintained answer support counts of its query
+sessions.  Restoring a snapshot rebuilds a fully live session — further
+``add_facts``/``retract_facts`` continue the delta-driven chase and
+maintain the restored answers exactly as the original process would have —
+without re-chasing or re-answering anything.
 
 File format (version 1)
 -----------------------
@@ -55,12 +57,12 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..datalog.atoms import Atom, Comparison
 from ..datalog.chase import Fact
-from ..datalog.rules import EGD, NegativeConstraint, TGD
+from ..datalog.rules import ConjunctiveQuery, EGD, NegativeConstraint, TGD
 from ..datalog.terms import Variable
 from ..errors import (SnapshotError, SnapshotFormatError,
                       SnapshotIntegrityError, SnapshotMismatchError)
 from ..relational.instance import DatabaseInstance
-from ..relational.values import Null, value_sort_key
+from ..relational.values import Null, intern_value, value_sort_key
 
 MAGIC = "repro-snapshot"
 FORMAT_VERSION = 1
@@ -97,9 +99,11 @@ def encode_row(row: Iterable[Any]) -> List[Any]:
 
 
 def decode_row(encoded: Iterable[Any]) -> Tuple[Any, ...]:
-    # The hot loop of a restore: inlined null decoding, tuple-from-list.
-    return tuple([Null(value["n"]) if isinstance(value, dict) else value
-                  for value in encoded])
+    # The hot loop of a restore: inlined null decoding, tuple-from-list,
+    # constants interned so the restored instance shares one object per
+    # distinct value (pointer-identity hashing/equality, less memory).
+    return tuple([Null(value["n"]) if isinstance(value, dict)
+                  else intern_value(value) for value in encoded])
 
 
 def _encode_term(term: Any) -> Any:
@@ -159,6 +163,25 @@ def encode_rule(rule: Any) -> Dict[str, Any]:
                                 for c in rule.comparisons],
                 "label": rule.label}
     raise SnapshotError(f"cannot serialize rule of type {type(rule).__name__}")
+
+
+def encode_query(query: ConjunctiveQuery) -> Dict[str, Any]:
+    """Encode a conjunctive query structurally (no parser round-trip)."""
+    return {"name": query.name,
+            "answer": [variable.name for variable in query.answer_variables],
+            "body": [_encode_atom(atom) for atom in query.body],
+            "comparisons": [_encode_comparison(comparison)
+                            for comparison in query.comparisons]}
+
+
+def decode_query(encoded: Dict[str, Any]) -> ConjunctiveQuery:
+    """Inverse of :func:`encode_query`."""
+    return ConjunctiveQuery(
+        [Variable(name) for name in encoded["answer"]],
+        [_decode_atom(atom) for atom in encoded["body"]],
+        [_decode_comparison(comparison)
+         for comparison in encoded.get("comparisons", ())],
+        name=encoded.get("name", "Q"))
 
 
 def decode_rule(encoded: Dict[str, Any]) -> Any:
@@ -303,6 +326,42 @@ def program_hash(tgds: Iterable[TGD], egds: Iterable[EGD],
 # ---------------------------------------------------------------------------
 
 
+def encode_maintained(materialized) -> List[Dict[str, Any]]:
+    """Encode the maintained answer counts of the program's sessions.
+
+    Entries are gathered across every query session (first session wins per
+    query) and sorted by query text, so the encoding is deterministic.  A
+    restored program hands them to the first session created over it —
+    answering and maintenance resume without a single re-join.  Each
+    session's entry dict is snapshot atomically (a C-level ``list()`` under
+    the GIL) before iterating: readers install entries without holding the
+    program's write lock, and a save must never crash — or encode a torn
+    view — because a query was being answered concurrently.
+    """
+    collected: Dict[str, Any] = {}
+    for session in list(getattr(materialized, "_sessions", ())):
+        for key, entry in list(getattr(session, "_maintained", {}).items()):
+            collected.setdefault(key, entry)
+    encoded = []
+    for key in sorted(collected):
+        entry = collected[key]
+        rows = sorted(entry.counts.items(),
+                      key=lambda item: tuple(value_sort_key(value)
+                                             for value in item[0]))
+        encoded.append({"query": encode_query(entry.cq),
+                        "counts": [[encode_row(row), support]
+                                   for row, support in rows]})
+    return encoded
+
+
+def decode_maintained(encoded: List[Dict[str, Any]]
+                      ) -> List[Tuple[ConjunctiveQuery, Dict[Tuple, int]]]:
+    """Inverse of :func:`encode_maintained`."""
+    return [(decode_query(item["query"]),
+             {decode_row(row): support for row, support in item["counts"]})
+            for item in encoded]
+
+
 def save_program(materialized, path: PathLike,
                  extras: Optional[Dict[str, DatabaseInstance]] = None) -> Path:
     """Serialize ``materialized`` (a :class:`MaterializedProgram`) to ``path``.
@@ -341,6 +400,7 @@ def save_program(materialized, path: PathLike,
             "mode": materialized.result.mode,
         },
         "stats": materialized.stats.as_dict(),
+        "maintained": encode_maintained(materialized),
         "extras": {name: encode_instance(extra)
                    for name, extra in (extras or {}).items()},
     }
@@ -555,6 +615,10 @@ def load_program(path: PathLike, program=None, engine: Optional[str] = None,
         mode=result_meta["mode"], egd_merges=result_meta["egd_merges"],
         violations=[], engine=materialized.engine, stats=materialized.stats,
         provenance=materialized._provenance)
+
+    maintained = payload.get("maintained") or []
+    materialized._restored_maintained = \
+        decode_maintained(maintained) if maintained else None
 
     materialized._write_lock = threading.RLock()
     materialized.versions = VersionStore()

@@ -50,6 +50,13 @@ class EngineStats:
     incremental_updates: int = 0
     #: EDB updates that fell back to a full from-scratch re-chase
     full_rechases: int = 0
+    #: cached answer sets updated in place from an update's fact delta
+    #: (counting-based incremental view maintenance) instead of re-answered
+    answers_maintained: int = 0
+    #: cached answer sets dropped because an update was too ambiguous to
+    #: maintain (EGD merges, full re-chases, missing fact deltas) — the next
+    #: read re-answers from scratch
+    maintenance_fallbacks: int = 0
 
     @classmethod
     def counter_names(cls) -> Tuple[str, ...]:

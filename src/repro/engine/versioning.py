@@ -25,6 +25,12 @@ readers pin a published version for the duration of a
 * **Garbage collection** drops every version that is neither pinned nor the
   latest, as soon as its last pin is released (or a newer version is
   published).  A pinned version is never collected.
+* **Answer maintenance piggybacks on publication.**  The writer computes
+  maintained answer sets outside the lock — joining deletion deltas against
+  :meth:`~VersionStore.latest_instance` (the pre-publication state, where
+  the removed facts still exist) — and swaps them into the session caches
+  under the same locked region that publishes the new version, so readers
+  always observe a version together with exactly its answers.
 
 See ``docs/ARCHITECTURE.md`` ("Durability and concurrency") for how the
 session layer routes queries through this module.
@@ -132,6 +138,16 @@ class VersionStore:
             if self._latest is None:
                 raise VersioningError("no version has been published yet")
             return self._latest
+
+    def latest_instance(self) -> DatabaseInstance:
+        """The latest published instance (read-only).
+
+        From a writer's perspective this is the *pre-publication* state:
+        answer maintenance joins an update's deletion delta against it,
+        because the removed facts are still present there (and never in the
+        working instance the update already mutated).
+        """
+        return self.latest().instance
 
     def pin(self, version: Optional[int] = None) -> InstanceVersion:
         """Pin (and return) ``version``, or the latest when ``None``.

@@ -121,14 +121,14 @@ class HospitalScenario:
         return list(MEASUREMENTS_QUALITY_ROWS)
 
     @staticmethod
-    def expected_doctor_answers() -> List[Tuple[str, str, float]]:
+    def expected_doctor_answers() -> Tuple[Tuple[str, str, float], ...]:
         """Expected quality answers of the doctor's query (tuple 1 of Table I)."""
-        return [("Sep/5-12:10", "Tom Waits", 38.2)]
+        return (("Sep/5-12:10", "Tom Waits", 38.2),)
 
     @staticmethod
-    def expected_mark_shift_dates() -> List[Tuple[str]]:
+    def expected_mark_shift_dates() -> Tuple[Tuple[str], ...]:
         """Expected answer of Example 5: Mark has a shift in W1 on Sep/9."""
-        return [("Sep/9",)]
+        return (("Sep/9",),)
 
     # -- execution ---------------------------------------------------------------
 
@@ -151,7 +151,7 @@ class HospitalScenario:
         """Materialize ``Measurements^q`` through the context (Table II)."""
         return self.session().quality_version("Measurements")
 
-    def quality_answers_to_doctor_query(self) -> List[Tuple]:
+    def quality_answers_to_doctor_query(self) -> Tuple[Tuple, ...]:
         """Quality answers of the doctor's query (Example 7's ``Q^q``)."""
         return self.session().quality_answers(DOCTOR_QUERY)
 
@@ -206,7 +206,7 @@ class HospitalScenario:
             self.measurements.relation("Measurements").discard(row)
         return update
 
-    def mark_shift_answers(self, ward: str = "W1") -> List[Tuple]:
+    def mark_shift_answers(self, ward: str = "W1") -> Tuple[Tuple, ...]:
         """Answers of Example 5's query via the ontology chase."""
         query = MARK_SHIFT_QUERY if ward == "W1" else MARK_SHIFT_W2_QUERY
         return self.ontology.certain_answers(query)

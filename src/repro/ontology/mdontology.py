@@ -17,7 +17,7 @@ parser syntax of :mod:`repro.datalog.parser`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..datalog.answering import AnswerTuple, certainly_holds, evaluate_query
 from ..datalog.chase import ChaseResult, chase
@@ -150,12 +150,12 @@ class MDOntology:
     def _coerce_query(self, query: QueryLike) -> ConjunctiveQuery:
         return parse_query(query) if isinstance(query, str) else query
 
-    def certain_answers(self, query: QueryLike) -> List[AnswerTuple]:
+    def certain_answers(self, query: QueryLike) -> Tuple[AnswerTuple, ...]:
         """Certain answers via the chase (the reference semantics)."""
         cq = self._coerce_query(query)
         return evaluate_query(cq, self.chase().instance, allow_nulls=False)
 
-    def answers_with_nulls(self, query: QueryLike) -> List[AnswerTuple]:
+    def answers_with_nulls(self, query: QueryLike) -> Tuple[AnswerTuple, ...]:
         """Query answers that may contain labeled nulls (open-world view)."""
         cq = self._coerce_query(query)
         return evaluate_query(cq, self.chase().instance, allow_nulls=True)
@@ -165,7 +165,7 @@ class MDOntology:
         cq = self._coerce_query(query)
         return certainly_holds(self.program(), cq, chase_result=self.chase())
 
-    def ws_answers(self, query: QueryLike, max_depth: Optional[int] = None) -> List[AnswerTuple]:
+    def ws_answers(self, query: QueryLike, max_depth: Optional[int] = None) -> Tuple[AnswerTuple, ...]:
         """Answers via the deterministic weakly-sticky algorithm (Section IV)."""
         cq = self._coerce_query(query)
         solver = DeterministicWSQAns(self.program(), max_depth=max_depth)
@@ -187,7 +187,7 @@ class MDOntology:
         rewriter = QueryRewriter([rule.tgd for rule in self.rules])
         return rewriter.rewrite(cq)
 
-    def rewrite_answers(self, query: QueryLike) -> List[AnswerTuple]:
+    def rewrite_answers(self, query: QueryLike) -> Tuple[AnswerTuple, ...]:
         """Answers obtained by evaluating the UCQ rewriting over the data."""
         rewriting = self.rewrite(query)
         return rewriting.evaluate(self.program().database)

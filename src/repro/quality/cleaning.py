@@ -17,7 +17,7 @@ assessment of :mod:`repro.quality.assessment` quantifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..datalog.answering import AnswerTuple, evaluate_query
 from ..datalog.atoms import Atom
@@ -51,7 +51,7 @@ def rewrite_query_to_quality(query: QueryLike, context: Context) -> ConjunctiveQ
 
 def quality_answers(context: Context, instance: DatabaseInstance, query: QueryLike,
                     chase_result: Optional[ChaseResult] = None,
-                    engine: Optional[str] = None) -> List[AnswerTuple]:
+                    engine: Optional[str] = None) -> Tuple[AnswerTuple, ...]:
     """Quality (clean) answers of ``query`` over ``instance`` through ``context``.
 
     The context program is assembled and chased (unless a pre-computed chase
@@ -71,7 +71,7 @@ def quality_answers(context: Context, instance: DatabaseInstance, query: QueryLi
                           engine=engine)
 
 
-def direct_answers(instance: DatabaseInstance, query: QueryLike) -> List[AnswerTuple]:
+def direct_answers(instance: DatabaseInstance, query: QueryLike) -> Tuple[AnswerTuple, ...]:
     """Answers of ``query`` directly over the instance under assessment.
 
     This is the "no context" baseline the paper's introduction motivates:
@@ -87,8 +87,8 @@ class CleanAnswerComparison:
     """Side-by-side comparison of direct answers and quality answers."""
 
     query: ConjunctiveQuery
-    direct: List[AnswerTuple]
-    quality: List[AnswerTuple]
+    direct: Sequence[AnswerTuple]
+    quality: Sequence[AnswerTuple]
 
     @property
     def spurious(self) -> List[AnswerTuple]:

@@ -11,7 +11,11 @@ program is chased **once** into a
   assessed relation or its quality version changed;
 * quality (clean) query answering caches the ``Q -> Q^q`` rewriting per
   query and evaluates through a :class:`~repro.engine.session.QuerySession`
-  (cached parse + join plan);
+  (cached parse + join plan), so quality-version queries ride the same
+  counting-based answer maintenance as plain queries: an update moves the
+  cached quality answers by its fact delta instead of re-running the
+  rewritten join (``maintain_answers=False`` restores pure
+  predicate-level invalidation);
 * :meth:`add_facts` / :meth:`retract_facts` apply an update to the instance
   under assessment (or to any other EDB relation of the context program —
   external sources, dimensional data) and maintain the materialization
@@ -25,7 +29,7 @@ drives the dirty tracking.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, Optional, Sequence, Set, Union
 
 from ..datalog.chase import ChaseResult
 from ..engine.session import (AnswerTuple, BatchAnswers, MaterializedProgram,
@@ -43,7 +47,8 @@ class QualitySession:
 
     def __init__(self, context: Context, instance: DatabaseInstance,
                  engine: Optional[str] = None, max_steps: int = 100_000,
-                 record_provenance: bool = True):
+                 record_provenance: bool = True,
+                 maintain_answers: bool = True):
         self.context = context
         #: private copy of the instance under assessment, kept in sync with
         #: the materialization across updates
@@ -51,7 +56,8 @@ class QualitySession:
         self.materialized = MaterializedProgram(
             context.assemble(self.instance), engine=engine, max_steps=max_steps,
             record_provenance=record_provenance)
-        self.query_session = QuerySession(self.materialized)
+        self.query_session = QuerySession(self.materialized,
+                                          maintain_answers=maintain_answers)
         #: cache counters of this session's quality-layer caches (the chase
         #: and matching work is counted by ``materialized.stats``)
         self.stats = EngineStats(engine=self.materialized.engine)
@@ -124,8 +130,13 @@ class QualitySession:
 
     # -- clean query answering ----------------------------------------------
 
-    def quality_answers(self, query: QueryLike) -> List[AnswerTuple]:
-        """Quality answers of ``query`` (rewriting cached per query text)."""
+    def quality_answers(self, query: QueryLike) -> Sequence[AnswerTuple]:
+        """Quality answers of ``query`` (rewriting cached per query text).
+
+        Answers are an immutable tuple served from the underlying query
+        session's maintained cache; updates move them by delta rather than
+        invalidating them (see :mod:`repro.engine.session`).
+        """
         key = query if isinstance(query, str) else str(query)
         rewritten = self._rewritten.get(key)
         if rewritten is None:

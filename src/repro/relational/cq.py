@@ -119,15 +119,47 @@ def _match_atom(atom: PatternAtom, instance: DatabaseInstance,
 _UNBOUND = object()
 
 
-def evaluate(query: PatternQuery, instance: DatabaseInstance) -> List[Tuple[Any, ...]]:
-    """Evaluate ``query`` over ``instance`` and return the set of answers.
+def plan_atoms(query: PatternQuery,
+               instance: DatabaseInstance) -> List[PatternAtom]:
+    """A plan-shaped form of the query: its atoms in greedy join order.
 
-    Answers are tuples of values for the query's answer variables, with
-    duplicates removed; the result order is deterministic (sorted by the
-    textual form of the values).
+    Mirrors the engine planner
+    (:meth:`repro.engine.matching.IndexedMatcher.plan`): at each step the
+    atom with the fewest still-unbound variables is chosen, ties broken by
+    smaller relation, so constrained atoms prune early and empty relations
+    short-circuit immediately.  Arity is validated for *every* atom up
+    front — reordering must not change which malformed atom is reported.
+    Semantics are order-independent (the joins are a conjunction), so the
+    plan is purely an evaluation shape.
     """
-    bindings: List[Binding] = [{}]
     for atom in query.atoms:
+        relation = instance.relation(atom.relation)
+        if len(atom.terms) != relation.schema.arity:
+            raise ArityError(
+                f"pattern atom {atom} does not match arity "
+                f"{relation.schema.arity} of relation {atom.relation!r}"
+            )
+    remaining = list(query.atoms)
+    bound: set = set()
+    ordered: List[PatternAtom] = []
+
+    def cost(atom: PatternAtom) -> Tuple[int, int]:
+        unbound = {term for term in atom.terms
+                   if is_pattern_variable(term) and term not in bound}
+        return (len(unbound), len(instance.relation(atom.relation)))
+
+    while remaining:
+        best = min(remaining, key=cost)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def _join(atoms: Sequence[PatternAtom],
+          instance: DatabaseInstance) -> List[Binding]:
+    bindings: List[Binding] = [{}]
+    for atom in atoms:
         bindings = [
             extended
             for binding in bindings
@@ -135,6 +167,18 @@ def evaluate(query: PatternQuery, instance: DatabaseInstance) -> List[Tuple[Any,
         ]
         if not bindings:
             return []
+    return bindings
+
+
+def evaluate(query: PatternQuery, instance: DatabaseInstance) -> List[Tuple[Any, ...]]:
+    """Evaluate ``query`` over ``instance`` and return the set of answers.
+
+    Answers are tuples of values for the query's answer variables, with
+    duplicates removed; the result order is deterministic (sorted by the
+    textual form of the values).  Atoms are joined in the
+    :func:`plan_atoms` order.
+    """
+    bindings = _join(plan_atoms(query, instance), instance)
     answers = set()
     for binding in bindings:
         if all(check(binding) for check in query.filters):
@@ -144,15 +188,7 @@ def evaluate(query: PatternQuery, instance: DatabaseInstance) -> List[Tuple[Any,
 
 def holds(query: PatternQuery, instance: DatabaseInstance) -> bool:
     """Boolean evaluation: ``True`` iff the query has at least one match."""
-    bindings: List[Binding] = [{}]
-    for atom in query.atoms:
-        bindings = [
-            extended
-            for binding in bindings
-            for extended in _match_atom(atom, instance, binding)
-        ]
-        if not bindings:
-            return False
+    bindings = _join(plan_atoms(query, instance), instance)
     return any(
         all(check(binding) for check in query.filters)
         for binding in bindings

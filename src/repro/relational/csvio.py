@@ -4,6 +4,12 @@ The on-disk format is deliberately simple: one CSV file per relation, first
 row is the header (attribute names), remaining rows are tuples.  Labeled
 nulls are serialized as ``#null:<label>`` so that round-tripping an instance
 that contains chase-generated nulls is lossless.
+
+Every decoded constant is passed through
+:func:`~repro.relational.values.intern_value`: CSV data is full of repeated
+dimension members and categorical values, and dictionary-encoding them at
+ingestion makes hot-path tuple hashing and equality hit pointer identity
+(see benchmark E14's interning microbenchmark).
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Any, Iterable, Optional, Union
 from ..errors import SchemaError
 from .instance import DatabaseInstance, Relation
 from .schema import RelationSchema
-from .values import Null
+from .values import Null, intern_value
 
 _NULL_PREFIX = "#null:"
 
@@ -30,8 +36,8 @@ def _encode_value(value: Any) -> str:
 
 def _decode_value(text: str) -> Any:
     if text.startswith(_NULL_PREFIX):
-        return Null(text[len(_NULL_PREFIX):])
-    return text
+        return Null(intern_value(text[len(_NULL_PREFIX):]))
+    return intern_value(text)
 
 
 def write_relation_csv(relation: Relation, path: PathLike) -> None:

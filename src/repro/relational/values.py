@@ -7,14 +7,19 @@ quantified variables: they denote unknown-but-possibly-equal values and are
 compared by identity of their label.
 
 The module also provides :class:`NullFactory`, a deterministic generator of
-fresh nulls, so chase runs are reproducible, and a handful of small helpers
-shared by the relational algebra and the Datalog± engine.
+fresh nulls, so chase runs are reproducible; :class:`ValueInterner` /
+:func:`intern_value`, the dictionary encoding applied to constants at
+ingestion so equal values share one object (tuple hashing and equality on
+the matching hot path then hit CPython's pointer-identity fast paths, and
+duplicated constants stop costing memory per row); and a handful of small
+helpers shared by the relational algebra and the Datalog± engine.
 """
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Dict, Iterable, Iterator, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -72,6 +77,65 @@ class NullFactory:
     def fresh_many(self, count: int) -> list[Null]:
         """Return ``count`` distinct fresh nulls."""
         return [self.fresh() for _ in range(count)]
+
+
+class ValueInterner:
+    """Dictionary-encode constants so equal values share one object.
+
+    Ingestion paths (CSV readers, snapshot restores) pass every decoded
+    constant through :meth:`intern`.  Strings go through :func:`sys.intern`
+    — the process-wide table with the cheapest lookup, and entries CPython
+    reclaims when the last reference dies — and every other hashable value
+    through a per-interner canonical table, so the *first* object seen for
+    a value becomes the one stored everywhere.  The payoff is on the
+    matching hot path: CPython's tuple hashing reuses each string's cached
+    hash, and equality checks between row values short-cut on pointer
+    identity before ever comparing contents.  Unhashable values pass
+    through untouched.
+
+    The non-string table holds strong references, so it is **bounded**
+    (``max_entries``): once full, unseen values pass through uninterned —
+    correctness never depends on interning, only deduplication does — and
+    a long-lived process churning through many unrelated datasets cannot
+    leak memory proportional to every constant it ever decoded.
+    """
+
+    __slots__ = ("_table", "max_entries")
+
+    def __init__(self, max_entries: int = 1 << 20):
+        self._table: Dict[Any, Any] = {}
+        self.max_entries = max_entries
+
+    def intern(self, value: Any) -> Any:
+        """The canonical object equal to ``value`` (registering it if new)."""
+        if type(value) is str:
+            return sys.intern(value)
+        try:
+            canonical = self._table.get(value)
+            if canonical is not None:
+                return canonical
+            if len(self._table) >= self.max_entries:
+                return value
+            self._table[value] = value
+            return value
+        except TypeError:  # unhashable: cannot be a stored constant anyway
+            return value
+
+    def intern_row(self, row: Iterable[Any]) -> Tuple[Any, ...]:
+        """Intern every value of one row."""
+        return tuple(self.intern(value) for value in row)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+#: the process-wide interner used by the ingestion paths
+_INTERNER = ValueInterner()
+
+
+def intern_value(value: Any) -> Any:
+    """Intern ``value`` in the process-wide :class:`ValueInterner`."""
+    return _INTERNER.intern(value)
 
 
 def is_null(value: Any) -> bool:

@@ -13,19 +13,19 @@ class TestEvaluateQuery:
         result = chase(small_program)
         query = parse_query("?(W, D, N, S) :- Shifts(W, D, N, S).")
         certain = evaluate_query(query, result.instance, allow_nulls=False)
-        assert certain == []  # every Shifts tuple carries a null shift
+        assert certain == ()  # every Shifts tuple carries a null shift
         with_nulls = evaluate_query(query, result.instance, allow_nulls=True)
         assert len(with_nulls) == 2
 
     def test_projection_away_from_nulls_is_certain(self, small_program):
         result = chase(small_program)
         query = parse_query("?(D) :- Shifts('W2', D, 'Mark', S).")
-        assert evaluate_query(query, result.instance) == [("Sep/9",)]
+        assert evaluate_query(query, result.instance) == (("Sep/9",),)
 
     def test_comparisons_filter_answers(self, small_program):
         result = chase(small_program)
         query = parse_query("?(P) :- PatientWard(W, D, P), D > 'Sep/5'.")
-        assert evaluate_query(query, result.instance) == [("Lou Reed",)]
+        assert evaluate_query(query, result.instance) == (("Lou Reed",),)
 
     def test_boolean_evaluation(self, small_program):
         result = chase(small_program)
@@ -38,11 +38,11 @@ class TestEvaluateQuery:
 class TestCertainAnswers:
     def test_upward_navigation_answer(self, small_program):
         query = parse_query("?(U, P) :- PatientUnit(U, 'Sep/5', P).")
-        assert certain_answers(small_program, query) == [("Standard", "Tom Waits")]
+        assert certain_answers(small_program, query) == (("Standard", "Tom Waits"),)
 
     def test_downward_navigation_answer(self, small_program):
         query = parse_query("?(D) :- Shifts('W1', D, 'Mark', S).")
-        assert certain_answers(small_program, query) == [("Sep/9",)]
+        assert certain_answers(small_program, query) == (("Sep/9",),)
 
     def test_boolean_certainty(self, small_program):
         assert certainly_holds(small_program, parse_query("? :- Shifts('W2', D, 'Mark', S)."))
@@ -55,15 +55,15 @@ class TestCertainAnswers:
                                 chase_result=shared)
         second = certain_answers(small_program, parse_query("?(D) :- Shifts('W2', D, 'Mark', S)."),
                                  chase_result=shared)
-        assert first == second == [("Sep/9",)]
+        assert first == second == (("Sep/9",),)
 
     def test_answers_over_extensional_predicates_only(self):
         program = parse_program("""
             Edge(a, b). Edge(b, c).
         """)
         query = parse_query("?(X, Y) :- Edge(X, Y).")
-        assert certain_answers(program, query) == [("a", "b"), ("b", "c")]
+        assert certain_answers(program, query) == (("a", "b"), ("b", "c"))
 
     def test_constants_in_query_restrict_answers(self, small_program):
         query = parse_query("?(P) :- PatientUnit('Intensive', 'Sep/6', P).")
-        assert certain_answers(small_program, query) == [("Lou Reed",)]
+        assert certain_answers(small_program, query) == (("Lou Reed",),)

@@ -47,7 +47,7 @@ class TestRewriting:
             not len(upward_program.database.relation("PatientUnit"))
         answers = rewrite_and_answer(upward_program,
                                      parse_query("?(U) :- PatientUnit(U, sep6, lou)."))
-        assert answers == [("intensive",)]
+        assert answers == (("intensive",),)
 
     def test_boolean_query_rewriting(self, upward_program):
         rewriter = QueryRewriter(upward_program.tgds)
@@ -77,9 +77,9 @@ class TestRewriting:
         """)
         rewriter = QueryRewriter(program.tgds)
         night = rewriter.rewrite(parse_query("?(D) :- Shifts(w1, D, mark, night)."))
-        assert night.evaluate(program.database) == []
+        assert night.evaluate(program.database) == ()
         unconstrained = rewriter.rewrite(parse_query("?(D) :- Shifts(w1, D, mark, S)."))
-        assert unconstrained.evaluate(program.database) == [("sep9",)]
+        assert unconstrained.evaluate(program.database) == (("sep9",),)
         assert unconstrained.evaluate(program.database) == \
             certain_answers(program, parse_query("?(D) :- Shifts(w1, D, mark, S)."))
 
@@ -95,7 +95,7 @@ class TestRewriting:
         rewriter = QueryRewriter(program.tgds)
         query = parse_query("?(D) :- Shifts(w1, D, mark, S), NightShift(S).")
         assert rewriter.rewrite(query).evaluate(program.database) == \
-            certain_answers(program, query) == []
+            certain_answers(program, query) == ()
 
     def test_rewriting_size_cap(self, upward_program):
         rewriter = QueryRewriter(upward_program.tgds, max_queries=1)

@@ -43,19 +43,19 @@ class TestBooleanQueries:
 class TestOpenQueries:
     def test_upward_navigation_answers(self, small_program):
         query = parse_query("?(U, P) :- PatientUnit(U, 'Sep/5', P).")
-        assert deterministic_ws_answers(small_program, query) == [("Standard", "Tom Waits")]
+        assert deterministic_ws_answers(small_program, query) == (("Standard", "Tom Waits"),)
 
     def test_downward_navigation_answers(self, small_program):
         query = parse_query("?(D) :- Shifts('W1', D, 'Mark', S).")
-        assert deterministic_ws_answers(small_program, query) == [("Sep/9",)]
+        assert deterministic_ws_answers(small_program, query) == (("Sep/9",),)
 
     def test_null_valued_answer_variables_are_not_certain(self, small_program):
         query = parse_query("?(S) :- Shifts('W1', D, 'Mark', S).")
-        assert deterministic_ws_answers(small_program, query) == []
+        assert deterministic_ws_answers(small_program, query) == ()
 
     def test_comparisons_are_applied(self, small_program):
         query = parse_query("?(P) :- PatientWard(W, D, P), D > 'Sep/5'.")
-        assert deterministic_ws_answers(small_program, query) == [("Lou Reed",)]
+        assert deterministic_ws_answers(small_program, query) == (("Lou Reed",),)
 
     def test_statistics_are_collected(self, small_program):
         solver = DeterministicWSQAns(small_program)
@@ -94,7 +94,7 @@ class TestAgreementWithChase:
         assert certainly_holds(program, boolean)
         open_query = parse_query("?(P) :- PatientUnit(U, sep9, P).")
         assert deterministic_ws_answers(program, open_query) == \
-            certain_answers(program, open_query) == [("tom",)]
+            certain_answers(program, open_query) == (("tom",),)
 
     def test_agrees_on_hospital_ontology(self, hospital_ontology):
         queries = [

@@ -29,8 +29,8 @@ class TestTable1And2QualityVersion:
         assert len(quality) == 2
 
     def test_doctor_query_quality_answer(self, hospital_scenario):
-        assert hospital_scenario.quality_answers_to_doctor_query() == [
-            ("Sep/5-12:10", "Tom Waits", 38.2)]
+        assert hospital_scenario.quality_answers_to_doctor_query() == (
+            ("Sep/5-12:10", "Tom Waits", 38.2),)
 
     def test_direct_answers_over_report(self, hospital_scenario):
         comparison = hospital_scenario.compare_doctor_query()
@@ -55,10 +55,10 @@ class TestExample2And5DownwardNavigation:
         assert not [row for row in shifts if row[2] == "Mark"]
 
     def test_mark_shift_in_w1_is_sep9(self, hospital_scenario):
-        assert hospital_scenario.mark_shift_answers("W1") == [("Sep/9",)]
+        assert hospital_scenario.mark_shift_answers("W1") == (("Sep/9",),)
 
     def test_mark_shift_in_w2_is_sep9(self, hospital_scenario):
-        assert hospital_scenario.mark_shift_answers("W2") == [("Sep/9",)]
+        assert hospital_scenario.mark_shift_answers("W2") == (("Sep/9",),)
 
     def test_generated_shift_value_is_a_fresh_null(self, hospital_ontology):
         rows = hospital_ontology.answers_with_nulls(
@@ -72,7 +72,7 @@ class TestExample2And5DownwardNavigation:
 
     def test_ws_algorithm_agrees(self, hospital_ontology):
         assert hospital_ontology.ws_answers("?(D) :- Shifts('W1', D, 'Mark', S).") == \
-            [("Sep/9",)]
+            (("Sep/9",),)
 
 
 class TestExample4Constraints:
@@ -128,7 +128,7 @@ class TestExample6DisjunctiveDischarge:
         # while the boolean query "was he in *some* unit" does hold.
         answers = hospital_ontology.certain_answers(
             "?(U) :- PatientUnit(U, 'Oct/5', 'Elvis Costello').")
-        assert answers == []
+        assert answers == ()
 
     def test_elvis_costello_known_only_through_discharge(self, hospital_ontology):
         assert hospital_ontology.holds(

@@ -91,7 +91,7 @@ class TestQualityPipelineOnSyntheticWorkload:
             member = sorted(dirty_members)[0]
             answers = quality_answers(workload.context, instance,
                                       f"?(S, V) :- Readings(E, S, V), E = '{member}'.")
-            assert answers == []
+            assert answers == ()
 
 
 class TestScalingSanity:

@@ -45,11 +45,11 @@ class TestReasoning:
     def test_certain_answers_upward(self, hospital_ontology):
         answers = hospital_ontology.certain_answers(
             "?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")
-        assert answers == [("Standard",)]
+        assert answers == (("Standard",),)
 
     def test_certain_answers_downward(self, hospital_ontology):
         assert hospital_ontology.certain_answers(
-            "?(D) :- Shifts('W2', D, 'Mark', S).") == [("Sep/9",)]
+            "?(D) :- Shifts('W2', D, 'Mark', S).") == (("Sep/9",),)
 
     def test_answers_with_nulls_exposes_unknown_shift(self, hospital_ontology):
         rows = hospital_ontology.answers_with_nulls(

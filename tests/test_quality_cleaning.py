@@ -40,8 +40,8 @@ class TestAnswering:
     def test_quality_answers_filter_to_table_2(self, hospital_scenario):
         rows = quality_answers(hospital_scenario.context, hospital_scenario.measurements,
                                "?(T, P, V) :- Measurements(T, P, V), P = 'Tom Waits'.")
-        assert rows == [("Sep/5-12:10", "Tom Waits", 38.2),
-                        ("Sep/6-11:50", "Tom Waits", 37.1)]
+        assert rows == (("Sep/5-12:10", "Tom Waits", 38.2),
+                        ("Sep/6-11:50", "Tom Waits", 37.1))
 
     def test_doctor_query_quality_answer(self, hospital_scenario):
         assert hospital_scenario.quality_answers_to_doctor_query() == \

@@ -40,7 +40,7 @@ class TestRepair:
         # After cleaning, rule (7) still derives the standard-unit stays.
         answers = ontology.certain_answers(
             "?(U) :- PatientUnit(U, 'Sep/5', 'Tom Waits').")
-        assert answers == [("Standard",)]
+        assert answers == (("Standard",),)
 
     def test_report_rendering(self):
         ontology = build_ontology(include_closure_constraints=True)

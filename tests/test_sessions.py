@@ -137,7 +137,7 @@ def test_query_session_caches_parse_plan_and_answers(materialized):
     session = QuerySession(materialized)
     query = "?(P) :- PatientUnit('Standard', D, P)."
     first = session.answers(query)
-    assert first == [("Tom",)]
+    assert first == (("Tom",),)
     before = session.stats.snapshot()
     assert session.answers(query) == first
     delta = session.stats.delta(before)
@@ -145,8 +145,28 @@ def test_query_session_caches_parse_plan_and_answers(materialized):
     assert delta.rows_scanned == 0  # served entirely from the answer cache
 
 
-def test_update_invalidates_only_touched_queries(materialized):
+def test_update_maintains_touched_queries_in_place(materialized):
     session = QuerySession(materialized)
+    touched = "?(P) :- PatientUnit(U, D, P)."
+    untouched = "?(W) :- UnitWard(U, W)."
+    session.answers(touched)
+    session.answers(untouched)
+    before = session.stats.snapshot()
+    materialized.add_facts([("PatientWard", ("W1", "Sep/8", "Patti"))])
+    # The touched query's cached answers were moved by the update's delta
+    # (no re-join); the untouched one was left alone entirely.
+    assert session.stats.delta(before).answers_maintained == 1
+    before = session.stats.snapshot()
+    assert ("Patti",) in session.answers(touched)
+    assert session.answers(untouched) == (("W1",), ("W2",))
+    delta = session.stats.delta(before)
+    assert delta.cache_misses == 0  # both served from maintained entries
+    assert delta.cache_hits >= 2
+    assert delta.rows_scanned == 0  # no join work at read time
+
+
+def test_update_invalidates_touched_queries_without_maintenance(materialized):
+    session = QuerySession(materialized, maintain_answers=False)
     touched = "?(P) :- PatientUnit(U, D, P)."
     untouched = "?(W) :- UnitWard(U, W)."
     session.answers(touched)
@@ -154,7 +174,7 @@ def test_update_invalidates_only_touched_queries(materialized):
     materialized.add_facts([("PatientWard", ("W1", "Sep/8", "Patti"))])
     before = session.stats.snapshot()
     assert ("Patti",) in session.answers(touched)
-    assert session.answers(untouched) == [("W1",), ("W2",)]
+    assert session.answers(untouched) == (("W1",), ("W2",))
     delta = session.stats.delta(before)
     assert delta.cache_misses > 0   # the touched query was re-evaluated
     assert delta.cache_hits > 0     # the untouched one came from cache
@@ -183,7 +203,7 @@ def test_answer_many_reports_batch_stats(materialized):
     session = QuerySession(materialized)
     batch = session.answer_many(["?(P) :- Standardized(P).",
                                  "?(W) :- UnitWard('Standard', W)."])
-    assert batch.answers == [[("Tom",)], [("W1",)]]
+    assert batch.answers == [(("Tom",),), (("W1",),)]
     assert len(batch) == 2
     assert batch.stats.cache_misses > 0
     repeat = session.answer_many(["?(P) :- Standardized(P)."])
@@ -192,7 +212,7 @@ def test_answer_many_reports_batch_stats(materialized):
 
 def test_default_query_session_is_shared(materialized):
     assert materialized.queries() is materialized.queries()
-    assert materialized.certain_answers("?(P) :- Standardized(P).") == [("Tom",)]
+    assert materialized.certain_answers("?(P) :- Standardized(P).") == (("Tom",),)
     assert materialized.holds("? :- PatientUnit('Standard', D, 'Tom').")
     assert not materialized.holds("? :- PatientUnit('Standard', D, 'Lou').")
 
