@@ -289,6 +289,10 @@ class MaterializedProgram:
         #: first query session created over this program (then cleared)
         self._restored_maintained: Optional[
             List[Tuple[ConjunctiveQuery, AnswerCounts]]] = None
+        #: the ``meta`` mapping of the snapshot this program was restored
+        #: from (``{}`` for a freshly chased program) — the serving layer
+        #: stores the checkpoint's write-ahead-log position here
+        self.snapshot_meta: Dict[str, Any] = {}
         #: serializes writers (updates); readers never take this lock
         self._write_lock = threading.RLock()
         #: published instance versions readers pin (MVCC, relation-level COW)
@@ -514,17 +518,24 @@ class MaterializedProgram:
 
     # -- persistence --------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(self, path: Union[str, Path],
+             meta: Optional[Dict[str, Any]] = None) -> Path:
         """Write a durable snapshot of this materialization to ``path``.
 
         The snapshot (see :mod:`repro.engine.snapshot`) captures the EDB,
         the chased instance, the labeled-null state, the provenance graph
         and the lifetime stats — everything needed to :meth:`load` a fully
-        live session in another process without re-chasing.
+        live session in another process without re-chasing.  ``meta`` is an
+        optional JSON-serializable mapping stored with the snapshot and
+        exposed as :attr:`snapshot_meta` after a restore; the save runs
+        under the write lock, so the mapping describes a
+        checkpoint-consistent cut (no update can interleave between
+        computing ``meta`` and serializing the state it describes when the
+        caller holds the same lock — see the serving daemon's checkpoint).
         """
         from .snapshot import save_program
         with self._write_lock:
-            return save_program(self, path)
+            return save_program(self, path, meta=meta)
 
     @classmethod
     def load(cls, path: Union[str, Path], program: Optional[DatalogProgram] = None,
@@ -556,6 +567,19 @@ class MaterializedProgram:
         the *previous published version* (where the removed facts still
         exist); insertion deltas against the post-update working instance.
         """
+        if self._restored_maintained:
+            # Snapshot-restored answer counts nobody has adopted yet cannot
+            # be maintained through this update; keep only the entries the
+            # update provably did not touch, so a session created later
+            # never adopts counts that predate an unmaintained change.
+            changed = update.changed_predicates
+            if changed is None:
+                self._restored_maintained = None
+            elif changed:
+                kept = [(cq, counts)
+                        for cq, counts in self._restored_maintained
+                        if not (cq.body_predicates() & changed)]
+                self._restored_maintained = kept or None
         copies = self.versions.prepare(self.instance,
                                        update.changed_predicates)
         previous = self.versions.latest_instance()
@@ -573,9 +597,16 @@ class MaterializedProgram:
     # -- answering ----------------------------------------------------------
 
     def queries(self) -> "QuerySession":
-        """The default query session over this materialization (lazy)."""
+        """The default query session over this materialization (lazy).
+
+        Double-checked under the write lock: two concurrent first readers
+        must not each build (and register) a session — the loser would
+        stay in ``_sessions`` and be maintained on every update forever.
+        """
         if self._queries is None:
-            self._queries = QuerySession(self)
+            with self._write_lock:
+                if self._queries is None:
+                    self._queries = QuerySession(self)
         return self._queries
 
     def certain_answers(self, query: QueryLike) -> Answers:
@@ -880,7 +911,24 @@ class QuerySession:
             return transaction.holds(query)
 
     def _holds_at(self, pinned: InstanceVersion, query: QueryLike) -> bool:
+        """Boolean reads ride the counted maintenance path.
+
+        ``holds`` is true iff the query body has at least one homomorphism,
+        i.e. iff the maintained support counts are non-empty (nulls
+        included) — so a boolean read is served from the same
+        :class:`MaintainedAnswers` entry as ``answers``, and updates move
+        it by delta instead of re-running the join.  Only when maintenance
+        is disabled does the session fall back to the first-match
+        early-exit scan (cheaper for one-shot probes, but re-done on every
+        call).
+        """
         cq = self.query(query)
+        entry = self._maintained.get(str(cq))
+        if entry is not None and entry.version <= pinned.version:
+            self.stats.cache_hits += 1
+            return bool(entry.counts)
+        if self.maintain_answers:
+            return bool(self._answers_at(pinned, cq, allow_nulls=True))
         instance = pinned.instance
         ordered = self.plan(cq, instance)
         for _ in self._matcher.find_homomorphisms(

@@ -52,6 +52,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -66,6 +67,8 @@ from ..relational.values import Null, intern_value, value_sort_key
 
 MAGIC = "repro-snapshot"
 FORMAT_VERSION = 1
+
+_sys_intern = sys.intern
 
 PathLike = Union[str, Path]
 
@@ -102,8 +105,15 @@ def decode_row(encoded: Iterable[Any]) -> Tuple[Any, ...]:
     # The hot loop of a restore: inlined null decoding, tuple-from-list,
     # constants interned so the restored instance shares one object per
     # distinct value (pointer-identity hashing/equality, less memory).
-    return tuple([Null(value["n"]) if isinstance(value, dict)
-                  else intern_value(value) for value in encoded])
+    # Strings — the overwhelmingly common case — go straight to
+    # sys.intern; exact type checks and hoisted builtins keep the loop
+    # free of Python-level call layers (this path dominates warm-restart
+    # latency, see benchmarks E13/E15).
+    return tuple([
+        _sys_intern(value) if type(value) is str
+        else Null(value["n"]) if type(value) is dict
+        else intern_value(value)
+        for value in encoded])
 
 
 def _encode_term(term: Any) -> Any:
@@ -363,12 +373,17 @@ def decode_maintained(encoded: List[Dict[str, Any]]
 
 
 def save_program(materialized, path: PathLike,
-                 extras: Optional[Dict[str, DatabaseInstance]] = None) -> Path:
+                 extras: Optional[Dict[str, DatabaseInstance]] = None,
+                 meta: Optional[Dict[str, Any]] = None) -> Path:
     """Serialize ``materialized`` (a :class:`MaterializedProgram`) to ``path``.
 
     ``extras`` is an optional mapping of named auxiliary instances persisted
     alongside the program (the quality session stores the instance under
-    assessment this way).  Returns the path written.
+    assessment this way).  ``meta`` is an optional JSON-serializable mapping
+    stored verbatim in the payload — the serving layer records the
+    write-ahead-log position of a checkpoint there, so a restore knows the
+    exact cut the snapshot represents (see :mod:`repro.serving`).  Returns
+    the path written.
     """
     instance = materialized.instance
     payload: Dict[str, Any] = {
@@ -403,6 +418,7 @@ def save_program(materialized, path: PathLike,
         "maintained": encode_maintained(materialized),
         "extras": {name: encode_instance(extra)
                    for name, extra in (extras or {}).items()},
+        "meta": meta or {},
     }
     payload_text = _canonical(payload)
     header = {
@@ -415,12 +431,52 @@ def save_program(materialized, path: PathLike,
     }
     path = Path(path)
     # Atomic replace: a crash mid-save must never destroy the previous
-    # good snapshot or leave a truncated file behind.
+    # good snapshot or leave a truncated file behind.  A *failed* save must
+    # not either: the temp file is removed on any error, so a checkpoint
+    # that dies (full disk, unserializable value discovered late) leaves
+    # the previous snapshot — and nothing else — on disk.  The contents
+    # are fsynced before the rename and the directory entry after it, so
+    # a snapshot that has been handed back is durable against power loss —
+    # the serving daemon destroys the replayed WAL segment right after a
+    # checkpoint, which is only safe once the snapshot actually is on disk.
     temp = path.with_name(path.name + ".tmp")
-    temp.write_text(_canonical(header) + "\n" + payload_text + "\n",
-                    encoding="utf-8")
-    os.replace(temp, path)
+    try:
+        with open(temp, "wb") as handle:
+            handle.write((_canonical(header) + "\n" + payload_text + "\n")
+                         .encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        fsync_directory(path.parent)
+    except OSError as exc:
+        _unlink_quietly(temp)
+        raise SnapshotError(
+            f"cannot write snapshot file {path}: {exc}") from exc
+    except BaseException:
+        _unlink_quietly(temp)
+        raise
     return path
+
+
+def fsync_directory(path: Path) -> None:
+    """Flush a directory entry (rename durability); best effort."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _unlink_quietly(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:  # pragma: no cover - already gone / unremovable
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -619,6 +675,7 @@ def load_program(path: PathLike, program=None, engine: Optional[str] = None,
     maintained = payload.get("maintained") or []
     materialized._restored_maintained = \
         decode_maintained(maintained) if maintained else None
+    materialized.snapshot_meta = payload.get("meta") or {}
 
     materialized._write_lock = threading.RLock()
     materialized.versions = VersionStore()

@@ -123,6 +123,46 @@ class VersioningError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Serving layer: write-ahead log, daemon, wire protocol
+# ---------------------------------------------------------------------------
+
+class ServingError(ReproError):
+    """Base class for errors in the serving layer (WAL, daemon, client)."""
+
+
+class WALError(ServingError):
+    """A write-ahead log cannot be written, read or replayed."""
+
+
+class WALFormatError(WALError):
+    """The file is not a WAL, or uses an unsupported WAL format version."""
+
+
+class WALCorruptionError(WALError):
+    """The WAL is damaged *before* its tail (a hole in the record sequence).
+
+    A torn tail — the suffix a crash cut short — is recovered from by
+    truncating to the last durable record; damage followed by further valid
+    records means lost updates and is refused loudly instead."""
+
+
+class ServingProtocolError(ServingError):
+    """A serving request or response violates the line-JSON protocol, or the
+    daemon reported an error for the request.
+
+    When the daemon reported the error, :attr:`remote_type` carries the
+    original exception class name."""
+
+    def __init__(self, message: str, remote_type: str = ""):
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+class DaemonUnavailableError(ServingError):
+    """No serving daemon is reachable at the given address or data directory."""
+
+
+# ---------------------------------------------------------------------------
 # Multidimensional model
 # ---------------------------------------------------------------------------
 

@@ -188,6 +188,23 @@ class HospitalScenario:
         self.measurements = self._session.instance.copy()
         return self._session
 
+    # -- serving ------------------------------------------------------------------
+
+    def serving_backend(self, engine: Optional[str] = None):
+        """A serving-daemon backend over this scenario's quality context.
+
+        ``ServingDaemon(scenario.serving_backend(), data_dir)`` serves the
+        same quality session :meth:`session` materializes in-process —
+        doctor's query, quality versions, assessments, live measurement
+        feeds — over the line-JSON protocol, durable across restarts
+        (snapshot + write-ahead log).  The
+        :class:`~repro.serving.client.ServingClient` mirrors the session
+        API, so the scenario runs unchanged against either; this is also
+        what ``python -m repro.serving.daemon`` serves by default.
+        """
+        from ..serving.daemon import QualityBackend
+        return QualityBackend(self.context, self.measurements, engine=engine)
+
     # -- live updates -------------------------------------------------------------
 
     def record_measurements(self,

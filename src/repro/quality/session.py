@@ -156,13 +156,19 @@ class QualitySession:
 
     # -- persistence ----------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(self, path: Union[str, Path],
+             meta: Optional[Dict] = None) -> Path:
         """Snapshot the materialized context *and* the instance under
-        assessment to ``path`` (one file, restorable with :meth:`load`)."""
+        assessment to ``path`` (one file, restorable with :meth:`load`).
+
+        ``meta`` rides along in the snapshot payload exactly as for
+        :meth:`MaterializedProgram.save` — the serving daemon records its
+        write-ahead-log position there."""
         from ..engine.snapshot import save_program
         with self.materialized._write_lock:  # never serialize mid-update
             return save_program(self.materialized, path,
-                                extras={"assessment": self.instance})
+                                extras={"assessment": self.instance},
+                                meta=meta)
 
     @classmethod
     def load(cls, context: Context, path: Union[str, Path],

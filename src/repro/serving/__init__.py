@@ -1,0 +1,56 @@
+"""Multi-process serving: snapshots + write-ahead log + daemon + client.
+
+This package turns a materialized session into an operable service:
+
+* :mod:`repro.serving.wal` — the append-only, checksummed write-ahead log
+  (torn-tail detection, crash-point fault injection);
+* :mod:`repro.serving.compaction` — checkpoint/compaction policies and the
+  data-directory layout;
+* :mod:`repro.serving.daemon` — the server process: recover (snapshot ⊕
+  WAL replay), serve sessions over a line-JSON socket protocol, checkpoint
+  inline (``python -m repro.serving.daemon`` to run one);
+* :mod:`repro.serving.client` — a thin client mirroring the in-process
+  session API.
+
+The recovery invariant, proven by ``tests/test_serving_recovery.py``:
+**snapshot ⊕ WAL replay ≡ live session** — after any crash, the recovered
+state equals a clean replay of the durable WAL prefix.
+"""
+
+from .client import ClientRead, ServingClient, read_address
+from .compaction import (CompactionPolicy, latest_snapshot, list_snapshots,
+                         prune_snapshots, snapshot_path, wal_path)
+from .wal import (WALRecord, WriteAheadLog, decode_facts, encode_facts,
+                  scan_wal)
+
+_DAEMON_EXPORTS = ("ProgramBackend", "QualityBackend", "ServingDaemon")
+
+
+def __getattr__(name):
+    # The daemon module is loaded lazily so ``python -m repro.serving.daemon``
+    # does not import it twice (once as a package attribute, once as
+    # ``__main__``), which would trip runpy's double-import warning.
+    if name in _DAEMON_EXPORTS:
+        from . import daemon
+        return getattr(daemon, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ClientRead",
+    "CompactionPolicy",
+    "ProgramBackend",
+    "QualityBackend",
+    "ServingClient",
+    "ServingDaemon",
+    "WALRecord",
+    "WriteAheadLog",
+    "decode_facts",
+    "encode_facts",
+    "latest_snapshot",
+    "list_snapshots",
+    "prune_snapshots",
+    "read_address",
+    "scan_wal",
+    "snapshot_path",
+    "wal_path",
+]

@@ -1,0 +1,236 @@
+"""A thin client for the serving daemon, mirroring the session API.
+
+:class:`ServingClient` speaks the daemon's line-JSON protocol over a TCP
+socket and exposes the same calls an in-process
+:class:`~repro.engine.session.QuerySession` /
+:class:`~repro.quality.session.QualitySession` would — ``answers``,
+``holds``, ``add_facts``/``retract_facts``, ``quality_answers``,
+``quality_version``, ``assess`` — with identical result shapes (immutable
+tuples of value tuples, labeled nulls as
+:class:`~repro.relational.values.Null`), so examples and tests can run the
+same workload against either and compare byte for byte.
+
+Connect by explicit address, or point :meth:`ServingClient.connect` at the
+daemon's data directory — it polls ``daemon.json`` (written atomically by
+the daemon at bind time), which is also how tests wait for a freshly
+spawned daemon process to come up.
+
+MVCC reads work like the engine's: :meth:`pin` holds a published version
+against garbage collection until :meth:`unpin` (the daemon also releases a
+connection's pins when it drops), and ``answers``/``holds`` accept a
+``version`` to read against a pinned cut; :meth:`read` wraps the pair in a
+context manager that mirrors :meth:`QuerySession.read`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+from ..datalog.chase import Fact
+from ..engine.snapshot import decode_row
+from ..errors import DaemonUnavailableError, ServingProtocolError
+from .compaction import address_path
+from .wal import encode_facts
+
+PathLike = Union[str, Path]
+
+AnswerRows = Tuple[Tuple[Any, ...], ...]
+
+
+def read_address(data_dir: PathLike) -> Dict[str, Any]:
+    """The advertised address of the daemon serving ``data_dir``."""
+    path = address_path(data_dir)
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise DaemonUnavailableError(
+            f"no daemon advertises itself in {path}; start one with "
+            f"python -m repro.serving.daemon --data-dir {data_dir}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DaemonUnavailableError(
+            f"cannot read daemon address {path}: {exc}") from None
+
+
+class ServingClient:
+    """One connection to a serving daemon."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        try:
+            self._socket = socket.create_connection((host, port),
+                                                    timeout=timeout)
+        except OSError as exc:
+            raise DaemonUnavailableError(
+                f"cannot connect to serving daemon at {host}:{port}: "
+                f"{exc}") from None
+        self._file = self._socket.makefile("rwb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(cls, data_dir: PathLike, timeout: float = 30.0,
+                wait: float = 10.0) -> "ServingClient":
+        """Connect to the daemon serving ``data_dir``, waiting up to
+        ``wait`` seconds for it to advertise itself (covers the race with a
+        freshly spawned daemon process)."""
+        deadline = time.monotonic() + wait
+        while True:
+            try:
+                address = read_address(data_dir)
+                return cls(address["host"], address["port"], timeout=timeout)
+            except DaemonUnavailableError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- the wire ------------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One request/response round trip; raises on protocol errors and
+        on ``{"ok": false}`` responses."""
+        self._next_id += 1
+        payload = {"op": op, "id": self._next_id, **fields}
+        try:
+            self._file.write(
+                (json.dumps(payload, separators=(",", ":")) + "\n")
+                .encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise DaemonUnavailableError(
+                f"lost the connection to {self.host}:{self.port} during "
+                f"{op!r}: {exc}") from None
+        if not line:
+            raise DaemonUnavailableError(
+                f"the daemon at {self.host}:{self.port} closed the "
+                f"connection (crashed?) during {op!r}")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServingProtocolError(
+                f"unparseable response to {op!r}: {exc}") from None
+        if not response.get("ok"):
+            raise ServingProtocolError(
+                response.get("error", f"request {op!r} failed"),
+                remote_type=response.get("error_type", ""))
+        return response.get("result") or {}
+
+    @staticmethod
+    def _rows(result: Dict[str, Any]) -> AnswerRows:
+        return tuple(decode_row(row) for row in result.get("rows", ()))
+
+    # -- session API ---------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def answers(self, query: str, allow_nulls: bool = False,
+                version: Optional[int] = None) -> AnswerRows:
+        """Certain answers of ``query`` (``allow_nulls=True`` keeps rows
+        with labeled nulls), optionally against a pinned version."""
+        fields: Dict[str, Any] = {"query": str(query),
+                                  "allow_nulls": allow_nulls}
+        if version is not None:
+            fields["version"] = version
+        return self._rows(self.request("answers", **fields))
+
+    def holds(self, query: str, version: Optional[int] = None) -> bool:
+        fields: Dict[str, Any] = {"query": str(query)}
+        if version is not None:
+            fields["version"] = version
+        return bool(self.request("holds", **fields)["holds"])
+
+    def add_facts(self, facts: Iterable[Fact]) -> Dict[str, Any]:
+        return self.request("add_facts", facts=encode_facts(facts))
+
+    def retract_facts(self, facts: Iterable[Fact]) -> Dict[str, Any]:
+        return self.request("retract_facts", facts=encode_facts(facts))
+
+    def quality_answers(self, query: str) -> AnswerRows:
+        return self._rows(self.request("quality_answers", query=str(query)))
+
+    def quality_version(self, relation: str) -> AnswerRows:
+        return self._rows(self.request("quality_version", relation=relation))
+
+    def assess(self) -> Dict[str, Any]:
+        return self.request("assess")
+
+    # -- versioned reads -----------------------------------------------------
+
+    def pin(self, version: Optional[int] = None) -> int:
+        """Pin a published version (latest when ``None``); returns it."""
+        fields = {} if version is None else {"version": version}
+        return int(self.request("pin", **fields)["version"])
+
+    def unpin(self, version: int) -> None:
+        self.request("unpin", version=version)
+
+    def read(self, version: Optional[int] = None) -> "ClientRead":
+        """A context manager pinning one version for consistent reads."""
+        return ClientRead(self, version)
+
+    # -- operations ----------------------------------------------------------
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self.request("checkpoint")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("stats")
+
+    def recovery(self) -> Dict[str, Any]:
+        return self.request("recovery")
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServingClient({self.host}:{self.port})"
+
+
+class ClientRead:
+    """The client-side mirror of :class:`~repro.engine.versioning.ReadTransaction`."""
+
+    def __init__(self, client: ServingClient, version: Optional[int] = None):
+        self._client = client
+        self.version = client.pin(version)
+        self._open = True
+
+    def answers(self, query: str, allow_nulls: bool = False) -> AnswerRows:
+        return self._client.answers(query, allow_nulls=allow_nulls,
+                                    version=self.version)
+
+    def holds(self, query: str) -> bool:
+        return self._client.holds(query, version=self.version)
+
+    def close(self) -> None:
+        if self._open:
+            self._open = False
+            self._client.unpin(self.version)
+
+    def __enter__(self) -> "ClientRead":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,153 @@
+"""Checkpointing and compaction policies for the serving daemon.
+
+The daemon's data directory holds::
+
+    data_dir/
+        snapshot-<lsn, 16 digits>.snap   -- engine snapshots, newest wins
+        wal.log                          -- the current write-ahead log
+        daemon.json                      -- live address (transient)
+
+A **checkpoint** is the compaction step: serialize the materialized state
+to ``snapshot-<last applied LSN>.snap`` (atomic tmp+rename, with the LSN
+recorded in the snapshot's ``meta`` so recovery knows the exact cut), then
+start a fresh WAL based at that LSN (atomic tmp+rename over ``wal.log`` —
+this is how replayed log segments are pruned), then drop superseded
+snapshots beyond the configured safety margin.  Every step is
+individually atomic and ordered so that a crash *anywhere* inside a
+checkpoint leaves a recoverable directory:
+
+* crash before the snapshot rename → previous snapshot + full WAL;
+* crash after the snapshot, before the WAL rotation → new snapshot + old
+  WAL, whose records are all ≤ the snapshot's LSN and are skipped on
+  replay (each record's LSN is compared against the snapshot ``meta``);
+* crash after the rotation, before pruning → extra old snapshots, removed
+  by the next successful checkpoint.
+
+A checkpoint that *fails* (:class:`~repro.errors.SnapshotError` — full
+disk, unserializable value) is ordered save-first precisely so the
+previous snapshot and the current WAL are untouched: the daemon keeps
+serving and retries at the next trigger.
+
+:class:`CompactionPolicy` decides *when* to checkpoint: after every N
+records, or when the WAL outgrows a byte budget — whichever comes first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from .wal import WriteAheadLog, maybe_crash
+
+PathLike = Union[str, Path]
+
+WAL_NAME = "wal.log"
+ADDRESS_NAME = "daemon.json"
+_SNAPSHOT_RE = re.compile(r"^snapshot-(\d{16})\.snap$")
+
+
+def wal_path(data_dir: PathLike) -> Path:
+    """The data directory's current write-ahead log file."""
+    return Path(data_dir) / WAL_NAME
+
+
+def address_path(data_dir: PathLike) -> Path:
+    """The transient file advertising the live daemon's host/port."""
+    return Path(data_dir) / ADDRESS_NAME
+
+
+def snapshot_path(data_dir: PathLike, lsn: int) -> Path:
+    """The snapshot file for a checkpoint taken at ``lsn``."""
+    return Path(data_dir) / f"snapshot-{lsn:016d}.snap"
+
+
+def list_snapshots(data_dir: PathLike) -> List[Tuple[int, Path]]:
+    """Every snapshot in the directory as ``(lsn, path)``, oldest first."""
+    found = []
+    for entry in Path(data_dir).iterdir():
+        match = _SNAPSHOT_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def latest_snapshot(data_dir: PathLike) -> Optional[Tuple[int, Path]]:
+    """The newest snapshot, or ``None`` for a virgin data directory."""
+    data_dir = Path(data_dir)
+    if not data_dir.is_dir():
+        return None
+    snapshots = list_snapshots(data_dir)
+    return snapshots[-1] if snapshots else None
+
+
+def prune_snapshots(data_dir: PathLike, keep: int) -> List[Path]:
+    """Remove all but the ``keep`` newest snapshots; returns what went."""
+    snapshots = list_snapshots(data_dir)
+    doomed = snapshots[:-keep] if keep > 0 else snapshots
+    removed = []
+    for _, path in doomed:
+        try:
+            path.unlink()
+            removed.append(path)
+        except OSError:  # pragma: no cover - already gone / unremovable
+            pass
+    return removed
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to checkpoint, and how many old snapshots to keep around.
+
+    ``checkpoint_every_records`` triggers on update count since the last
+    checkpoint, ``max_wal_bytes`` on the WAL's on-disk size; either may be
+    ``None`` to disable that trigger.  ``keep_snapshots`` is the safety
+    margin of superseded snapshots retained for manual recovery (the
+    newest one is always kept).
+    """
+
+    checkpoint_every_records: Optional[int] = 256
+    max_wal_bytes: Optional[int] = 4 * 1024 * 1024
+    keep_snapshots: int = 2
+
+    def due(self, records_since_checkpoint: int, wal_bytes: int) -> bool:
+        """``True`` when a checkpoint should run after the current record."""
+        if records_since_checkpoint <= 0:
+            return False  # nothing new to compact
+        if self.checkpoint_every_records is not None and \
+                records_since_checkpoint >= self.checkpoint_every_records:
+            return True
+        return self.max_wal_bytes is not None and \
+            wal_bytes >= self.max_wal_bytes
+
+
+def run_checkpoint(data_dir: PathLike,
+                   save: Callable[[Path, dict], Path],
+                   wal: WriteAheadLog, last_lsn: int,
+                   keep_snapshots: int = 2,
+                   sync: bool = True) -> WriteAheadLog:
+    """Checkpoint the serving state at ``last_lsn`` and rotate the WAL.
+
+    ``save`` is the backend's snapshot writer (``save(path, meta)`` — e.g.
+    :meth:`~repro.engine.session.MaterializedProgram.save`); it must be
+    atomic and leave the previous snapshot intact on failure, which the
+    engine's tmp+rename save guarantees.  The caller must hold its write
+    lock, so ``last_lsn`` describes exactly the state being serialized (a
+    checkpoint-consistent cut).  Returns the fresh, rotated WAL; on any
+    failure before the rotation the passed ``wal`` remains open and valid.
+    """
+    data_dir = Path(data_dir)
+    target = snapshot_path(data_dir, last_lsn)
+    save(target, {"wal": {"lsn": last_lsn, "file": WAL_NAME}})
+    maybe_crash("checkpoint-after-snapshot")
+    # The fresh log is created (and renamed over wal.log) *before* the old
+    # handle is closed: if the creation fails (disk full, fd exhaustion),
+    # the passed ``wal`` is still open and valid and the daemon keeps
+    # appending to it.  The caller holds the write lock, so nothing can
+    # append between the rename and the close.
+    fresh = WriteAheadLog.create(wal.path, base_lsn=last_lsn, sync=sync)
+    wal.close()
+    maybe_crash("checkpoint-after-rotate")
+    prune_snapshots(data_dir, keep_snapshots)
+    return fresh

@@ -1,0 +1,752 @@
+"""The serving daemon: snapshots + write-ahead log + a line-JSON protocol.
+
+A :class:`ServingDaemon` owns one *backend* — a materialized program
+(:class:`ProgramBackend`) or a quality session (:class:`QualityBackend`) —
+and makes it durable and network-reachable:
+
+* **Recovery** (:meth:`ServingDaemon.recover`): restore the newest
+  snapshot in the data directory, truncate the WAL's torn tail, replay
+  every record past the snapshot's cut through the backend's own
+  maintained-answer update path, and reopen the log for appending.  A
+  virgin directory bootstraps (chases) the backend and takes the initial
+  checkpoint instead.
+* **Writes**: each ``add_facts``/``retract_facts`` request is appended to
+  the WAL (fsynced) *before* it is applied and acknowledged — an
+  acknowledged update is always durable, and recovery can never know less
+  than a client does.
+* **Reads** run through the engine's MVCC read transactions: every request
+  pins one published version, and clients may hold explicit pins
+  (``pin``/``unpin``) to keep answering against a fixed version while
+  writes continue.
+* **Checkpoints** (:mod:`repro.serving.compaction`) run inline on the
+  write path when the compaction policy fires, and on demand via the
+  ``checkpoint`` request.
+
+Protocol: one JSON object per line (UTF-8, ``\\n``-terminated) in both
+directions.  Requests carry ``op`` plus arguments and an optional ``id``;
+responses are ``{"ok": true, "result": ...}`` or ``{"ok": false,
+"error": ..., "error_type": ...}``, echoing the ``id``.  The
+:mod:`repro.serving.client` module wraps this in the in-process session
+API.
+
+Run standalone with::
+
+    python -m repro.serving.daemon --data-dir ./serving-data
+
+which serves the hospital scenario's quality session by default (pass
+``--program rules.dlg`` for a plain Datalog± program).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socketserver
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..datalog.chase import Fact
+from ..datalog.parser import parse_program
+from ..engine.session import MaterializedProgram, UpdateResult
+from ..engine.snapshot import encode_row, load_program
+from ..errors import (ArityError, ServingError, ServingProtocolError,
+                      UnknownRelationError, WALCorruptionError)
+from .compaction import (CompactionPolicy, address_path, latest_snapshot,
+                         prune_snapshots, run_checkpoint, snapshot_path,
+                         wal_path)
+from .wal import (OP_ADD, OP_RETRACT, WALRecord, WriteAheadLog, decode_facts,
+                  maybe_crash)
+
+PathLike = Union[str, Path]
+PROTOCOL_VERSION = 1
+
+
+def _summarize(updates: List[UpdateResult], version: int) -> Dict[str, Any]:
+    """A wire-friendly summary of the update(s) one record applied."""
+    return {
+        "applied": sum(len(update.applied) for update in updates),
+        "strategies": sorted({update.strategy for update in updates}),
+        "steps": sum(update.steps for update in updates),
+        "version": version,
+    }
+
+
+def _check_arity(materialized: MaterializedProgram, predicate: str,
+                 row: Tuple) -> None:
+    """Reject a row of the wrong width before it reaches the WAL."""
+    instance = materialized.instance if \
+        materialized.instance.has_relation(predicate) else materialized.edb
+    expected = instance.relation(predicate).schema.arity
+    if len(row) != expected:
+        raise ArityError(
+            f"relation {predicate!r} has arity {expected}, got a row of "
+            f"width {len(row)}")
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class _MaterializedBackend:
+    """The serving surface both backends derive from their materialized
+    program (``self.materialized`` is supplied by the subclass)."""
+
+    @property
+    def versions(self):
+        return self.materialized.versions
+
+    @property
+    def version(self) -> int:
+        return self.materialized.version
+
+    @property
+    def snapshot_meta(self) -> Dict[str, Any]:
+        return self.materialized.snapshot_meta
+
+    def knows(self, predicate: str) -> bool:
+        return self.materialized.instance.has_relation(predicate) or \
+            self.materialized.edb.has_relation(predicate)
+
+    def check_arity(self, predicate: str, row: Tuple) -> None:
+        _check_arity(self.materialized, predicate, row)
+
+
+class ProgramBackend(_MaterializedBackend):
+    """Serve a plain :class:`~repro.engine.session.MaterializedProgram`."""
+
+    kind = "program"
+
+    def __init__(self, program=None, engine: Optional[str] = None):
+        self.program = program
+        self.engine = engine
+        self.materialized: Optional[MaterializedProgram] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Materialize from the configured program (virgin data dir)."""
+        if self.program is None:
+            raise ServingError(
+                "the data directory holds no snapshot and no program was "
+                "supplied to bootstrap from")
+        self.materialized = MaterializedProgram(self.program,
+                                                engine=self.engine)
+        # Create the query session eagerly (single-threaded here): the
+        # first concurrent readers must never race the lazy initializer.
+        self.materialized.queries()
+
+    def restore(self, path: PathLike) -> None:
+        """Restore from a snapshot (rules verified when a program is set).
+
+        ``check_data=False``: the served EDB legitimately diverges from the
+        configured program's pristine data through absorbed updates — the
+        snapshot is the authority for the data, the program hash still
+        rejects a changed rule set.
+        """
+        self.materialized = load_program(path, program=self.program,
+                                         engine=self.engine,
+                                         check_data=False)
+        # Adopt the snapshot's maintained answer counts *before* any WAL
+        # record is replayed, so replay maintains them by delta and the
+        # restored daemon answers without re-joining anything.
+        self.materialized.queries()
+
+    def save(self, path: PathLike, meta: Dict[str, Any]) -> Path:
+        return self.materialized.save(path, meta=meta)
+
+    # -- serving surface -----------------------------------------------------
+
+    @property
+    def session(self):
+        return self.materialized.queries()
+
+    def apply(self, record: WALRecord) -> Dict[str, Any]:
+        if record.op == OP_ADD:
+            update = self.materialized.add_facts(record.facts)
+        else:
+            update = self.materialized.retract_facts(record.facts)
+        return _summarize([update], self.version)
+
+    def stats(self) -> Dict[str, Any]:
+        return {"program": self.materialized.stats.as_dict(),
+                "session": self.session.stats.as_dict()}
+
+
+class QualityBackend(_MaterializedBackend):
+    """Serve a :class:`~repro.quality.session.QualitySession` (context +
+    instance under assessment), adding the quality operations."""
+
+    kind = "quality"
+
+    def __init__(self, context, instance=None, engine: Optional[str] = None):
+        self.context = context
+        self.instance = instance
+        self.engine = engine
+        self.quality_session = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        if self.instance is None:
+            raise ServingError(
+                "the data directory holds no snapshot and no instance under "
+                "assessment was supplied to bootstrap from")
+        self.quality_session = self.context.session(self.instance,
+                                                    engine=self.engine)
+
+    def restore(self, path: PathLike) -> None:
+        from ..quality.session import QualitySession
+        self.quality_session = QualitySession.load(self.context, path,
+                                                   engine=self.engine)
+
+    def save(self, path: PathLike, meta: Dict[str, Any]) -> Path:
+        return self.quality_session.save(path, meta=meta)
+
+    # -- serving surface -----------------------------------------------------
+
+    @property
+    def materialized(self) -> MaterializedProgram:
+        return self.quality_session.materialized
+
+    @property
+    def session(self):
+        return self.quality_session.query_session
+
+    def apply(self, record: WALRecord) -> Dict[str, Any]:
+        # Records go through the quality session (not the bare program) so
+        # the instance under assessment and the dirty tracking stay in
+        # sync.  Facts are grouped per relation in first-occurrence order —
+        # the same deterministic order at live-apply and replay time.
+        groups: Dict[str, List[Tuple]] = {}
+        for predicate, row in record.facts:
+            groups.setdefault(predicate, []).append(row)
+        apply_one = self.quality_session.add_facts if record.op == OP_ADD \
+            else self.quality_session.retract_facts
+        updates = [apply_one(predicate, rows)
+                   for predicate, rows in groups.items()]
+        return _summarize(updates, self.version)
+
+    def quality_answers(self, query: str):
+        return self.quality_session.quality_answers(query)
+
+    def quality_version(self, relation: str):
+        return self.quality_session.quality_version(relation).sorted_rows()
+
+    def assess(self) -> Dict[str, Any]:
+        assessment = self.quality_session.assess()
+        return {"relations": assessment.as_rows(),
+                "quality_ratio": assessment.quality_ratio,
+                "departure": assessment.departure,
+                "text": str(assessment)}
+
+    def stats(self) -> Dict[str, Any]:
+        return {"program": self.materialized.stats.as_dict(),
+                "session": self.session.stats.as_dict(),
+                "quality": self.quality_session.stats.as_dict()}
+
+
+# ---------------------------------------------------------------------------
+# Connection state (per-client pins)
+# ---------------------------------------------------------------------------
+
+
+class ConnectionState:
+    """Pins a client holds; released when the connection closes."""
+
+    def __init__(self, store):
+        self._store = store
+        self._pins: Dict[int, List[Any]] = {}
+        self.closing = False
+
+    def pin(self, version: Optional[int] = None) -> int:
+        pinned = self._store.pin(version)
+        self._pins.setdefault(pinned.version, []).append(pinned)
+        return pinned.version
+
+    def unpin(self, version: int) -> None:
+        held = self._pins.get(version)
+        if not held:
+            raise ServingProtocolError(
+                f"this connection holds no pin on version {version}")
+        self._store.unpin(held.pop())
+        if not held:
+            del self._pins[version]
+
+    def release_all(self) -> None:
+        for held in self._pins.values():
+            for pinned in held:
+                try:
+                    self._store.unpin(pinned)
+                except Exception:  # pragma: no cover - store already gone
+                    pass
+        self._pins.clear()
+
+
+# ---------------------------------------------------------------------------
+# The daemon
+# ---------------------------------------------------------------------------
+
+
+class ServingDaemon:
+    """Recover a backend from its data directory and serve it."""
+
+    def __init__(self, backend, data_dir: PathLike, sync: bool = True,
+                 policy: Optional[CompactionPolicy] = None):
+        self.backend = backend
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self.policy = policy or CompactionPolicy()
+        #: serializes writers and checkpoints (readers never take it)
+        self._lock = threading.RLock()
+        self._wal: Optional[WriteAheadLog] = None
+        self.last_lsn = 0
+        self.records_since_checkpoint = 0
+        self.last_checkpoint_error: Optional[str] = None
+        #: the report of the last :meth:`recover` run
+        self.recovery: Optional[Dict[str, Any]] = None
+        self._server: Optional["_LineServer"] = None
+        self._thread: Optional[threading.Thread] = None
+        self._default_connection: Optional[ConnectionState] = None
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> Dict[str, Any]:
+        """Restore snapshot ⊕ WAL (or bootstrap a virgin directory).
+
+        Returns a report: where the state came from, how many records were
+        replayed, and whether (and why) a torn WAL tail was truncated.
+        """
+        with self._lock:
+            found = latest_snapshot(self.data_dir)
+            wal_file = wal_path(self.data_dir)
+            if found is None:
+                if wal_file.exists():
+                    raise ServingError(
+                        f"{self.data_dir} has a write-ahead log but no "
+                        "snapshot to replay it onto; restore a snapshot "
+                        "into the directory (or move the log away) instead "
+                        "of silently discarding its updates")
+                self.backend.bootstrap()
+                self.last_lsn = 0
+                self.records_since_checkpoint = 0
+                # The initial checkpoint: a crash right after boot recovers
+                # to this same state instead of re-chasing.
+                self.backend.save(snapshot_path(self.data_dir, 0),
+                                  {"wal": {"lsn": 0}})
+                self._wal = WriteAheadLog.create(wal_file, base_lsn=0,
+                                                 sync=self.sync)
+                report: Dict[str, Any] = {
+                    "bootstrapped": True, "snapshot": None, "base_lsn": 0,
+                    "replayed_records": 0, "torn_tail": None,
+                    "truncated_bytes": 0,
+                }
+            else:
+                report = self._restore_from_disk()
+            self._default_connection = ConnectionState(self.backend.versions)
+            self.recovery = report
+            return report
+
+    def _restore_from_disk(self) -> Dict[str, Any]:
+        """(Re)build the backend from the durable state on disk.
+
+        Restores the newest snapshot, replays the WAL suffix past its cut,
+        and (re)opens the log for appending.  Called under the lock —
+        by :meth:`recover`, and by :meth:`apply_write` after a failed
+        apply to discard whatever the aborted update mutated in memory.
+        """
+        lsn, path = latest_snapshot(self.data_dir)
+        wal_file = wal_path(self.data_dir)
+        self.backend.restore(path)
+        cut = int((self.backend.snapshot_meta or {})
+                  .get("wal", {}).get("lsn", lsn))
+        report: Dict[str, Any] = {
+            "bootstrapped": False, "snapshot": path.name, "base_lsn": cut,
+            "replayed_records": 0, "torn_tail": None, "truncated_bytes": 0,
+        }
+        if not wal_file.exists():
+            self._wal = WriteAheadLog.create(wal_file, base_lsn=cut,
+                                             sync=self.sync)
+        else:
+            recovered = WriteAheadLog.recover(wal_file, sync=self.sync)
+            if recovered.wal.base_lsn > cut:
+                raise WALCorruptionError(
+                    f"write-ahead log {wal_file} starts at LSN "
+                    f"{recovered.wal.base_lsn} but the newest snapshot "
+                    f"stops at LSN {cut}; the records in between are gone "
+                    "— restore the missing newer snapshot instead of "
+                    "replaying this log")
+            self._wal = recovered.wal
+            report["torn_tail"] = recovered.torn_reason
+            report["truncated_bytes"] = recovered.truncated_bytes
+            applied = 0
+            for record in recovered.records:
+                if record.lsn <= cut:
+                    continue  # already folded into the snapshot
+                self.backend.apply(record)
+                applied += 1
+            report["replayed_records"] = applied
+        self.last_lsn = max(cut, self._wal.last_lsn)
+        self.records_since_checkpoint = report["replayed_records"]
+        return report
+
+    # -- writes --------------------------------------------------------------
+
+    def apply_write(self, op: str, facts: List[Fact]) -> Dict[str, Any]:
+        """Log, apply and (maybe) checkpoint one update batch.
+
+        Ordering: validate → append (durable) → apply → maybe checkpoint.
+        If the apply still fails after validation (e.g. a hard EGD
+        conflict the chase only discovers mid-run), the just-appended —
+        and never acknowledged — record is **rolled back out of the WAL**
+        before the error reaches the client: every record that stays in
+        the log replays cleanly, so one poisoned request can never make
+        the data directory unrecoverable.
+        """
+        with self._lock:
+            if self._wal is None:
+                raise ServingError("the daemon has not recovered yet; "
+                                   "call recover() before serving writes")
+            if op == OP_ADD:
+                # Pre-validate so a record that cannot apply is never
+                # logged (replay must succeed on everything in the WAL).
+                for predicate, row in facts:
+                    if not self.backend.knows(predicate):
+                        raise UnknownRelationError(
+                            f"unknown relation {predicate!r}; the serving "
+                            "vocabulary is fixed by the ontology")
+                    self.backend.check_arity(predicate, row)
+            before_lsn, before_bytes = \
+                self._wal.last_lsn, self._wal.size_bytes
+            lsn = self._wal.append(op, facts)
+            try:
+                summary = self.backend.apply(
+                    WALRecord(lsn=lsn, op=op, facts=tuple(facts)))
+            except BaseException:
+                self._wal.rollback_to(before_lsn, before_bytes)
+                # The aborted apply may have left the in-memory state
+                # partially mutated (an EGD conflict aborts the chase
+                # mid-run; a multi-relation quality batch may have applied
+                # its first groups).  Rebuild from the durable state —
+                # which the rollback just made exactly pre-record — so
+                # live answers, later checkpoints and recovery all agree
+                # that the failed update never happened.
+                self._wal.close()
+                self._restore_from_disk()
+                self._default_connection = \
+                    ConnectionState(self.backend.versions)
+                raise
+            self.last_lsn = lsn
+            self.records_since_checkpoint += 1
+            summary["lsn"] = lsn
+            summary["checkpointed"] = False
+            if self.policy.due(self.records_since_checkpoint,
+                               self._wal.size_bytes):
+                maybe_crash("pre-auto-checkpoint")
+                try:
+                    self.checkpoint()
+                    summary["checkpointed"] = True
+                except Exception as exc:  # noqa: BLE001 - write must win
+                    # The write itself is durable and applied; a failed
+                    # compaction (snapshot error, disk full) must not fail
+                    # it.  The previous snapshot and the live WAL are
+                    # intact; surface the problem and retry at the next
+                    # trigger.
+                    self.last_checkpoint_error = str(exc)
+                    summary["checkpoint_error"] = str(exc)
+            return summary
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Take a snapshot at the current cut and rotate the WAL."""
+        with self._lock:
+            if self._wal is None:
+                raise ServingError("the daemon has not recovered yet")
+            existing = latest_snapshot(self.data_dir)
+            if existing is not None and existing[0] == self.last_lsn:
+                prune_snapshots(self.data_dir, self.policy.keep_snapshots)
+                return {"checkpointed": False, "snapshot_lsn": self.last_lsn,
+                        "reason": "no records since the last checkpoint"}
+            self._wal = run_checkpoint(
+                self.data_dir, self.backend.save, self._wal, self.last_lsn,
+                keep_snapshots=self.policy.keep_snapshots, sync=self.sync)
+            self.records_since_checkpoint = 0
+            self.last_checkpoint_error = None
+            return {"checkpointed": True, "snapshot_lsn": self.last_lsn}
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle(self, request: Dict[str, Any],
+               connection: Optional[ConnectionState] = None) -> Dict[str, Any]:
+        """Serve one protocol request; never raises (errors become
+        ``{"ok": false}`` responses so a bad request cannot kill the
+        daemon)."""
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            if not isinstance(request, dict) or "op" not in request:
+                raise ServingProtocolError(
+                    'requests are JSON objects with an "op" field')
+            result = self._dispatch(request,
+                                    connection or self._default_connection)
+            return {"ok": True, "id": request_id, "result": result}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "id": request_id, "error": str(exc),
+                    "error_type": type(exc).__name__}
+
+    def _dispatch(self, request: Dict[str, Any],
+                  connection: ConnectionState) -> Dict[str, Any]:
+        op = request["op"]
+        backend = self.backend
+        if op == "ping":
+            return {"pong": True, "kind": backend.kind,
+                    "protocol_version": PROTOCOL_VERSION,
+                    "version": backend.version, "lsn": self.last_lsn}
+        if op == "answers":
+            with backend.session.read(request.get("version")) as txn:
+                rows = txn.answers(request["query"],
+                                   allow_nulls=bool(request.get("allow_nulls")))
+                return {"rows": [encode_row(row) for row in rows],
+                        "version": txn.version}
+        if op == "holds":
+            with backend.session.read(request.get("version")) as txn:
+                return {"holds": txn.holds(request["query"]),
+                        "version": txn.version}
+        if op in ("add_facts", "retract_facts"):
+            facts = decode_facts(request.get("facts") or [])
+            return self.apply_write(
+                OP_ADD if op == "add_facts" else OP_RETRACT, facts)
+        if op == "pin":
+            return {"version": connection.pin(request.get("version"))}
+        if op == "unpin":
+            connection.unpin(int(request["version"]))
+            return {"unpinned": int(request["version"])}
+        if op == "checkpoint":
+            return self.checkpoint()
+        if op == "stats":
+            stats = backend.stats()
+            with self._lock:
+                stats["serving"] = {
+                    "lsn": self.last_lsn,
+                    "wal_base_lsn": self._wal.base_lsn if self._wal else None,
+                    "wal_bytes": self._wal.size_bytes if self._wal else 0,
+                    "records_since_checkpoint": self.records_since_checkpoint,
+                    "last_checkpoint_error": self.last_checkpoint_error,
+                    "live_versions": backend.versions.live_versions(),
+                }
+            return stats
+        if op == "recovery":
+            return dict(self.recovery or {})
+        if op == "quality_answers":
+            self._require_quality(op)
+            # Quality-layer reads serialize with writers: unlike the MVCC
+            # answers/holds path, quality versions, assessments and the
+            # instance under assessment are unversioned state that
+            # apply_write mutates in place.
+            with self._lock:
+                rows = backend.quality_answers(request["query"])
+            return {"rows": [encode_row(row) for row in rows]}
+        if op == "quality_version":
+            self._require_quality(op)
+            with self._lock:
+                rows = backend.quality_version(request["relation"])
+            return {"rows": [encode_row(row) for row in rows]}
+        if op == "assess":
+            self._require_quality(op)
+            with self._lock:
+                return backend.assess()
+        if op == "shutdown":
+            connection.closing = True
+            self._async_stop()
+            return {"stopping": True}
+        raise ServingProtocolError(f"unknown request op {op!r}")
+
+    def _require_quality(self, op: str) -> None:
+        if not hasattr(self.backend, "quality_answers"):
+            raise ServingProtocolError(
+                f"request {op!r} needs a quality backend, but this daemon "
+                "serves a plain program (start it with --hospital or a "
+                "QualityBackend)")
+
+    # -- network lifecycle ---------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0
+              ) -> Tuple[str, int]:
+        """Bind, start serving in a background thread, and advertise the
+        address in ``<data_dir>/daemon.json`` (atomic write)."""
+        if self._server is not None:
+            raise ServingError("the daemon is already serving")
+        self._server = _LineServer((host, port), self)
+        bound_host, bound_port = self._server.server_address[:2]
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-serving-daemon",
+                                        daemon=True)
+        self._thread.start()
+        address = address_path(self.data_dir)
+        temp = address.with_name(address.name + ".tmp")
+        temp.write_text(json.dumps({
+            "host": bound_host, "port": bound_port, "pid": os.getpid(),
+            "kind": self.backend.kind,
+            "protocol_version": PROTOCOL_VERSION,
+        }), encoding="utf-8")
+        os.replace(temp, address)
+        return bound_host, bound_port
+
+    def wait(self) -> None:
+        """Block until the serving thread exits (stop() from elsewhere)."""
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+
+    def _async_stop(self) -> None:
+        threading.Thread(target=self.stop, name="repro-serving-stop",
+                         daemon=True).start()
+
+    def stop(self) -> None:
+        """Stop serving and release the WAL handle (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        try:
+            address_path(self.data_dir).unlink()
+        except OSError:
+            pass
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+
+    def close(self) -> None:
+        self.stop()
+
+    def __enter__(self) -> "ServingDaemon":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ServingDaemon({self.backend.kind!r}, "
+                f"data_dir={str(self.data_dir)!r}, lsn={self.last_lsn})")
+
+
+# ---------------------------------------------------------------------------
+# Socket plumbing
+# ---------------------------------------------------------------------------
+
+
+class _LineServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], daemon: ServingDaemon):
+        self.serving_daemon = daemon
+        super().__init__(address, _LineHandler)
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        daemon = self.server.serving_daemon
+        connection = ConnectionState(daemon.backend.versions)
+        try:
+            for raw in self.rfile:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    response = {"ok": False, "id": None,
+                                "error": "request is not a JSON line",
+                                "error_type": "ServingProtocolError"}
+                else:
+                    response = daemon.handle(request, connection)
+                self.wfile.write(
+                    (json.dumps(response, separators=(",", ":")) + "\n")
+                    .encode("utf-8"))
+                self.wfile.flush()
+                if connection.closing:
+                    break
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+        finally:
+            connection.release_all()
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.daemon",
+        description="Serve a materialized Datalog± session over snapshots "
+                    "and a write-ahead log.")
+    parser.add_argument("--data-dir", required=True,
+                        help="directory for snapshots + WAL (created if "
+                             "missing); restart with the same directory to "
+                             "recover")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 = pick a free port (advertised in "
+                             "<data-dir>/daemon.json)")
+    parser.add_argument("--program", metavar="FILE",
+                        help="serve this Datalog± program text instead of "
+                             "the default hospital quality session")
+    parser.add_argument("--engine", choices=("indexed", "naive"))
+    parser.add_argument("--no-sync", action="store_true",
+                        help="skip fsync on WAL appends (faster; durable "
+                             "against process crashes, not power loss)")
+    parser.add_argument("--checkpoint-every", type=int, default=256,
+                        metavar="N", help="checkpoint after N records")
+    parser.add_argument("--max-wal-bytes", type=int, default=4 * 1024 * 1024)
+    parser.add_argument("--keep-snapshots", type=int, default=2)
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.program:
+        text = Path(args.program).read_text(encoding="utf-8")
+        backend = ProgramBackend(parse_program(text), engine=args.engine)
+    else:
+        from ..hospital import HospitalScenario
+        scenario = HospitalScenario()
+        backend = QualityBackend(scenario.context, scenario.measurements,
+                                 engine=args.engine)
+    policy = CompactionPolicy(checkpoint_every_records=args.checkpoint_every,
+                              max_wal_bytes=args.max_wal_bytes,
+                              keep_snapshots=args.keep_snapshots)
+    daemon = ServingDaemon(backend, args.data_dir, sync=not args.no_sync,
+                           policy=policy)
+    report = daemon.recover()
+    host, port = daemon.start(args.host, args.port)
+    if not args.quiet:
+        origin = "bootstrapped" if report["bootstrapped"] else \
+            (f"recovered from {report['snapshot']} + "
+             f"{report['replayed_records']} WAL record(s)")
+        print(f"repro serving daemon ({backend.kind}) on {host}:{port} — "
+              f"{origin}; data dir {daemon.data_dir}", flush=True)
+        if report.get("torn_tail"):
+            print(f"  truncated torn WAL tail: {report['torn_tail']} "
+                  f"({report['truncated_bytes']} bytes)", flush=True)
+
+    def _stop(_signum, _frame):  # pragma: no cover - signal path
+        daemon._async_stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    try:
+        daemon.wait()
+    finally:
+        daemon.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

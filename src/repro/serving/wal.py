@@ -1,0 +1,425 @@
+"""Append-only, checksummed write-ahead log of EDB update records.
+
+The serving daemon (:mod:`repro.serving.daemon`) keeps exactly two durable
+artifacts: a snapshot (:mod:`repro.engine.snapshot`) of the materialized
+state at some checkpoint, and this log of every update accepted since.
+The recovery invariant is
+
+    snapshot ⊕ WAL replay ≡ live session
+
+— restoring the latest snapshot and replaying the log's durable suffix
+reproduces the exact state (ground facts, certain answers, maintained
+caches' contents) the daemon would have had if it had never stopped.
+
+File format (version 1)
+-----------------------
+A UTF-8 text file of frames, one per line.  Each frame is::
+
+    <sha256-hex of body> <body: canonical JSON>\\n
+
+The first frame is the **header**::
+
+    {"base_lsn": L, "format_version": 1, "magic": "repro-wal"}
+
+where ``base_lsn`` is the log sequence number of the checkpoint this log
+starts after (its records carry LSNs ``L+1, L+2, ...``, contiguously).
+Every other frame is a **record**::
+
+    {"facts": [[predicate, [value, ...]], ...], "lsn": n, "op": "add"}
+
+with ``op`` one of ``"add"``/``"retract"`` and values encoded exactly as
+in snapshots (:func:`repro.engine.snapshot.encode_row` — labeled nulls as
+``{"n": label}``).
+
+Appends are atomic at the frame level: one ``write`` of the whole line,
+flushed (and fsynced when ``sync=True``) before the record is applied or
+acknowledged.  A crash can therefore damage *only the last line* — the
+torn tail.  :meth:`WriteAheadLog.recover` detects it (missing newline,
+unparseable frame, checksum mismatch), truncates the file back to the last
+durable record and reports what was dropped.  Damage strictly *before* the
+tail — a bad frame followed by further valid frames, or a hole in the LSN
+sequence — cannot be produced by a crash and means lost updates, so it is
+refused with :class:`~repro.errors.WALCorruptionError` instead of being
+silently skipped.
+
+Fault injection
+---------------
+:func:`maybe_crash` implements the crash points the recovery test-suite
+drives: when the environment variable ``REPRO_FAULT_CRASH`` is set to
+``"<point>:<n>"``, the process dies with ``os._exit`` (no cleanup, no
+flushing — a SIGKILL, from the filesystem's point of view) at the n-th
+hit of that point.  The special point ``wal-torn`` makes the n-th append
+write only half its frame before dying, forging a torn tail.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..datalog.chase import Fact
+from ..engine.snapshot import decode_row, encode_row, fsync_directory
+from ..errors import WALCorruptionError, WALError, WALFormatError
+
+MAGIC = "repro-wal"
+FORMAT_VERSION = 1
+
+OP_ADD = "add"
+OP_RETRACT = "retract"
+OPS = (OP_ADD, OP_RETRACT)
+
+PathLike = Union[str, Path]
+
+#: process-exit status used by injected crashes (distinguishable from
+#: ordinary failures in the recovery tests)
+FAULT_EXIT_CODE = 70
+
+_FAULT_HITS: Dict[str, int] = {}
+
+
+def _fault_due(point: str) -> bool:
+    """``True`` when the configured injected fault for ``point`` is due."""
+    spec = os.environ.get("REPRO_FAULT_CRASH", "")
+    if not spec:
+        return False
+    name, _, count = spec.partition(":")
+    if name != point:
+        return False
+    _FAULT_HITS[point] = _FAULT_HITS.get(point, 0) + 1
+    return _FAULT_HITS[point] >= int(count or 1)
+
+
+def maybe_crash(point: str) -> None:
+    """Die like a SIGKILL at ``point`` when fault injection says so."""
+    if _fault_due(point):
+        os._exit(FAULT_EXIT_CODE)  # pragma: no cover - kills the process
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+def _canonical(body: Any) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _frame(body: Dict[str, Any]) -> str:
+    text = _canonical(body)
+    return f"{_sha256(text)} {text}\n"
+
+
+def _parse_frame(line: bytes) -> Optional[Dict[str, Any]]:
+    """The frame's body, or ``None`` when the line is not a durable frame."""
+    if not line.endswith(b"\n"):
+        return None  # torn: the trailing newline is the commit marker
+    try:
+        text = line[:-1].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+    checksum, _, body_text = text.partition(" ")
+    if len(checksum) != 64 or not body_text:
+        return None
+    if _sha256(body_text) != checksum:
+        return None
+    try:
+        body = json.loads(body_text)
+    except json.JSONDecodeError:  # pragma: no cover - checksum catches first
+        return None
+    return body if isinstance(body, dict) else None
+
+
+def encode_facts(facts: Iterable[Fact]) -> List[List[Any]]:
+    """``(predicate, row)`` facts in the WAL/wire encoding."""
+    return [[predicate, encode_row(row)] for predicate, row in facts]
+
+
+def decode_facts(encoded: Iterable[List[Any]]) -> List[Fact]:
+    """Inverse of :func:`encode_facts`."""
+    return [(predicate, decode_row(row)) for predicate, row in encoded]
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One durable update record."""
+
+    lsn: int
+    op: str
+    facts: Tuple[Fact, ...]
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise WALFormatError(f"unknown WAL operation {self.op!r}; "
+                                 f"expected one of {OPS}")
+
+
+# ---------------------------------------------------------------------------
+# Scanning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WALScan:
+    """The result of scanning a WAL file for durable content."""
+
+    #: header fields (magic, format_version, base_lsn)
+    header: Dict[str, Any]
+    #: the durable records, in LSN order
+    records: List[WALRecord]
+    #: byte length of the durable prefix (header + intact records)
+    durable_bytes: int
+    #: why the tail was considered torn (``None`` = the file is clean)
+    torn_reason: Optional[str] = None
+
+
+def scan_wal(path: PathLike) -> WALScan:
+    """Read ``path``, returning its durable prefix and what (if anything)
+    is torn at the tail.
+
+    Raises :class:`~repro.errors.WALFormatError` when the file is not a
+    WAL at all and :class:`~repro.errors.WALCorruptionError` when damage
+    sits *before* further durable records (lost updates)."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        raise WALError(f"write-ahead log {path} does not exist") from None
+    except OSError as exc:  # pragma: no cover - environment-specific
+        raise WALError(f"cannot read write-ahead log {path}: {exc}") from None
+    lines = data.splitlines(keepends=True)
+    if not lines:
+        raise WALFormatError(
+            f"{path} is empty — not a write-ahead log (a fresh log always "
+            "starts with its header frame)")
+
+    header = _parse_frame(lines[0])
+    if header is None or header.get("magic") != MAGIC:
+        raise WALFormatError(
+            f"{path} is not a repro write-ahead log (missing {MAGIC!r} "
+            "header frame)")
+    if header.get("format_version") != FORMAT_VERSION:
+        raise WALFormatError(
+            f"write-ahead log {path} uses format version "
+            f"{header.get('format_version')!r}, but this build reads "
+            f"version {FORMAT_VERSION}")
+    base_lsn = header.get("base_lsn")
+    if not isinstance(base_lsn, int):
+        raise WALFormatError(f"write-ahead log {path} has no base_lsn")
+
+    records: List[WALRecord] = []
+    durable = len(lines[0])
+    expected = base_lsn + 1
+    for index in range(1, len(lines)):
+        line = lines[index]
+        body = _parse_frame(line)
+        reason: Optional[str] = None
+        if body is None:
+            reason = ("incomplete frame (no trailing newline)"
+                      if not line.endswith(b"\n")
+                      else "damaged frame (checksum mismatch or unparseable)")
+        elif body.get("lsn") != expected or body.get("op") not in OPS \
+                or not isinstance(body.get("facts"), list):
+            reason = (f"unexpected record (lsn {body.get('lsn')!r} where "
+                      f"{expected} was expected)")
+        if reason is not None:
+            if any(_parse_frame(rest) is not None
+                   for rest in lines[index + 1:]):
+                raise WALCorruptionError(
+                    f"write-ahead log {path} is damaged before its tail "
+                    f"(record {expected}: {reason}, but later records are "
+                    "intact); updates are missing — restore from a newer "
+                    "snapshot instead of replaying this log")
+            return WALScan(header, records, durable, torn_reason=reason)
+        records.append(WALRecord(lsn=expected, op=body["op"],
+                                 facts=tuple(decode_facts(body["facts"]))))
+        durable += len(line)
+        expected += 1
+    return WALScan(header, records, durable)
+
+
+# ---------------------------------------------------------------------------
+# The log itself
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WALRecovery:
+    """What :meth:`WriteAheadLog.recover` found and did."""
+
+    wal: "WriteAheadLog"
+    #: the durable records (replay these, in order, after the snapshot)
+    records: List[WALRecord]
+    #: why the tail was truncated (``None`` = the log was clean)
+    torn_reason: Optional[str] = None
+    #: bytes dropped from the torn tail
+    truncated_bytes: int = 0
+
+
+class WriteAheadLog:
+    """An open, appendable write-ahead log file."""
+
+    def __init__(self, path: Path, base_lsn: int, last_lsn: int,
+                 size_bytes: int, sync: bool, handle=None):
+        self.path = path
+        self.base_lsn = base_lsn
+        self.last_lsn = last_lsn
+        self.size_bytes = size_bytes
+        self.sync = sync
+        self._file = handle if handle is not None else open(path, "ab")
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: PathLike, base_lsn: int = 0,
+               sync: bool = True) -> "WriteAheadLog":
+        """Start a fresh log at ``path`` (atomically replacing any old one).
+
+        The header is written to a temporary file and renamed into place,
+        so a crash mid-creation leaves either the previous log or the new
+        one — never a headerless fragment.  The append handle is the one
+        the temp file was written through (it follows the inode across the
+        rename), so *any* failure before the return leaves ``path``
+        untouched or fully valid — never a log whose appends would land in
+        an unlinked file.
+        """
+        path = Path(path)
+        header = _frame({"magic": MAGIC, "format_version": FORMAT_VERSION,
+                         "base_lsn": base_lsn}).encode("utf-8")
+        temp = path.with_name(path.name + ".tmp")
+        handle = open(temp, "wb")
+        try:
+            handle.write(header)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+            if sync:
+                fsync_directory(path.parent)
+        except BaseException:
+            handle.close()
+            try:
+                temp.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
+        return cls(path, base_lsn=base_lsn, last_lsn=base_lsn,
+                   size_bytes=len(header), sync=sync, handle=handle)
+
+    @classmethod
+    def recover(cls, path: PathLike, sync: bool = True) -> WALRecovery:
+        """Open an existing log, truncating any torn tail back to the last
+        durable record, and return the records to replay."""
+        path = Path(path)
+        scan = scan_wal(path)
+        truncated = path.stat().st_size - scan.durable_bytes
+        if truncated:
+            with open(path, "r+b") as handle:
+                handle.truncate(scan.durable_bytes)
+                handle.flush()
+                if sync:
+                    os.fsync(handle.fileno())
+        last_lsn = scan.records[-1].lsn if scan.records \
+            else scan.header["base_lsn"]
+        wal = cls(path, base_lsn=scan.header["base_lsn"], last_lsn=last_lsn,
+                  size_bytes=scan.durable_bytes, sync=sync)
+        return WALRecovery(wal=wal, records=scan.records,
+                           torn_reason=scan.torn_reason,
+                           truncated_bytes=truncated)
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, op: str, facts: Iterable[Fact]) -> int:
+        """Durably append one update record; returns its LSN.
+
+        The whole frame goes down in a single ``write`` and is flushed
+        (+fsynced when ``sync``) before this method returns — the caller
+        applies the update to the in-memory state only after the record is
+        durable, so recovery can never know *less* than an acknowledged
+        client does.
+        """
+        if self._file.closed:
+            raise WALError(f"write-ahead log {self.path} is closed")
+        lsn = self.last_lsn + 1
+        if op not in OPS:
+            raise WALFormatError(f"unknown WAL operation {op!r}; "
+                                 f"expected one of {OPS}")
+        frame = _frame({"lsn": lsn, "op": op,
+                        "facts": encode_facts(facts)}).encode("utf-8")
+        if _fault_due("wal-torn"):  # forge a torn tail, then die
+            self._file.write(frame[: max(1, len(frame) // 2)])
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            os._exit(FAULT_EXIT_CODE)  # pragma: no cover - kills the process
+        try:
+            self._file.write(frame)
+            self._file.flush()
+            if self.sync:
+                os.fsync(self._file.fileno())
+        except OSError as exc:
+            # A partial frame may be on disk.  Truncate back to the last
+            # durable record so a *later* successful append cannot land
+            # after the garbage (which recovery would have to refuse as
+            # damage-before-tail, losing everything after it).  If even
+            # the repair fails, poison the handle: refusing further
+            # appends is strictly better than corrupting the log.
+            try:
+                self._file.truncate(self.size_bytes)
+                self._file.seek(self.size_bytes)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - disk truly gone
+                self._file.close()
+            raise WALError(
+                f"cannot append to write-ahead log {self.path}: "
+                f"{exc}") from exc
+        self.last_lsn = lsn
+        self.size_bytes += len(frame)
+        maybe_crash("wal-append")  # durable but not yet applied/acknowledged
+        return lsn
+
+    def rollback_to(self, lsn: int, size_bytes: int) -> None:
+        """Physically remove every record after ``(lsn, size_bytes)``.
+
+        Used by the daemon when a just-appended record turns out to be
+        inapplicable (the backend raised): the record was never
+        acknowledged, so truncating it away keeps the invariant that every
+        durable WAL record replays cleanly — without it, one poisoned
+        record would make the data directory permanently unrecoverable.
+        """
+        if self._file.closed:
+            raise WALError(f"write-ahead log {self.path} is closed")
+        if size_bytes > self.size_bytes:
+            raise WALError(
+                f"cannot roll {self.path} forward (to {size_bytes} bytes "
+                f"from {self.size_bytes})")
+        self._file.flush()
+        self._file.truncate(size_bytes)
+        self._file.seek(size_bytes)  # the create-path handle is not O_APPEND
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self.last_lsn = lsn
+        self.size_bytes = size_bytes
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"WriteAheadLog({str(self.path)!r}, base={self.base_lsn}, "
+                f"last={self.last_lsn}, {self.size_bytes}B)")

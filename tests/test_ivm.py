@@ -28,7 +28,7 @@ from repro.datalog.answering import (evaluate_query, evaluate_query_counts,
                                      rows_from_counts)
 from repro.datalog.chase import chase
 from repro.engine.matching import DeltaJoinPlan, matcher_for
-from repro.engine.session import MaterializedProgram
+from repro.engine.session import MaterializedProgram, QuerySession
 from repro.relational.csvio import read_relation_csv, write_relation_csv
 from repro.relational.instance import Relation
 from repro.relational.schema import RelationSchema
@@ -167,6 +167,75 @@ def test_boolean_query_maintenance():
     assert session.answers(query) == ((),)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_holds_is_maintained_not_reanswered(engine):
+    """Boolean reads ride the counted path: after the first ``holds`` the
+    entry is maintained through updates and served without a join."""
+    materialized = MaterializedProgram(_program(), engine=engine)
+    session = materialized.queries()
+    assert session.holds(QUERY) is True
+
+    before = session.stats.snapshot()
+    materialized.add_facts([("Base", ("e", "b"))])
+    assert session.stats.delta(before).answers_maintained == 1
+
+    before = session.stats.snapshot()
+    assert session.holds(QUERY) is True
+    delta = session.stats.delta(before)
+    assert delta.cache_hits >= 1 and delta.cache_misses == 0
+    assert delta.rows_scanned == 0  # served from maintained counts
+
+    # ``holds`` and ``answers`` share one maintained entry per query.
+    before = session.stats.snapshot()
+    assert session.answers(QUERY) == (("a", "t1"), ("c", "t2"), ("e", "t1"))
+    assert session.stats.delta(before).rows_scanned == 0
+
+    # Retract every support: the maintained counts drain to "does not hold".
+    before = session.stats.snapshot()
+    materialized.retract_facts([("Base", ("a", "b")), ("Base", ("c", "d")),
+                                ("Base", ("e", "b"))])
+    assert session.stats.delta(before).answers_maintained == 1
+    before = session.stats.snapshot()
+    assert session.holds(QUERY) is False
+    assert session.stats.delta(before).rows_scanned == 0
+
+
+def test_holds_fallback_counters_on_egd_merge():
+    """A boolean read's maintained entry falls back exactly like an answer
+    entry: an EGD merge drops it, counts a maintenance fallback, and the
+    next ``holds`` re-answers from scratch — correctly."""
+    program = parse_program("""
+        exists Z : HasType(X, Z) :- Item(X).
+        T = T2 :- HasType(X, T), Declared(X, T2).
+        Item(i1).
+    """)
+    materialized = MaterializedProgram(program)
+    session = materialized.queries()
+    query = "? :- HasType(i1, T)."
+    assert session.holds(query) is True
+
+    before = session.stats.snapshot()
+    update = materialized.add_facts([("Declared", ("i1", "widget"))])
+    assert update.changed_predicates is None  # the merge poisoned the delta
+    delta = session.stats.delta(before)
+    assert delta.maintenance_fallbacks == 1 and delta.answers_maintained == 0
+
+    before = session.stats.snapshot()
+    assert session.holds(query) is True
+    assert session.stats.delta(before).cache_misses >= 1  # re-answered
+    assert session.holds("? :- HasType(i1, widget).") is True
+
+
+def test_holds_without_maintenance_keeps_early_exit():
+    """``maintain_answers=False`` restores the one-shot early-exit scan."""
+    materialized = MaterializedProgram(_program())
+    session = QuerySession(materialized, maintain_answers=False)
+    before = session.stats.snapshot()
+    assert session.holds(QUERY) is True
+    assert session.stats.delta(before).rows_scanned > 0
+    assert not session._maintained  # nothing was seeded
+
+
 # -- fallback triggers --------------------------------------------------------
 
 
@@ -254,6 +323,22 @@ def test_snapshot_round_trips_maintained_answers(tmp_path):
     assert restored_session.stats.delta(before).answers_maintained == 1
     assert restored_session.answers(QUERY) == expected
     assert restored_session.answers(QUERY) == _fresh_answers(restored, QUERY)
+
+
+def test_updates_before_adoption_drop_stale_restored_counts(tmp_path):
+    """Restored maintained counts nobody has adopted yet must not survive
+    an update that touches their predicates: a session created *after* the
+    update would otherwise serve the snapshot's answers as current (the
+    serving daemon's replay path hits exactly this ordering)."""
+    materialized = MaterializedProgram(_program())
+    materialized.queries().answers(QUERY)
+    path = materialized.save(tmp_path / "session.snapshot")
+
+    restored = MaterializedProgram.load(path)
+    restored.add_facts([("Base", ("e", "b"))])  # before any session exists
+    session = restored.queries()  # adopts only what is still valid: nothing
+    assert session.answers(QUERY) == (("a", "t1"), ("c", "t2"), ("e", "t1"))
+    assert session.answers(QUERY) == _fresh_answers(restored, QUERY)
 
 
 def test_snapshot_without_maintained_answers_stays_loadable(tmp_path):

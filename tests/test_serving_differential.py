@@ -1,0 +1,307 @@
+"""Differential suite: daemon-served answers ≡ in-process session answers.
+
+A :class:`~repro.serving.daemon.ServingDaemon` driven over its socket
+protocol must be observationally identical to an in-process
+:class:`~repro.engine.session.MaterializedProgram` fed the same updates:
+
+* identical certain answers (and null-preserving answers) across
+  randomized query/update interleavings, on both engines, with inline
+  checkpoints firing mid-stream;
+* identical answers at **pinned read versions** — a client holding a pin
+  keeps reading the old cut while writes (its own or another client's)
+  advance the daemon, exactly like an in-process
+  :class:`~repro.engine.versioning.ReadTransaction`;
+* concurrent clients see no torn reads: within one pinned client read,
+  repeated answers never change while a writer storms the daemon;
+* quality sessions (hospital scenario) serve the same quality-version
+  rows, quality answers and assessments as the in-process session, and
+  keep doing so after a restart from snapshot + WAL.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+import test_session_differential as differential
+from repro.engine.session import MaterializedProgram
+from repro.hospital import HospitalScenario
+from repro.hospital.scenario import DOCTOR_QUERY
+from repro.serving import CompactionPolicy, ServingClient
+from repro.serving.daemon import ProgramBackend, QualityBackend, ServingDaemon
+from repro.serving.wal import OP_ADD, OP_RETRACT
+from repro.workloads import (WorkloadSpec, generate_update_stream,
+                             generate_workload)
+
+ENGINES = ("indexed", "naive")
+
+
+def _serve(backend, data_dir, **policy_knobs):
+    """Recover + start a daemon and connect one client to it."""
+    daemon = ServingDaemon(backend, data_dir,
+                           policy=CompactionPolicy(**policy_knobs)
+                           if policy_knobs else None)
+    daemon.recover()
+    host, port = daemon.start()
+    return daemon, ServingClient(host, port)
+
+
+def _apply_both(client: ServingClient, mirror: MaterializedProgram,
+                action: str, facts) -> None:
+    if action in ("add", OP_ADD):
+        client.add_facts(facts)
+        mirror.add_facts(facts)
+    else:
+        client.retract_facts(facts)
+        mirror.retract_facts(facts)
+
+
+def _assert_answers_match(client: ServingClient,
+                          mirror: MaterializedProgram, queries) -> None:
+    session = mirror.queries()
+    for query in queries:
+        text = str(query)
+        assert client.answers(text) == session.answers(text)
+        assert client.answers(text, allow_nulls=True) == \
+            session.answers(text, allow_nulls=True)
+        assert client.holds(text) == session.holds(text)
+
+
+# -- randomized interleavings --------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_interleavings_match_in_process(seed, engine, tmp_path):
+    """Random programs (existential on odd seeds), random update streams,
+    random queries between updates — served and in-process answers agree
+    at every step, while inline checkpoints fire mid-stream."""
+    existential = seed % 2 == 1
+    program = differential._random_program(seed, existential=existential)
+    mirror = MaterializedProgram(
+        differential._random_program(seed, existential=existential),
+        engine=engine)
+    backend = ProgramBackend(
+        differential._random_program(seed, existential=existential),
+        engine=engine)
+    daemon, client = _serve(backend, tmp_path / "data",
+                            checkpoint_every_records=3)
+    try:
+        rng = random.Random(8000 + seed)
+        query_rng = random.Random(8500 + seed)
+        for action, facts in differential._random_updates(rng, program,
+                                                          steps=8):
+            _apply_both(client, mirror, action, facts)
+            queries = differential._random_queries(query_rng,
+                                                   mirror.edb_program())
+            _assert_answers_match(client, mirror, queries)
+        assert client.stats()["serving"]["lsn"] == daemon.last_lsn
+    finally:
+        client.close()
+        daemon.stop()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_workload_stream_with_mid_stream_restart(engine, tmp_path):
+    """A generated MD workload stream, served across a daemon restart:
+    the restarted daemon (snapshot + WAL replay) keeps matching the
+    in-process mirror step for step."""
+    workload = generate_workload(WorkloadSpec(
+        dimensions=2, depth=3, fanout=2, top_members=2, base_relations=1,
+        tuples_per_relation=15, upward_rules=True, downward_rules=True,
+        seed=7))
+    mirror = MaterializedProgram(workload.ontology.program(), engine=engine)
+    daemon, client = _serve(
+        ProgramBackend(workload.ontology.program(), engine=engine),
+        tmp_path / "data", checkpoint_every_records=4)
+    stream = generate_update_stream(workload, steps=6, adds_per_step=2,
+                                    retracts_per_step=1, seed=7)
+    try:
+        for index, step in enumerate(stream):
+            if index == 3:  # crash/restart mid-stream, WAL tail unflushed
+                client.close()
+                daemon.stop()
+                daemon, client = _serve(
+                    ProgramBackend(workload.ontology.program(),
+                                   engine=engine),
+                    tmp_path / "data", checkpoint_every_records=4)
+                _assert_answers_match(client, mirror, workload.queries)
+            _apply_both(client, mirror, "add", step.adds)
+            _apply_both(client, mirror, "retract", step.retracts)
+            _assert_answers_match(client, mirror, workload.queries)
+    finally:
+        client.close()
+        daemon.stop()
+
+
+# -- pinned read versions ------------------------------------------------------
+
+
+def test_pinned_reads_match_in_process_transactions(tmp_path):
+    """A client pin behaves exactly like an in-process ReadTransaction:
+    reads at the pinned version ignore every later write, on the daemon
+    and the mirror alike."""
+    program_text = """
+        Derived(X, Y) :- Base(X, Y).
+        Joined(X, Z) :- Derived(X, Y), Link(Y, Z).
+        Base(a, b). Base(c, d).
+        Link(b, t1). Link(d, t2).
+    """
+    from repro.datalog import parse_program
+    query = "?(X, Z) :- Joined(X, Z)."
+    mirror = MaterializedProgram(parse_program(program_text))
+    daemon, client = _serve(ProgramBackend(parse_program(program_text)),
+                            tmp_path / "data")
+    try:
+        mirror_session = mirror.queries()
+        client.answers(query)  # warm both sides identically
+        mirror_session.answers(query)
+
+        with mirror_session.read() as txn, client.read() as pinned:
+            assert pinned.version == txn.version
+            frozen = txn.answers(query)
+            assert pinned.answers(query) == frozen
+
+            writes = [("add", [("Base", ("e", "b"))]),
+                      ("add", [("Link", ("d", "t9"))]),
+                      ("retract", [("Base", ("a", "b"))])]
+            for action, facts in writes:
+                _apply_both(client, mirror, action, facts)
+                # The pinned cut is frozen on both sides...
+                assert pinned.answers(query) == frozen
+                assert txn.answers(query) == frozen
+                # ...while unpinned reads advance in lockstep.
+                assert client.answers(query) == mirror_session.answers(query)
+        assert client.answers(query) == mirror_session.answers(query)
+
+        # A second client holds its own pin concurrently with writes from
+        # the first; GC never collects a version a client still pins.
+        other = ServingClient(client.host, client.port)
+        try:
+            version = other.pin()
+            before = other.answers(query, version=version)
+            client.add_facts([("Base", ("f", "d"))])
+            mirror.add_facts([("Base", ("f", "d"))])
+            assert other.answers(query, version=version) == before
+            assert other.answers(query) == mirror.queries().answers(query)
+            other.unpin(version)
+        finally:
+            other.close()
+    finally:
+        client.close()
+        daemon.stop()
+
+
+def test_concurrent_pinned_readers_see_no_torn_reads(tmp_path):
+    """Reader threads each pin a version and re-read while a writer storms
+    the daemon: within one pin, answers never change."""
+    from repro.datalog import parse_program
+    program_text = """
+        Derived(X, Y) :- Base(X, Y).
+        Base(a, b).
+    """
+    query = "?(X, Y) :- Derived(X, Y)."
+    daemon, client = _serve(ProgramBackend(parse_program(program_text)),
+                            tmp_path / "data")
+    failures = []
+    stop = threading.Event()
+
+    def reader(index: int) -> None:
+        with ServingClient(client.host, client.port) as own:
+            while not stop.is_set():
+                with own.read() as pinned:
+                    first = pinned.answers(query)
+                    for _ in range(3):
+                        if pinned.answers(query) != first:
+                            failures.append(
+                                f"reader {index} saw a torn read")
+                            return
+
+    threads = [threading.Thread(target=reader, args=(index,))
+               for index in range(3)]
+    try:
+        for thread in threads:
+            thread.start()
+        for burst in range(12):
+            client.add_facts([("Base", (f"w{burst}", f"v{burst}"))])
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+        assert not any(thread.is_alive() for thread in threads)
+    finally:
+        stop.set()
+        client.close()
+        daemon.stop()
+
+
+# -- quality sessions ----------------------------------------------------------
+
+
+def test_hospital_quality_session_served_matches_in_process(tmp_path):
+    """The hospital scenario runs against the daemon exactly as it runs
+    in-process: same doctor answers, same quality version, same
+    assessment — including after live measurement updates and a restart
+    from snapshot + WAL."""
+    mirror = HospitalScenario()
+    served = HospitalScenario()
+    daemon, client = _serve(served.serving_backend(), tmp_path / "data",
+                            checkpoint_every_records=2)
+
+    measurements_q = "?(T, P, V) :- Measurements_q(T, P, V)."
+
+    def assert_equivalent():
+        session = mirror.session()
+        assert client.quality_answers(DOCTOR_QUERY) == \
+            session.quality_answers(DOCTOR_QUERY)
+        assert client.quality_version("Measurements") == \
+            tuple(session.quality_version("Measurements").sorted_rows())
+        assert client.assess()["text"] == str(session.assess())
+        assert client.answers(measurements_q) == \
+            session.query_session.answers(measurements_q)
+
+    try:
+        assert_equivalent()
+        new_rows = [("Sep/5-12:20", "Tom Waits", 38.3),
+                    ("Sep/6-11:00", "Lou Reed", 37.1)]
+        client.add_facts([("Measurements", row) for row in new_rows])
+        mirror.record_measurements(new_rows)
+        assert_equivalent()
+
+        client.retract_facts([("Measurements", new_rows[0])])
+        mirror.remove_measurements([new_rows[0]])
+        assert_equivalent()
+
+        # Restart: the quality session recovers from snapshot ⊕ WAL (the
+        # instance under assessment travels in the snapshot's extras).
+        client.close()
+        daemon.stop()
+        daemon, client = _serve(HospitalScenario().serving_backend(),
+                                tmp_path / "data",
+                                checkpoint_every_records=2)
+        assert daemon.recovery["snapshot"] is not None
+        assert_equivalent()
+
+        more = [("Sep/9-10:00", "Tom Waits", 37.9)]
+        client.add_facts([("Measurements", row) for row in more])
+        mirror.record_measurements(more)
+        assert_equivalent()
+    finally:
+        client.close()
+        daemon.stop()
+
+
+def test_quality_ops_refused_on_program_backend(tmp_path):
+    from repro.datalog import parse_program
+    from repro.errors import ServingProtocolError
+    daemon, client = _serve(
+        ProgramBackend(parse_program("Derived(X) :- Base(X). Base(a).")),
+        tmp_path / "data")
+    try:
+        with pytest.raises(ServingProtocolError, match="quality backend"):
+            client.assess()
+    finally:
+        client.close()
+        daemon.stop()

@@ -1,0 +1,568 @@
+"""Crash/fault-injection recovery suite for the serving daemon.
+
+The invariant under test: **snapshot ⊕ WAL replay ≡ live session** — after
+*any* crash (SIGKILL mid-write-burst, a death inside a checkpoint, a torn
+or bit-flipped WAL tail), recovery reproduces exactly the state of a clean
+replay of the durable WAL prefix:
+
+* every **acknowledged** update is durable (``durable LSN >= acked``, with
+  at most one unacknowledged in-flight record on top);
+* the recovered instance's ground facts and certain answers are identical
+  to a fresh cold chase that applies the same durable update prefix
+  in-process;
+* damage *before* the tail (lost updates) is refused loudly
+  (:class:`~repro.errors.WALCorruptionError`), never skipped;
+* a failed checkpoint leaves the previous snapshot and the live WAL
+  intact, and the daemon keeps serving.
+
+Crash points are driven two ways: an external ``SIGKILL`` against a real
+daemon subprocess mid-burst, and deterministic in-process crash points
+(``REPRO_FAULT_CRASH`` — see :mod:`repro.serving.wal`) that die with
+``os._exit`` at exact WAL/checkpoint steps.  ``REPRO_FAULT_SEED`` (CI
+matrix) shifts the randomized positions, streams and byte offsets.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+import test_session_differential as differential
+import repro
+from repro.datalog import parse_program
+from repro.engine.session import MaterializedProgram
+from repro.errors import (DaemonUnavailableError, ServingError,
+                          ServingProtocolError, SnapshotError,
+                          WALCorruptionError)
+from repro.serving import (CompactionPolicy, ServingClient, latest_snapshot,
+                           scan_wal, wal_path)
+from repro.serving.daemon import ProgramBackend, ServingDaemon
+from repro.serving.wal import FAULT_EXIT_CODE, OP_ADD, OP_RETRACT
+from repro.workloads import (WorkloadSpec, generate_update_stream,
+                             generate_workload)
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+ENGINES = ("indexed", "naive")
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+PROGRAM_TEXT = """
+    Derived(X, Y) :- Base(X, Y).
+    Joined(X, Z) :- Derived(X, Y), Link(Y, Z).
+    Base(a, b). Base(c, d).
+    Link(b, t1). Link(d, t2).
+"""
+
+QUERIES = ("?(X, Z) :- Joined(X, Z).",
+           "?(X, Y) :- Derived(X, Y).",
+           "? :- Joined(X, t1).")
+
+UpdateItem = Tuple[str, List[Tuple[str, Tuple]]]
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _stream(rng: random.Random, steps: int) -> List[UpdateItem]:
+    """A deterministic add/retract item stream over PROGRAM_TEXT's EDB."""
+    added: List[Tuple[str, Tuple]] = []
+    items: List[UpdateItem] = []
+    for index in range(steps):
+        if added and rng.random() < 0.3:
+            victim = added.pop(rng.randrange(len(added)))
+            items.append((OP_RETRACT, [victim]))
+        else:
+            fact = ("Base", (f"x{index}", rng.choice(["b", "d"]))) \
+                if rng.random() < 0.7 else \
+                ("Link", (rng.choice(["b", "d"]), f"t{index + 3}"))
+            added.append(fact)
+            items.append((OP_ADD, [fact]))
+    return items
+
+
+def _apply_item(materialized: MaterializedProgram, item: UpdateItem) -> None:
+    op, facts = item
+    if op == OP_ADD:
+        materialized.add_facts(facts)
+    else:
+        materialized.retract_facts(facts)
+
+
+def _durable_lsn(data_dir: Path) -> int:
+    """The last durable record on disk: snapshot cut ⊕ intact WAL suffix."""
+    found = latest_snapshot(data_dir)
+    base = found[0] if found is not None else 0
+    scan = scan_wal(wal_path(data_dir))
+    last = scan.records[-1].lsn if scan.records else scan.header["base_lsn"]
+    return max(base, last)
+
+
+def _recover(data_dir: Path,
+             program_text: str = PROGRAM_TEXT) -> ServingDaemon:
+    daemon = ServingDaemon(ProgramBackend(parse_program(program_text)),
+                           data_dir)
+    daemon.recover()
+    return daemon
+
+
+def _clean_replay(items: List[UpdateItem], durable: int,
+                  program_text: str = PROGRAM_TEXT) -> MaterializedProgram:
+    """The oracle: a cold chase plus the durable update prefix, in-process.
+
+    Record LSN ``k`` is exactly ``items[k - 1]`` (the daemon assigns LSNs
+    1, 2, ... to the stream in order), so the durable prefix of the WAL is
+    the first ``durable`` stream items."""
+    oracle = MaterializedProgram(parse_program(program_text))
+    for item in items[:durable]:
+        _apply_item(oracle, item)
+    return oracle
+
+
+def _assert_equals_oracle(recovered: MaterializedProgram,
+                          oracle: MaterializedProgram,
+                          queries=QUERIES) -> None:
+    assert differential._ground_facts(recovered.instance) == \
+        differential._ground_facts(oracle.instance)
+    for query in queries:
+        assert recovered.certain_answers(query) == \
+            oracle.certain_answers(query)
+
+
+def _spawn_daemon(data_dir: Path, program_file: Path, *,
+                  checkpoint_every: int = None,
+                  fault: str = None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULT_CRASH", None)
+    if fault:
+        env["REPRO_FAULT_CRASH"] = fault
+    command = [sys.executable, "-m", "repro.serving.daemon",
+               "--data-dir", str(data_dir), "--program", str(program_file),
+               "--port", "0", "--quiet"]
+    if checkpoint_every is not None:
+        command += ["--checkpoint-every", str(checkpoint_every)]
+    return subprocess.Popen(command, env=env,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.dlg"
+    path.write_text(PROGRAM_TEXT, encoding="utf-8")
+    return path
+
+
+def _drive_until_dead(client: ServingClient,
+                      items: List[UpdateItem]) -> int:
+    """Send items until the daemon dies; returns how many were acked."""
+    acked = 0
+    for op, facts in items:
+        try:
+            if op == OP_ADD:
+                client.add_facts(facts)
+            else:
+                client.retract_facts(facts)
+            acked += 1
+        except (DaemonUnavailableError, ServingProtocolError):
+            return acked
+    pytest.fail("the daemon outlived the whole stream without crashing")
+
+
+# -- SIGKILL mid-write-burst --------------------------------------------------
+
+
+def test_sigkill_mid_write_burst_recovers_to_durable_prefix(tmp_path,
+                                                            program_file):
+    """A real daemon process killed with SIGKILL mid-burst: the recovered
+    state equals a clean replay of the durable WAL prefix, and every
+    acknowledged update survived."""
+    rng = random.Random(900 + FAULT_SEED)
+    items = _stream(rng, steps=30)
+    kill_after = rng.randint(3, 12)
+    data_dir = tmp_path / "data"
+    process = _spawn_daemon(data_dir, program_file)
+    try:
+        client = ServingClient.connect(data_dir, wait=30.0)
+        acked = 0
+        for index, item in enumerate(items):
+            if index == kill_after:
+                os.kill(process.pid, signal.SIGKILL)
+                process.wait(timeout=30)
+            op, facts = item
+            try:
+                if op == OP_ADD:
+                    client.add_facts(facts)
+                else:
+                    client.retract_facts(facts)
+                acked += 1
+            except (DaemonUnavailableError, ServingProtocolError):
+                break
+        assert process.poll() is not None, "SIGKILL did not land"
+        client.close()
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            process.kill()
+            process.wait(timeout=30)
+
+    durable = _durable_lsn(data_dir)
+    # Durability: nothing acked is lost; at most one in-flight record may
+    # be durable-but-unacknowledged.
+    assert acked <= durable <= acked + 1
+    daemon = _recover(data_dir)
+    assert daemon.last_lsn == durable
+    _assert_equals_oracle(daemon.backend.materialized,
+                          _clean_replay(items, durable))
+    daemon.stop()
+
+
+# -- deterministic in-process crash points ------------------------------------
+
+
+@pytest.mark.parametrize("point", ["wal-append", "wal-torn"])
+def test_injected_crash_around_append(tmp_path, program_file, point):
+    """Die exactly at (or halfway through) the n-th WAL append: recovery
+    replays to precisely the last durable record — n for a completed
+    append, n-1 for a torn half-written frame."""
+    crash_at = 3 + (FAULT_SEED % 4)
+    rng = random.Random(1300 + FAULT_SEED)
+    items = _stream(rng, steps=crash_at + 5)
+    data_dir = tmp_path / "data"
+    process = _spawn_daemon(data_dir, program_file,
+                            fault=f"{point}:{crash_at}")
+    try:
+        client = ServingClient.connect(data_dir, wait=30.0)
+        acked = _drive_until_dead(client, items)
+        client.close()
+        assert process.wait(timeout=30) == FAULT_EXIT_CODE
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            process.kill()
+            process.wait(timeout=30)
+
+    assert acked == crash_at - 1  # the crashing append was never acked
+    durable = _durable_lsn(data_dir)
+    expected = crash_at if point == "wal-append" else crash_at - 1
+    assert durable == expected
+    daemon = _recover(data_dir)
+    report = daemon.recovery
+    assert report["replayed_records"] == durable
+    if point == "wal-torn":
+        assert report["torn_tail"] is not None
+        assert report["truncated_bytes"] > 0
+    _assert_equals_oracle(daemon.backend.materialized,
+                          _clean_replay(items, durable))
+    daemon.stop()
+
+
+@pytest.mark.parametrize("point", ["pre-auto-checkpoint",
+                                   "checkpoint-after-snapshot",
+                                   "checkpoint-after-rotate"])
+def test_injected_crash_mid_checkpoint(tmp_path, program_file, point):
+    """Die before/inside/after the checkpoint's atomic steps: whatever
+    combination of old/new snapshot and old/fresh WAL the crash leaves,
+    recovery converges on the same durable prefix."""
+    checkpoint_every = 4 + (FAULT_SEED % 3)
+    rng = random.Random(1700 + FAULT_SEED)
+    items = _stream(rng, steps=checkpoint_every + 4)
+    data_dir = tmp_path / "data"
+    process = _spawn_daemon(data_dir, program_file,
+                            checkpoint_every=checkpoint_every,
+                            fault=f"{point}:1")
+    try:
+        client = ServingClient.connect(data_dir, wait=30.0)
+        acked = _drive_until_dead(client, items)
+        client.close()
+        assert process.wait(timeout=30) == FAULT_EXIT_CODE
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            process.kill()
+            process.wait(timeout=30)
+
+    # The crash fires inside the write that trips the checkpoint trigger.
+    assert acked == checkpoint_every - 1
+    durable = _durable_lsn(data_dir)
+    assert durable == checkpoint_every
+    daemon = _recover(data_dir)
+    assert daemon.last_lsn == durable
+    _assert_equals_oracle(daemon.backend.materialized,
+                          _clean_replay(items, durable))
+    # The recovered directory keeps serving and checkpointing normally.
+    for item in items[durable:durable + 2]:
+        op, facts = item
+        daemon.apply_write(op, list(facts))
+    daemon.checkpoint()
+    _assert_equals_oracle(daemon.backend.materialized,
+                          _clean_replay(items, durable + 2))
+    daemon.stop()
+
+
+# -- offline tail faults over generated workloads (both engines) --------------
+
+
+def _workload_items(workload, steps: int) -> List[UpdateItem]:
+    stream = generate_update_stream(workload, steps=steps, adds_per_step=2,
+                                    retracts_per_step=1,
+                                    seed=11 + FAULT_SEED)
+    items: List[UpdateItem] = []
+    for step in stream:
+        if step.adds:
+            items.append((OP_ADD, list(step.adds)))
+        if step.retracts:
+            items.append((OP_RETRACT, list(step.retracts)))
+    return items
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("fault", ["truncate", "bitflip"])
+def test_tail_faults_on_workload_stream(tmp_path, engine, fault):
+    """Truncate or bit-flip the WAL tail under a generated MD workload
+    stream: recovery truncates back to the last durable record and agrees
+    with a fresh differential chase of that prefix, on both engines."""
+    workload = generate_workload(WorkloadSpec(
+        dimensions=2, depth=3, fanout=2, top_members=2, base_relations=1,
+        tuples_per_relation=12, upward_rules=True, downward_rules=True,
+        seed=7))
+    program = workload.ontology.program()
+    items = _workload_items(workload, steps=5)
+
+    data_dir = tmp_path / "data"
+    daemon = ServingDaemon(
+        ProgramBackend(workload.ontology.program(), engine=engine), data_dir,
+        policy=CompactionPolicy(checkpoint_every_records=None,
+                                max_wal_bytes=None))
+    daemon.recover()
+    for item in items:
+        op, facts = item
+        daemon.apply_write(op, list(facts))
+    daemon.stop()  # the crash: nothing checkpointed, WAL holds everything
+
+    wal_file = wal_path(data_dir)
+    data = wal_file.read_bytes()
+    rng = random.Random(FAULT_SEED * 31 + len(fault))
+    if fault == "truncate":
+        data = data[:-rng.randint(2, 60)]
+    else:
+        last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        position = rng.randrange(last_line_start, len(data) - 1)
+        data = data[:position] + bytes([data[position] ^ 0x20]) + \
+            data[position + 1:]
+    wal_file.write_bytes(data)
+
+    durable = _durable_lsn(data_dir)
+    assert durable < len(items)  # the fault really cost the tail
+    recovered = ServingDaemon(
+        ProgramBackend(workload.ontology.program(), engine=engine), data_dir)
+    report = recovered.recover()
+    assert report["torn_tail"] is not None
+    assert report["replayed_records"] == durable
+
+    oracle = MaterializedProgram(program, engine=engine)
+    for item in items[:durable]:
+        _apply_item(oracle, item)
+    _assert_equals_oracle(recovered.backend.materialized, oracle,
+                          queries=workload.queries)
+    recovered.stop()
+
+
+def test_damage_before_the_tail_is_refused(tmp_path):
+    """A bit flip in a *middle* record (later records intact) means lost
+    updates: recovery must refuse with WALCorruptionError, not silently
+    skip the hole."""
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir)
+    items = _stream(random.Random(2100 + FAULT_SEED), steps=6)
+    for item in items:
+        op, facts = item
+        daemon.apply_write(op, list(facts))
+    daemon.stop()
+
+    wal_file = wal_path(data_dir)
+    lines = wal_file.read_bytes().splitlines(keepends=True)
+    victim = 2  # a record frame strictly before the tail (0 is the header)
+    lines[victim] = lines[victim][:70] + \
+        bytes([lines[victim][70] ^ 0x01]) + lines[victim][71:]
+    wal_file.write_bytes(b"".join(lines))
+
+    with pytest.raises(WALCorruptionError, match="before its tail"):
+        _recover(data_dir)
+
+
+# -- checkpoint failure leaves the previous durable state intact --------------
+
+
+def test_failed_checkpoint_leaves_snapshot_and_wal_intact(tmp_path):
+    """A SnapshotError inside a daemon checkpoint (unserializable value
+    discovered late) must leave the previous snapshot and the live WAL
+    untouched — the daemon keeps serving, and a later recovery still
+    replays the full durable prefix."""
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir)
+    items = _stream(random.Random(2500 + FAULT_SEED), steps=4)
+    for item in items:
+        op, facts = item
+        daemon.apply_write(op, list(facts))
+    snapshot_before = latest_snapshot(data_dir)
+    wal_bytes_before = wal_path(data_dir).stat().st_size
+
+    # Poison the instance with a value the snapshot codec refuses.
+    poison = ("Base", ("poisoned", object()))
+    daemon.backend.materialized.instance.relation("Base").add(poison[1])
+    with pytest.raises(SnapshotError, match="cannot serialize"):
+        daemon.checkpoint()
+
+    assert latest_snapshot(data_dir) == snapshot_before
+    assert wal_path(data_dir).stat().st_size == wal_bytes_before
+    assert not list(data_dir.glob("*.tmp"))
+
+    # Still serving: the WAL accepts further writes, and once the poison
+    # is gone the checkpoint succeeds.
+    daemon.backend.materialized.instance.relation("Base").discard(poison[1])
+    extra = ("Base", ("after-failure", "b"))
+    daemon.apply_write(OP_ADD, [extra])
+    assert daemon.checkpoint()["checkpointed"]
+    daemon.stop()
+
+    recovered = _recover(data_dir)
+    oracle = _clean_replay(items, len(items))
+    oracle.add_facts([extra])
+    _assert_equals_oracle(recovered.backend.materialized, oracle)
+    recovered.stop()
+
+
+def test_inapplicable_writes_never_poison_the_wal(tmp_path):
+    """A write the backend cannot apply must not stay in the WAL: a wrong
+    arity is refused before the append, and a hard EGD conflict (only
+    discoverable mid-chase) is rolled back out of the log — either way the
+    data directory stays recoverable and later writes keep flowing."""
+    from repro.errors import ArityError, EGDConflictError
+    program_text = """
+        Stored(X, T) :- Declared(X, T).
+        T = T2 :- Stored(X, T), Stored(X, T2).
+        Declared(i1, alpha).
+    """
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir, program_text)
+
+    with pytest.raises(ArityError, match="arity"):
+        daemon.apply_write(OP_ADD, [("Declared", ("only-one-value",))])
+    assert daemon.last_lsn == 0  # nothing was appended
+
+    # Two distinct constants for i1 fire the EGD into a hard conflict
+    # mid-chase — after the record was durably appended.
+    with pytest.raises(EGDConflictError):
+        daemon.apply_write(OP_ADD, [("Declared", ("i1", "beta"))])
+    assert daemon.last_lsn == 0
+    assert _durable_lsn(data_dir) == 0  # the poisoned record was rolled back
+
+    # The live state was rebuilt from the durable state: the failed
+    # update's partial mutations (the EDB row, the aborted chase) are
+    # gone — live answers, the next checkpoint and recovery all agree
+    # the update never happened.
+    probe = "?(X, T) :- Stored(X, T)."
+    assert daemon.backend.materialized.certain_answers(probe) == \
+        (("i1", "alpha"),)
+    assert ("i1", "beta") not in \
+        daemon.backend.materialized.edb.relation("Declared")
+
+    # The WAL still accepts clean writes after the rollback...
+    daemon.apply_write(OP_ADD, [("Declared", ("i2", "gamma"))])
+    assert _durable_lsn(data_dir) == 1
+    assert daemon.checkpoint()["checkpointed"]  # bakes only clean facts
+    daemon.stop()
+
+    # ...and recovery replays/restores the clean state, unimpeded.
+    recovered = _recover(data_dir, program_text)
+    assert recovered.backend.materialized.certain_answers(probe) == \
+        (("i1", "alpha"), ("i2", "gamma"))
+    recovered.stop()
+
+
+# -- restart stability --------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_repeated_recovery_is_stable(tmp_path, engine):
+    """Recover → serve → crash → recover ... across checkpoints: every
+    generation equals the clean replay of its durable prefix."""
+    rng = random.Random(3000 + FAULT_SEED)
+    items = _stream(rng, steps=12)
+    data_dir = tmp_path / "data"
+    cursor = 0
+    for generation in range(3):
+        daemon = ServingDaemon(
+            ProgramBackend(parse_program(PROGRAM_TEXT), engine=engine),
+            data_dir,
+            policy=CompactionPolicy(checkpoint_every_records=3))
+        daemon.recover()
+        assert daemon.last_lsn == cursor
+        for item in items[cursor:cursor + 4]:
+            op, facts = item
+            daemon.apply_write(op, list(facts))
+        cursor += 4
+        _assert_equals_oracle(daemon.backend.materialized,
+                              _clean_replay(items, cursor))
+        daemon.stop()  # abandon without a final checkpoint
+    durable = _durable_lsn(data_dir)
+    assert durable == cursor
+
+
+def test_failed_append_repairs_the_file(tmp_path):
+    """An append that dies mid-write (disk full) must truncate its partial
+    frame back out, so a later successful append cannot land after garbage
+    and turn the whole log into refused damage-before-tail."""
+    from repro.errors import WALError
+    from repro.serving import WriteAheadLog
+
+    class ExplodingFile:
+        """Delegates to the real handle; the first write half-succeeds."""
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.exploded = False
+
+        def write(self, data):
+            if not self.exploded:
+                self.exploded = True
+                self.inner.write(data[: len(data) // 2])
+                self.inner.flush()
+                raise OSError(28, "No space left on device")
+            return self.inner.write(data)
+
+        def __getattr__(self, name):
+            return getattr(self.inner, name)
+
+    wal = WriteAheadLog.create(tmp_path / "wal.log")
+    wal.append(OP_ADD, [("Base", ("a", "b"))])
+    real_file = wal._file
+    wal._file = ExplodingFile(real_file)
+    with pytest.raises(WALError, match="cannot append"):
+        wal.append(OP_ADD, [("Base", ("c", "d"))])
+    wal._file = real_file
+
+    lsn = wal.append(OP_ADD, [("Base", ("e", "f"))])  # the disk recovered
+    assert lsn == 2
+    wal.close()
+    from repro.serving import scan_wal
+    scan = scan_wal(tmp_path / "wal.log")
+    assert [record.lsn for record in scan.records] == [1, 2]
+    assert scan.torn_reason is None  # no partial frame survived
+
+
+def test_wal_without_snapshot_is_refused(tmp_path):
+    """A WAL with no snapshot to replay onto must not be silently
+    discarded by a bootstrap."""
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir)
+    daemon.apply_write(OP_ADD, [("Base", ("z", "b"))])
+    daemon.stop()
+    for snapshot in list(data_dir.glob("snapshot-*.snap")):
+        snapshot.unlink()
+    with pytest.raises(ServingError, match="no snapshot"):
+        _recover(data_dir)

@@ -137,6 +137,41 @@ def test_all_snapshot_failures_are_typed(saved):
         pytest.fail("corrupted snapshot loaded without error")
 
 
+def test_failed_save_preserves_previous_snapshot(saved):
+    """A save that dies while *encoding* (unserializable value discovered
+    late — the daemon-checkpoint failure mode) leaves the previous good
+    snapshot loadable and litters no temp files."""
+    materialized, path = saved
+    poison = ("W1", "Sep/7", object())
+    materialized.instance.relation("PatientWard").add(poison)
+    with pytest.raises(SnapshotError, match="cannot serialize"):
+        materialized.save(path)
+    assert not list(path.parent.glob("*.tmp"))
+    materialized.instance.relation("PatientWard").discard(poison)
+    restored = MaterializedProgram.load(path)  # the old file is untouched
+    assert restored.instance == materialized.instance
+
+
+def test_failed_write_cleans_temp_and_preserves_previous(saved, monkeypatch):
+    """A save that dies while *writing* (disk full before the temp file
+    reaches its final name) removes the partial temp file and leaves the
+    previous snapshot in place."""
+    import os as os_module
+    materialized, path = saved
+    original_bytes = path.read_bytes()
+
+    def exploding_replace(*_args, **_kwargs):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(os_module, "replace", exploding_replace)
+    with pytest.raises(SnapshotError, match="cannot write"):
+        materialized.save(path)
+    monkeypatch.undo()
+    assert not list(path.parent.glob("*.tmp"))
+    assert path.read_bytes() == original_bytes
+    MaterializedProgram.load(path)  # still perfectly loadable
+
+
 def test_intact_snapshot_still_loads(saved):
     """The guard rails don't reject healthy files: sanity for this suite."""
     materialized, path = saved
