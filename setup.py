@@ -21,5 +21,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=[],
-    extras_require={"test": ["pytest", "hypothesis", "pytest-benchmark"]},
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+        # Optional: vectorizes the columnar engine's batch join kernels.
+        # Without it the same kernels run over plain lists (identical
+        # semantics, exercised by the differential suite under
+        # REPRO_NO_NUMPY=1).
+        "fast": ["numpy"],
+    },
 )

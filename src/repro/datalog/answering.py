@@ -59,6 +59,16 @@ def evaluate_query_counts(query: ConjunctiveQuery, instance: DatabaseInstance,
     if matcher is None:
         matcher = matcher_for(engine, stats)
     atoms: Sequence[Atom] = query.body if plan is None else plan
+    batch = getattr(matcher, "answer_counts", None)
+    if batch is not None:
+        # The columnar engine projects and counts in batch, never
+        # materializing substitution dicts; ``None`` means it could not
+        # take the query (variable-valued seed) and we fall through.
+        counted = batch(atoms, instance, query.answer_variables,
+                        comparisons=query.comparisons,
+                        preordered=plan is not None)
+        if counted is not None:
+            return counted
     counts: AnswerCounts = {}
     for homomorphism in matcher.find_homomorphisms(
             atoms, instance, comparisons=query.comparisons,

@@ -11,17 +11,23 @@ single fast matching engine under all of them:
   fired, rounds, ...);
 * :mod:`repro.engine.matching` — the :class:`IndexedMatcher` (hash-index
   probes + selectivity-ordered joins) and the :class:`NaiveMatcher`
-  (row-by-row reference oracle wrapping :mod:`repro.datalog.unify`).
+  (row-by-row reference oracle wrapping :mod:`repro.datalog.unify`);
+* :mod:`repro.engine.columnar` — the :class:`ColumnarMatcher`, evaluating
+  conjunctions set-at-a-time over interned-int column stores with cached
+  specialized join functions (vectorized with numpy when available, plain
+  lists otherwise).
 
-Engine selection: evaluators take an ``engine=`` argument (``"indexed"`` or
-``"naive"``); when omitted they use the process-wide default, settable with
-:func:`set_default_engine` — handy to flip an entire pipeline onto the naive
-reference when debugging.  See ``docs/ARCHITECTURE.md``.
+Engine selection: evaluators take an ``engine=`` argument (``"indexed"``,
+``"naive"`` or ``"columnar"``); when omitted they use the process-wide
+default, settable with :func:`set_default_engine` — handy to flip an entire
+pipeline onto the naive reference when debugging, or onto the columnar path
+for batch-heavy workloads.  See ``docs/ARCHITECTURE.md``.
 """
 
-from .matching import (INDEXED, NAIVE, DeltaJoinPlan, IndexedMatcher, Matcher,
-                       NaiveMatcher, get_default_engine, iter_delta_joins,
-                       matcher_for, resolve_engine, set_default_engine)
+from .matching import (COLUMNAR, INDEXED, NAIVE, DeltaJoinPlan,
+                       IndexedMatcher, Matcher, NaiveMatcher,
+                       get_default_engine, iter_delta_joins, matcher_for,
+                       resolve_engine, set_default_engine)
 from .stats import EngineStats
 from .versioning import InstanceVersion, ReadTransaction, VersionStore
 
@@ -32,11 +38,14 @@ _SESSION_EXPORTS = ("MaterializedProgram", "QuerySession", "UpdateResult",
                     "BatchAnswers", "MaintainedAnswers")
 _SNAPSHOT_EXPORTS = ("save_program", "load_program", "load_extras",
                      "read_document")
+#: served lazily too: the columnar module is only imported when used
+_COLUMNAR_EXPORTS = ("ColumnarMatcher", "BindingTable")
 
 __all__ = [
     "EngineStats",
     "Matcher", "IndexedMatcher", "NaiveMatcher",
-    "INDEXED", "NAIVE",
+    "INDEXED", "NAIVE", "COLUMNAR",
+    *_COLUMNAR_EXPORTS,
     "matcher_for", "resolve_engine", "get_default_engine", "set_default_engine",
     "iter_delta_joins", "DeltaJoinPlan",
     "VersionStore", "InstanceVersion", "ReadTransaction",
@@ -52,4 +61,7 @@ def __getattr__(name):
     if name in _SNAPSHOT_EXPORTS:
         from . import snapshot
         return getattr(snapshot, name)
+    if name in _COLUMNAR_EXPORTS:
+        from . import columnar
+        return getattr(columnar, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

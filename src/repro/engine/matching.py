@@ -59,13 +59,14 @@ from .stats import EngineStats
 
 INDEXED = "indexed"
 NAIVE = "naive"
+COLUMNAR = "columnar"
 
-_ENGINES = (INDEXED, NAIVE)
+_ENGINES = (INDEXED, NAIVE, COLUMNAR)
 _default_engine = INDEXED
 
 
 def set_default_engine(engine: str) -> None:
-    """Set the process-wide default engine (``"indexed"`` or ``"naive"``)."""
+    """Set the process-wide default engine (one of ``_ENGINES``)."""
     global _default_engine
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known engines: {_ENGINES}")
@@ -145,7 +146,7 @@ class NaiveMatcher(Matcher):
         if not instance.has_relation(atom.predicate):
             self.stats.empty_lookups += 1
             return
-        for row in instance.relation(atom.predicate):
+        for row in instance.relation(atom.predicate):  # per-tuple: ok — the naive oracle is row-at-a-time by definition
             self.stats.rows_scanned += 1
             matched = match_atom_against_row(atom, row, substitution)
             if matched is not None:
@@ -209,7 +210,7 @@ class IndexedMatcher(Matcher):
                 tuple(bound_positions), tuple(bound_values))
         else:
             candidates = relation.rows()
-        for row in candidates:
+        for row in candidates:  # per-tuple: ok — single-atom probe, candidates already index-narrowed
             self.stats.rows_scanned += 1
             matched = match_atom_against_row(atom, row, current)
             if matched is not None:
@@ -351,7 +352,7 @@ class DeltaJoinPlan:
             return {relation.schema.name: relation.rows()
                     for relation in delta if len(relation)}
         grouped: Dict[str, List[Tuple[Any, ...]]] = {}
-        for predicate, row in delta:
+        for predicate, row in delta:  # per-tuple: ok — delta rows are O(update), not O(data)
             grouped.setdefault(predicate, []).append(tuple(row))
         return grouped
 
@@ -368,6 +369,12 @@ class DeltaJoinPlan:
         head facts into a set) may disable it.
         """
         matcher = self.matcher
+        batch = getattr(matcher, "delta_substitutions", None)
+        if batch is not None:
+            # The columnar matcher joins all delta rows of a pivot at once
+            # (set-at-a-time) instead of running the per-row loop below.
+            yield from batch(self, instance, delta, dedupe=dedupe)
+            return
         grouped = self._delta_rows(delta)
         if not grouped:
             return
@@ -379,7 +386,7 @@ class DeltaJoinPlan:
             live_relation = instance.relation(pivot_atom.predicate)
             rest = self._rest[pivot]
             plan = self._plan_for(pivot, instance) if rest else []
-            for row in rows:
+            for row in rows:  # per-tuple: ok — tuple-at-a-time engines pivot row by row
                 if row not in live_relation:
                     continue
                 matcher.stats.rows_scanned += 1
@@ -400,6 +407,30 @@ class DeltaJoinPlan:
                             continue
                         seen.add(key)
                     yield homomorphism
+
+    def projected_counts(self, instance: DatabaseInstance, delta: DeltaLike,
+                         project: Optional[Sequence[Variable]] = None
+                         ) -> Dict[Tuple[Any, ...], int]:
+        """Deduplicated delta homomorphisms, counted per projected row.
+
+        The counting form of :meth:`homomorphisms`: each distinct valuation
+        of the plan's ``variables`` contributes 1 to the count of its
+        projection onto ``project`` (default: the plan's variables).  This
+        is exactly the bulk ±support the session layer's counting IVM
+        applies per answer row; the columnar matcher computes it without
+        materializing substitutions, other engines fall back to the
+        homomorphism loop.
+        """
+        projection = tuple(project) if project is not None else self.variables
+        batch = getattr(self.matcher, "batch_delta_counts", None)
+        if batch is not None:
+            return batch(self, instance, delta, projection)
+        counts: Dict[Tuple[Any, ...], int] = {}
+        for homomorphism in self.homomorphisms(instance, delta, dedupe=True):
+            row = tuple(term_value(apply_to_term(homomorphism, variable))
+                        for variable in projection)
+            counts[row] = counts.get(row, 0) + 1
+        return counts
 
 
 def iter_delta_joins(matcher: Matcher, body: Sequence[Atom],
@@ -431,4 +462,7 @@ def matcher_for(engine: Optional[str] = None,
         stats.engine = resolved
     if resolved == NAIVE:
         return NaiveMatcher(stats)
+    if resolved == COLUMNAR:
+        from .columnar import ColumnarMatcher  # lazy: avoids an import cycle
+        return ColumnarMatcher(stats)
     return IndexedMatcher(stats)

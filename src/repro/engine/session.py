@@ -50,8 +50,7 @@ from ..datalog.chase import ChaseEngine, ChaseResult, Fact, RESTRICTED
 from ..datalog.parser import parse_query
 from ..datalog.program import DatalogProgram
 from ..datalog.rules import ConjunctiveQuery
-from ..datalog.terms import term_value
-from ..datalog.unify import apply_to_term, comparison_bindings
+from ..datalog.unify import comparison_bindings
 from ..errors import UnknownRelationError
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null, NullFactory
@@ -151,7 +150,7 @@ class MaintainedAnswers:
     """
 
     __slots__ = ("cq", "key", "predicates", "counts", "version", "plan",
-                 "_rows")
+                 "_rows", "last_used")
 
     def __init__(self, cq: ConjunctiveQuery, counts: AnswerCounts,
                  version: int, plan: Optional[DeltaJoinPlan] = None):
@@ -161,6 +160,8 @@ class MaintainedAnswers:
         self.counts = counts
         self.version = version
         self.plan = plan
+        #: recency stamp driving the session's support-count budget (LRU)
+        self.last_used = 0
         #: per flavour: (sorted answer rows, their parallel sort keys)
         self._rows: Dict[bool, Tuple[Answers, Tuple[Tuple[str, ...], ...]]] = {}
 
@@ -252,8 +253,8 @@ class MaterializedProgram:
         copied (twice: the pristine EDB for re-chases, and the instance the
         chase materializes into).
     engine:
-        Matching engine (``"indexed"``/``"naive"``; ``None`` = process
-        default).
+        Matching engine (``"indexed"``/``"naive"``/``"columnar"``;
+        ``None`` = process default).
     max_steps:
         Trigger budget per chase/maintenance run.
     record_provenance:
@@ -648,7 +649,8 @@ class QuerySession:
     """
 
     def __init__(self, materialized: Union[MaterializedProgram, DatalogProgram],
-                 engine: Optional[str] = None, maintain_answers: bool = True):
+                 engine: Optional[str] = None, maintain_answers: bool = True,
+                 support_budget: Optional[int] = None):
         if isinstance(materialized, DatalogProgram):
             materialized = MaterializedProgram(materialized, engine=engine)
         self.materialized = materialized
@@ -657,6 +659,14 @@ class QuerySession:
         #: maintain cached answers by delta (counting IVM); ``False`` falls
         #: back to predicate-level invalidation + re-answering
         self.maintain_answers = maintain_answers
+        #: bound on the total maintained support-count rows held across all
+        #: :class:`MaintainedAnswers` entries (``None`` = unbounded).  When
+        #: exceeded, least-recently-used entries are evicted (counted in
+        #: ``stats.support_evictions``); the most recently used entry is
+        #: always retained, and an evicted query simply re-answers and
+        #: re-seeds on its next read.
+        self.support_budget = support_budget
+        self._support_clock = 0
         #: lifetime matching work + cache counters of this session
         self.stats = EngineStats(engine=self.engine)
         self._matcher: Matcher = matcher_for(self.engine, self.stats)
@@ -773,11 +783,14 @@ class QuerySession:
             vanished: Set[AnswerTuple] = set()
             appeared: Dict[AnswerTuple, None] = {}
             consistent = True
-            for homomorphism in plan.homomorphisms(previous,
-                                                   update.removed_facts):
-                row = tuple(term_value(apply_to_term(homomorphism, variable))
-                            for variable in cq.answer_variables)
-                support = counts.get(row, 0) - 1
+            # Bulk ± per answer row: projected_counts deduplicates the delta
+            # homomorphisms and pre-aggregates them per projection (the
+            # columnar engine computes this without materializing a single
+            # substitution; other engines loop internally).
+            for row, lost in plan.projected_counts(
+                    previous, update.removed_facts,
+                    cq.answer_variables).items():
+                support = counts.get(row, 0) - lost
                 if support < 0:
                     consistent = False  # counts out of sync: never serve them
                     break
@@ -789,15 +802,15 @@ class QuerySession:
             if not consistent:
                 self.stats.maintenance_fallbacks += 1
                 continue
-            for homomorphism in plan.homomorphisms(working,
-                                                   update.added_facts):
-                row = tuple(term_value(apply_to_term(homomorphism, variable))
-                            for variable in cq.answer_variables)
+            for row, gained in plan.projected_counts(
+                    working, update.added_facts,
+                    cq.answer_variables).items():
                 support = counts.get(row, 0)
                 if support == 0:
                     appeared[row] = None
-                counts[row] = support + 1
+                counts[row] = support + gained
             fresh = MaintainedAnswers(cq, counts, version, plan)
+            fresh.last_used = entry.last_used  # maintenance is not a *use*
             fresh._patch_rows(entry, vanished, list(appeared))
             fresh.rows()  # warm the certain flavour outside the lock
             refreshed.append(fresh)
@@ -839,6 +852,33 @@ class QuerySession:
             self._maintained.pop(key, None)
         for entry in refreshed:
             self._maintained[entry.key] = entry
+        self._evict_support()
+
+    def _touch_entry(self, entry: MaintainedAnswers) -> None:
+        """Stamp ``entry`` as just-used (drives LRU support eviction)."""
+        self._support_clock += 1
+        entry.last_used = self._support_clock
+
+    def _evict_support(self) -> None:
+        """Enforce ``support_budget`` over the maintained support counts.
+
+        Evicts least-recently-used :class:`MaintainedAnswers` entries until
+        the total number of support-count rows fits the budget (the most
+        recently used entry is always kept, so a single oversized answer
+        set cannot thrash).  Runs under the version store's lock, same as
+        every other mutation of ``_maintained``.  Evicted queries lose only
+        cached state: their next read re-answers and re-seeds.
+        """
+        budget = self.support_budget
+        if budget is None or len(self._maintained) <= 1:
+            return
+        total = sum(len(entry.counts) for entry in self._maintained.values())
+        while total > budget and len(self._maintained) > 1:
+            victim = min(self._maintained.values(),
+                         key=lambda entry: entry.last_used)
+            self._maintained.pop(victim.key, None)
+            total -= len(victim.counts)
+            self.stats.support_evictions += 1
 
     # -- answering ----------------------------------------------------------
 
@@ -874,6 +914,7 @@ class QuerySession:
         entry = self._maintained.get(key)
         if entry is not None and entry.version <= pinned.version:
             self.stats.cache_hits += 1
+            self._touch_entry(entry)
             return entry.rows(allow_nulls)
         cache_key = (key, allow_nulls)
         cached = self._answers.get(cache_key)
@@ -898,7 +939,9 @@ class QuerySession:
                     if existing is None or existing.version <= pinned.version:
                         fresh = MaintainedAnswers(cq, counts, pinned.version)
                         fresh._seed_rows(allow_nulls, result)
+                        self._touch_entry(fresh)
                         self._maintained[key] = fresh
+                        self._evict_support()
                 else:
                     previous = self._answers.get(cache_key)
                     if previous is None or previous[1] <= pinned.version:
@@ -926,6 +969,7 @@ class QuerySession:
         entry = self._maintained.get(str(cq))
         if entry is not None and entry.version <= pinned.version:
             self.stats.cache_hits += 1
+            self._touch_entry(entry)
             return bool(entry.counts)
         if self.maintain_answers:
             return bool(self._answers_at(pinned, cq, allow_nulls=True))

@@ -57,6 +57,17 @@ class EngineStats:
     #: maintain (EGD merges, full re-chases, missing fact deltas) — the next
     #: read re-answers from scratch
     maintenance_fallbacks: int = 0
+    #: batch probe steps executed by the columnar engine (one per body atom
+    #: per set-at-a-time join, instead of one probe per candidate row)
+    batch_joins: int = 0
+    #: candidate rows gathered by batch probe steps (the columnar analogue
+    #: of ``rows_scanned``: gathered in bulk, not iterated in Python)
+    rows_batch_scanned: int = 0
+    #: specialized join functions replayed from the columnar codegen cache
+    codegen_cache_hits: int = 0
+    #: maintained answer-count entries evicted to honor the session's
+    #: support-count budget (their next read re-answers and re-seeds)
+    support_evictions: int = 0
 
     @classmethod
     def counter_names(cls) -> Tuple[str, ...]:

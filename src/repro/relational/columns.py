@@ -1,0 +1,180 @@
+"""Interned-int column storage mirrored onto relations.
+
+A :class:`ColumnStore` is the columnar face of one
+:class:`~repro.relational.instance.Relation`: the same tuples, kept as one
+``array('q')`` of :class:`~repro.relational.values.ValueCatalog` codes per
+attribute position.  The batch join kernels of
+:mod:`repro.engine.columnar` operate on these code columns — probing a
+cached *group index* (code key → row slots), then gathering whole columns
+at once — instead of matching tuple-at-a-time through Python dicts.
+
+Stores are built **lazily** on first columnar access (a relation that is
+never matched by the columnar engine pays nothing, and snapshot restores
+that assign rows wholesale rebuild columns on first use) and from then on
+maintained incrementally by ``Relation.add``/``discard``.  Deletion uses
+swap-remove so the columns stay dense; every mutation bumps a generation
+counter that invalidates the cached numpy views and group indexes.
+
+numpy is **optional**: when importable (and not disabled via the
+``REPRO_NO_NUMPY`` environment variable) columns are additionally exposed
+as cached ``int64`` ndarrays and the kernels vectorize; otherwise the same
+kernels run over plain Python lists.  Both paths are exercised by the
+columnar differential suite.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .values import value_catalog
+
+if os.environ.get("REPRO_NO_NUMPY") == "1":
+    _np = None
+else:
+    try:
+        import numpy as _np
+    except Exception:  # pragma: no cover - depends on the environment
+        _np = None
+
+
+def have_numpy() -> bool:
+    """``True`` when the vectorized (numpy) kernel path is active."""
+    return _np is not None
+
+
+Row = Tuple[Any, ...]
+
+
+class ColumnStore:
+    """Dense code columns over one relation's tuples (see module docstring)."""
+
+    __slots__ = ("arity", "_columns", "_rows", "_pos", "generation",
+                 "_np_columns", "_np_generation", "_groups")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        #: one array('q') of catalog codes per attribute position
+        self._columns: List[array] = [array("q") for _ in range(arity)]
+        #: slot -> row (parallel to the columns)
+        self._rows: List[Row] = []
+        #: row -> slot (drives swap-remove deletion)
+        self._pos: Dict[Row, int] = {}
+        #: bumped on every mutation; invalidates caches derived from columns
+        self.generation = 0
+        self._np_columns: Optional[list] = None
+        self._np_generation = -1
+        #: positions tuple -> {code key -> slot list/array} (generation-cached)
+        self._groups: Dict[Tuple[int, ...], Dict[Any, Sequence[int]]] = {}
+
+    @classmethod
+    def build(cls, arity: int, rows: Iterable[Row]) -> "ColumnStore":
+        """Encode ``rows`` into a fresh store (bulk path, no invalidation)."""
+        store = cls(arity)
+        code = value_catalog().code
+        columns = store._columns
+        slot_of = store._pos
+        slots = store._rows
+        for row in rows:
+            slot_of[row] = len(slots)
+            slots.append(row)
+            for position in range(arity):
+                columns[position].append(code(row[position]))
+        return store
+
+    # -- mutation (driven by Relation.add/discard) ---------------------------
+
+    def append(self, row: Row) -> None:
+        """Append one (guaranteed-new) row's codes."""
+        code = value_catalog().code
+        self._pos[row] = len(self._rows)
+        self._rows.append(row)
+        for position, column in enumerate(self._columns):
+            column.append(code(row[position]))
+        self._invalidate()
+
+    def discard(self, row: Row) -> None:
+        """Swap-remove one (guaranteed-present) row, keeping columns dense."""
+        slot = self._pos.pop(row)
+        last = len(self._rows) - 1
+        if slot != last:
+            moved = self._rows[last]
+            self._rows[slot] = moved
+            self._pos[moved] = slot
+            for column in self._columns:
+                column[slot] = column[last]
+        self._rows.pop()
+        for column in self._columns:
+            column.pop()
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self.generation += 1
+        self._np_columns = None
+        if self._groups:
+            self._groups.clear()
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, position: int) -> array:
+        """The raw code column at ``position`` (treat as read-only)."""
+        return self._columns[position]
+
+    def np_columns(self) -> list:
+        """All columns as cached ``int64`` ndarrays (numpy path only)."""
+        if self._np_generation != self.generation or self._np_columns is None:
+            # np.array (not asarray): a buffer-protocol *view* over the
+            # array('q') would lock it against resizing appends.
+            self._np_columns = [_np.array(column, dtype=_np.int64)
+                                for column in self._columns]
+            self._np_generation = self.generation
+        return self._np_columns
+
+    def group_index(self, positions: Tuple[int, ...]) -> Dict[Any, Sequence[int]]:
+        """Code key at ``positions`` → slots carrying it (generation-cached).
+
+        The columnar analogue of ``Relation.index_on``: one dict probe per
+        binding row answers "which stored rows agree with these codes".
+        Keys are a bare int for single-position indexes, a code tuple
+        otherwise; slot buckets are ``int64`` ndarrays on the numpy path
+        (ready for fancy-index gathers) and plain lists on the fallback.
+        """
+        groups = self._groups.get(positions)
+        if groups is None:
+            groups = {}
+            if len(positions) == 1:
+                for slot, code in enumerate(self._columns[positions[0]]):
+                    bucket = groups.get(code)
+                    if bucket is None:
+                        groups[code] = [slot]
+                    else:
+                        bucket.append(slot)
+            else:
+                columns = [self._columns[p] for p in positions]
+                for slot, key in enumerate(zip(*columns)):
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [slot]
+                    else:
+                        bucket.append(slot)
+            if _np is not None:
+                groups = {key: _np.asarray(bucket, dtype=_np.int64)
+                          for key, bucket in groups.items()}
+            self._groups[positions] = groups
+        return groups
+
+    def copy(self) -> "ColumnStore":
+        """An independent copy (C-level array/dict duplication)."""
+        clone = ColumnStore(self.arity)
+        clone._columns = [array("q", column) for column in self._columns]
+        clone._rows = list(self._rows)
+        clone._pos = dict(self._pos)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ColumnStore(arity={self.arity}, rows={len(self._rows)}, "
+                f"generation={self.generation})")

@@ -45,6 +45,12 @@ class Relation:
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Dict[Row, None]]] = {}
         #: value-occurrence index (built on demand): value -> rows containing it
         self._value_index: Optional[Dict[Any, Dict[Row, None]]] = None
+        #: interned-int column mirror (built on demand by the columnar engine)
+        self._column_store: Optional["ColumnStore"] = None
+        #: bumped on every effective mutation; versions the snapshot cache
+        self._mutations = 0
+        #: (mutation stamp, clone) of the last snapshot — shared while valid
+        self._snapshot_cache: Optional[Tuple[int, "Relation"]] = None
         for row in rows:
             self.add(row)
 
@@ -57,12 +63,15 @@ class Relation:
         if key in self._rows:
             return False
         self._rows[key] = None
+        self._mutations += 1
         if self._indexes:
             for positions, index in self._indexes.items():
                 index.setdefault(tuple(key[p] for p in positions), {})[key] = None
         if self._value_index is not None:
             for value in set(key):
                 self._value_index.setdefault(value, {})[key] = None
+        if self._column_store is not None:
+            self._column_store.append(key)
         return True
 
     def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -74,6 +83,9 @@ class Relation:
         key = tuple(row)
         if key in self._rows:
             del self._rows[key]
+            self._mutations += 1
+            if self._column_store is not None:
+                self._column_store.discard(key)
             if self._indexes:
                 for positions, index in self._indexes.items():
                     bucket_key = tuple(key[p] for p in positions)
@@ -97,6 +109,8 @@ class Relation:
         self._rows.clear()
         self._indexes.clear()
         self._value_index = None
+        self._column_store = None
+        self._mutations += 1
 
     # -- indexing -----------------------------------------------------------
 
@@ -138,6 +152,21 @@ class Relation:
     def index_count(self) -> int:
         """How many pattern indexes are currently materialized (for stats)."""
         return len(self._indexes) + (1 if self._value_index is not None else 0)
+
+    def column_store(self) -> "ColumnStore":
+        """The interned-int column mirror (built lazily, then maintained).
+
+        The columnar engine's batch kernels operate on this store; relations
+        never touched by the columnar engine don't build one.  Snapshot
+        restores assign rows wholesale to *fresh* relations, so a restored
+        relation simply rebuilds its columns here on first columnar access.
+        """
+        store = self._column_store
+        if store is None:
+            from .columns import ColumnStore
+            store = ColumnStore.build(self.schema.arity, self._rows)
+            self._column_store = store
+        return store
 
     # -- inspection ---------------------------------------------------------
 
@@ -190,11 +219,23 @@ class Relation:
         """A fast structural copy for version publication.
 
         Unlike :meth:`copy` (which re-inserts row by row), the snapshot
-        duplicates the row dictionary and the already-built position-pattern
-        indexes at the C level, so probes against the snapshot keep costing
-        one dict lookup without a rebuild.  The occurrence index is dropped:
-        it only serves EGD merges, which never run on published versions.
+        duplicates the row dictionary, the already-built position-pattern
+        indexes and the column store at the C level, so probes against the
+        snapshot keep costing one dict lookup without a rebuild.  The
+        occurrence index is dropped: it only serves EGD merges, which never
+        run on published versions.
+
+        Snapshots are **copy-on-write across publications**: the clone is
+        cached with the relation's mutation stamp, and as long as the
+        relation has not been mutated since, the *same* clone object is
+        returned — publishing an untouched relation costs one counter
+        comparison instead of re-copying every index bucket.  Sharing is
+        safe because published relations are immutable by contract (see
+        :meth:`DatabaseInstance.attach`).
         """
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == self._mutations:
+            return cached[1]
         clone = Relation.__new__(Relation)
         clone.schema = self.schema
         clone._rows = dict(self._rows)
@@ -203,6 +244,11 @@ class Relation:
             for positions, index in self._indexes.items()
         }
         clone._value_index = None
+        clone._column_store = None if self._column_store is None \
+            else self._column_store.copy()
+        clone._mutations = 0
+        clone._snapshot_cache = None
+        self._snapshot_cache = (self._mutations, clone)
         return clone
 
     def __eq__(self, other: object) -> bool:

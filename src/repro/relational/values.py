@@ -18,8 +18,9 @@ helpers shared by the relational algebra and the Datalog± engine.
 from __future__ import annotations
 
 import sys
+import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -136,6 +137,83 @@ _INTERNER = ValueInterner()
 def intern_value(value: Any) -> Any:
     """Intern ``value`` in the process-wide :class:`ValueInterner`."""
     return _INTERNER.intern(value)
+
+
+class ValueCatalog:
+    """Bijective value ↔ dense-int dictionary encoding for columnar storage.
+
+    Every distinct stored value (constants and labeled nulls alike) is
+    assigned one small integer *code*; column stores
+    (:mod:`repro.relational.columns`) keep rows as parallel arrays of codes,
+    so the batch join kernels compare machine integers instead of hashing
+    Python objects.  Codes are process-wide and **append-only**: once a
+    value has a code, the pair never changes, which is what lets compiled
+    join functions bake constant codes into their probe keys and lets
+    column stores built at different times join against each other.
+
+    Equality follows Python value equality (the same semantics the row
+    dictionaries already use), so ``1``, ``1.0`` and ``True`` share one
+    code whose canonical value is whichever object registered first —
+    exactly mirroring :class:`ValueInterner`'s canonicalization.
+
+    Registration is guarded by a lock (the serving daemon matches from
+    several threads); the hot read path is a single unlocked ``dict.get``.
+    """
+
+    __slots__ = ("_codes", "_values", "_null_flags", "_lock")
+
+    def __init__(self):
+        self._codes: Dict[Any, int] = {}
+        self._values: List[Any] = []
+        #: parallel to ``_values``: 1 where the value is a labeled null
+        self._null_flags = bytearray()
+        self._lock = threading.Lock()
+
+    def code(self, value: Any) -> int:
+        """The code of ``value``, registering it if unseen."""
+        found = self._codes.get(value)
+        if found is not None:
+            return found
+        with self._lock:
+            found = self._codes.get(value)
+            if found is None:
+                found = len(self._values)
+                self._values.append(value)
+                self._null_flags.append(1 if isinstance(value, Null) else 0)
+                self._codes[value] = found
+            return found
+
+    def try_code(self, value: Any) -> Optional[int]:
+        """The code of ``value`` if it is registered, else ``None``."""
+        return self._codes.get(value)
+
+    def value(self, code: int) -> Any:
+        """The canonical value registered under ``code``."""
+        return self._values[code]
+
+    def values(self) -> List[Any]:
+        """The code → value decode table (treat as read-only; index by code)."""
+        return self._values
+
+    def null_flags(self) -> bytearray:
+        """Per-code null flags (treat as read-only; index by code)."""
+        return self._null_flags
+
+    def is_null_code(self, code: int) -> bool:
+        """``True`` if ``code`` encodes a labeled null."""
+        return bool(self._null_flags[code])
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+#: the process-wide catalog shared by every column store and join kernel
+_CATALOG = ValueCatalog()
+
+
+def value_catalog() -> ValueCatalog:
+    """The process-wide :class:`ValueCatalog`."""
+    return _CATALOG
 
 
 def is_null(value: Any) -> bool:

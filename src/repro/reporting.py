@@ -108,7 +108,10 @@ def render_engine_stats(stats: EngineStats, markdown: bool = False) -> str:
 
     The counters come from the shared matching engine: rows actually
     scanned, index probes, triggers fired, fixpoint rounds, rule evaluations
-    skipped by the delta discipline, and rows rewritten by EGD merges.
+    skipped by the delta discipline, rows rewritten by EGD merges, and the
+    columnar path's batch counters (``batch_joins``, ``rows_batch_scanned``,
+    ``codegen_cache_hits``) plus the session layer's support-count
+    evictions — every :class:`EngineStats` field renders automatically.
     """
     return render_table(("counter", "value"), list(stats.as_dict().items()),
                         markdown=markdown)

@@ -697,7 +697,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--program", metavar="FILE",
                         help="serve this Datalog± program text instead of "
                              "the default hospital quality session")
-    parser.add_argument("--engine", choices=("indexed", "naive"))
+    parser.add_argument("--engine", choices=("indexed", "naive", "columnar"))
     parser.add_argument("--no-sync", action="store_true",
                         help="skip fsync on WAL appends (faster; durable "
                              "against process crashes, not power loss)")

@@ -8,6 +8,14 @@ actually relies on in CI:
   anywhere in the module (attribute roots count; ``__all__`` strings count;
   names re-exported by ``__init__`` modules via ``__all__`` count);
 * **duplicate imports** — the same name imported twice at module level;
+* **per-tuple loops in engine hot sections** — a ``for`` statement binding
+  a ``row`` (or iterating ``.rows()``) inside the matching-engine modules
+  (``engine/matching.py``, ``engine/columnar.py``): the columnar engine
+  exists so that relation-sized iteration happens in batch kernels, not in
+  Python loops.  Loops that are genuinely per-tuple-sized (delta rows,
+  result rows) or deliberately row-at-a-time (the naive oracle) carry a
+  ``# per-tuple: ok — <reason>`` comment on the loop line or the line
+  above, which suppresses the check;
 * **syntax errors** — files that do not parse at all.
 
 Usage::
@@ -63,12 +71,46 @@ def _used_names(tree: ast.Module) -> Set[str]:
     return used
 
 
+#: modules whose inner loops are the engine hot path (see module docstring)
+HOT_MODULES = ("engine/matching.py", "engine/columnar.py")
+SUPPRESS = "# per-tuple: ok"
+
+
+def _binds_row(target: ast.AST) -> bool:
+    return any(isinstance(node, ast.Name) and node.id == "row"
+               for node in ast.walk(target))
+
+
+def _iterates_rows(iterated: ast.AST) -> bool:
+    return (isinstance(iterated, ast.Call)
+            and isinstance(iterated.func, ast.Attribute)
+            and iterated.func.attr == "rows")
+
+
+def _per_tuple_loops(path: Path, tree: ast.Module,
+                     lines: List[str]) -> Iterator[str]:
+    if not str(path).replace("\\", "/").endswith(HOT_MODULES):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.For):
+            continue
+        if not (_binds_row(node.target) or _iterates_rows(node.iter)):
+            continue
+        nearby = lines[max(node.lineno - 2, 0):node.lineno]
+        if any(SUPPRESS in line for line in nearby):
+            continue
+        yield (f"{path}:{node.lineno}: per-tuple row loop in an engine hot "
+               f"section (batch it, or annotate '{SUPPRESS} — <reason>')")
+
+
 def lint_file(path: Path) -> Iterator[str]:
+    source = path.read_text(encoding="utf-8")
     try:
-        tree = ast.parse(path.read_text(encoding="utf-8"))
+        tree = ast.parse(source)
     except SyntaxError as error:
         yield f"{path}:{error.lineno}: syntax error: {error.msg}"
         return
+    yield from _per_tuple_loops(path, tree, source.splitlines())
     imported = _imported_names(tree)
     used = _used_names(tree)
     seen: Set[str] = set()
