@@ -176,6 +176,8 @@ class ChaseEngine:
             provenance = {}
         stats = EngineStats(engine=self.engine)
         matcher = matcher_for(self.engine, stats)
+        merge_counter = self._index_merge_counter(matcher)
+        merge_base = merge_counter() if merge_counter else 0
 
         if self.engine == NAIVE:
             steps, rounds, egd_merges = self._run_naive(
@@ -187,6 +189,8 @@ class ChaseEngine:
         stats.triggers_fired = steps
         stats.rounds = rounds
         stats.egd_merges = egd_merges
+        if merge_counter:
+            stats.index_delta_merges = merge_counter() - merge_base
 
         violations = self._check_constraints(program.constraints, instance, matcher) \
             if self.check_constraints else []
@@ -221,14 +225,15 @@ class ChaseEngine:
         instance = program.database
         stats = EngineStats(engine=self.engine)
         matcher = matcher_for(self.engine, stats)
+        merge_counter = self._index_merge_counter(matcher)
+        merge_base = merge_counter() if merge_counter else 0
 
         if self.engine == NAIVE:
             steps, rounds, egd_merges = self._run_naive(
                 program, instance, nulls, matcher, provenance)
         else:
-            seed_delta = DatabaseInstance(instance.schema)
-            for predicate, row in seed:
-                seed_delta.add(predicate, row)
+            seed_delta: List[Fact] = [(predicate, tuple(row))
+                                      for predicate, row in seed]
             steps, rounds, egd_merges = self._run_delta(
                 program, instance, nulls, matcher, provenance,
                 initial_delta=seed_delta)
@@ -236,6 +241,8 @@ class ChaseEngine:
         stats.triggers_fired = steps
         stats.rounds = rounds
         stats.egd_merges = egd_merges
+        if merge_counter:
+            stats.index_delta_merges = merge_counter() - merge_base
         return ChaseResult(
             instance=instance, steps=steps, rounds=rounds, terminated=True,
             mode=self.mode, egd_merges=egd_merges, violations=[],
@@ -264,19 +271,22 @@ class ChaseEngine:
         instance = program.database
         stats = EngineStats(engine=self.engine)
         matcher = matcher_for(self.engine, stats)
+        merge_counter = self._index_merge_counter(matcher)
+        merge_base = merge_counter() if merge_counter else 0
 
         if self.engine == NAIVE:
             steps, rounds, egd_merges = self._run_naive(
                 program, instance, nulls, matcher, provenance)
         else:
             steps = 0
-            seed_delta = DatabaseInstance(instance.schema)
+            seed_delta: List[Fact] = []
             heads_by_predicate: Dict[str, List[Tuple[TGD, Atom, Set[Variable]]]] = {}
             for tgd in program.tgds:
                 existentials = set(tgd.existential_variables())
                 for atom in tgd.head:
                     heads_by_predicate.setdefault(atom.predicate, []).append(
                         (tgd, atom, existentials))
+            # per-tuple: ok — deleted facts are O(update), not O(data)
             for predicate, row in deleted:
                 for tgd, head_atom, existentials in \
                         heads_by_predicate.get(predicate, ()):
@@ -293,19 +303,20 @@ class ChaseEngine:
                         if self._head_satisfied(tgd, homomorphism, instance,
                                                 matcher):
                             continue
-                        for head_predicate, head_row in self._apply_tgd(
-                                tgd, homomorphism, instance, nulls, provenance):
-                            seed_delta.add(head_predicate, head_row)
+                        seed_delta.extend(self._apply_tgd(
+                            tgd, homomorphism, instance, nulls, provenance))
                         steps += 1
                         self._check_budget(steps)
             more_steps, rounds, egd_merges = self._run_delta(
                 program, instance, nulls, matcher, provenance,
-                initial_delta=seed_delta) if seed_delta.total_tuples() else (0, 0, 0)
+                initial_delta=seed_delta) if seed_delta else (0, 0, 0)
             steps += more_steps
 
         stats.triggers_fired = steps
         stats.rounds = rounds
         stats.egd_merges = egd_merges
+        if merge_counter:
+            stats.index_delta_merges = merge_counter() - merge_base
         return ChaseResult(
             instance=instance, steps=steps, rounds=rounds, terminated=True,
             mode=self.mode, egd_merges=egd_merges, violations=[],
@@ -375,17 +386,30 @@ class ChaseEngine:
         for relation in instance:
             stats.rows_scanned += len(relation)
             affected = [row for row in relation.rows() if old in row]
-            for row in affected:
+            for row in affected:  # per-tuple: ok — naive engine, reference semantics
                 relation.discard(row)
                 relation.add(tuple(new if value == old else value for value in row))
                 stats.rows_rewritten += 1
 
     # -- indexed engine: delta-driven rounds ----------------------------------
 
+    def _batcher(self, matcher: Matcher, nulls: NullFactory):
+        """A batched trigger applier, when the engine can feed one.
+
+        Only the columnar matcher exposes the binding-table surface, and only
+        the restricted chase has batch-exact semantics (the oblivious chase
+        needs per-trigger fired memory).  Imported lazily so the indexed
+        engine never pays the columnar import.
+        """
+        if self.mode != RESTRICTED or not hasattr(matcher, "delta_binding_table"):
+            return None
+        from ..engine.triggers import TriggerBatcher
+        return TriggerBatcher(matcher, nulls)
+
     def _run_delta(self, program: DatalogProgram, instance: DatabaseInstance,
                    nulls: NullFactory, matcher: Matcher,
                    provenance: Optional[Provenance] = None,
-                   initial_delta: Optional[DatabaseInstance] = None
+                   initial_delta: Optional[List[Fact]] = None
                    ) -> Tuple[int, int, int]:
         steps = 0
         rounds = 0
@@ -394,6 +418,7 @@ class ChaseEngine:
         tgds = list(program.tgds)
         tgd_body_preds = [tgd.body_predicates() for tgd in tgds]
         egd_body_preds = [egd.body_predicates() for egd in program.egds]
+        batcher = self._batcher(matcher, nulls)
 
         # ``delta`` holds the facts that became true (or were rewritten by EGD
         # merges) in the previous round; ``None`` means "first round, evaluate
@@ -401,15 +426,16 @@ class ChaseEngine:
         # that changed since the last fixpoint — so even the first round is
         # delta-driven.  A rule whose body shares no predicate with the delta
         # cannot have gained a new trigger and is skipped.
-        delta: Optional[DatabaseInstance] = initial_delta
+        delta: Optional[List[Fact]] = initial_delta
         while True:
             rounds += 1
-            new_delta = DatabaseInstance(instance.schema)
+            new_delta: List[Fact] = []
             delta_preds = None if delta is None else \
-                {relation.schema.name for relation in delta if len(relation)}
+                {predicate for predicate, _ in delta}
 
             merges = self._apply_egds_delta(program.egds, egd_body_preds, instance,
-                                            delta, delta_preds, new_delta, matcher)
+                                            delta, delta_preds, new_delta, matcher,
+                                            batcher)
             egd_merges += merges
 
             produced = 0
@@ -417,6 +443,16 @@ class ChaseEngine:
                 if delta_preds is not None and not (tgd_body_preds[index] & delta_preds):
                     matcher.stats.rules_skipped_by_delta += 1
                     continue
+                if batcher is not None:
+                    outcome = batcher.apply(index, tgd, instance, delta,
+                                            provenance)
+                    if outcome is not None:
+                        steps += outcome.fired
+                        produced += outcome.fired
+                        new_delta.extend(outcome.novel)
+                        if outcome.fired:
+                            self._check_budget(steps)
+                        continue
                 triggers = list(iter_delta_joins(
                     matcher, tgd.body, tgd.body_variables(), instance, delta))
                 for homomorphism in triggers:
@@ -429,9 +465,10 @@ class ChaseEngine:
                         applied_triggers.add(trigger_key)
                     elif self._head_satisfied(tgd, homomorphism, instance, matcher):
                         continue
+                    # per-tuple: ok — fallback path for batch-ineligible rules
                     for predicate, row in self._apply_tgd(
                             tgd, homomorphism, instance, nulls, provenance):
-                        new_delta.add(predicate, row)
+                        new_delta.append((predicate, row))
                     steps += 1
                     produced += 1
                     self._check_budget(steps)
@@ -442,11 +479,17 @@ class ChaseEngine:
         return steps, rounds, egd_merges
 
     def _apply_egds_delta(self, egds: Sequence[EGD], egd_body_preds: Sequence[Set[str]],
-                          instance: DatabaseInstance, delta: Optional[DatabaseInstance],
-                          delta_preds: Optional[Set[str]], new_delta: DatabaseInstance,
-                          matcher: Matcher) -> int:
+                          instance: DatabaseInstance, delta: Optional[List[Fact]],
+                          delta_preds: Optional[Set[str]], new_delta: List[Fact],
+                          matcher: Matcher, batcher=None) -> int:
         """Apply EGDs to a fixpoint, delta-driven; rewritten rows feed both the
-        inner fixpoint and the caller's round delta."""
+        inner fixpoint and the caller's round delta.
+
+        With a batcher the candidate triggers are pre-filtered on the code
+        columns (only bindings whose two sides actually differ are decoded);
+        the merges themselves stay per-merge — they are rare and rewrite
+        arbitrary rows through the null-occurrence index.
+        """
         if not egds:
             return 0
         merges = 0
@@ -454,13 +497,17 @@ class ChaseEngine:
         current_preds = delta_preds
         while True:
             pass_merges = 0
-            local_delta = DatabaseInstance(instance.schema)
+            local_delta: List[Fact] = []
             for index, egd in enumerate(egds):
                 if current_preds is not None and not (egd_body_preds[index] & current_preds):
                     matcher.stats.rules_skipped_by_delta += 1
                     continue
-                triggers = list(iter_delta_joins(
-                    matcher, egd.body, egd.body_variables(), instance, current_delta))
+                triggers = batcher.egd_candidates(egd, instance, current_delta) \
+                    if batcher is not None else None
+                if triggers is None:
+                    triggers = list(iter_delta_joins(
+                        matcher, egd.body, egd.body_variables(), instance,
+                        current_delta))
                 for homomorphism in triggers:
                     # Earlier merges may have rewritten this trigger's facts;
                     # the rewritten facts are in the local delta and will be
@@ -471,17 +518,17 @@ class ChaseEngine:
                     if keep_drop is None:
                         continue
                     keep, drop = keep_drop
+                    # per-tuple: ok — rewritten rows are O(merge), not O(data)
                     for predicate, row in self._replace_value_indexed(
                             instance, drop, keep, matcher.stats):
-                        local_delta.add(predicate, row)
-                        new_delta.add(predicate, row)
+                        local_delta.append((predicate, row))
+                        new_delta.append((predicate, row))
                     pass_merges += 1
             if pass_merges == 0:
                 break
             merges += pass_merges
             current_delta = local_delta
-            current_preds = {relation.schema.name for relation in local_delta
-                             if len(relation)}
+            current_preds = {predicate for predicate, _ in local_delta}
         return merges
 
     @staticmethod
@@ -503,6 +550,7 @@ class ChaseEngine:
         rewritten: List[Tuple[str, Tuple]] = []
         for relation in instance:
             stats.index_probes += 1
+            # per-tuple: ok — only rows holding the merged value (occurrence index)
             for row in relation.rows_with_value(old):
                 relation.discard(row)
                 new_row = tuple(new if value == old else value for value in row)
@@ -512,6 +560,17 @@ class ChaseEngine:
         return rewritten
 
     # -- shared pieces --------------------------------------------------------
+
+    @staticmethod
+    def _index_merge_counter(matcher: Matcher):
+        """The process-wide group-index delta-merge counter, when the engine
+        maintains group indexes (columnar only — sampled before/after a run
+        to report ``index_delta_merges``).  Imported lazily so the other
+        engines never load the columns module (and numpy) at all."""
+        if not hasattr(matcher, "delta_binding_table"):
+            return None
+        from ..relational.columns import index_delta_merge_count
+        return index_delta_merge_count
 
     def _check_budget(self, steps: int) -> None:
         if steps > self.max_steps:

@@ -9,12 +9,16 @@ much faster than the general chase because each round only joins the *delta*
 Atom matching goes through the shared engine (:mod:`repro.engine`): with the
 default ``"indexed"`` engine each join probes hash indexes on the bound
 positions, and rules are dispatched per predicate — a rule whose body shares
-no predicate with the delta is skipped without matching anything.
+no predicate with the delta is skipped without matching anything.  The
+columnar engine additionally routes whole rounds through the batched
+trigger path (:mod:`repro.engine.triggers`): the joined binding table
+projects every head atom as code arrays and ``Relation.add_many`` inserts
+them in bulk, its novelty mask yielding the next round's delta directly.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..engine.matching import iter_delta_joins, matcher_for
 from ..engine.stats import EngineStats
@@ -23,6 +27,8 @@ from ..relational.instance import DatabaseInstance
 from .program import DatalogProgram
 from .rules import TGD
 from .unify import apply_to_atom
+
+Fact = Tuple[str, Tuple[Any, ...]]
 
 
 def _check_plain(rules: Sequence[TGD]) -> None:
@@ -34,7 +40,7 @@ def _check_plain(rules: Sequence[TGD]) -> None:
 
 
 def _new_head_facts(rule: TGD, instance: DatabaseInstance,
-                    delta: Optional[DatabaseInstance],
+                    delta: Optional[List[Fact]],
                     matcher) -> List[Tuple[str, Tuple]]:
     """Head facts derivable from ``rule`` using at least one delta atom.
 
@@ -76,24 +82,43 @@ def evaluate_plain_datalog(rules: Sequence[TGD], database: DatabaseInstance,
     # Per-predicate dispatch: which rules can react to new facts of a predicate.
     body_predicates: List[Set[str]] = [rule.body_predicates() for rule in rules]
 
-    delta: Optional[DatabaseInstance] = None
+    # The columnar engine exposes the batched trigger path: whole head
+    # batches instantiated off the joined binding table and bulk-inserted.
+    batch = None
+    contexts: Dict[int, Any] = {}
+    if hasattr(matcher, "delta_binding_table"):
+        from ..engine.triggers import seminaive_head_batches
+        batch = seminaive_head_batches
+
+    delta: Optional[List[Fact]] = None
     for _ in range(max_rounds):
         matcher.stats.rounds += 1
         delta_predicates: Optional[Set[str]] = None if delta is None else \
-            {relation.schema.name for relation in delta if len(relation)}
-        new_delta = DatabaseInstance(instance.schema.copy())
+            {predicate for predicate, _ in delta}
+        new_delta: List[Fact] = []
         produced = 0
         for index, rule in enumerate(rules):
             if delta_predicates is not None and \
                     not (body_predicates[index] & delta_predicates):
                 matcher.stats.rules_skipped_by_delta += 1
                 continue
+            batches = batch(matcher, rule, instance, delta, contexts, index) \
+                if batch is not None else None
+            if batches is not None:
+                for predicate, rows, code_rows in batches:
+                    mask = instance.relation(predicate).add_many(rows, code_rows)
+                    novel = [head_row for head_row, is_new in zip(rows, mask)
+                             if is_new]
+                    new_delta.extend((predicate, head_row)
+                                     for head_row in novel)
+                    produced += len(novel)
+                    matcher.stats.triggers_fired += len(novel)
+                continue
+            # per-tuple: ok — fallback path for batch-ineligible rules/engines
             for predicate, row in _new_head_facts(rule, instance, delta, matcher):
                 if row not in instance.relation(predicate):
                     instance.add(predicate, row)
-                    if not new_delta.has_relation(predicate):
-                        new_delta.declare(predicate, instance.relation(predicate).schema.attributes)
-                    new_delta.add(predicate, row)
+                    new_delta.append((predicate, row))
                     produced += 1
                     matcher.stats.triggers_fired += 1
         if produced == 0:

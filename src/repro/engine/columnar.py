@@ -223,6 +223,44 @@ def _grouped_counts(np, matrix):
     return np.unique(matrix, axis=0, return_counts=True)
 
 
+def _unique_rows(np, matrix, return_index: bool = False):
+    """The distinct rows of an int64 code matrix (mixed-radix packed sort).
+
+    Same packing trick as :func:`_grouped_counts` (codes are dense, so
+    multi-column rows pack collision-free into one int64 key when the
+    catalog size allows), but returning the distinct rows themselves.
+    With ``return_index`` also returns, per distinct row, the index of one
+    representative occurrence in ``matrix`` — the batched trigger path
+    decodes a provenance witness from that representative.
+    """
+    n, width = matrix.shape
+    if width == 1:
+        if return_index:
+            uniq, first = np.unique(matrix[:, 0], return_index=True)
+            return uniq.reshape(-1, 1), first
+        return np.unique(matrix[:, 0]).reshape(-1, 1)
+    radix = len(value_catalog())
+    if radix ** width < (1 << 62):
+        keys = matrix[:, 0].astype(np.int64, copy=True)
+        for j in range(1, width):
+            keys *= radix
+            keys += matrix[:, j]
+        if return_index:
+            uniq_keys, first = np.unique(keys, return_index=True)
+        else:
+            uniq_keys, first = np.unique(keys), None
+        rows = np.empty((uniq_keys.shape[0], width), dtype=np.int64)
+        rest = uniq_keys
+        for j in range(width - 1, 0, -1):
+            rows[:, j] = rest % radix
+            rest = rest // radix
+        rows[:, 0] = rest
+        return (rows, first) if return_index else rows
+    if return_index:
+        return np.unique(matrix, axis=0, return_index=True)
+    return np.unique(matrix, axis=0)
+
+
 # -- probe-step compilation ---------------------------------------------------
 
 #: A compiled probe step:
@@ -638,6 +676,78 @@ class ColumnarMatcher(IndexedMatcher):
             self.plan(atoms, instance, bound=initial)
         table = self._join(ordered, instance, initial, comparisons)
         return table.projected_counts(tuple(answer_variables))
+
+    # -- batch trigger surface (engine.triggers consumes these) --------------
+
+    def binding_table(self, atoms: Sequence[Atom],
+                      instance: DatabaseInstance,
+                      substitution: Optional[Substitution] = None,
+                      comparisons: Sequence[Comparison] = ()
+                      ) -> Optional[BindingTable]:
+        """The joined binding table of a conjunction, kept columnar.
+
+        The table form of :meth:`find_homomorphisms`: rows biject with the
+        distinct homomorphisms (set semantics), so the batched trigger path
+        can group and project them without ever decoding a substitution.
+        Returns ``None`` when the seed cannot be encoded (variable-valued
+        substitution) — the caller falls back to the tuple-at-a-time path.
+        """
+        initial = dict(substitution or {})
+        if comparisons:
+            initial = comparison_bindings(comparisons, initial)
+        if any(isinstance(term, Variable) for term in initial.values()):
+            return None
+        ordered = self.plan(atoms, instance, bound=initial)
+        return self._join(ordered, instance, initial, comparisons)
+
+    def delta_binding_table(self, plan: DeltaJoinPlan,
+                            instance: DatabaseInstance,
+                            delta: DeltaLike) -> BindingTable:
+        """All distinct delta-join valuations as one table over the plan's
+        variables.
+
+        The table form of :meth:`delta_substitutions`: each pivot's joined
+        table already holds distinct valuations (deduped delta rows ×
+        distinct join extensions), so a single-pivot delta returns its
+        table as-is; multiple pivots are concatenated and deduplicated on
+        the code rows (codes biject with value-equality classes).
+        """
+        variables = list(plan.variables)
+        tables = [table
+                  for table in self._delta_tables(plan, instance, delta)
+                  if table.length]
+        np = _cols._np
+        if not tables or not variables:
+            # No variables: the one possible valuation is the empty one,
+            # present iff any pivot joined at all.
+            length = 1 if tables else 0
+            blank = np.empty(length, dtype=np.int64) if np is not None else []
+            return BindingTable({variable: blank for variable in variables},
+                                length)
+        if len(tables) == 1:
+            return tables[0]
+        if np is not None:
+            stacked = np.concatenate(
+                [np.stack([np.asarray(table.columns[variable],
+                                      dtype=np.int64)
+                           for variable in variables], axis=1)
+                 for table in tables])
+            matrix, first = _unique_rows(np, stacked, return_index=True)
+            # First-occurrence order (np.unique sorts): keeps downstream
+            # batch inserts deterministic and kernel-independent.
+            matrix = matrix[np.argsort(first, kind="stable")]
+            columns = {variable: matrix[:, j]
+                       for j, variable in enumerate(variables)}
+            return BindingTable(columns, int(matrix.shape[0]))
+        seen: Dict[Tuple[int, ...], None] = {}
+        for table in tables:
+            for key in table.code_rows(variables):
+                if key not in seen:
+                    seen[key] = None
+        rows = list(seen)
+        columns = {variable: [key[j] for key in rows]
+                   for j, variable in enumerate(variables)}
+        return BindingTable(columns, len(rows))
 
     # -- batch delta-pivot joins (DeltaJoinPlan dispatches here) -------------
 

@@ -60,7 +60,7 @@ from ..datalog.atoms import Atom, Comparison
 from ..datalog.chase import Fact
 from ..datalog.rules import ConjunctiveQuery, EGD, NegativeConstraint, TGD
 from ..datalog.terms import Variable
-from ..errors import (SnapshotError, SnapshotFormatError,
+from ..errors import (ArityError, SnapshotError, SnapshotFormatError,
                       SnapshotIntegrityError, SnapshotMismatchError)
 from ..relational.instance import DatabaseInstance
 from ..relational.values import Null, intern_value, value_sort_key
@@ -236,22 +236,22 @@ def encode_instance(instance: DatabaseInstance) -> Dict[str, Any]:
 def decode_instance(encoded: Dict[str, Any]) -> DatabaseInstance:
     """Inverse of :func:`encode_instance`.
 
-    Rows are bulk-loaded straight into the relation's row dictionary: the
-    writer serialized a valid instance and the checksum vouches for the
-    bytes, so per-row arity checking is reduced to one length test.
+    Rows ride the relation's bulk-load fast path (``Relation.bulk_load``):
+    one arity scan, then a wholesale dictionary assignment — the writer
+    serialized a valid instance and the checksum vouches for the bytes, so
+    nothing is checked row by row.
     """
     instance = DatabaseInstance()
     for name, attributes in encoded["schema"]:
         instance.declare(name, attributes)
     for name, rows in encoded["rows"].items():
         relation = instance.relation(name)
-        arity = relation.schema.arity
-        decoded = [decode_row(row) for row in rows]
-        if any(len(row) != arity for row in decoded):
+        try:
+            relation.bulk_load([decode_row(row) for row in rows])
+        except ArityError:
             raise SnapshotFormatError(
                 f"snapshot rows for relation {name!r} do not match its "
-                f"declared arity {arity}")
-        relation._rows = dict.fromkeys(decoded)
+                f"declared arity {relation.schema.arity}") from None
     return instance
 
 

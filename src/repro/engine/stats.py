@@ -68,6 +68,16 @@ class EngineStats:
     #: maintained answer-count entries evicted to honor the session's
     #: support-count budget (their next read re-answers and re-seeds)
     support_evictions: int = 0
+    #: TGD triggers applied through the batched (set-at-a-time) trigger
+    #: path: grouped head instantiation + bulk insert, instead of one
+    #: homomorphism at a time
+    triggers_batched: int = 0
+    #: labeled nulls invented in bulk (one factory reservation and one
+    #: locked catalog append per trigger batch, not per trigger)
+    nulls_bulk_allocated: int = 0
+    #: group-index delta merges: an already-built column group index
+    #: updated in place by a mutation instead of invalidated and rebuilt
+    index_delta_merges: int = 0
 
     @classmethod
     def counter_names(cls) -> Tuple[str, ...]:

@@ -47,6 +47,7 @@ def write_relation_csv(relation: Relation, path: PathLike) -> None:
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
         writer.writerow(relation.schema.attributes)
+        # per-tuple: ok — serialization must visit every row once
         for row in relation.sorted_rows():
             writer.writerow([_encode_value(value) for value in row])
 
@@ -65,10 +66,11 @@ def read_relation_csv(path: PathLike, name: Optional[str] = None) -> Relation:
             raise SchemaError(f"CSV file {path} is empty; expected a header row") from None
         schema = RelationSchema(name or path.stem, header)
         relation = Relation(schema)
-        for row in reader:
-            if not row:
-                continue
-            relation.add([_decode_value(cell) for cell in row])
+        # Bulk-add: decode the whole file, then load it in one pass (the
+        # fresh relation takes the wholesale dict assignment fast path).
+        relation.bulk_load(
+            tuple(_decode_value(cell) for cell in row)
+            for row in reader if row)
     return relation
 
 

@@ -76,7 +76,81 @@ class Relation:
 
     def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert every row of ``rows``; return how many were new."""
-        return sum(1 for row in rows if self.add(row))
+        return sum(self.add_many(rows))
+
+    def add_many(self, rows: Iterable[Sequence[Any]],
+                 code_rows: Optional[Sequence[Sequence[int]]] = None
+                 ) -> List[bool]:
+        """Bulk insert; return the per-row novelty mask, in order.
+
+        The batch form of :meth:`add`: membership is decided row by row
+        (so in-batch duplicates report novel once, like repeated ``add``
+        calls), but every index structure — pattern indexes, the occurrence
+        index and the column store — is updated once for the whole batch of
+        novel rows, and the mutation counter advances once instead of once
+        per row.  ``code_rows`` optionally carries the rows'
+        :class:`~repro.relational.values.ValueCatalog` codes (positionally
+        aligned with ``rows``) so an already-encoded batch — the chase's
+        batched trigger application — skips re-encoding in the column
+        store.
+
+        The returned mask is what delta-driven callers consume: the novel
+        rows *are* the next round's delta, with no re-probing.
+        """
+        rows_map = self._rows
+        check_arity = self.schema.check_arity
+        novel: List[bool] = []
+        new_rows: List[Row] = []
+        new_codes: Optional[List[Sequence[int]]] = \
+            [] if code_rows is not None else None
+        for index, row in enumerate(rows):
+            key = tuple(row)
+            check_arity(key)
+            if key in rows_map:
+                novel.append(False)
+                continue
+            rows_map[key] = None
+            novel.append(True)
+            new_rows.append(key)
+            if new_codes is not None:
+                new_codes.append(code_rows[index])
+        if not new_rows:
+            return novel
+        self._mutations += 1
+        if self._indexes:
+            for positions, index in self._indexes.items():
+                for key in new_rows:
+                    index.setdefault(
+                        tuple(key[p] for p in positions), {})[key] = None
+        if self._value_index is not None:
+            for key in new_rows:
+                for value in set(key):
+                    self._value_index.setdefault(value, {})[key] = None
+        if self._column_store is not None:
+            self._column_store.extend(new_rows, new_codes)
+        return novel
+
+    def bulk_load(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Wholesale-assign ``rows`` into an empty, index-free relation.
+
+        The restore fast path (snapshot decode, CSV ingestion of a fresh
+        relation): rows go straight into the row dictionary via
+        ``dict.fromkeys`` — one C-level pass, no per-row index maintenance
+        because there is nothing to maintain yet — after a single arity
+        scan.  Falls back to :meth:`add_many` when the relation already
+        holds rows or built indexes.  Returns how many rows were loaded.
+        """
+        if self._rows or self._indexes or self._value_index is not None \
+                or self._column_store is not None:
+            return sum(self.add_many(rows))
+        keyed = [tuple(row) for row in rows]
+        arity = self.schema.arity
+        if any(len(row) != arity for row in keyed):
+            for row in keyed:
+                self.schema.check_arity(row)
+        self._rows = dict.fromkeys(keyed)
+        self._mutations += 1
+        return len(self._rows)
 
     def discard(self, row: Sequence[Any]) -> bool:
         """Remove ``row`` if present; return whether it was present."""

@@ -183,6 +183,34 @@ class ValueCatalog:
                 self._codes[value] = found
             return found
 
+    def register_many(self, values: Iterable[Any]) -> List[int]:
+        """The codes of ``values``, registering the unseen ones in one append.
+
+        The bulk form of :meth:`code`: batched trigger application invents
+        hundreds of labeled nulls per chase round, and registering them one
+        lock acquisition at a time would serialize the batch on the catalog
+        lock.  One locked pass appends every unseen value and returns the
+        codes positionally.
+        """
+        codes = self._codes
+        items = values if isinstance(values, (list, tuple)) else list(values)
+        out: List[int] = [codes.get(value, -1) for value in items]
+        if -1 not in out:
+            return out
+        with self._lock:
+            for index, found in enumerate(out):
+                if found < 0:
+                    value = items[index]
+                    found = codes.get(value)
+                    if found is None:
+                        found = len(self._values)
+                        self._values.append(value)
+                        self._null_flags.append(
+                            1 if isinstance(value, Null) else 0)
+                        codes[value] = found
+                    out[index] = found
+        return out
+
     def try_code(self, value: Any) -> Optional[int]:
         """The code of ``value`` if it is registered, else ``None``."""
         return self._codes.get(value)

@@ -10,10 +10,13 @@ actually relies on in CI:
 * **duplicate imports** — the same name imported twice at module level;
 * **per-tuple loops in engine hot sections** — a ``for`` statement binding
   a ``row`` (or iterating ``.rows()``) inside the matching-engine modules
-  (``engine/matching.py``, ``engine/columnar.py``): the columnar engine
-  exists so that relation-sized iteration happens in batch kernels, not in
-  Python loops.  Loops that are genuinely per-tuple-sized (delta rows,
-  result rows) or deliberately row-at-a-time (the naive oracle) carry a
+  and the chase trigger-application paths (``engine/matching.py``,
+  ``engine/columnar.py``, ``engine/triggers.py``, ``datalog/chase.py``,
+  ``datalog/seminaive.py``, ``relational/csvio.py``): the columnar engine
+  and the batched trigger path exist so that relation-sized iteration
+  happens in batch kernels, not in Python loops.  Loops that are genuinely
+  per-tuple-sized (delta rows, result rows) or deliberately row-at-a-time
+  (the naive oracle, batch-ineligible fallbacks) carry a
   ``# per-tuple: ok — <reason>`` comment on the loop line or the line
   above, which suppresses the check;
 * **syntax errors** — files that do not parse at all.
@@ -72,7 +75,9 @@ def _used_names(tree: ast.Module) -> Set[str]:
 
 
 #: modules whose inner loops are the engine hot path (see module docstring)
-HOT_MODULES = ("engine/matching.py", "engine/columnar.py")
+HOT_MODULES = ("engine/matching.py", "engine/columnar.py",
+               "engine/triggers.py", "datalog/chase.py",
+               "datalog/seminaive.py", "relational/csvio.py")
 SUPPRESS = "# per-tuple: ok"
 
 
