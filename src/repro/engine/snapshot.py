@@ -458,6 +458,24 @@ def save_program(materialized, path: PathLike,
     return path
 
 
+def wal_position(meta: Optional[Dict[str, Any]], default: int = 0) -> int:
+    """The write-ahead-log cut recorded in a snapshot's ``meta`` mapping.
+
+    Serving checkpoints stamp every snapshot with
+    ``{"wal": {"lsn": L, "segment": "wal-<L, 16 digits>.log"}}`` — the LSN
+    the serialized state is exact at, and the name of the segment that
+    starts there.  Recovery (primary or replica) restores the snapshot and
+    replays only WAL records with LSN > this cut.  Pre-segment snapshots
+    carried ``{"wal": {"lsn": L, "file": "wal.log"}}``; the LSN is read
+    the same way.  Returns ``default`` when the meta carries no usable
+    position (e.g. a snapshot saved outside the serving tier).
+    """
+    position = (meta or {}).get("wal") or {}
+    lsn = position.get("lsn", default)
+    return lsn if isinstance(lsn, int) and not isinstance(lsn, bool) \
+        else default
+
+
 def fsync_directory(path: Path) -> None:
     """Flush a directory entry (rename durability); best effort."""
     try:

@@ -113,3 +113,58 @@ class EngineStats:
         parts = ", ".join(f"{key}={value}" for key, value in self.as_dict().items()
                           if key != "engine")
         return f"EngineStats[{self.engine}]({parts})"
+
+
+@dataclass
+class ServingStats:
+    """Counters for the serving tier's durability and replication paths.
+
+    Lives here (next to :class:`EngineStats`) because the serving daemon
+    and the replica daemon both surface these through the same ``stats``
+    protocol request that carries the engine counters.  Declared once as
+    dataclass fields; ``merge``/``as_dict`` are derived, so adding a
+    counter is a one-line change.
+    """
+
+    #: update records made durable through the write-ahead log
+    wal_records: int = 0
+    #: fsyncs issued by the append path (group commit amortizes these:
+    #: ``wal_records / wal_fsyncs`` is the effective batch size)
+    wal_fsyncs: int = 0
+    #: commit batches drained by group-commit leaders (1..N records each)
+    commit_batches: int = 0
+    #: records that shared their batch's fsync with at least one other
+    #: writer (the grouped fraction of ``wal_records``)
+    commit_grouped_records: int = 0
+    #: backend applies that folded a contiguous same-op run of a commit
+    #: batch into one session update (one MVCC publish for the whole run)
+    apply_batches: int = 0
+    #: commit batches that fell back to record-at-a-time application to
+    #: isolate a poisoned record after a batched apply failed
+    degraded_retries: int = 0
+    #: WAL records replayed by a replica past its snapshot cut
+    records_replayed: int = 0
+    #: times a replica re-seeded itself from the primary's newest snapshot
+    #: (fell behind pruned segments, or the shipped log changed under it)
+    reseeds: int = 0
+    #: shipped-log poll rounds executed by a replica
+    polls: int = 0
+
+    @classmethod
+    def counter_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
+
+    def merge(self, other: "ServingStats") -> "ServingStats":
+        """Accumulate ``other``'s counters into this object (in place)."""
+        for name in self.counter_names():
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The counters as a plain mapping (for stats responses and JSON)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{key}={value}"
+                          for key, value in self.as_dict().items())
+        return f"ServingStats({parts})"

@@ -7,32 +7,47 @@ This package turns a materialized session into an operable service:
 * :mod:`repro.serving.compaction` — checkpoint/compaction policies and the
   data-directory layout;
 * :mod:`repro.serving.daemon` — the server process: recover (snapshot ⊕
-  WAL replay), serve sessions over a line-JSON socket protocol, checkpoint
-  inline (``python -m repro.serving.daemon`` to run one);
+  WAL replay), serve sessions over a line-JSON socket protocol, group-
+  commit concurrent writers, checkpoint inline (``python -m
+  repro.serving.daemon`` to run one);
+* :mod:`repro.serving.replication` — log-shipping read replicas: a
+  :class:`ReplicaDaemon` tails the primary's shipped segments, replays
+  them through the maintained-answer path and serves pinned-version reads
+  (``python -m repro.serving.replication`` to run one);
 * :mod:`repro.serving.client` — a thin client mirroring the in-process
-  session API.
+  session API, with a reads-to-replica routing knob.
 
-The recovery invariant, proven by ``tests/test_serving_recovery.py``:
-**snapshot ⊕ WAL replay ≡ live session** — after any crash, the recovered
-state equals a clean replay of the durable WAL prefix.
+The recovery invariant, proven by ``tests/test_serving_recovery.py`` and
+``tests/test_replication.py``: **snapshot ⊕ durable WAL prefix ≡ live
+session** — after any crash, on the primary and on every replica, the
+recovered state equals a clean replay of the durable segment chain.
 """
 
 from .client import ClientRead, ServingClient, read_address
-from .compaction import (CompactionPolicy, latest_snapshot, list_snapshots,
-                         prune_snapshots, snapshot_path, wal_path)
+from .compaction import (CompactionPolicy, current_segment, latest_snapshot,
+                         list_segments, list_snapshots, prune_segments,
+                         prune_snapshots, segment_path, snapshot_path)
 from .wal import (WALRecord, WriteAheadLog, decode_facts, encode_facts,
                   scan_wal)
 
-_DAEMON_EXPORTS = ("ProgramBackend", "QualityBackend", "ServingDaemon")
+_LAZY_EXPORTS = {
+    "ProgramBackend": "daemon",
+    "QualityBackend": "daemon",
+    "ServingDaemon": "daemon",
+    "ReplicaDaemon": "replication",
+    "ShippedLogReader": "replication",
+}
 
 
 def __getattr__(name):
-    # The daemon module is loaded lazily so ``python -m repro.serving.daemon``
-    # does not import it twice (once as a package attribute, once as
-    # ``__main__``), which would trip runpy's double-import warning.
-    if name in _DAEMON_EXPORTS:
-        from . import daemon
-        return getattr(daemon, name)
+    # The daemon/replication modules are loaded lazily so ``python -m
+    # repro.serving.daemon`` (or ``.replication``) does not import them
+    # twice (once as a package attribute, once as ``__main__``), which
+    # would trip runpy's double-import warning.
+    module = _LAZY_EXPORTS.get(name)
+    if module is not None:
+        import importlib
+        return getattr(importlib.import_module(f".{module}", __name__), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -40,17 +55,22 @@ __all__ = [
     "CompactionPolicy",
     "ProgramBackend",
     "QualityBackend",
+    "ReplicaDaemon",
     "ServingClient",
     "ServingDaemon",
+    "ShippedLogReader",
     "WALRecord",
     "WriteAheadLog",
+    "current_segment",
     "decode_facts",
     "encode_facts",
     "latest_snapshot",
+    "list_segments",
     "list_snapshots",
+    "prune_segments",
     "prune_snapshots",
     "read_address",
     "scan_wal",
+    "segment_path",
     "snapshot_path",
-    "wal_path",
 ]

@@ -56,15 +56,40 @@ def read_address(data_dir: PathLike) -> Dict[str, Any]:
 
 
 class ServingClient:
-    """One connection to a serving daemon."""
+    """One connection to a serving daemon — optionally two.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    With ``replica=(host, port)`` the client also connects to a read
+    replica (:mod:`repro.serving.replication`), and ``read_from`` routes
+    the read-side calls — ``answers``, ``holds``, ``pin``/``unpin``/
+    ``read`` — to it (``"replica"``) or to the primary (``"primary"``,
+    the default).  Writes, checkpoints and stats always go to the
+    primary; :meth:`replica_stats`/:meth:`replication_lag` query the
+    replica directly.  ``read_from`` may be flipped at runtime, but pins
+    are per-daemon: unpin on the side that pinned.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 replica: Optional[Tuple[str, int]] = None,
+                 read_from: str = "primary"):
         self.host = host
         self.port = port
+        if read_from not in ("primary", "replica"):
+            raise ValueError(
+                f"read_from must be 'primary' or 'replica', not {read_from!r}")
+        if read_from == "replica" and replica is None:
+            raise ValueError(
+                "read_from='replica' needs a replica=(host, port) address")
+        self._replica: Optional["ServingClient"] = None
+        if replica is not None:
+            self._replica = ServingClient(replica[0], replica[1],
+                                          timeout=timeout)
+        self.read_from = read_from
         try:
             self._socket = socket.create_connection((host, port),
                                                     timeout=timeout)
         except OSError as exc:
+            if self._replica is not None:
+                self._replica.close()
             raise DaemonUnavailableError(
                 f"cannot connect to serving daemon at {host}:{port}: "
                 f"{exc}") from None
@@ -73,19 +98,36 @@ class ServingClient:
 
     @classmethod
     def connect(cls, data_dir: PathLike, timeout: float = 30.0,
-                wait: float = 10.0) -> "ServingClient":
+                wait: float = 10.0, replica_dir: Optional[PathLike] = None,
+                read_from: str = "primary") -> "ServingClient":
         """Connect to the daemon serving ``data_dir``, waiting up to
         ``wait`` seconds for it to advertise itself (covers the race with a
-        freshly spawned daemon process)."""
+        freshly spawned daemon process).  ``replica_dir`` waits for and
+        attaches the replica advertised there as well."""
         deadline = time.monotonic() + wait
-        while True:
-            try:
-                address = read_address(data_dir)
-                return cls(address["host"], address["port"], timeout=timeout)
-            except DaemonUnavailableError:
-                if time.monotonic() >= deadline:
-                    raise
-                time.sleep(0.05)
+
+        def _await_address(directory: PathLike) -> Dict[str, Any]:
+            while True:
+                try:
+                    return read_address(directory)
+                except DaemonUnavailableError:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.05)
+
+        address = _await_address(data_dir)
+        replica = None
+        if replica_dir is not None:
+            found = _await_address(replica_dir)
+            replica = (found["host"], found["port"])
+        return cls(address["host"], address["port"], timeout=timeout,
+                   replica=replica, read_from=read_from)
+
+    def _reader(self) -> "ServingClient":
+        """The connection read-side calls route to."""
+        if self.read_from == "replica" and self._replica is not None:
+            return self._replica
+        return self
 
     # -- the wire ------------------------------------------------------------
 
@@ -132,17 +174,19 @@ class ServingClient:
                 version: Optional[int] = None) -> AnswerRows:
         """Certain answers of ``query`` (``allow_nulls=True`` keeps rows
         with labeled nulls), optionally against a pinned version."""
+        target = self._reader()
         fields: Dict[str, Any] = {"query": str(query),
                                   "allow_nulls": allow_nulls}
         if version is not None:
             fields["version"] = version
-        return self._rows(self.request("answers", **fields))
+        return self._rows(target.request("answers", **fields))
 
     def holds(self, query: str, version: Optional[int] = None) -> bool:
+        target = self._reader()
         fields: Dict[str, Any] = {"query": str(query)}
         if version is not None:
             fields["version"] = version
-        return bool(self.request("holds", **fields)["holds"])
+        return bool(target.request("holds", **fields)["holds"])
 
     def add_facts(self, facts: Iterable[Fact]) -> Dict[str, Any]:
         return self.request("add_facts", facts=encode_facts(facts))
@@ -162,12 +206,36 @@ class ServingClient:
     # -- versioned reads -----------------------------------------------------
 
     def pin(self, version: Optional[int] = None) -> int:
-        """Pin a published version (latest when ``None``); returns it."""
+        """Pin a published version (latest when ``None``); returns it.
+        Routed like the other read calls: the pin lands on whichever
+        daemon :attr:`read_from` selects."""
         fields = {} if version is None else {"version": version}
-        return int(self.request("pin", **fields)["version"])
+        return int(self._reader().request("pin", **fields)["version"])
 
-    def unpin(self, version: int) -> None:
-        self.request("unpin", version=version)
+    def unpin(self, version: int) -> bool:
+        """Release one pin — best effort, idempotent.
+
+        Returns ``False`` instead of raising when the daemon is gone,
+        restarted, or no longer holds the pin: an unpin only releases
+        resources, and a dead or restarted daemon has released them
+        already.  Doing anything noisier would mask real errors — the
+        common caller is :meth:`ClientRead.close` inside ``__exit__``,
+        where a raise would swallow the body's exception.  Genuine
+        protocol failures (an unreachable daemon aside) still raise.
+        """
+        target = self._reader()
+        try:
+            target.request("unpin", version=version)
+            return True
+        except DaemonUnavailableError:
+            return False
+        except ServingProtocolError as exc:
+            # The daemon answered but no longer holds the pin (connection
+            # dropped and its pins were released, daemon restarted, or a
+            # double unpin) — already released, so the goal is met.
+            if exc.remote_type in ("ServingProtocolError", "VersioningError"):
+                return False
+            raise
 
     def read(self, version: Optional[int] = None) -> "ClientRead":
         """A context manager pinning one version for consistent reads."""
@@ -181,6 +249,20 @@ class ServingClient:
     def stats(self) -> Dict[str, Any]:
         return self.request("stats")
 
+    def replica_stats(self) -> Dict[str, Any]:
+        """The attached replica's stats (replication lag lives in
+        ``["serving"]["replication"]``)."""
+        if self._replica is None:
+            raise ServingProtocolError(
+                "this client has no replica attached; pass "
+                "replica=(host, port) when constructing it")
+        return self._replica.stats()
+
+    def replication_lag(self) -> int:
+        """Durable primary records the attached replica has not applied."""
+        return int(self.replica_stats()["serving"]["replication"]
+                   ["lag_records"])
+
     def recovery(self) -> Dict[str, Any]:
         return self.request("recovery")
 
@@ -190,6 +272,8 @@ class ServingClient:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        if self._replica is not None:
+            self._replica.close()
         try:
             self._file.close()
         except OSError:  # pragma: no cover - already gone

@@ -1,56 +1,70 @@
-"""Checkpointing and compaction policies for the serving daemon.
+"""Checkpointing, WAL segmentation and compaction for the serving daemon.
 
 The daemon's data directory holds::
 
     data_dir/
         snapshot-<lsn, 16 digits>.snap   -- engine snapshots, newest wins
-        wal.log                          -- the current write-ahead log
+        wal-<base lsn, 16 digits>.log    -- WAL segments, highest base = live
         daemon.json                      -- live address (transient)
+
+The WAL is **segmented**: each checkpoint seals the current segment and
+starts a fresh one, ``wal-<lsn>.log``, based at the checkpoint's LSN.
+Segments chain contiguously — each segment's base LSN equals the last
+record LSN of its predecessor — so restoring *any* retained snapshot and
+replaying every segment past its cut reproduces the live state; older
+snapshots stay replayable for as long as their segments survive.  Only
+whole segments are ever deleted (:func:`prune_segments`), and only once
+the **oldest retained snapshot** no longer needs them — nothing is
+truncated or rewritten in place.
 
 A **checkpoint** is the compaction step: serialize the materialized state
 to ``snapshot-<last applied LSN>.snap`` (atomic tmp+rename, with the LSN
 recorded in the snapshot's ``meta`` so recovery knows the exact cut), then
-start a fresh WAL based at that LSN (atomic tmp+rename over ``wal.log`` —
-this is how replayed log segments are pruned), then drop superseded
-snapshots beyond the configured safety margin.  Every step is
-individually atomic and ordered so that a crash *anywhere* inside a
-checkpoint leaves a recoverable directory:
+start the next segment at that LSN, then drop superseded snapshots beyond
+the configured safety margin and the segments none of the survivors need.
+Every step is individually atomic and ordered so that a crash *anywhere*
+inside a checkpoint leaves a recoverable directory:
 
-* crash before the snapshot rename → previous snapshot + full WAL;
-* crash after the snapshot, before the WAL rotation → new snapshot + old
-  WAL, whose records are all ≤ the snapshot's LSN and are skipped on
+* crash before the snapshot rename → previous snapshot + full segments;
+* crash after the snapshot, before the rotation → new snapshot + old
+  segments, whose records are all ≤ the snapshot's LSN and are skipped on
   replay (each record's LSN is compared against the snapshot ``meta``);
-* crash after the rotation, before pruning → extra old snapshots, removed
-  by the next successful checkpoint.
+* crash after the rotation, before pruning → extra old snapshots and
+  segments, removed by the next successful checkpoint.
 
 A checkpoint that *fails* (:class:`~repro.errors.SnapshotError` — full
 disk, unserializable value) is ordered save-first precisely so the
-previous snapshot and the current WAL are untouched: the daemon keeps
+previous snapshot and the live segment are untouched: the daemon keeps
 serving and retries at the next trigger.
 
+Pre-segment data directories (a single ``wal.log``) are migrated on
+recovery by :func:`migrate_legacy_wal` — a rename to the segment name the
+log's own header declares.
+
 :class:`CompactionPolicy` decides *when* to checkpoint: after every N
-records, or when the WAL outgrows a byte budget — whichever comes first.
+records, or when the live segment outgrows a byte budget — whichever
+comes first.
 """
 
 from __future__ import annotations
 
+import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
-from .wal import WriteAheadLog, maybe_crash
+from ..engine.snapshot import fsync_directory
+from ..errors import WALCorruptionError
+from .wal import WriteAheadLog, maybe_crash, scan_wal
 
 PathLike = Union[str, Path]
 
-WAL_NAME = "wal.log"
+#: the pre-segment (single-file) WAL name; migrated on recovery
+LEGACY_WAL_NAME = "wal.log"
 ADDRESS_NAME = "daemon.json"
 _SNAPSHOT_RE = re.compile(r"^snapshot-(\d{16})\.snap$")
-
-
-def wal_path(data_dir: PathLike) -> Path:
-    """The data directory's current write-ahead log file."""
-    return Path(data_dir) / WAL_NAME
+_SEGMENT_RE = re.compile(r"^wal-(\d{16})\.log$")
 
 
 def address_path(data_dir: PathLike) -> Path:
@@ -61,6 +75,11 @@ def address_path(data_dir: PathLike) -> Path:
 def snapshot_path(data_dir: PathLike, lsn: int) -> Path:
     """The snapshot file for a checkpoint taken at ``lsn``."""
     return Path(data_dir) / f"snapshot-{lsn:016d}.snap"
+
+
+def segment_path(data_dir: PathLike, base_lsn: int) -> Path:
+    """The WAL segment file based at ``base_lsn``."""
+    return Path(data_dir) / f"wal-{base_lsn:016d}.log"
 
 
 def list_snapshots(data_dir: PathLike) -> List[Tuple[int, Path]]:
@@ -82,10 +101,54 @@ def latest_snapshot(data_dir: PathLike) -> Optional[Tuple[int, Path]]:
     return snapshots[-1] if snapshots else None
 
 
+def list_segments(data_dir: PathLike) -> List[Tuple[int, Path]]:
+    """Every WAL segment as ``(base_lsn, path)``, oldest first."""
+    data_dir = Path(data_dir)
+    if not data_dir.is_dir():
+        return []
+    found = []
+    for entry in data_dir.iterdir():
+        match = _SEGMENT_RE.match(entry.name)
+        if match:
+            found.append((int(match.group(1)), entry))
+    return sorted(found)
+
+
+def current_segment(data_dir: PathLike) -> Optional[Tuple[int, Path]]:
+    """The live (highest-based) segment, or ``None`` when there is none."""
+    segments = list_segments(data_dir)
+    return segments[-1] if segments else None
+
+
+def migrate_legacy_wal(data_dir: PathLike) -> Optional[Path]:
+    """Rename a pre-segment ``wal.log`` to the segment name its own header
+    declares (``wal-<base lsn>.log``); returns the new path, or ``None``
+    when there is nothing to migrate.  The rename is atomic, so a crash
+    mid-migration leaves either layout — both recoverable."""
+    data_dir = Path(data_dir)
+    legacy = data_dir / LEGACY_WAL_NAME
+    if not legacy.exists():
+        return None
+    base_lsn = scan_wal(legacy).header["base_lsn"]
+    target = segment_path(data_dir, base_lsn)
+    if target.exists():
+        raise WALCorruptionError(
+            f"both the legacy {legacy.name} and the segment {target.name} "
+            "exist; they claim the same base LSN — move one of them away "
+            "before recovering")
+    os.replace(legacy, target)
+    fsync_directory(data_dir)
+    return target
+
+
 def prune_snapshots(data_dir: PathLike, keep: int) -> List[Path]:
-    """Remove all but the ``keep`` newest snapshots; returns what went."""
+    """Remove all but the ``keep`` newest snapshots; returns what went.
+
+    The newest snapshot is never removed (``keep`` is clamped to 1) —
+    recovery and replica seeding both need it, so ``keep <= 0`` means
+    "no safety margin", not "delete everything"."""
     snapshots = list_snapshots(data_dir)
-    doomed = snapshots[:-keep] if keep > 0 else snapshots
+    doomed = snapshots[:-max(1, keep)]
     removed = []
     for _, path in doomed:
         try:
@@ -96,15 +159,37 @@ def prune_snapshots(data_dir: PathLike, keep: int) -> List[Path]:
     return removed
 
 
+def prune_segments(data_dir: PathLike, min_needed_lsn: int) -> List[Path]:
+    """Remove whole segments that no retained snapshot needs.
+
+    ``min_needed_lsn`` is the cut of the **oldest** snapshot still kept: a
+    segment is prunable exactly when the *next* segment's base LSN is ≤
+    that cut (every record it holds is already folded into all retained
+    snapshots).  The live segment is never pruned.  Returns what went.
+    """
+    segments = list_segments(data_dir)
+    removed = []
+    for (_, path), (next_base, _) in zip(segments, segments[1:]):
+        if next_base > min_needed_lsn:
+            break
+        try:
+            path.unlink()
+            removed.append(path)
+        except OSError:  # pragma: no cover - already gone / unremovable
+            break
+    return removed
+
+
 @dataclass(frozen=True)
 class CompactionPolicy:
     """When to checkpoint, and how many old snapshots to keep around.
 
     ``checkpoint_every_records`` triggers on update count since the last
-    checkpoint, ``max_wal_bytes`` on the WAL's on-disk size; either may be
-    ``None`` to disable that trigger.  ``keep_snapshots`` is the safety
-    margin of superseded snapshots retained for manual recovery (the
-    newest one is always kept).
+    checkpoint, ``max_wal_bytes`` on the live segment's on-disk size;
+    either may be ``None`` to disable that trigger.  ``keep_snapshots`` is
+    the safety margin of superseded snapshots retained for manual recovery
+    (the newest one is always kept) — their WAL segments are retained with
+    them, so each kept snapshot stays independently replayable.
     """
 
     checkpoint_every_records: Optional[int] = 256
@@ -127,27 +212,33 @@ def run_checkpoint(data_dir: PathLike,
                    wal: WriteAheadLog, last_lsn: int,
                    keep_snapshots: int = 2,
                    sync: bool = True) -> WriteAheadLog:
-    """Checkpoint the serving state at ``last_lsn`` and rotate the WAL.
+    """Checkpoint the serving state at ``last_lsn`` and rotate to a fresh
+    segment.
 
     ``save`` is the backend's snapshot writer (``save(path, meta)`` — e.g.
     :meth:`~repro.engine.session.MaterializedProgram.save`); it must be
     atomic and leave the previous snapshot intact on failure, which the
     engine's tmp+rename save guarantees.  The caller must hold its write
     lock, so ``last_lsn`` describes exactly the state being serialized (a
-    checkpoint-consistent cut).  Returns the fresh, rotated WAL; on any
+    checkpoint-consistent cut).  Returns the fresh segment's WAL; on any
     failure before the rotation the passed ``wal`` remains open and valid.
     """
     data_dir = Path(data_dir)
     target = snapshot_path(data_dir, last_lsn)
-    save(target, {"wal": {"lsn": last_lsn, "file": WAL_NAME}})
+    save(target, {"wal": {"lsn": last_lsn,
+                          "segment": segment_path(data_dir, last_lsn).name}})
     maybe_crash("checkpoint-after-snapshot")
-    # The fresh log is created (and renamed over wal.log) *before* the old
-    # handle is closed: if the creation fails (disk full, fd exhaustion),
-    # the passed ``wal`` is still open and valid and the daemon keeps
-    # appending to it.  The caller holds the write lock, so nothing can
-    # append between the rename and the close.
-    fresh = WriteAheadLog.create(wal.path, base_lsn=last_lsn, sync=sync)
+    # The next segment is created *before* the sealed one's handle is
+    # closed: if the creation fails (disk full, fd exhaustion), the passed
+    # ``wal`` is still open and valid and the daemon keeps appending to
+    # it.  The caller holds the write lock, so nothing can append between
+    # the creation and the close.
+    fresh = WriteAheadLog.create(segment_path(data_dir, last_lsn),
+                                 base_lsn=last_lsn, sync=sync)
     wal.close()
     maybe_crash("checkpoint-after-rotate")
     prune_snapshots(data_dir, keep_snapshots)
+    retained = list_snapshots(data_dir)
+    if retained:
+        prune_segments(data_dir, retained[0][0])
     return fresh

@@ -13,7 +13,11 @@ and makes it durable and network-reachable:
 * **Writes**: each ``add_facts``/``retract_facts`` request is appended to
   the WAL (fsynced) *before* it is applied and acknowledged — an
   acknowledged update is always durable, and recovery can never know less
-  than a client does.
+  than a client does.  Concurrent writers go through a **group-commit**
+  queue (:meth:`ServingDaemon.apply_write`): a dedicated committer thread
+  appends every queued frame with a single flush + fsync, applies in LSN
+  order, then wakes the writers — N writers share one fsync instead of
+  paying N.
 * **Reads** run through the engine's MVCC read transactions: every request
   pins one published version, and clients may hold explicit pins
   (``pin``/``unpin``) to keep answering against a fixed version while
@@ -46,20 +50,22 @@ import signal
 import socketserver
 import sys
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..datalog.chase import Fact
 from ..datalog.parser import parse_program
 from ..engine.session import MaterializedProgram, UpdateResult
-from ..engine.snapshot import encode_row, load_program
+from ..engine.snapshot import encode_row, load_program, wal_position
+from ..engine.stats import ServingStats
 from ..errors import (ArityError, ServingError, ServingProtocolError,
                       UnknownRelationError, WALCorruptionError)
 from .compaction import (CompactionPolicy, address_path, latest_snapshot,
-                         prune_snapshots, run_checkpoint, snapshot_path,
-                         wal_path)
-from .wal import (OP_ADD, OP_RETRACT, WALRecord, WriteAheadLog, decode_facts,
-                  maybe_crash)
+                         list_segments, migrate_legacy_wal, prune_snapshots,
+                         run_checkpoint, segment_path, snapshot_path)
+from .wal import (OP_ADD, OP_RETRACT, AppendedFrame, WALRecord, WriteAheadLog,
+                  decode_facts, maybe_crash, scan_wal)
 
 PathLike = Union[str, Path]
 PROTOCOL_VERSION = 1
@@ -172,6 +178,18 @@ class ProgramBackend(_MaterializedBackend):
             update = self.materialized.retract_facts(record.facts)
         return _summarize([update], self.version)
 
+    def apply_many(self, records: List[WALRecord]) -> Dict[str, Any]:
+        """Apply a contiguous same-op run of records as one session update
+        (one chase delta, one MVCC publish) — the apply half of group
+        commit.  A failure may leave partial in-memory state; the daemon
+        rebuilds from disk and retries record-at-a-time."""
+        facts = [fact for record in records for fact in record.facts]
+        if records[0].op == OP_ADD:
+            update = self.materialized.add_facts(facts)
+        else:
+            update = self.materialized.retract_facts(facts)
+        return _summarize([update], self.version)
+
     def stats(self) -> Dict[str, Any]:
         return {"program": self.materialized.stats.as_dict(),
                 "session": self.session.stats.as_dict()}
@@ -226,6 +244,22 @@ class QualityBackend(_MaterializedBackend):
         for predicate, row in record.facts:
             groups.setdefault(predicate, []).append(row)
         apply_one = self.quality_session.add_facts if record.op == OP_ADD \
+            else self.quality_session.retract_facts
+        updates = [apply_one(predicate, rows)
+                   for predicate, rows in groups.items()]
+        return _summarize(updates, self.version)
+
+    def apply_many(self, records: List[WALRecord]) -> Dict[str, Any]:
+        """Apply a contiguous same-op run of records in one pass: facts
+        from the whole run are grouped per relation (first-occurrence
+        order, as in :meth:`apply`) so each touched relation publishes
+        once.  A failure may leave partial in-memory state; the daemon
+        rebuilds from disk and retries record-at-a-time."""
+        groups: Dict[str, List[Tuple]] = {}
+        for record in records:
+            for predicate, row in record.facts:
+                groups.setdefault(predicate, []).append(row)
+        apply_one = self.quality_session.add_facts if records[0].op == OP_ADD \
             else self.quality_session.retract_facts
         updates = [apply_one(predicate, rows)
                    for predicate, rows in groups.items()]
@@ -287,6 +321,19 @@ class ConnectionState:
         self._pins.clear()
 
 
+class _CommitEntry:
+    """One writer's update waiting in (or moving through) the commit queue."""
+
+    __slots__ = ("op", "facts", "event", "result", "error")
+
+    def __init__(self, op: str, facts: List[Fact]):
+        self.op = op
+        self.facts = facts
+        self.event = threading.Event()
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[BaseException] = None
+
+
 # ---------------------------------------------------------------------------
 # The daemon
 # ---------------------------------------------------------------------------
@@ -296,23 +343,46 @@ class ServingDaemon:
     """Recover a backend from its data directory and serve it."""
 
     def __init__(self, backend, data_dir: PathLike, sync: bool = True,
-                 policy: Optional[CompactionPolicy] = None):
+                 policy: Optional[CompactionPolicy] = None,
+                 commit_delay: float = 0.01):
         self.backend = backend
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.sync = sync
         self.policy = policy or CompactionPolicy()
+        #: upper bound on how long the committer waits for followers to
+        #: fill a batch once concurrency has been observed (0 disables it)
+        self.commit_delay = commit_delay
         #: serializes writers and checkpoints (readers never take it)
         self._lock = threading.RLock()
         self._wal: Optional[WriteAheadLog] = None
         self.last_lsn = 0
         self.records_since_checkpoint = 0
         self.last_checkpoint_error: Optional[str] = None
+        #: durability/group-commit counters (surfaced by the stats op)
+        self.serving_stats = ServingStats()
         #: the report of the last :meth:`recover` run
         self.recovery: Optional[Dict[str, Any]] = None
         self._server: Optional["_LineServer"] = None
         self._thread: Optional[threading.Thread] = None
         self._default_connection: Optional[ConnectionState] = None
+        #: live socket connections (their pins are released on stop())
+        self._connections: Dict[int, ConnectionState] = {}
+        self._connections_lock = threading.Lock()
+        # Group commit: writers enqueue under _commit_mutex and block on
+        # their entry's event; a dedicated committer thread (started by
+        # recover()) drains the queue in batches.  The committer must NOT
+        # be a writer's own handler thread — a writer that led commits
+        # inline could not answer its own client until the queue ran dry,
+        # pinning that client out of the pool under sustained load.
+        self._commit_mutex = threading.Lock()
+        self._commit_ready = threading.Condition(self._commit_mutex)
+        self._commit_queue: List[_CommitEntry] = []
+        self._commit_thread: Optional[threading.Thread] = None
+        self._commit_stop = False
+        #: size of the last drained batch — the concurrency hint that
+        #: decides whether the committer waits for followers at all
+        self._last_batch_size = 1
 
     # -- recovery ------------------------------------------------------------
 
@@ -324,23 +394,27 @@ class ServingDaemon:
         """
         with self._lock:
             found = latest_snapshot(self.data_dir)
-            wal_file = wal_path(self.data_dir)
             if found is None:
-                if wal_file.exists():
+                if list_segments(self.data_dir) or \
+                        (self.data_dir / "wal.log").exists():
                     raise ServingError(
-                        f"{self.data_dir} has a write-ahead log but no "
-                        "snapshot to replay it onto; restore a snapshot "
-                        "into the directory (or move the log away) instead "
-                        "of silently discarding its updates")
+                        f"{self.data_dir} has write-ahead log segments but "
+                        "no snapshot to replay them onto; restore a "
+                        "snapshot into the directory (or move the logs "
+                        "away) instead of silently discarding their "
+                        "updates")
                 self.backend.bootstrap()
                 self.last_lsn = 0
                 self.records_since_checkpoint = 0
                 # The initial checkpoint: a crash right after boot recovers
                 # to this same state instead of re-chasing.
-                self.backend.save(snapshot_path(self.data_dir, 0),
-                                  {"wal": {"lsn": 0}})
-                self._wal = WriteAheadLog.create(wal_file, base_lsn=0,
-                                                 sync=self.sync)
+                self.backend.save(
+                    snapshot_path(self.data_dir, 0),
+                    {"wal": {"lsn": 0,
+                             "segment": segment_path(self.data_dir, 0).name}})
+                self._wal = WriteAheadLog.create(
+                    segment_path(self.data_dir, 0), base_lsn=0,
+                    sync=self.sync)
                 report: Dict[str, Any] = {
                     "bootstrapped": True, "snapshot": None, "base_lsn": 0,
                     "replayed_records": 0, "torn_tail": None,
@@ -350,7 +424,19 @@ class ServingDaemon:
                 report = self._restore_from_disk()
             self._default_connection = ConnectionState(self.backend.versions)
             self.recovery = report
+            self._start_committer()
             return report
+
+    def _start_committer(self) -> None:
+        """Start (or restart, after stop()) the group-commit thread."""
+        with self._commit_ready:
+            if self._commit_thread is not None:
+                return
+            self._commit_stop = False
+            self._commit_thread = threading.Thread(
+                target=self._commit_loop, name="repro-group-commit",
+                daemon=True)
+            self._commit_thread.start()
 
     def _restore_from_disk(self) -> Dict[str, Any]:
         """(Re)build the backend from the durable state on disk.
@@ -361,105 +447,301 @@ class ServingDaemon:
         apply to discard whatever the aborted update mutated in memory.
         """
         lsn, path = latest_snapshot(self.data_dir)
-        wal_file = wal_path(self.data_dir)
         self.backend.restore(path)
-        cut = int((self.backend.snapshot_meta or {})
-                  .get("wal", {}).get("lsn", lsn))
+        cut = wal_position(self.backend.snapshot_meta, default=lsn)
         report: Dict[str, Any] = {
             "bootstrapped": False, "snapshot": path.name, "base_lsn": cut,
             "replayed_records": 0, "torn_tail": None, "truncated_bytes": 0,
         }
-        if not wal_file.exists():
-            self._wal = WriteAheadLog.create(wal_file, base_lsn=cut,
-                                             sync=self.sync)
-        else:
-            recovered = WriteAheadLog.recover(wal_file, sync=self.sync)
-            if recovered.wal.base_lsn > cut:
+        migrate_legacy_wal(self.data_dir)
+        segments = list_segments(self.data_dir)
+        if not segments:
+            self._wal = WriteAheadLog.create(
+                segment_path(self.data_dir, cut), base_lsn=cut,
+                sync=self.sync)
+            self.last_lsn = cut
+            self.records_since_checkpoint = 0
+            return report
+        # Replay the segment chain past the snapshot's cut.  Segments whose
+        # *successor* starts at or before the cut hold only folded-in
+        # records and are skipped unread; the survivors must chain
+        # contiguously (each base = predecessor's last record LSN) and only
+        # the final segment may carry a torn tail — a tear anywhere else
+        # means durable records after it were lost.
+        applied = 0
+        chained: Optional[int] = None
+        for index, (base, seg_path) in enumerate(segments):
+            is_last = index == len(segments) - 1
+            if not is_last and segments[index + 1][0] <= cut:
+                continue  # fully folded into the snapshot
+            if is_last:
+                recovered = WriteAheadLog.recover(seg_path, sync=self.sync)
+                records = recovered.records
+                report["torn_tail"] = recovered.torn_reason
+                report["truncated_bytes"] = recovered.truncated_bytes
+                self._wal = recovered.wal
+            else:
+                scan = scan_wal(seg_path)
+                if scan.torn_reason is not None:
+                    raise WALCorruptionError(
+                        f"write-ahead log segment {seg_path.name} has a "
+                        f"damaged tail ({scan.torn_reason}) but newer "
+                        "segments exist; its lost records cannot be "
+                        "skipped — restore a newer snapshot instead of "
+                        "replaying this chain")
+                records = scan.records
+            if chained is None:
+                if base > cut:
+                    raise WALCorruptionError(
+                        f"write-ahead log segment {seg_path.name} starts "
+                        f"at LSN {base} but the newest snapshot stops at "
+                        f"LSN {cut}; the records in between are gone — "
+                        "restore the missing newer snapshot instead of "
+                        "replaying this chain")
+            elif base != chained:
                 raise WALCorruptionError(
-                    f"write-ahead log {wal_file} starts at LSN "
-                    f"{recovered.wal.base_lsn} but the newest snapshot "
-                    f"stops at LSN {cut}; the records in between are gone "
-                    "— restore the missing newer snapshot instead of "
-                    "replaying this log")
-            self._wal = recovered.wal
-            report["torn_tail"] = recovered.torn_reason
-            report["truncated_bytes"] = recovered.truncated_bytes
-            applied = 0
-            for record in recovered.records:
+                    f"write-ahead log segment {seg_path.name} starts at "
+                    f"LSN {base} but the previous segment ends at LSN "
+                    f"{chained}; the records in between are gone — "
+                    "restore from a newer snapshot instead of replaying "
+                    "this chain")
+            chained = records[-1].lsn if records else base
+            for record in records:
                 if record.lsn <= cut:
                     continue  # already folded into the snapshot
                 self.backend.apply(record)
                 applied += 1
-            report["replayed_records"] = applied
+        report["replayed_records"] = applied
         self.last_lsn = max(cut, self._wal.last_lsn)
-        self.records_since_checkpoint = report["replayed_records"]
+        self.records_since_checkpoint = applied
         return report
 
     # -- writes --------------------------------------------------------------
 
     def apply_write(self, op: str, facts: List[Fact]) -> Dict[str, Any]:
-        """Log, apply and (maybe) checkpoint one update batch.
+        """Log, apply and (maybe) checkpoint one update batch — through
+        the **group-commit** queue.
 
-        Ordering: validate → append (durable) → apply → maybe checkpoint.
-        If the apply still fails after validation (e.g. a hard EGD
-        conflict the chase only discovers mid-run), the just-appended —
-        and never acknowledged — record is **rolled back out of the WAL**
-        before the error reaches the client: every record that stays in
-        the log replays cleanly, so one poisoned request can never make
-        the data directory unrecoverable.
+        Each writer validates its own request, enqueues a commit entry and
+        blocks on the entry's event.  A dedicated committer thread drains
+        the queue in batches: it appends every queued frame with **one**
+        WAL flush + fsync
+        (:meth:`~repro.serving.wal.WriteAheadLog.append_batch`), applies
+        the records in LSN order — folding contiguous same-op runs into
+        one session update — and only then wakes each writer.  An
+        acknowledged update is therefore always durable, exactly as with
+        record-at-a-time commits, but N concurrent writers share one fsync
+        instead of paying N.
+
+        If an apply fails after validation (e.g. a hard EGD conflict the
+        chase only discovers mid-run), the failing record — and every
+        unapplied record after it, none of them acknowledged — is rolled
+        back out of the WAL, the in-memory state is rebuilt from disk, and
+        the survivors are retried record-at-a-time to isolate the poisoned
+        record: every record that stays in the log replays cleanly, so one
+        poisoned request can never make the data directory unrecoverable.
         """
-        with self._lock:
-            if self._wal is None:
-                raise ServingError("the daemon has not recovered yet; "
-                                   "call recover() before serving writes")
-            if op == OP_ADD:
-                # Pre-validate so a record that cannot apply is never
-                # logged (replay must succeed on everything in the WAL).
-                for predicate, row in facts:
-                    if not self.backend.knows(predicate):
-                        raise UnknownRelationError(
-                            f"unknown relation {predicate!r}; the serving "
-                            "vocabulary is fixed by the ontology")
-                    self.backend.check_arity(predicate, row)
-            before_lsn, before_bytes = \
-                self._wal.last_lsn, self._wal.size_bytes
-            lsn = self._wal.append(op, facts)
+        facts = list(facts)
+        if self._wal is None:
+            raise ServingError("the daemon has not recovered yet; "
+                               "call recover() before serving writes")
+        if op == OP_ADD:
+            # Pre-validate so a record that cannot apply is never
+            # logged (replay must succeed on everything in the WAL).
+            for predicate, row in facts:
+                if not self.backend.knows(predicate):
+                    raise UnknownRelationError(
+                        f"unknown relation {predicate!r}; the serving "
+                        "vocabulary is fixed by the ontology")
+                self.backend.check_arity(predicate, row)
+        entry = _CommitEntry(op, facts)
+        with self._commit_ready:
+            if self._commit_thread is None or self._commit_stop:
+                raise ServingError("the daemon is stopped; writes are "
+                                   "refused until the next recover()")
+            self._commit_queue.append(entry)
+            self._commit_ready.notify()
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def _commit_loop(self) -> None:
+        """The committer thread: drain the queue in batches, forever.
+
+        Entries that join the queue while a batch is committing form the
+        next batch, so the effective batch size adapts to the arrival
+        rate.  When the previous batch proved writers are arriving
+        concurrently, the committer additionally waits for the queue to
+        refill before draining (PostgreSQL's commit_delay /
+        commit_siblings idea): acked writers need a moment to process
+        their responses and send the next request, and draining too
+        eagerly would degrade the batch size on a busy box.  A solo
+        writer never pays the delay — its batches are size 1, so the
+        hint stays 1."""
+        while True:
+            with self._commit_ready:
+                while not self._commit_queue and not self._commit_stop:
+                    self._commit_ready.wait()
+                if self._commit_stop:
+                    return  # stop() fails whatever is still queued
+            self._wait_for_followers()
+            with self._commit_ready:
+                batch, self._commit_queue = self._commit_queue, []
+            if not batch:
+                continue
+            self._last_batch_size = len(batch)
             try:
-                summary = self.backend.apply(
-                    WALRecord(lsn=lsn, op=op, facts=tuple(facts)))
-            except BaseException:
-                self._wal.rollback_to(before_lsn, before_bytes)
+                with self._lock:
+                    self._commit_batch(batch)
+            except BaseException as exc:  # noqa: BLE001 - never strand a waiter
+                for entry in batch:
+                    if entry.result is None and entry.error is None:
+                        entry.error = exc
+            finally:
+                for entry in batch:
+                    entry.event.set()
+
+    def _wait_for_followers(self) -> None:
+        """Give concurrent writers a moment to join the next batch.
+
+        Only engages once a previous batch actually carried more than one
+        entry (the concurrency hint).  Rather than guessing how many
+        writers exist, the wait watches the queue *grow*: as long as new
+        entries keep arriving within a short quiet window the batch is
+        still filling; once arrivals stop — every live writer is in — it
+        drains immediately.  :attr:`commit_delay` bounds the whole wait,
+        so a straggler can only stretch a batch, never stall it."""
+        if self.commit_delay <= 0 or self._last_batch_size < 2:
+            return
+        quiet_window = 0.001  # no-arrival window that ends the wait
+        deadline = time.monotonic() + self.commit_delay
+        seen = len(self._commit_queue)
+        last_arrival = time.monotonic()
+        while True:
+            time.sleep(0.0002)
+            now = time.monotonic()
+            queued = len(self._commit_queue)
+            if queued > seen:
+                seen, last_arrival = queued, now
+            elif now - last_arrival >= quiet_window:
+                return
+            if now >= deadline:
+                return
+
+    def _commit_batch(self, batch: List[_CommitEntry]) -> None:
+        """Make one batch durable, apply it in LSN order, maybe checkpoint.
+
+        Called under ``_lock``.  Fills each entry's ``result`` or
+        ``error``; the caller wakes the writers."""
+        queue = list(batch)
+        batched = True
+        while queue:
+            if self._wal is None:
+                error = ServingError("the daemon was stopped while the "
+                                     "write was queued")
+                for entry in queue:
+                    entry.error = error
+                return
+            try:
+                appended = self._wal.append_batch(
+                    [(entry.op, entry.facts) for entry in queue])
+            except Exception as exc:  # noqa: BLE001 - fail the whole batch
+                for entry in queue:
+                    entry.error = exc
+                return
+            self.serving_stats.commit_batches += 1
+            self.serving_stats.wal_records += len(queue)
+            if self.sync:
+                self.serving_stats.wal_fsyncs += 1
+            if len(queue) > 1:
+                self.serving_stats.commit_grouped_records += len(queue)
+            # Durable but not yet applied or acknowledged: a crash here
+            # must recover every record of the batch without any writer
+            # having been acked (the group-commit recovery tests drive it).
+            maybe_crash("group-commit-durable")
+            retry_from = self._apply_entries(queue, appended, batched)
+            if retry_from is None:
+                break
+            # A batched apply failed somewhere in a same-op run: the run
+            # (and everything after it) has been rolled out of the WAL and
+            # memory rebuilt from disk.  Retry the survivors one record at
+            # a time so only the genuinely poisoned record fails.
+            queue = queue[retry_from:]
+            batched = False
+        applied = [entry for entry in batch if entry.result is not None]
+        if applied and self.policy.due(self.records_since_checkpoint,
+                                       self._wal.size_bytes):
+            maybe_crash("pre-auto-checkpoint")
+            summary = applied[-1].result
+            try:
+                self.checkpoint()
+                summary["checkpointed"] = True
+            except Exception as exc:  # noqa: BLE001 - write must win
+                # The writes are durable and applied; a failed compaction
+                # (snapshot error, disk full) must not fail them.  The
+                # previous snapshot and the live segment are intact;
+                # surface the problem and retry at the next trigger.
+                self.last_checkpoint_error = str(exc)
+                summary["checkpoint_error"] = str(exc)
+
+    def _apply_entries(self, queue: List[_CommitEntry],
+                       appended: List[AppendedFrame],
+                       batched: bool) -> Optional[int]:
+        """Apply a durable batch in LSN order; ``None`` on full success.
+
+        With ``batched`` set, contiguous same-op runs are applied as one
+        session update (one MVCC publish per run).  On an apply failure
+        the failing run and the whole unapplied suffix are rolled back out
+        of the WAL, the in-memory state is rebuilt from the durable
+        prefix, and the index to retry from is returned (the failing
+        record's own index when it was applied alone — its writer already
+        holds the error)."""
+        index = 0
+        while index < len(queue):
+            run = 1
+            if batched:
+                while index + run < len(queue) and \
+                        queue[index + run].op == queue[index].op:
+                    run += 1
+            entries = queue[index:index + run]
+            frames = appended[index:index + run]
+            records = [WALRecord(lsn=frame.lsn, op=entry.op,
+                                 facts=tuple(entry.facts))
+                       for frame, entry in zip(frames, entries)]
+            try:
+                if run == 1:
+                    summary = self.backend.apply(records[0])
+                else:
+                    summary = self.backend.apply_many(records)
+                    self.serving_stats.apply_batches += 1
+            except BaseException as exc:  # noqa: BLE001 - isolate + rebuild
                 # The aborted apply may have left the in-memory state
                 # partially mutated (an EGD conflict aborts the chase
                 # mid-run; a multi-relation quality batch may have applied
-                # its first groups).  Rebuild from the durable state —
-                # which the rollback just made exactly pre-record — so
-                # live answers, later checkpoints and recovery all agree
-                # that the failed update never happened.
+                # its first groups).  Roll the unapplied suffix out of the
+                # log — none of it was acknowledged — and rebuild from the
+                # durable state, so live answers, later checkpoints and
+                # recovery all agree the failed update never happened.
+                self._wal.rollback_to(frames[0].lsn - 1, frames[0].offset)
                 self._wal.close()
                 self._restore_from_disk()
                 self._default_connection = \
                     ConnectionState(self.backend.versions)
-                raise
-            self.last_lsn = lsn
-            self.records_since_checkpoint += 1
-            summary["lsn"] = lsn
-            summary["checkpointed"] = False
-            if self.policy.due(self.records_since_checkpoint,
-                               self._wal.size_bytes):
-                maybe_crash("pre-auto-checkpoint")
-                try:
-                    self.checkpoint()
-                    summary["checkpointed"] = True
-                except Exception as exc:  # noqa: BLE001 - write must win
-                    # The write itself is durable and applied; a failed
-                    # compaction (snapshot error, disk full) must not fail
-                    # it.  The previous snapshot and the live WAL are
-                    # intact; surface the problem and retry at the next
-                    # trigger.
-                    self.last_checkpoint_error = str(exc)
-                    summary["checkpoint_error"] = str(exc)
-            return summary
+                if run == 1:
+                    entries[0].error = exc
+                    return index + 1
+                self.serving_stats.degraded_retries += 1
+                return index
+            for frame, entry in zip(frames, entries):
+                result = dict(summary)
+                result["lsn"] = frame.lsn
+                result["checkpointed"] = False
+                entry.result = result
+            self.last_lsn = frames[-1].lsn
+            self.records_since_checkpoint += run
+            index += run
+        return None
 
     def checkpoint(self) -> Dict[str, Any]:
         """Take a snapshot at the current cut and rotate the WAL."""
@@ -533,9 +815,11 @@ class ServingDaemon:
                     "lsn": self.last_lsn,
                     "wal_base_lsn": self._wal.base_lsn if self._wal else None,
                     "wal_bytes": self._wal.size_bytes if self._wal else 0,
+                    "wal_segments": len(list_segments(self.data_dir)),
                     "records_since_checkpoint": self.records_since_checkpoint,
                     "last_checkpoint_error": self.last_checkpoint_error,
                     "live_versions": backend.versions.live_versions(),
+                    "group_commit": self.serving_stats.as_dict(),
                 }
             return stats
         if op == "recovery":
@@ -589,7 +873,7 @@ class ServingDaemon:
         temp = address.with_name(address.name + ".tmp")
         temp.write_text(json.dumps({
             "host": bound_host, "port": bound_port, "pid": os.getpid(),
-            "kind": self.backend.kind,
+            "kind": self.backend.kind, "role": "primary",
             "protocol_version": PROTOCOL_VERSION,
         }), encoding="utf-8")
         os.replace(temp, address)
@@ -605,8 +889,39 @@ class ServingDaemon:
         threading.Thread(target=self.stop, name="repro-serving-stop",
                          daemon=True).start()
 
+    def _register_connection(self, connection: ConnectionState) -> None:
+        with self._connections_lock:
+            self._connections[id(connection)] = connection
+
+    def _unregister_connection(self, connection: ConnectionState) -> None:
+        with self._connections_lock:
+            self._connections.pop(id(connection), None)
+
     def stop(self) -> None:
-        """Stop serving and release the WAL handle (idempotent)."""
+        """Stop serving, release every pin still held on the daemon's
+        behalf, and close the WAL handle — exactly once (idempotent).
+
+        Runs the same way whether called directly, from the ``shutdown``
+        request, or from a ``finally`` after ``serve_forever`` exits via
+        an exception: live connections' pins are released even when their
+        handler threads never got to run their own cleanup, so no
+        superseded version can stay pinned (and uncollectable) past
+        stop()."""
+        with self._commit_ready:
+            self._commit_stop = True
+            self._commit_ready.notify_all()
+            committer, self._commit_thread = self._commit_thread, None
+        if committer is not None and committer is not \
+                threading.current_thread():
+            committer.join(timeout=30.0)
+        with self._commit_ready:
+            stranded, self._commit_queue = self._commit_queue, []
+        if stranded:
+            error = ServingError("the daemon was stopped while the "
+                                 "write was queued")
+            for entry in stranded:
+                entry.error = error
+                entry.event.set()
         server, self._server = self._server, None
         if server is not None:
             server.shutdown()
@@ -615,9 +930,17 @@ class ServingDaemon:
             address_path(self.data_dir).unlink()
         except OSError:
             pass
+        with self._connections_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.release_all()
         with self._lock:
-            if self._wal is not None:
-                self._wal.close()
+            if self._default_connection is not None:
+                self._default_connection.release_all()
+            wal, self._wal = self._wal, None
+            if wal is not None:
+                wal.close()
 
     def close(self) -> None:
         self.stop()
@@ -651,6 +974,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         daemon = self.server.serving_daemon
         connection = ConnectionState(daemon.backend.versions)
+        daemon._register_connection(connection)
         try:
             for raw in self.rfile:
                 line = raw.strip()
@@ -673,6 +997,7 @@ class _LineHandler(socketserver.StreamRequestHandler):
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
             pass
         finally:
+            daemon._unregister_connection(connection)
             connection.release_all()
 
 
@@ -705,6 +1030,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="N", help="checkpoint after N records")
     parser.add_argument("--max-wal-bytes", type=int, default=4 * 1024 * 1024)
     parser.add_argument("--keep-snapshots", type=int, default=2)
+    parser.add_argument("--commit-delay", type=float, default=0.01,
+                        metavar="SECONDS",
+                        help="upper bound on how long the group committer "
+                             "waits for concurrent writers to fill a batch "
+                             "(0 disables the wait; solo writers never pay "
+                             "it)")
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -723,7 +1054,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                               max_wal_bytes=args.max_wal_bytes,
                               keep_snapshots=args.keep_snapshots)
     daemon = ServingDaemon(backend, args.data_dir, sync=not args.no_sync,
-                           policy=policy)
+                           policy=policy, commit_delay=args.commit_delay)
     report = daemon.recover()
     host, port = daemon.start(args.host, args.port)
     if not args.quiet:

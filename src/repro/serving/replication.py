@@ -1,0 +1,586 @@
+"""Log-shipping read replicas: tail the primary's WAL segments, replay,
+serve pinned-version reads.
+
+A :class:`ReplicaDaemon` follows a primary's data directory — the
+"shipped log" (in production the directory would be rsync'd or mounted;
+here it is simply read in place).  It seeds itself from the primary's
+newest snapshot, then **tails** the ``wal-<baselsn>.log`` segment chain
+(:class:`ShippedLogReader`), replaying every record past its position
+through the backend's own maintained-answer update path — the same path
+the primary applies and recovers through, so a caught-up replica is
+observationally identical to the primary at the same LSN.
+
+Reads are served off the replica's own MVCC
+:class:`~repro.engine.versioning.VersionStore` over the same line-JSON
+protocol the primary speaks: ``answers``/``holds``/``pin``/``unpin`` work
+unchanged (a pinned version stays frozen while replay advances), writes
+are refused with a pointer back to the primary.  Replication lag — how
+many durable primary records the replica has not yet applied — is
+surfaced through the ``stats`` request.
+
+The shipped files belong to the primary: the reader never truncates or
+repairs them.  A torn tail on the live segment is simply "not shipped
+yet"; if the primary rolls a never-acknowledged suffix back out of the
+log under the reader's feet (or prunes segments the replica still
+needs), the replica notices the mismatch and **re-seeds** itself from the
+primary's newest snapshot — rolled-back records are never checkpointed,
+so a reseed always converges back onto the primary's history.
+
+Run standalone with::
+
+    python -m repro.serving.replication \\
+        --primary-data-dir ./serving-data --data-dir ./replica-data
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..datalog.parser import parse_program
+from ..engine.snapshot import encode_row, wal_position
+from ..engine.stats import ServingStats
+from ..errors import (ServingError, ServingProtocolError, WALCorruptionError,
+                      WALError)
+from .compaction import address_path, latest_snapshot, list_segments
+from .daemon import (PROTOCOL_VERSION, ConnectionState, ProgramBackend,
+                     QualityBackend, _LineServer)
+from .wal import MAGIC, OPS, WALRecord, _parse_frame, decode_facts
+
+PathLike = Union[str, Path]
+
+#: protocol requests a replica refuses (they mutate durable state)
+WRITE_OPS = ("add_facts", "retract_facts", "checkpoint")
+
+
+class ReplicationGapError(ServingError):
+    """The shipped log no longer covers the replica's position (segments
+    pruned, or the log rewritten under the reader); re-seed from the
+    primary's newest snapshot."""
+
+
+class ShippedLogReader:
+    """Incrementally read a primary's segment chain, record by record.
+
+    Tracks a position — the next LSN to deliver, plus the byte offset
+    reached in the segment being tailed — and on each :meth:`poll` parses
+    whatever complete frames have appeared past it, following rotations
+    to newer segments.  Strictly read-only on the shipped files.
+
+    Raises :class:`ReplicationGapError` when the chain no longer covers
+    the position and :class:`~repro.errors.WALCorruptionError` when the
+    bytes at the position stop matching the expected records (both mean:
+    re-seed).
+    """
+
+    def __init__(self, primary_dir: PathLike, start_lsn: int):
+        self.primary_dir = Path(primary_dir)
+        #: the next record LSN to deliver
+        self.next_lsn = start_lsn + 1
+        self._segment_base: Optional[int] = None
+        self._segment_path: Optional[Path] = None
+        self._offset = 0
+        #: LSN the next frame in the current segment must carry
+        self._expected: Optional[int] = None
+
+    # -- segment selection ---------------------------------------------------
+
+    def _select_segment(self) -> bool:
+        """Point the reader at the segment that contains ``next_lsn``.
+
+        Returns ``False`` when no segment can contain it *yet* (the chain
+        ends exactly one rotation behind — nothing shipped)."""
+        segments = list_segments(self.primary_dir)
+        eligible = [(base, path) for base, path in segments
+                    if base <= self.next_lsn - 1]
+        if not eligible:
+            if segments:
+                raise ReplicationGapError(
+                    f"the shipped log in {self.primary_dir} starts at LSN "
+                    f"{segments[0][0]} but the replica needs records from "
+                    f"{self.next_lsn}; the segments in between were pruned")
+            return False
+        base, path = eligible[-1]
+        self._segment_base = base
+        self._segment_path = path
+        self._offset = 0
+        self._expected = None  # validated against the header on first read
+        return True
+
+    def _advance_segment(self) -> bool:
+        """Move to the successor segment once the current one is spent.
+
+        Returns ``True`` when a successor based exactly at the last
+        consumed LSN exists."""
+        segments = list_segments(self.primary_dir)
+        newer = [(base, path) for base, path in segments
+                 if base > (self._segment_base or 0)]
+        if not newer:
+            return False
+        base, path = newer[0]
+        if base > self.next_lsn - 1:
+            # The successor starts past what we consumed: records are
+            # missing from the current segment (rolled back or the file
+            # was replaced).  Reseed.
+            raise ReplicationGapError(
+                f"segment {path.name} starts at LSN {base} but the replica "
+                f"has only seen up to {self.next_lsn - 1}; the shipped log "
+                "skipped records")
+        if base < self.next_lsn - 1:
+            return False  # still inside the current segment's successor gap
+        self._segment_base = base
+        self._segment_path = path
+        self._offset = 0
+        self._expected = None
+        return True
+
+    # -- polling -------------------------------------------------------------
+
+    def poll(self) -> List[WALRecord]:
+        """Every record with LSN ≥ ``next_lsn`` that is fully shipped."""
+        records: List[WALRecord] = []
+        if self._segment_path is None and not self._select_segment():
+            return records
+        while True:
+            records.extend(self._read_available())
+            if not self._advance_segment():
+                return records
+
+    def _read_available(self) -> List[WALRecord]:
+        """Parse complete frames past the current offset; stop at a torn
+        or not-yet-shipped tail."""
+        path = self._segment_path
+        try:
+            size = path.stat().st_size
+        except OSError:
+            raise ReplicationGapError(
+                f"shipped segment {path.name} disappeared under the reader")
+        if size < self._offset:
+            raise ReplicationGapError(
+                f"shipped segment {path.name} shrank below the replica's "
+                f"position ({size} < {self._offset} bytes); the primary "
+                "rolled back records the replica already read")
+        with open(path, "rb") as handle:
+            handle.seek(self._offset)
+            data = handle.read()
+        records: List[WALRecord] = []
+        position = self._offset
+        for line in data.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn / still being shipped — try again next poll
+            body = _parse_frame(line)
+            if body is None:
+                raise WALCorruptionError(
+                    f"shipped segment {path.name} holds an unparseable "
+                    f"frame at byte {position}; the log changed under the "
+                    "replica")
+            if position == 0:
+                if body.get("magic") != MAGIC or \
+                        body.get("base_lsn") != self._segment_base:
+                    raise WALCorruptionError(
+                        f"shipped segment {path.name} declares base LSN "
+                        f"{body.get('base_lsn')!r}, expected "
+                        f"{self._segment_base}")
+                self._expected = self._segment_base + 1
+            else:
+                if body.get("lsn") != self._expected or \
+                        body.get("op") not in OPS:
+                    raise WALCorruptionError(
+                        f"shipped segment {path.name} carries record "
+                        f"{body.get('lsn')!r} where {self._expected} was "
+                        "expected; the log changed under the replica")
+                if self._expected >= self.next_lsn:
+                    records.append(WALRecord(
+                        lsn=self._expected, op=body["op"],
+                        facts=tuple(decode_facts(body["facts"]))))
+                    self.next_lsn = self._expected + 1
+                self._expected += 1
+            position += len(line)
+            self._offset = position
+        return records
+
+
+class ReplicaDaemon:
+    """Serve read-only, pinned-version answers off a shipped log.
+
+    Same constructor shape as :class:`~repro.serving.daemon.ServingDaemon`
+    — a backend plus a data directory of its own (for the address file) —
+    with ``primary_dir`` pointing at the primary's data directory.
+    """
+
+    def __init__(self, backend, primary_dir: PathLike, data_dir: PathLike,
+                 poll_interval: float = 0.05):
+        self.backend = backend
+        self.primary_dir = Path(primary_dir)
+        self.data_dir = Path(data_dir)
+        if self.data_dir.resolve() == self.primary_dir.resolve():
+            raise ServingError(
+                "a replica needs its own data directory — pointing it at "
+                "the primary's would fight over daemon.json")
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.poll_interval = poll_interval
+        #: last LSN applied to the backend (the replica's visible position)
+        self.applied_lsn = 0
+        self.serving_stats = ServingStats()
+        self.recovery: Optional[Dict[str, Any]] = None
+        self.last_error: Optional[str] = None
+        #: serializes replay/reseed against quality reads (MVCC
+        #: answers/holds never take it — replay publishes new versions,
+        #: readers keep their pinned ones)
+        self._lock = threading.RLock()
+        self._reader: Optional[ShippedLogReader] = None
+        self._server: Optional[_LineServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._poller: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._default_connection: Optional[ConnectionState] = None
+        self._connections: Dict[int, ConnectionState] = {}
+        self._connections_lock = threading.Lock()
+
+    # -- seeding / recovery --------------------------------------------------
+
+    def recover(self) -> Dict[str, Any]:
+        """Seed from the primary's newest snapshot and position the tailer
+        at its cut; returns a report like the primary's."""
+        with self._lock:
+            cut = self._seed()
+            self._default_connection = ConnectionState(self.backend.versions)
+            report = {"bootstrapped": False, "snapshot": True,
+                      "base_lsn": cut, "replayed_records": 0,
+                      "torn_tail": None, "truncated_bytes": 0}
+            self.recovery = report
+            return report
+
+    def _seed(self) -> int:
+        found = latest_snapshot(self.primary_dir)
+        if found is None:
+            raise ServingError(
+                f"the primary data directory {self.primary_dir} holds no "
+                "snapshot to seed a replica from; let the primary recover "
+                "(and checkpoint) first")
+        lsn, path = found
+        self.backend.restore(path)
+        cut = wal_position(self.backend.snapshot_meta, default=lsn)
+        self.applied_lsn = cut
+        self._reader = ShippedLogReader(self.primary_dir, cut)
+        return cut
+
+    def _reseed(self, reason: str) -> None:
+        """Fall back to the primary's newest snapshot after the shipped
+        log moved from under us (pruned segments, rolled-back records)."""
+        self.serving_stats.reseeds += 1
+        self.last_error = reason
+        self._seed()
+
+    # -- replay --------------------------------------------------------------
+
+    def poll(self) -> int:
+        """Replay every newly shipped record; returns how many."""
+        with self._lock:
+            if self._reader is None:
+                raise ServingError("the replica has not recovered yet; "
+                                   "call recover() before polling")
+            self.serving_stats.polls += 1
+            try:
+                records = self._reader.poll()
+            except (WALError, ServingError) as exc:
+                self._reseed(str(exc))
+                try:
+                    records = self._reader.poll()
+                except (WALError, ServingError):
+                    return 0  # stay at the reseeded cut; retry next poll
+            for record in records:
+                self.backend.apply(record)
+                self.applied_lsn = record.lsn
+                self.serving_stats.records_replayed += 1
+            if records:
+                self.last_error = None
+            return len(records)
+
+    def primary_lsn(self) -> int:
+        """The primary's durable tail: the last record LSN fully shipped
+        (scans the live segment; torn tails count as not shipped)."""
+        segments = list_segments(self.primary_dir)
+        if not segments:
+            found = latest_snapshot(self.primary_dir)
+            return found[0] if found else 0
+        base, path = segments[-1]
+        probe = ShippedLogReader(self.primary_dir, base)
+        probe._segment_base, probe._segment_path = base, path
+        try:
+            records = probe._read_available()
+        except (WALError, ServingError):
+            return base
+        return records[-1].lsn if records else base
+
+    def replication_status(self) -> Dict[str, Any]:
+        """Lag and replay counters (the ``stats`` op's ``serving`` slot)."""
+        primary = self.primary_lsn()
+        with self._lock:
+            return {
+                "applied_lsn": self.applied_lsn,
+                "primary_lsn": primary,
+                "lag_records": max(0, primary - self.applied_lsn),
+                "records_replayed": self.serving_stats.records_replayed,
+                "reseeds": self.serving_stats.reseeds,
+                "polls": self.serving_stats.polls,
+                "last_error": self.last_error,
+            }
+
+    def catch_up(self, timeout: float = 30.0) -> int:
+        """Poll until the replica has applied the primary's durable tail
+        (or ``timeout`` elapses); returns the remaining lag in records."""
+        deadline = time.monotonic() + timeout
+        while True:
+            self.poll()
+            lag = self.primary_lsn() - self.applied_lsn
+            if lag <= 0 or time.monotonic() >= deadline:
+                return max(0, lag)
+            time.sleep(min(self.poll_interval, 0.02))
+
+    # -- request dispatch ----------------------------------------------------
+
+    def handle(self, request: Dict[str, Any],
+               connection: Optional[ConnectionState] = None) -> Dict[str, Any]:
+        """Serve one protocol request; never raises (same contract as the
+        primary's :meth:`~repro.serving.daemon.ServingDaemon.handle`)."""
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            if not isinstance(request, dict) or "op" not in request:
+                raise ServingProtocolError(
+                    'requests are JSON objects with an "op" field')
+            result = self._dispatch(request,
+                                    connection or self._default_connection)
+            return {"ok": True, "id": request_id, "result": result}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            return {"ok": False, "id": request_id, "error": str(exc),
+                    "error_type": type(exc).__name__}
+
+    def _dispatch(self, request: Dict[str, Any],
+                  connection: ConnectionState) -> Dict[str, Any]:
+        op = request["op"]
+        backend = self.backend
+        if op in WRITE_OPS:
+            raise ServingProtocolError(
+                f"request {op!r} is a write, but this daemon is a read "
+                "replica — send writes to the primary")
+        if op == "ping":
+            return {"pong": True, "kind": backend.kind, "role": "replica",
+                    "protocol_version": PROTOCOL_VERSION,
+                    "version": backend.version, "lsn": self.applied_lsn}
+        if op == "answers":
+            with backend.session.read(request.get("version")) as txn:
+                rows = txn.answers(request["query"],
+                                   allow_nulls=bool(request.get("allow_nulls")))
+                return {"rows": [encode_row(row) for row in rows],
+                        "version": txn.version}
+        if op == "holds":
+            with backend.session.read(request.get("version")) as txn:
+                return {"holds": txn.holds(request["query"]),
+                        "version": txn.version}
+        if op == "pin":
+            return {"version": connection.pin(request.get("version"))}
+        if op == "unpin":
+            connection.unpin(int(request["version"]))
+            return {"unpinned": int(request["version"])}
+        if op == "stats":
+            stats = backend.stats()
+            stats["serving"] = {"role": "replica",
+                                "replication": self.replication_status()}
+            return stats
+        if op == "recovery":
+            return dict(self.recovery or {})
+        if op == "quality_answers":
+            self._require_quality(op)
+            with self._lock:
+                rows = backend.quality_answers(request["query"])
+            return {"rows": [encode_row(row) for row in rows]}
+        if op == "quality_version":
+            self._require_quality(op)
+            with self._lock:
+                rows = backend.quality_version(request["relation"])
+            return {"rows": [encode_row(row) for row in rows]}
+        if op == "assess":
+            self._require_quality(op)
+            with self._lock:
+                return backend.assess()
+        if op == "shutdown":
+            connection.closing = True
+            threading.Thread(target=self.stop, name="repro-replica-stop",
+                             daemon=True).start()
+            return {"stopping": True}
+        raise ServingProtocolError(f"unknown request op {op!r}")
+
+    def _require_quality(self, op: str) -> None:
+        if not hasattr(self.backend, "quality_answers"):
+            raise ServingProtocolError(
+                f"request {op!r} needs a quality backend, but this replica "
+                "serves a plain program (start it with --hospital)")
+
+    def _register_connection(self, connection: ConnectionState) -> None:
+        with self._connections_lock:
+            self._connections[id(connection)] = connection
+
+    def _unregister_connection(self, connection: ConnectionState) -> None:
+        with self._connections_lock:
+            self._connections.pop(id(connection), None)
+
+    # -- network lifecycle ---------------------------------------------------
+
+    def start(self, host: str = "127.0.0.1", port: int = 0
+              ) -> Tuple[str, int]:
+        """Bind, serve in the background, start the tailer loop, and
+        advertise the address in ``<data_dir>/daemon.json``."""
+        if self._server is not None:
+            raise ServingError("the replica is already serving")
+        self._server = _LineServer((host, port), self)
+        bound_host, bound_port = self._server.server_address[:2]
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="repro-replica-daemon",
+                                        daemon=True)
+        self._thread.start()
+        self._stop_event.clear()
+        self._poller = threading.Thread(target=self._poll_loop,
+                                        name="repro-replica-tailer",
+                                        daemon=True)
+        self._poller.start()
+        address = address_path(self.data_dir)
+        temp = address.with_name(address.name + ".tmp")
+        temp.write_text(json.dumps({
+            "host": bound_host, "port": bound_port, "pid": os.getpid(),
+            "kind": self.backend.kind, "role": "replica",
+            "protocol_version": PROTOCOL_VERSION,
+        }), encoding="utf-8")
+        os.replace(temp, address)
+        return bound_host, bound_port
+
+    def _poll_loop(self) -> None:
+        while not self._stop_event.wait(self.poll_interval):
+            try:
+                self.poll()
+            except Exception as exc:  # noqa: BLE001 - keep tailing
+                self.last_error = str(exc)
+
+    def wait(self) -> None:
+        """Block until the serving thread exits (stop() from elsewhere)."""
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(timeout=0.5)
+
+    def stop(self) -> None:
+        """Stop serving and tailing, releasing every held pin (idempotent)."""
+        self._stop_event.set()
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        poller, self._poller = self._poller, None
+        if poller is not None and poller is not threading.current_thread():
+            poller.join(timeout=5)
+        try:
+            address_path(self.data_dir).unlink()
+        except OSError:
+            pass
+        with self._connections_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.release_all()
+        with self._lock:
+            if self._default_connection is not None:
+                self._default_connection.release_all()
+
+    def close(self) -> None:
+        self.stop()
+
+    def __enter__(self) -> "ReplicaDaemon":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ReplicaDaemon({self.backend.kind!r}, "
+                f"primary={str(self.primary_dir)!r}, "
+                f"lsn={self.applied_lsn})")
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving.replication",
+        description="Serve read-only answers off a primary's shipped "
+                    "snapshots + WAL segments.")
+    parser.add_argument("--primary-data-dir", required=True,
+                        help="the primary daemon's data directory (the "
+                             "shipped log)")
+    parser.add_argument("--data-dir", required=True,
+                        help="the replica's own directory (address file); "
+                             "must differ from the primary's")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 = pick a free port (advertised in "
+                             "<data-dir>/daemon.json)")
+    parser.add_argument("--program", metavar="FILE",
+                        help="verify the shipped snapshots against this "
+                             "Datalog± program text (default: trust the "
+                             "snapshot)")
+    parser.add_argument("--hospital", action="store_true",
+                        help="serve the hospital quality session (enables "
+                             "the quality_* requests)")
+    parser.add_argument("--engine", choices=("indexed", "naive", "columnar"))
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        metavar="SECONDS")
+    parser.add_argument("--quiet", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.hospital:
+        from ..hospital import HospitalScenario
+        scenario = HospitalScenario()
+        backend = QualityBackend(scenario.context, engine=args.engine)
+    elif args.program:
+        text = Path(args.program).read_text(encoding="utf-8")
+        backend = ProgramBackend(parse_program(text), engine=args.engine)
+    else:
+        # Snapshot-authoritative: rules and data both come from the
+        # shipped snapshot (load_program reconstructs the rule set).
+        backend = ProgramBackend(None, engine=args.engine)
+    replica = ReplicaDaemon(backend, args.primary_data_dir, args.data_dir,
+                            poll_interval=args.poll_interval)
+    report = replica.recover()
+    replica.poll()
+    host, port = replica.start(args.host, args.port)
+    if not args.quiet:
+        print(f"repro replica ({backend.kind}) on {host}:{port} — seeded at "
+              f"LSN {report['base_lsn']}, applied through "
+              f"{replica.applied_lsn}; shipping from {replica.primary_dir}",
+              flush=True)
+
+    def _stop(_signum, _frame):  # pragma: no cover - signal path
+        threading.Thread(target=replica.stop, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+    try:
+        replica.wait()
+    finally:
+        replica.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,9 +1,11 @@
 """Append-only, checksummed write-ahead log of EDB update records.
 
-The serving daemon (:mod:`repro.serving.daemon`) keeps exactly two durable
-artifacts: a snapshot (:mod:`repro.engine.snapshot`) of the materialized
-state at some checkpoint, and this log of every update accepted since.
-The recovery invariant is
+The serving daemon (:mod:`repro.serving.daemon`) keeps exactly two kinds
+of durable artifact: snapshots (:mod:`repro.engine.snapshot`) of the
+materialized state at checkpoints, and log **segments** — one
+:class:`WriteAheadLog` file per checkpoint interval, named
+``wal-<baselsn>.log`` by :mod:`repro.serving.compaction` — holding every
+update accepted since.  The recovery invariant is
 
     snapshot ⊕ WAL replay ≡ live session
 
@@ -31,10 +33,12 @@ with ``op`` one of ``"add"``/``"retract"`` and values encoded exactly as
 in snapshots (:func:`repro.engine.snapshot.encode_row` — labeled nulls as
 ``{"n": label}``).
 
-Appends are atomic at the frame level: one ``write`` of the whole line,
-flushed (and fsynced when ``sync=True``) before the record is applied or
-acknowledged.  A crash can therefore damage *only the last line* — the
-torn tail.  :meth:`WriteAheadLog.recover` detects it (missing newline,
+Appends are atomic at the frame level: one ``write`` per frame, flushed
+(and fsynced when ``sync=True``) before the record is applied or
+acknowledged.  :meth:`WriteAheadLog.append_batch` amortizes the flush and
+the fsync over a whole group-commit batch — still one ``write`` per frame,
+one fsync per batch.  A crash can therefore damage *only the last line* —
+the torn tail.  :meth:`WriteAheadLog.recover` detects it (missing newline,
 unparseable frame, checksum mismatch), truncates the file back to the last
 durable record and reports what was dropped.  Damage strictly *before* the
 tail — a bad frame followed by further valid frames, or a hole in the LSN
@@ -59,7 +63,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..datalog.chase import Fact
 from ..engine.snapshot import decode_row, encode_row, fsync_directory
@@ -159,6 +163,16 @@ class WALRecord:
         if self.op not in OPS:
             raise WALFormatError(f"unknown WAL operation {self.op!r}; "
                                  f"expected one of {OPS}")
+
+
+@dataclass(frozen=True)
+class AppendedFrame:
+    """Where one just-appended record landed in the log file."""
+
+    lsn: int
+    #: byte offset at which the frame starts (``rollback_to(lsn - 1, offset)``
+    #: removes this frame and everything after it)
+    offset: int
 
 
 # ---------------------------------------------------------------------------
@@ -345,26 +359,51 @@ class WriteAheadLog:
         durable, so recovery can never know *less* than an acknowledged
         client does.
         """
+        return self.append_batch([(op, facts)])[0].lsn
+
+    def append_batch(self, records: Sequence[Tuple[str, Iterable[Fact]]]
+                     ) -> List[AppendedFrame]:
+        """Durably append several update records with **one** flush and one
+        fsync (group commit).
+
+        Every frame is buffered, then the batch is flushed (+fsynced when
+        ``sync``) as a unit; no record in the batch is durable before the
+        method returns, and the caller must not acknowledge any of them
+        earlier.  Returns one :class:`AppendedFrame` per record, in order —
+        the start offsets let the caller roll a suffix of the batch back
+        out (:meth:`rollback_to`) when an apply fails mid-batch.
+        """
         if self._file.closed:
             raise WALError(f"write-ahead log {self.path} is closed")
-        lsn = self.last_lsn + 1
-        if op not in OPS:
-            raise WALFormatError(f"unknown WAL operation {op!r}; "
-                                 f"expected one of {OPS}")
-        frame = _frame({"lsn": lsn, "op": op,
-                        "facts": encode_facts(facts)}).encode("utf-8")
-        if _fault_due("wal-torn"):  # forge a torn tail, then die
-            self._file.write(frame[: max(1, len(frame) // 2)])
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            os._exit(FAULT_EXIT_CODE)  # pragma: no cover - kills the process
+        frames: List[bytes] = []
+        for op, facts in records:
+            if op not in OPS:
+                raise WALFormatError(f"unknown WAL operation {op!r}; "
+                                     f"expected one of {OPS}")
+            frames.append(_frame({"lsn": self.last_lsn + len(frames) + 1,
+                                  "op": op,
+                                  "facts": encode_facts(facts)})
+                          .encode("utf-8"))
+        if not frames:
+            return []
+        appended: List[AppendedFrame] = []
+        offset = self.size_bytes
         try:
-            self._file.write(frame)
+            for index, frame in enumerate(frames):
+                if _fault_due("wal-torn"):  # forge a torn tail, then die
+                    self._file.write(frame[: max(1, len(frame) // 2)])
+                    self._file.flush()
+                    os.fsync(self._file.fileno())
+                    os._exit(FAULT_EXIT_CODE)  # pragma: no cover - dies
+                self._file.write(frame)
+                appended.append(AppendedFrame(lsn=self.last_lsn + index + 1,
+                                              offset=offset))
+                offset += len(frame)
             self._file.flush()
             if self.sync:
                 os.fsync(self._file.fileno())
         except OSError as exc:
-            # A partial frame may be on disk.  Truncate back to the last
+            # A partial batch may be on disk.  Truncate back to the last
             # durable record so a *later* successful append cannot land
             # after the garbage (which recovery would have to refuse as
             # damage-before-tail, losing everything after it).  If even
@@ -380,10 +419,11 @@ class WriteAheadLog:
             raise WALError(
                 f"cannot append to write-ahead log {self.path}: "
                 f"{exc}") from exc
-        self.last_lsn = lsn
-        self.size_bytes += len(frame)
-        maybe_crash("wal-append")  # durable but not yet applied/acknowledged
-        return lsn
+        self.last_lsn += len(frames)
+        self.size_bytes = offset
+        for _ in frames:
+            maybe_crash("wal-append")  # durable, not yet applied/acknowledged
+        return appended
 
     def rollback_to(self, lsn: int, size_bytes: int) -> None:
         """Physically remove every record after ``(lsn, size_bytes)``.
@@ -403,8 +443,11 @@ class WriteAheadLog:
         self._file.flush()
         self._file.truncate(size_bytes)
         self._file.seek(size_bytes)  # the create-path handle is not O_APPEND
-        if self.sync:
-            os.fsync(self._file.fileno())
+        # fsync even when sync=False: under --no-sync an append may leave
+        # the rolled-back frames in the OS cache only, but a *subsequent*
+        # crash after more (cached) appends must never resurrect them —
+        # recovery would replay records the daemon decided to discard.
+        os.fsync(self._file.fileno())
         self.last_lsn = lsn
         self.size_bytes = size_bytes
 

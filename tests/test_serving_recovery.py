@@ -29,6 +29,7 @@ import random
 import signal
 import subprocess
 import sys
+import threading
 from pathlib import Path
 from typing import List, Tuple
 
@@ -41,8 +42,8 @@ from repro.engine.session import MaterializedProgram
 from repro.errors import (DaemonUnavailableError, ServingError,
                           ServingProtocolError, SnapshotError,
                           WALCorruptionError)
-from repro.serving import (CompactionPolicy, ServingClient, latest_snapshot,
-                           scan_wal, wal_path)
+from repro.serving import (CompactionPolicy, ServingClient, current_segment,
+                           latest_snapshot, list_segments, scan_wal)
 from repro.serving.daemon import ProgramBackend, ServingDaemon
 from repro.serving.wal import FAULT_EXIT_CODE, OP_ADD, OP_RETRACT
 from repro.workloads import (WorkloadSpec, generate_update_stream,
@@ -94,13 +95,27 @@ def _apply_item(materialized: MaterializedProgram, item: UpdateItem) -> None:
         materialized.retract_facts(facts)
 
 
+def _wal_file(data_dir: Path) -> Path:
+    """The live (highest-based) WAL segment file."""
+    return current_segment(data_dir)[1]
+
+
 def _durable_lsn(data_dir: Path) -> int:
     """The last durable record on disk: snapshot cut ⊕ intact WAL suffix."""
     found = latest_snapshot(data_dir)
     base = found[0] if found is not None else 0
-    scan = scan_wal(wal_path(data_dir))
+    scan = scan_wal(_wal_file(data_dir))
     last = scan.records[-1].lsn if scan.records else scan.header["base_lsn"]
     return max(base, last)
+
+
+def _durable_records(data_dir: Path) -> List:
+    """Every durable record across the whole segment chain, LSN order."""
+    records = []
+    for _, path in list_segments(data_dir):
+        records.extend(record for record in scan_wal(path).records
+                       if not records or record.lsn > records[-1].lsn)
+    return records
 
 
 def _recover(data_dir: Path,
@@ -136,7 +151,8 @@ def _assert_equals_oracle(recovered: MaterializedProgram,
 
 def _spawn_daemon(data_dir: Path, program_file: Path, *,
                   checkpoint_every: int = None,
-                  fault: str = None) -> subprocess.Popen:
+                  fault: str = None, no_sync: bool = False,
+                  engine: str = None) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
     env.pop("REPRO_FAULT_CRASH", None)
@@ -147,6 +163,10 @@ def _spawn_daemon(data_dir: Path, program_file: Path, *,
                "--port", "0", "--quiet"]
     if checkpoint_every is not None:
         command += ["--checkpoint-every", str(checkpoint_every)]
+    if no_sync:
+        command += ["--no-sync"]
+    if engine is not None:
+        command += ["--engine", engine]
     return subprocess.Popen(command, env=env,
                             stdout=subprocess.DEVNULL,
                             stderr=subprocess.DEVNULL)
@@ -225,17 +245,23 @@ def test_sigkill_mid_write_burst_recovers_to_durable_prefix(tmp_path,
 # -- deterministic in-process crash points ------------------------------------
 
 
+@pytest.mark.parametrize("sync_mode", ["sync", "no-sync"])
 @pytest.mark.parametrize("point", ["wal-append", "wal-torn"])
-def test_injected_crash_around_append(tmp_path, program_file, point):
+def test_injected_crash_around_append(tmp_path, program_file, point,
+                                      sync_mode):
     """Die exactly at (or halfway through) the n-th WAL append: recovery
     replays to precisely the last durable record — n for a completed
-    append, n-1 for a torn half-written frame."""
+    append, n-1 for a torn half-written frame.  Under ``--no-sync`` the
+    process-crash durability story is the same (the torn-tail fault point
+    flushes what it wrote before dying, like the OS cache surviving a
+    process crash)."""
     crash_at = 3 + (FAULT_SEED % 4)
     rng = random.Random(1300 + FAULT_SEED)
     items = _stream(rng, steps=crash_at + 5)
     data_dir = tmp_path / "data"
     process = _spawn_daemon(data_dir, program_file,
-                            fault=f"{point}:{crash_at}")
+                            fault=f"{point}:{crash_at}",
+                            no_sync=sync_mode == "no-sync")
     try:
         client = ServingClient.connect(data_dir, wait=30.0)
         acked = _drive_until_dead(client, items)
@@ -343,7 +369,7 @@ def test_tail_faults_on_workload_stream(tmp_path, engine, fault):
         daemon.apply_write(op, list(facts))
     daemon.stop()  # the crash: nothing checkpointed, WAL holds everything
 
-    wal_file = wal_path(data_dir)
+    wal_file = _wal_file(data_dir)
     data = wal_file.read_bytes()
     rng = random.Random(FAULT_SEED * 31 + len(fault))
     if fault == "truncate":
@@ -383,7 +409,7 @@ def test_damage_before_the_tail_is_refused(tmp_path):
         daemon.apply_write(op, list(facts))
     daemon.stop()
 
-    wal_file = wal_path(data_dir)
+    wal_file = _wal_file(data_dir)
     lines = wal_file.read_bytes().splitlines(keepends=True)
     victim = 2  # a record frame strictly before the tail (0 is the header)
     lines[victim] = lines[victim][:70] + \
@@ -409,7 +435,8 @@ def test_failed_checkpoint_leaves_snapshot_and_wal_intact(tmp_path):
         op, facts = item
         daemon.apply_write(op, list(facts))
     snapshot_before = latest_snapshot(data_dir)
-    wal_bytes_before = wal_path(data_dir).stat().st_size
+    wal_before = _wal_file(data_dir)
+    wal_bytes_before = wal_before.stat().st_size
 
     # Poison the instance with a value the snapshot codec refuses.
     poison = ("Base", ("poisoned", object()))
@@ -418,7 +445,8 @@ def test_failed_checkpoint_leaves_snapshot_and_wal_intact(tmp_path):
         daemon.checkpoint()
 
     assert latest_snapshot(data_dir) == snapshot_before
-    assert wal_path(data_dir).stat().st_size == wal_bytes_before
+    assert _wal_file(data_dir) == wal_before  # no rotation happened
+    assert wal_before.stat().st_size == wal_bytes_before
     assert not list(data_dir.glob("*.tmp"))
 
     # Still serving: the WAL accepts further writes, and once the poison
@@ -566,3 +594,239 @@ def test_wal_without_snapshot_is_refused(tmp_path):
         snapshot.unlink()
     with pytest.raises(ServingError, match="no snapshot"):
         _recover(data_dir)
+
+
+# -- group commit -------------------------------------------------------------
+
+
+def test_group_commit_concurrent_writers_match_oracle(tmp_path):
+    """Threads hammering apply_write concurrently: every write lands
+    exactly once, the WAL is a gap-free LSN chain, live and recovered
+    state both equal a clean replay of the durable records, and one fsync
+    covers each commit batch."""
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir)
+    writers, per_writer = 8, 6
+    errors: List[BaseException] = []
+
+    def hammer(writer: int) -> None:
+        try:
+            for index in range(per_writer):
+                daemon.apply_write(
+                    OP_ADD, [("Base", (f"w{writer}n{index}", "b"))])
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(writer,))
+               for writer in range(writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert daemon.last_lsn == writers * per_writer
+
+    records = _durable_records(data_dir)
+    assert [record.lsn for record in records] == \
+        list(range(1, writers * per_writer + 1))
+    oracle = MaterializedProgram(parse_program(PROGRAM_TEXT))
+    for record in records:
+        _apply_item(oracle, (record.op, list(record.facts)))
+    _assert_equals_oracle(daemon.backend.materialized, oracle)
+
+    stats = daemon.serving_stats
+    assert stats.wal_records == writers * per_writer
+    assert 1 <= stats.commit_batches <= stats.wal_records
+    assert stats.wal_fsyncs == stats.commit_batches  # one fsync per batch
+    assert stats.degraded_retries == 0
+    daemon.stop()
+
+    recovered = _recover(data_dir)
+    _assert_equals_oracle(recovered.backend.materialized, oracle)
+    recovered.stop()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_injected_crash_between_batch_fsync_and_ack(tmp_path, program_file,
+                                                    engine):
+    """Die between the group-commit batch fsync and the per-writer acks:
+    every acknowledged write survives recovery, and the recovered state is
+    exactly a clean replay of the durable records.  Unacked writes were
+    never visible before the crash (apply follows durability), and only
+    durable ones may surface after it."""
+    crash_batch = 2 + (FAULT_SEED % 3)
+    data_dir = tmp_path / "data"
+    process = _spawn_daemon(data_dir, program_file,
+                            fault=f"group-commit-durable:{crash_batch}",
+                            engine=engine)
+    writers, per_writer = 8, 25
+    acked: List[Tuple[str, Tuple]] = []
+    acked_lock = threading.Lock()
+
+    def hammer(writer: int) -> None:
+        try:
+            client = ServingClient.connect(data_dir, wait=30.0)
+        except DaemonUnavailableError:
+            return  # the daemon died before this writer got in
+        try:
+            for index in range(per_writer):
+                fact = ("Base", (f"w{writer}n{index}", "b"))
+                try:
+                    client.add_facts([fact])
+                except (DaemonUnavailableError, ServingProtocolError):
+                    return
+                with acked_lock:
+                    acked.append(fact)
+        finally:
+            client.close()
+
+    try:
+        threads = [threading.Thread(target=hammer, args=(writer,))
+                   for writer in range(writers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert process.wait(timeout=30) == FAULT_EXIT_CODE
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            process.kill()
+            process.wait(timeout=30)
+
+    records = _durable_records(data_dir)
+    durable_facts = {fact for record in records for fact in record.facts}
+    assert len(acked) < writers * per_writer  # the crash landed mid-stream
+    assert set(acked) <= durable_facts  # durability precedes every ack
+
+    daemon = ServingDaemon(ProgramBackend(parse_program(PROGRAM_TEXT),
+                                          engine=engine), data_dir)
+    daemon.recover()
+    oracle = MaterializedProgram(parse_program(PROGRAM_TEXT), engine=engine)
+    for record in records:
+        _apply_item(oracle, (record.op, list(record.facts)))
+    _assert_equals_oracle(daemon.backend.materialized, oracle)
+    base = daemon.backend.materialized.edb.relation("Base")
+    for fact in acked:
+        assert fact[1] in base  # every acked write survived recovery
+    daemon.stop()
+
+
+# -- segmented WAL ------------------------------------------------------------
+
+
+def test_segments_rotate_prune_and_replay_older_snapshots(tmp_path):
+    """Checkpoints rotate the WAL into fresh ``wal-<baselsn>.log`` segments
+    and prune only segments no retained snapshot needs; recovery replays
+    across the chain, and deleting the newest snapshot still recovers from
+    an older one through multiple segments — the point of segmenting over
+    truncate-and-rewrite."""
+    data_dir = tmp_path / "data"
+    daemon = ServingDaemon(
+        ProgramBackend(parse_program(PROGRAM_TEXT)), data_dir,
+        policy=CompactionPolicy(checkpoint_every_records=3,
+                                keep_snapshots=2))
+    daemon.recover()
+    items = _stream(random.Random(4200 + FAULT_SEED), steps=10)
+    for item in items:
+        op, facts = item
+        daemon.apply_write(op, list(facts))
+    daemon.stop()
+
+    segments = list_segments(data_dir)
+    assert len(segments) >= 2  # rotation happened
+    assert segments[0][0] > 0  # ...and pruning dropped covered segments
+    # Chain invariant: each segment ends where its successor starts.
+    for (base, path), (next_base, _) in zip(segments, segments[1:]):
+        records = scan_wal(path).records
+        assert (records[-1].lsn if records else base) == next_base
+
+    recovered = _recover(data_dir)  # from the newest snapshot
+    _assert_equals_oracle(recovered.backend.materialized,
+                          _clean_replay(items, len(items)))
+    recovered.stop()
+
+    # The older retained snapshot's chain survived pruning: recovery from
+    # it replays records across multiple segments.
+    newest = latest_snapshot(data_dir)
+    assert newest is not None
+    newest[1].unlink()
+    recovered = _recover(data_dir)
+    assert recovered.recovery["replayed_records"] > 0
+    _assert_equals_oracle(recovered.backend.materialized,
+                          _clean_replay(items, len(items)))
+    recovered.stop()
+
+
+def test_rollback_fsyncs_even_without_sync(tmp_path, monkeypatch):
+    """``rollback_to`` must fsync unconditionally: under ``--no-sync`` the
+    truncate would otherwise live only in the OS cache, and a later crash
+    could resurrect rolled-back frames on recovery."""
+    from repro.serving import WriteAheadLog
+    wal = WriteAheadLog.create(tmp_path / "wal.log", sync=False)
+    frames = wal.append_batch([(OP_ADD, [("Base", ("a", "b"))]),
+                               (OP_ADD, [("Base", ("c", "d"))])])
+    synced: List[int] = []
+    real_fsync = os.fsync
+
+    def counting_fsync(fd):
+        synced.append(fd)
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", counting_fsync)
+    wal.rollback_to(frames[0].lsn, frames[1].offset)
+    assert synced  # the truncate reached the disk despite sync=False
+    wal.close()
+    scan = scan_wal(tmp_path / "wal.log")
+    assert [record.lsn for record in scan.records] == [1]
+    assert scan.torn_reason is None
+
+
+# -- lifecycle bugfixes -------------------------------------------------------
+
+
+def test_stop_releases_connection_pins_and_closes_wal_once(tmp_path):
+    """Stopping the daemon while a client still holds a pin must release
+    that pin (no superseded version left uncollectable) and close the WAL
+    exactly once; a second stop() is a no-op."""
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir)
+    daemon.start(host="127.0.0.1", port=0)
+    try:
+        client = ServingClient.connect(data_dir, wait=30.0)
+        pinned = client.pin()
+        daemon.apply_write(OP_ADD, [("Base", ("fresh", "b"))])  # supersede
+        assert pinned in daemon.backend.versions.live_versions()
+    finally:
+        daemon.stop()
+    assert daemon._wal is None  # closed exactly once, handle dropped
+    # The connection's pin was released on stop: the superseded version
+    # is collectable, only the latest survives.
+    daemon.backend.versions.collect()
+    assert pinned not in daemon.backend.versions.live_versions()
+    daemon.stop()  # idempotent: nothing left to close, nothing raises
+    assert client.unpin(pinned) is False  # daemon gone: tolerant unpin
+    client.close()
+
+
+def test_client_read_close_is_idempotent_and_survives_daemon_death(tmp_path):
+    """ClientRead.close() twice is a no-op, unpin after the pin is gone
+    reports False instead of raising, and a daemon death inside a read
+    context must not mask the body's exception in ``__exit__``."""
+    data_dir = tmp_path / "data"
+    daemon = _recover(data_dir)
+    daemon.start(host="127.0.0.1", port=0)
+    client = ServingClient.connect(data_dir, wait=30.0)
+
+    read = client.read()
+    assert read.answers(QUERIES[1])
+    read.close()
+    read.close()  # idempotent: no second unpin is attempted
+    assert client.unpin(read.version) is False  # already released
+
+    # The daemon stops while a read is open: close() inside __exit__ hits
+    # a dead socket, and the body's own exception must still surface.
+    with pytest.raises(ValueError, match="the body's own error"):
+        with client.read():
+            daemon.stop()
+            raise ValueError("the body's own error")
+    client.close()
