@@ -117,7 +117,8 @@ class EngineStats:
 
 @dataclass
 class ServingStats:
-    """Counters for the serving tier's durability and replication paths.
+    """Counters for the serving tier's durability, protection and
+    replication paths.
 
     Lives here (next to :class:`EngineStats`) because the serving daemon
     and the replica daemon both surface these through the same ``stats``
@@ -142,6 +143,21 @@ class ServingStats:
     #: commit batches that fell back to record-at-a-time application to
     #: isolate a poisoned record after a batched apply failed
     degraded_retries: int = 0
+    #: write requests refused with a typed ``busy`` response because the
+    #: bounded group-commit queue was at capacity (back-pressure shed load)
+    busy_rejections: int = 0
+    #: requests refused because they exceeded an admission size limit
+    #: (facts per write) before any validation or logging happened
+    oversized_rejections: int = 0
+    #: write requests refused because their connection already had the
+    #: maximum number of in-flight writes queued
+    inflight_rejections: int = 0
+    #: raw protocol lines shed at the socket boundary for exceeding
+    #: ``max_request_bytes`` — drained and refused without being parsed
+    requests_shed: int = 0
+    #: operations refused by the shared-secret auth gate: missing or wrong
+    #: credentials, replayed nonces, and unauthenticated requests alike
+    auth_failures: int = 0
     #: WAL records replayed by a replica past its snapshot cut
     records_replayed: int = 0
     #: times a replica re-seeded itself from the primary's newest snapshot

@@ -162,6 +162,43 @@ class DaemonUnavailableError(ServingError):
     """No serving daemon is reachable at the given address or data directory."""
 
 
+class AdmissionError(ServingError):
+    """Base class for typed admission refusals: the daemon declined to take
+    the request on, without attempting it.  Nothing was logged or applied —
+    a refused write is never partially durable, so retrying is always safe."""
+
+
+class RequestTooLargeError(AdmissionError):
+    """The request exceeds the daemon's admission limits (raw bytes on the
+    wire, facts per write, or concurrent in-flight writes per connection)."""
+
+
+class ServerBusyError(AdmissionError):
+    """The daemon's bounded commit queue is full; back off and retry.
+
+    :attr:`retry_after` is the daemon's estimate (seconds) of when queue
+    space is likely to be free — clients should treat it as a floor for
+    their backoff delay, never as a promise."""
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class AuthenticationError(ServingError):
+    """The connection has not completed (or failed) the shared-secret auth
+    handshake this daemon requires; every operation is refused until a
+    fresh ``auth_challenge`` + ``auth`` exchange succeeds."""
+
+
+class DaemonShutdownError(ServingError):
+    """The daemon stopped while the request was queued or in flight.
+
+    Raised (never silently dropped) for every writer still blocked on the
+    commit queue when :meth:`ServingDaemon.stop` runs, so no client thread
+    is ever stranded waiting on an event nobody will set."""
+
+
 # ---------------------------------------------------------------------------
 # Multidimensional model
 # ---------------------------------------------------------------------------

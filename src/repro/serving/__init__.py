@@ -15,7 +15,13 @@ This package turns a materialized session into an operable service:
   them through the maintained-answer path and serves pinned-version reads
   (``python -m repro.serving.replication`` to run one);
 * :mod:`repro.serving.client` — a thin client mirroring the in-process
-  session API, with a reads-to-replica routing knob.
+  session API, with a reads-to-replica routing knob, typed refusals and
+  bounded backoff retries;
+* :mod:`repro.serving.admission` — the protection layer both daemons
+  consult before validation: per-request admission limits
+  (:class:`AdmissionPolicy`), the bounded commit queue's back-pressure
+  parameters, and the shared-secret HMAC handshake
+  (:class:`Authenticator`).
 
 The recovery invariant, proven by ``tests/test_serving_recovery.py`` and
 ``tests/test_replication.py``: **snapshot ⊕ durable WAL prefix ≡ live
@@ -23,6 +29,8 @@ session** — after any crash, on the primary and on every replica, the
 recovered state equals a clean replay of the durable segment chain.
 """
 
+from .admission import (AdmissionPolicy, Authenticator, compute_mac,
+                        load_token)
 from .client import ClientRead, ServingClient, read_address
 from .compaction import (CompactionPolicy, current_segment, latest_snapshot,
                          list_segments, list_snapshots, prune_segments,
@@ -51,6 +59,8 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AdmissionPolicy",
+    "Authenticator",
     "ClientRead",
     "CompactionPolicy",
     "ProgramBackend",
@@ -61,10 +71,12 @@ __all__ = [
     "ShippedLogReader",
     "WALRecord",
     "WriteAheadLog",
+    "compute_mac",
     "current_segment",
     "decode_facts",
     "encode_facts",
     "latest_snapshot",
+    "load_token",
     "list_segments",
     "list_snapshots",
     "prune_segments",

@@ -20,11 +20,31 @@ against garbage collection until :meth:`unpin` (the daemon also releases a
 connection's pins when it drops), and ``answers``/``holds`` accept a
 ``version`` to read against a pinned cut; :meth:`read` wraps the pair in a
 context manager that mirrors :meth:`QuerySession.read`.
+
+The daemon's **typed refusals** come back as the same exception classes
+they were raised as on the server: an oversized request raises
+:class:`~repro.errors.RequestTooLargeError`, an unauthenticated one
+:class:`~repro.errors.AuthenticationError`, a full commit queue
+:class:`~repro.errors.ServerBusyError` (carrying the daemon's
+``retry_after`` hint), a mid-write shutdown
+:class:`~repro.errors.DaemonShutdownError` — anything else stays a
+:class:`~repro.errors.ServingProtocolError` with ``remote_type`` set.
+Busy refusals are retried automatically with bounded exponential backoff
+plus jitter (floored at the daemon's hint); pass ``unavailable_retries``
+to also survive a daemon restart by reconnecting (and re-authenticating)
+between attempts.
+
+With ``auth_token=`` (or a daemon started with ``--auth-token-file``)
+the client runs the shared-secret handshake right after connecting:
+fetch a per-connection nonce (``auth_challenge``), answer with
+``HMAC-SHA256(token, nonce)`` (``auth``).  The token never crosses the
+wire.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from pathlib import Path
@@ -32,13 +52,25 @@ from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from ..datalog.chase import Fact
 from ..engine.snapshot import decode_row
-from ..errors import DaemonUnavailableError, ServingProtocolError
+from ..errors import (AuthenticationError, DaemonShutdownError,
+                      DaemonUnavailableError, RequestTooLargeError,
+                      ServerBusyError, ServingProtocolError)
+from .admission import compute_mac
 from .compaction import address_path
 from .wal import encode_facts
 
 PathLike = Union[str, Path]
 
 AnswerRows = Tuple[Tuple[Any, ...], ...]
+
+#: daemon-side refusals the client re-raises as their original class
+#: (everything else becomes a ServingProtocolError with remote_type set)
+_TYPED_REMOTE_ERRORS = {
+    "RequestTooLargeError": RequestTooLargeError,
+    "ServerBusyError": ServerBusyError,
+    "AuthenticationError": AuthenticationError,
+    "DaemonShutdownError": DaemonShutdownError,
+}
 
 
 def read_address(data_dir: PathLike) -> Dict[str, Any]:
@@ -66,13 +98,31 @@ class ServingClient:
     primary; :meth:`replica_stats`/:meth:`replication_lag` query the
     replica directly.  ``read_from`` may be flipped at runtime, but pins
     are per-daemon: unpin on the side that pinned.
+
+    ``connect_timeout`` bounds only the TCP connect (a stale
+    ``daemon.json`` pointing at a dead port fails promptly as
+    :class:`~repro.errors.DaemonUnavailableError` instead of hanging for
+    the full I/O ``timeout``); ``busy_retries``/``unavailable_retries``
+    and the ``backoff_*`` knobs shape the retry loop documented on
+    :meth:`request`.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0,
                  replica: Optional[Tuple[str, int]] = None,
-                 read_from: str = "primary"):
+                 read_from: str = "primary",
+                 connect_timeout: float = 5.0,
+                 auth_token: Optional[Union[str, bytes]] = None,
+                 busy_retries: int = 8, unavailable_retries: int = 0,
+                 backoff_base: float = 0.05, backoff_max: float = 2.0):
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.busy_retries = busy_retries
+        self.unavailable_retries = unavailable_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._auth_token = auth_token
         if read_from not in ("primary", "replica"):
             raise ValueError(
                 f"read_from must be 'primary' or 'replica', not {read_from!r}")
@@ -81,29 +131,78 @@ class ServingClient:
                 "read_from='replica' needs a replica=(host, port) address")
         self._replica: Optional["ServingClient"] = None
         if replica is not None:
-            self._replica = ServingClient(replica[0], replica[1],
-                                          timeout=timeout)
+            self._replica = ServingClient(
+                replica[0], replica[1], timeout=timeout,
+                connect_timeout=connect_timeout, auth_token=auth_token,
+                busy_retries=busy_retries,
+                unavailable_retries=unavailable_retries,
+                backoff_base=backoff_base, backoff_max=backoff_max)
         self.read_from = read_from
-        try:
-            self._socket = socket.create_connection((host, port),
-                                                    timeout=timeout)
-        except OSError as exc:
-            if self._replica is not None:
-                self._replica.close()
-            raise DaemonUnavailableError(
-                f"cannot connect to serving daemon at {host}:{port}: "
-                f"{exc}") from None
-        self._file = self._socket.makefile("rwb")
+        self._socket: Optional[socket.socket] = None
+        self._file = None
         self._next_id = 0
+        try:
+            self._connect()
+            self._handshake()
+        except BaseException:
+            self.close()
+            raise
+
+    def _connect(self) -> None:
+        """(Re)establish the TCP connection — connect bounded by
+        ``connect_timeout``, subsequent I/O by ``timeout``."""
+        try:
+            self._socket = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout)
+        except OSError as exc:
+            self._socket = None
+            self._file = None
+            raise DaemonUnavailableError(
+                f"cannot connect to serving daemon at {self.host}:"
+                f"{self.port}: {exc}") from None
+        self._socket.settimeout(self.timeout)
+        self._file = self._socket.makefile("rwb")
+
+    def _handshake(self) -> None:
+        """Authenticate this connection when a token was provided.
+
+        A tokenless daemon answers ``required: false`` and the handshake
+        is a no-op, so a client holding a token interoperates with an
+        open daemon."""
+        if self._auth_token is None:
+            return
+        challenge = self._request_once("auth_challenge")
+        if not challenge.get("required"):
+            return
+        self._request_once(
+            "auth", mac=compute_mac(self._auth_token, challenge["nonce"]))
+
+    def _reconnect(self) -> None:
+        """Drop the (broken) connection and dial + authenticate afresh."""
+        for resource in (self._file, self._socket):
+            try:
+                if resource is not None:
+                    resource.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._socket = None
+        self._file = None
+        self._connect()
+        self._handshake()
 
     @classmethod
     def connect(cls, data_dir: PathLike, timeout: float = 30.0,
                 wait: float = 10.0, replica_dir: Optional[PathLike] = None,
-                read_from: str = "primary") -> "ServingClient":
+                read_from: str = "primary",
+                auth_token: Optional[Union[str, bytes]] = None,
+                **client_options: Any) -> "ServingClient":
         """Connect to the daemon serving ``data_dir``, waiting up to
         ``wait`` seconds for it to advertise itself (covers the race with a
-        freshly spawned daemon process).  ``replica_dir`` waits for and
-        attaches the replica advertised there as well."""
+        freshly spawned daemon process — including a stale ``daemon.json``
+        left by a dead daemon whose port now refuses connections).
+        ``replica_dir`` waits for and attaches the replica advertised
+        there as well; extra keyword arguments (``connect_timeout``,
+        ``busy_retries``, ...) pass through to the constructor."""
         deadline = time.monotonic() + wait
 
         def _await_address(directory: PathLike) -> Dict[str, Any]:
@@ -115,13 +214,22 @@ class ServingClient:
                         raise
                     time.sleep(0.05)
 
-        address = _await_address(data_dir)
-        replica = None
-        if replica_dir is not None:
-            found = _await_address(replica_dir)
-            replica = (found["host"], found["port"])
-        return cls(address["host"], address["port"], timeout=timeout,
-                   replica=replica, read_from=read_from)
+        while True:
+            address = _await_address(data_dir)
+            replica = None
+            if replica_dir is not None:
+                found = _await_address(replica_dir)
+                replica = (found["host"], found["port"])
+            try:
+                return cls(address["host"], address["port"], timeout=timeout,
+                           replica=replica, read_from=read_from,
+                           auth_token=auth_token, **client_options)
+            except DaemonUnavailableError:
+                # Advertised but not answering: either we raced the bind
+                # or the file is stale.  Keep trying until the deadline.
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
 
     def _reader(self) -> "ServingClient":
         """The connection read-side calls route to."""
@@ -132,8 +240,61 @@ class ServingClient:
     # -- the wire ------------------------------------------------------------
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """One request/response round trip; raises on protocol errors and
-        on ``{"ok": false}`` responses."""
+        """One request/response exchange, with bounded automatic retries.
+
+        A ``busy`` refusal (:class:`~repro.errors.ServerBusyError` — the
+        daemon's commit queue is full) is retried up to ``busy_retries``
+        times with exponential backoff plus jitter, never sleeping less
+        than the daemon's ``retry_after`` hint: back-pressure is the
+        daemon asking exactly for this.  A lost connection or a mid-write
+        shutdown is retried up to ``unavailable_retries`` times (default
+        0: off) by reconnecting and re-authenticating first — opt-in,
+        because a write interrupted mid-exchange *may* have been applied
+        and retrying it is not idempotent for all workloads.  Every other
+        failure — typed refusals like
+        :class:`~repro.errors.RequestTooLargeError` or
+        :class:`~repro.errors.AuthenticationError` included — raises
+        immediately.
+        """
+        busy_left = self.busy_retries
+        unavailable_left = self.unavailable_retries
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(op, **fields)
+            except ServerBusyError as exc:
+                if busy_left <= 0:
+                    raise
+                busy_left -= 1
+                self._backoff(attempt, floor=exc.retry_after)
+                attempt += 1
+            except (DaemonUnavailableError, DaemonShutdownError):
+                if unavailable_left <= 0 or op == "shutdown":
+                    raise
+                unavailable_left -= 1
+                self._backoff(attempt)
+                attempt += 1
+                try:
+                    self._reconnect()
+                except DaemonUnavailableError:
+                    # Still down — the next loop iteration charges another
+                    # retry, so a daemon that never comes back still fails
+                    # after ``unavailable_retries`` attempts.
+                    continue
+
+    def _backoff(self, attempt: int, floor: float = 0.0) -> None:
+        """Sleep one bounded-exponential-with-jitter retry delay."""
+        delay = min(self.backoff_max, self.backoff_base * (2 ** attempt))
+        delay = max(delay, float(floor or 0.0))
+        # full jitter in [0.5, 1.5) — desynchronizes a herd of retriers
+        time.sleep(delay * (0.5 + random.random()))
+
+    def _request_once(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """One raw request/response round trip; raises on protocol errors
+        and maps ``{"ok": false}`` responses to typed exceptions."""
+        if self._file is None:
+            raise DaemonUnavailableError(
+                f"not connected to {self.host}:{self.port}")
         self._next_id += 1
         payload = {"op": op, "id": self._next_id, **fields}
         try:
@@ -156,9 +317,16 @@ class ServingClient:
             raise ServingProtocolError(
                 f"unparseable response to {op!r}: {exc}") from None
         if not response.get("ok"):
-            raise ServingProtocolError(
-                response.get("error", f"request {op!r} failed"),
-                remote_type=response.get("error_type", ""))
+            error_type = response.get("error_type", "")
+            message = response.get("error", f"request {op!r} failed")
+            typed = _TYPED_REMOTE_ERRORS.get(error_type)
+            if typed is ServerBusyError:
+                raise ServerBusyError(
+                    message,
+                    retry_after=float(response.get("retry_after") or 0.0))
+            if typed is not None:
+                raise typed(message)
+            raise ServingProtocolError(message, remote_type=error_type)
         return response.get("result") or {}
 
     @staticmethod
@@ -274,14 +442,14 @@ class ServingClient:
     def close(self) -> None:
         if self._replica is not None:
             self._replica.close()
-        try:
-            self._file.close()
-        except OSError:  # pragma: no cover - already gone
-            pass
-        try:
-            self._socket.close()
-        except OSError:  # pragma: no cover - already gone
-            pass
+        for resource in (self._file, self._socket):
+            try:
+                if resource is not None:
+                    resource.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._file = None
+        self._socket = None
 
     def __enter__(self) -> "ServingClient":
         return self

@@ -59,13 +59,17 @@ from ..datalog.parser import parse_program
 from ..engine.session import MaterializedProgram, UpdateResult
 from ..engine.snapshot import encode_row, load_program, wal_position
 from ..engine.stats import ServingStats
-from ..errors import (ArityError, ServingError, ServingProtocolError,
-                      UnknownRelationError, WALCorruptionError)
+from ..errors import (ArityError, AuthenticationError, DaemonShutdownError,
+                      RequestTooLargeError, ServerBusyError, ServingError,
+                      ServingProtocolError, UnknownRelationError,
+                      WALCorruptionError)
+from .admission import (UNAUTHENTICATED_OPS, AdmissionPolicy, Authenticator,
+                        load_token)
 from .compaction import (CompactionPolicy, address_path, latest_snapshot,
                          list_segments, migrate_legacy_wal, prune_snapshots,
                          run_checkpoint, segment_path, snapshot_path)
 from .wal import (OP_ADD, OP_RETRACT, AppendedFrame, WALRecord, WriteAheadLog,
-                  decode_facts, maybe_crash, scan_wal)
+                  decode_facts, maybe_crash, maybe_stall, scan_wal)
 
 PathLike = Union[str, Path]
 PROTOCOL_VERSION = 1
@@ -290,12 +294,23 @@ class QualityBackend(_MaterializedBackend):
 
 
 class ConnectionState:
-    """Pins a client holds; released when the connection closes."""
+    """Per-connection serving state: the pins a client holds (released
+    when the connection closes), its auth-handshake progress, and how
+    many of its writes are currently queued or in flight."""
 
     def __init__(self, store):
         self._store = store
         self._pins: Dict[int, List[Any]] = {}
         self.closing = False
+        #: set once the shared-secret handshake succeeds (or when the
+        #: daemon requires no auth — the gate checks the requirement)
+        self.authenticated = False
+        #: the outstanding single-use auth nonce (``None`` = none issued,
+        #: or the last one was consumed by an ``auth`` attempt)
+        self.auth_nonce: Optional[str] = None
+        #: writes from this connection sitting in (or moving through)
+        #: the commit queue; bounded by the admission policy
+        self.inflight_writes = 0
 
     def pin(self, version: Optional[int] = None) -> int:
         pinned = self._store.pin(version)
@@ -321,6 +336,64 @@ class ConnectionState:
         self._pins.clear()
 
 
+def _error_response(request_id: Any, exc: BaseException) -> Dict[str, Any]:
+    """The wire shape of a refused/failed request.  Typed refusals carry
+    their class name in ``error_type`` (the client re-raises them as the
+    same class) and busy refusals additionally carry ``retry_after``."""
+    response = {"ok": False, "id": request_id, "error": str(exc),
+                "error_type": type(exc).__name__}
+    retry_after = getattr(exc, "retry_after", None)
+    if retry_after is not None:
+        response["retry_after"] = retry_after
+    return response
+
+
+def check_authenticated(daemon, op: str, connection: ConnectionState) -> None:
+    """Refuse ``op`` on an unauthenticated connection (both daemons).
+
+    Liveness (``ping``) and the handshake itself stay reachable; every
+    other operation — reads, writes, pins, stats, quality — is refused
+    with a typed :class:`~repro.errors.AuthenticationError` and counted.
+    A daemon with no token configured requires nothing."""
+    if not daemon.authenticator.required or connection.authenticated:
+        return
+    if op in UNAUTHENTICATED_OPS:
+        return
+    daemon.serving_stats.auth_failures += 1
+    raise AuthenticationError(
+        f"request {op!r} refused: this daemon requires authentication "
+        "(complete the auth_challenge + auth handshake first)")
+
+
+def handle_auth_op(daemon, op: str, request: Dict[str, Any],
+                   connection: ConnectionState) -> Optional[Dict[str, Any]]:
+    """Serve the two handshake operations; ``None`` for any other op.
+
+    ``auth_challenge`` issues a fresh single-use nonce (replacing any
+    outstanding one); ``auth`` verifies the client's HMAC over it in
+    constant time.  The nonce is consumed by the attempt whatever the
+    outcome, so a captured or replayed MAC never verifies twice."""
+    if op == "auth_challenge":
+        if not daemon.authenticator.required:
+            return {"required": False, "nonce": None}
+        connection.auth_nonce = daemon.authenticator.challenge()
+        return {"required": True, "nonce": connection.auth_nonce}
+    if op == "auth":
+        if not daemon.authenticator.required:
+            connection.authenticated = True
+            return {"authenticated": True, "required": False}
+        nonce, connection.auth_nonce = connection.auth_nonce, None
+        if daemon.authenticator.verify(nonce, request.get("mac")):
+            connection.authenticated = True
+            return {"authenticated": True, "required": True}
+        daemon.serving_stats.auth_failures += 1
+        raise AuthenticationError(
+            "authentication failed: missing, wrong or replayed credential; "
+            "request a fresh auth_challenge and answer it with "
+            "HMAC-SHA256(token, nonce)")
+    return None
+
+
 class _CommitEntry:
     """One writer's update waiting in (or moving through) the commit queue."""
 
@@ -344,7 +417,9 @@ class ServingDaemon:
 
     def __init__(self, backend, data_dir: PathLike, sync: bool = True,
                  policy: Optional[CompactionPolicy] = None,
-                 commit_delay: float = 0.01):
+                 commit_delay: float = 0.01,
+                 admission: Optional[AdmissionPolicy] = None,
+                 auth_token: Optional[Union[str, bytes]] = None):
         self.backend = backend
         self.data_dir = Path(data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -353,6 +428,10 @@ class ServingDaemon:
         #: upper bound on how long the committer waits for followers to
         #: fill a batch once concurrency has been observed (0 disables it)
         self.commit_delay = commit_delay
+        #: per-request limits enforced before validation and logging
+        self.admission = admission or AdmissionPolicy()
+        #: the shared-secret gate (``auth_token=None`` leaves it open)
+        self.authenticator = Authenticator(auth_token)
         #: serializes writers and checkpoints (readers never take it)
         self._lock = threading.RLock()
         self._wal: Optional[WriteAheadLog] = None
@@ -383,6 +462,11 @@ class ServingDaemon:
         #: size of the last drained batch — the concurrency hint that
         #: decides whether the committer waits for followers at all
         self._last_batch_size = 1
+        #: deepest the commit queue has been (surfaced by the stats op)
+        self.queue_peak = 0
+        #: wall seconds the last commit batch took end to end — the basis
+        #: of the retry-after hint a busy refusal carries
+        self._last_commit_seconds = 0.02
 
     # -- recovery ------------------------------------------------------------
 
@@ -518,9 +602,19 @@ class ServingDaemon:
 
     # -- writes --------------------------------------------------------------
 
-    def apply_write(self, op: str, facts: List[Fact]) -> Dict[str, Any]:
+    def apply_write(self, op: str, facts: List[Fact],
+                    connection: Optional[ConnectionState] = None
+                    ) -> Dict[str, Any]:
         """Log, apply and (maybe) checkpoint one update batch — through
-        the **group-commit** queue.
+        the **group-commit** queue, behind admission control.
+
+        Admission runs first: a request carrying more facts than the
+        policy admits is refused typed
+        (:class:`~repro.errors.RequestTooLargeError`), a connection with
+        too many writes already in flight or a full commit queue gets a
+        typed :class:`~repro.errors.ServerBusyError` carrying a
+        retry-after hint — nothing inadmissible is ever validated,
+        logged or applied, and reads are never affected.
 
         Each writer validates its own request, enqueues a commit entry and
         blocks on the entry's event.  A dedicated committer thread drains
@@ -545,6 +639,13 @@ class ServingDaemon:
         if self._wal is None:
             raise ServingError("the daemon has not recovered yet; "
                                "call recover() before serving writes")
+        # Admission runs before validation: an inadmissible request is
+        # refused without the daemon spending per-fact work on it.
+        try:
+            self.admission.check_facts(len(facts))
+        except ServingError:
+            self.serving_stats.oversized_rejections += 1
+            raise
         if op == OP_ADD:
             # Pre-validate so a record that cannot apply is never
             # logged (replay must succeed on everything in the WAL).
@@ -557,14 +658,50 @@ class ServingDaemon:
         entry = _CommitEntry(op, facts)
         with self._commit_ready:
             if self._commit_thread is None or self._commit_stop:
-                raise ServingError("the daemon is stopped; writes are "
-                                   "refused until the next recover()")
+                raise DaemonShutdownError(
+                    "the daemon is stopped; writes are refused until the "
+                    "next recover()")
+            inflight_cap = self.admission.max_inflight_per_connection
+            if connection is not None and inflight_cap and \
+                    connection.inflight_writes >= inflight_cap:
+                self.serving_stats.inflight_rejections += 1
+                raise ServerBusyError(
+                    f"this connection already has {connection.inflight_writes} "
+                    f"writes in flight (cap {inflight_cap}); wait for them "
+                    "before sending more", retry_after=self._retry_after())
+            cap = self.admission.queue_cap
+            if cap and len(self._commit_queue) >= cap:
+                # Back-pressure: the queue is full, so shed this writer
+                # with a typed refusal instead of letting the queue (and
+                # every writer's latency) grow without bound.  Nothing
+                # was logged — retrying after the hint is always safe.
+                self.serving_stats.busy_rejections += 1
+                raise ServerBusyError(
+                    f"the commit queue is full ({cap} writes waiting); "
+                    "back off and retry", retry_after=self._retry_after())
             self._commit_queue.append(entry)
+            self.queue_peak = max(self.queue_peak, len(self._commit_queue))
+            if connection is not None:
+                connection.inflight_writes += 1
             self._commit_ready.notify()
-        entry.event.wait()
+        try:
+            entry.event.wait()
+        finally:
+            if connection is not None:
+                with self._commit_ready:
+                    connection.inflight_writes -= 1
         if entry.error is not None:
             raise entry.error
         return entry.result
+
+    def _retry_after(self) -> float:
+        """A busy refusal's backoff hint: roughly how long draining the
+        current queue should take, from the last batch's measured commit
+        time — an estimate for clients to use as a floor, not a promise."""
+        backlog = max(1, len(self._commit_queue))
+        batch = max(1, self._last_batch_size)
+        estimate = self._last_commit_seconds * (backlog / batch)
+        return round(min(2.0, max(0.01, estimate)), 4)
 
     def _commit_loop(self) -> None:
         """The committer thread: drain the queue in batches, forever.
@@ -591,6 +728,7 @@ class ServingDaemon:
             if not batch:
                 continue
             self._last_batch_size = len(batch)
+            started = time.monotonic()
             try:
                 with self._lock:
                     self._commit_batch(batch)
@@ -599,6 +737,9 @@ class ServingDaemon:
                     if entry.result is None and entry.error is None:
                         entry.error = exc
             finally:
+                # Feeds the retry-after hint busy refusals carry.
+                self._last_commit_seconds = \
+                    max(0.001, time.monotonic() - started)
                 for entry in batch:
                     entry.event.set()
 
@@ -634,12 +775,16 @@ class ServingDaemon:
 
         Called under ``_lock``.  Fills each entry's ``result`` or
         ``error``; the caller wakes the writers."""
+        # Overload injection: a stalled committer is how the back-pressure
+        # suite fills a small queue deterministically (reads must keep
+        # answering throughout — they never touch this path).
+        maybe_stall("group-commit-stall")
         queue = list(batch)
         batched = True
         while queue:
             if self._wal is None:
-                error = ServingError("the daemon was stopped while the "
-                                     "write was queued")
+                error = DaemonShutdownError("the daemon was stopped while "
+                                            "the write was queued")
                 for entry in queue:
                     entry.error = error
                 return
@@ -748,6 +893,7 @@ class ServingDaemon:
         with self._lock:
             if self._wal is None:
                 raise ServingError("the daemon has not recovered yet")
+            maybe_stall("checkpoint-stall")
             existing = latest_snapshot(self.data_dir)
             if existing is not None and existing[0] == self.last_lsn:
                 prune_snapshots(self.data_dir, self.policy.keep_snapshots)
@@ -776,16 +922,20 @@ class ServingDaemon:
                                     connection or self._default_connection)
             return {"ok": True, "id": request_id, "result": result}
         except Exception as exc:  # noqa: BLE001 - protocol boundary
-            return {"ok": False, "id": request_id, "error": str(exc),
-                    "error_type": type(exc).__name__}
+            return _error_response(request_id, exc)
 
     def _dispatch(self, request: Dict[str, Any],
                   connection: ConnectionState) -> Dict[str, Any]:
         op = request["op"]
         backend = self.backend
+        check_authenticated(self, op, connection)
+        handshake = handle_auth_op(self, op, request, connection)
+        if handshake is not None:
+            return handshake
         if op == "ping":
             return {"pong": True, "kind": backend.kind,
                     "protocol_version": PROTOCOL_VERSION,
+                    "auth_required": self.authenticator.required,
                     "version": backend.version, "lsn": self.last_lsn}
         if op == "answers":
             with backend.session.read(request.get("version")) as txn:
@@ -800,7 +950,8 @@ class ServingDaemon:
         if op in ("add_facts", "retract_facts"):
             facts = decode_facts(request.get("facts") or [])
             return self.apply_write(
-                OP_ADD if op == "add_facts" else OP_RETRACT, facts)
+                OP_ADD if op == "add_facts" else OP_RETRACT, facts,
+                connection=connection)
         if op == "pin":
             return {"version": connection.pin(request.get("version"))}
         if op == "unpin":
@@ -820,6 +971,18 @@ class ServingDaemon:
                     "last_checkpoint_error": self.last_checkpoint_error,
                     "live_versions": backend.versions.live_versions(),
                     "group_commit": self.serving_stats.as_dict(),
+                    "admission": {
+                        "queue_depth": len(self._commit_queue),
+                        "queue_peak": self.queue_peak,
+                        "queue_cap": self.admission.queue_cap,
+                        "max_request_bytes":
+                            self.admission.max_request_bytes,
+                        "max_facts_per_write":
+                            self.admission.max_facts_per_write,
+                        "max_inflight_per_connection":
+                            self.admission.max_inflight_per_connection,
+                        "auth_required": self.authenticator.required,
+                    },
                 }
             return stats
         if op == "recovery":
@@ -917,8 +1080,11 @@ class ServingDaemon:
         with self._commit_ready:
             stranded, self._commit_queue = self._commit_queue, []
         if stranded:
-            error = ServingError("the daemon was stopped while the "
-                                 "write was queued")
+            # Typed, so a blocked writer can tell "the daemon went away"
+            # from a failed apply; every queued waiter is woken — no
+            # client thread is ever stranded on an event nobody sets.
+            error = DaemonShutdownError("the daemon was stopped while the "
+                                        "write was queued")
             for entry in stranded:
                 entry.error = error
                 entry.event.set()
@@ -970,24 +1136,63 @@ class _LineServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _LineHandler)
 
 
+def _read_request_line(rfile, limit: int) -> Tuple[Optional[bytes], bool]:
+    """One protocol line, reading at most ``limit`` bytes of it.
+
+    Returns ``(line, oversized)``.  ``line is None`` means EOF (the
+    client went away — a line cut short by EOF counts, since it can
+    never complete).  An oversized line — longer than ``limit`` bytes
+    including the newline — is **drained** in bounded chunks and
+    reported as ``(None-content, True)``: the daemon never buffers more
+    than ``limit`` bytes for one request, no matter what a poisoned
+    client streams at it, and the connection stays usable afterwards."""
+    line = rfile.readline(limit + 1) if limit else rfile.readline()
+    if not line:
+        return None, False
+    if len(line) <= limit or not limit:
+        if line.endswith(b"\n"):
+            return line, False
+        return None, False  # EOF mid-line: the request can never complete
+    # Over the cap: throw away the rest of the line, chunk by chunk.
+    while not line.endswith(b"\n"):
+        line = rfile.readline(65536)
+        if not line:
+            break
+    return b"", True
+
+
 class _LineHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
         daemon = self.server.serving_daemon
         connection = ConnectionState(daemon.backend.versions)
         daemon._register_connection(connection)
         try:
-            for raw in self.rfile:
-                line = raw.strip()
-                if not line:
-                    continue
-                try:
-                    request = json.loads(line.decode("utf-8"))
-                except (json.JSONDecodeError, UnicodeDecodeError):
-                    response = {"ok": False, "id": None,
-                                "error": "request is not a JSON line",
-                                "error_type": "ServingProtocolError"}
+            while True:
+                limit = daemon.admission.max_request_bytes
+                raw, oversized = _read_request_line(self.rfile, limit)
+                if oversized:
+                    # Shed before parsing: one poisoned oversized request
+                    # costs its own connection a refusal, never the
+                    # daemon's memory or the other sessions' latency.
+                    daemon.serving_stats.requests_shed += 1
+                    response = _error_response(None, RequestTooLargeError(
+                        f"request line exceeds this daemon's "
+                        f"max_request_bytes={limit}; the line was "
+                        "discarded unparsed"))
+                elif raw is None:
+                    break
                 else:
-                    response = daemon.handle(request, connection)
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    try:
+                        request = json.loads(line.decode("utf-8"))
+                    except (json.JSONDecodeError, UnicodeDecodeError):
+                        response = {"ok": False, "id": None,
+                                    "error": "request is not a JSON line",
+                                    "error_type": "ServingProtocolError"}
+                    else:
+                        response = daemon.handle(request, connection)
                 self.wfile.write(
                     (json.dumps(response, separators=(",", ":")) + "\n")
                     .encode("utf-8"))
@@ -1036,6 +1241,30 @@ def _build_parser() -> argparse.ArgumentParser:
                              "waits for concurrent writers to fill a batch "
                              "(0 disables the wait; solo writers never pay "
                              "it)")
+    defaults = AdmissionPolicy()
+    parser.add_argument("--max-request-bytes", type=int,
+                        default=defaults.max_request_bytes, metavar="BYTES",
+                        help="longest accepted protocol line; longer "
+                             "requests are drained and refused unparsed "
+                             "(0 disables the cap)")
+    parser.add_argument("--max-facts-per-write", type=int,
+                        default=defaults.max_facts_per_write, metavar="N",
+                        help="most facts one add/retract request may carry "
+                             "(0 disables the cap)")
+    parser.add_argument("--max-inflight", type=int,
+                        default=defaults.max_inflight_per_connection,
+                        metavar="N",
+                        help="most writes one connection may have queued at "
+                             "once (0 disables the cap)")
+    parser.add_argument("--queue-cap", type=int, default=defaults.queue_cap,
+                        metavar="N",
+                        help="commit-queue capacity; writers past it get a "
+                             "typed busy refusal with a retry-after hint "
+                             "instead of queueing (0 = unbounded)")
+    parser.add_argument("--auth-token-file", metavar="FILE",
+                        help="require the shared-secret auth handshake, "
+                             "with the token read from FILE (whitespace "
+                             "stripped); without it the daemon is open")
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -1053,8 +1282,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     policy = CompactionPolicy(checkpoint_every_records=args.checkpoint_every,
                               max_wal_bytes=args.max_wal_bytes,
                               keep_snapshots=args.keep_snapshots)
+    admission = AdmissionPolicy(
+        max_request_bytes=args.max_request_bytes,
+        max_facts_per_write=args.max_facts_per_write,
+        max_inflight_per_connection=args.max_inflight,
+        queue_cap=args.queue_cap)
+    token = load_token(args.auth_token_file) if args.auth_token_file else None
     daemon = ServingDaemon(backend, args.data_dir, sync=not args.no_sync,
-                           policy=policy, commit_delay=args.commit_delay)
+                           policy=policy, commit_delay=args.commit_delay,
+                           admission=admission, auth_token=token)
     report = daemon.recover()
     host, port = daemon.start(args.host, args.port)
     if not args.quiet:

@@ -49,9 +49,11 @@ from ..engine.snapshot import encode_row, wal_position
 from ..engine.stats import ServingStats
 from ..errors import (ServingError, ServingProtocolError, WALCorruptionError,
                       WALError)
+from .admission import AdmissionPolicy, Authenticator, load_token
 from .compaction import address_path, latest_snapshot, list_segments
 from .daemon import (PROTOCOL_VERSION, ConnectionState, ProgramBackend,
-                     QualityBackend, _LineServer)
+                     QualityBackend, _LineServer, _error_response,
+                     check_authenticated, handle_auth_op)
 from .wal import MAGIC, OPS, WALRecord, _parse_frame, decode_facts
 
 PathLike = Union[str, Path]
@@ -216,7 +218,9 @@ class ReplicaDaemon:
     """
 
     def __init__(self, backend, primary_dir: PathLike, data_dir: PathLike,
-                 poll_interval: float = 0.05):
+                 poll_interval: float = 0.05,
+                 admission: Optional[AdmissionPolicy] = None,
+                 auth_token: Optional[Union[str, bytes]] = None):
         self.backend = backend
         self.primary_dir = Path(primary_dir)
         self.data_dir = Path(data_dir)
@@ -226,6 +230,12 @@ class ReplicaDaemon:
                 "the primary's would fight over daemon.json")
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.poll_interval = poll_interval
+        #: the same protection layer the primary runs: the shared line
+        #: handler enforces ``max_request_bytes`` at the socket boundary,
+        #: and the auth gate guards every non-handshake op
+        self.admission = admission if admission is not None \
+            else AdmissionPolicy()
+        self.authenticator = Authenticator(auth_token)
         #: last LSN applied to the backend (the replica's visible position)
         self.applied_lsn = 0
         self.serving_stats = ServingStats()
@@ -360,13 +370,16 @@ class ReplicaDaemon:
                                     connection or self._default_connection)
             return {"ok": True, "id": request_id, "result": result}
         except Exception as exc:  # noqa: BLE001 - protocol boundary
-            return {"ok": False, "id": request_id, "error": str(exc),
-                    "error_type": type(exc).__name__}
+            return _error_response(request_id, exc)
 
     def _dispatch(self, request: Dict[str, Any],
                   connection: ConnectionState) -> Dict[str, Any]:
         op = request["op"]
         backend = self.backend
+        check_authenticated(self, op, connection)
+        handshake = handle_auth_op(self, op, request, connection)
+        if handshake is not None:
+            return handshake
         if op in WRITE_OPS:
             raise ServingProtocolError(
                 f"request {op!r} is a write, but this daemon is a read "
@@ -374,7 +387,8 @@ class ReplicaDaemon:
         if op == "ping":
             return {"pong": True, "kind": backend.kind, "role": "replica",
                     "protocol_version": PROTOCOL_VERSION,
-                    "version": backend.version, "lsn": self.applied_lsn}
+                    "version": backend.version, "lsn": self.applied_lsn,
+                    "auth_required": self.authenticator.required}
         if op == "answers":
             with backend.session.read(request.get("version")) as txn:
                 rows = txn.answers(request["query"],
@@ -392,8 +406,15 @@ class ReplicaDaemon:
             return {"unpinned": int(request["version"])}
         if op == "stats":
             stats = backend.stats()
-            stats["serving"] = {"role": "replica",
-                                "replication": self.replication_status()}
+            stats["serving"] = {
+                "role": "replica",
+                "replication": self.replication_status(),
+                "counters": self.serving_stats.as_dict(),
+                "admission": {
+                    "max_request_bytes": self.admission.max_request_bytes,
+                    "auth_required": self.authenticator.required,
+                },
+            }
             return stats
         if op == "recovery":
             return dict(self.recovery or {})
@@ -542,6 +563,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--engine", choices=("indexed", "naive", "columnar"))
     parser.add_argument("--poll-interval", type=float, default=0.05,
                         metavar="SECONDS")
+    defaults = AdmissionPolicy()
+    parser.add_argument("--max-request-bytes", type=int,
+                        default=defaults.max_request_bytes, metavar="N",
+                        help="longest accepted protocol line in bytes "
+                             "(0 = unlimited)")
+    parser.add_argument("--auth-token-file", metavar="FILE",
+                        help="require the shared-secret handshake with the "
+                             "token read from FILE")
     parser.add_argument("--quiet", action="store_true")
     return parser
 
@@ -559,8 +588,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Snapshot-authoritative: rules and data both come from the
         # shipped snapshot (load_program reconstructs the rule set).
         backend = ProgramBackend(None, engine=args.engine)
+    admission = AdmissionPolicy(max_request_bytes=args.max_request_bytes)
+    token = load_token(args.auth_token_file) if args.auth_token_file else None
     replica = ReplicaDaemon(backend, args.primary_data_dir, args.data_dir,
-                            poll_interval=args.poll_interval)
+                            poll_interval=args.poll_interval,
+                            admission=admission, auth_token=token)
     report = replica.recover()
     replica.poll()
     host, port = replica.start(args.host, args.port)

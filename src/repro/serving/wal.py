@@ -54,6 +54,15 @@ drives: when the environment variable ``REPRO_FAULT_CRASH`` is set to
 flushing — a SIGKILL, from the filesystem's point of view) at the n-th
 hit of that point.  The special point ``wal-torn`` makes the n-th append
 write only half its frame before dying, forging a torn tail.
+
+:func:`maybe_stall` implements the **overload** points the back-pressure
+suite drives: ``REPRO_FAULT_STALL="<point>:<seconds>[,<point>:<seconds>...]"``
+makes every hit of ``<point>`` sleep, simulating a slow disk or an
+expensive apply so a bounded commit queue fills deterministically.
+Stall points today: ``group-commit-stall`` (the committer thread, before
+it makes a batch durable) and ``checkpoint-stall`` (inside the
+write-lock-holding checkpoint).  Stalls compose with crash points —
+the overload suite runs the crash matrix under a stalled, flooded queue.
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -101,6 +111,26 @@ def maybe_crash(point: str) -> None:
     """Die like a SIGKILL at ``point`` when fault injection says so."""
     if _fault_due(point):
         os._exit(FAULT_EXIT_CODE)  # pragma: no cover - kills the process
+
+
+def stall_seconds(point: str) -> float:
+    """The configured injected stall for ``point`` (0 = none)."""
+    spec = os.environ.get("REPRO_FAULT_STALL", "")
+    for part in spec.split(","):
+        name, _, seconds = part.partition(":")
+        if name == point:
+            try:
+                return float(seconds or 0)
+            except ValueError:
+                return 0.0
+    return 0.0
+
+
+def maybe_stall(point: str) -> None:
+    """Sleep at ``point`` when overload fault injection says so."""
+    seconds = stall_seconds(point)
+    if seconds > 0:
+        time.sleep(seconds)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,301 @@
+"""Authentication matrix for the serving tier.
+
+Both daemons gate every operation behind the shared-secret HMAC
+handshake when started with a token (``--auth-token-file``): the client
+fetches a per-connection nonce (``auth_challenge``) and answers with
+``HMAC-SHA256(token, nonce)`` (``auth``), verified in constant time.
+This suite drives the refusal matrix — **missing token, wrong token,
+replayed nonce** — against every operation class (reads, writes, pins,
+stats, checkpoint, quality) on the primary *and* the replica, checks the
+``auth_failures`` counter, and proves the happy path (and the open
+tokenless mode) still work.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.datalog import parse_program
+from repro.errors import AuthenticationError, ServingError
+from repro.serving import ServingClient, compute_mac, load_token
+from repro.serving.daemon import (ConnectionState, ProgramBackend,
+                                  ServingDaemon)
+from repro.serving.replication import ReplicaDaemon
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+TOKEN = b"hunter2-but-long-enough-to-mean-it"
+
+PROGRAM_TEXT = """
+    Derived(X, Y) :- Base(X, Y).
+    Base(a, b). Base(c, d).
+"""
+
+#: every operation class the gate must cover (fields omitted on purpose:
+#: the auth check runs before dispatch ever looks at them)
+GATED_OPS = ("answers", "holds", "add_facts", "retract_facts", "pin",
+             "unpin", "stats", "checkpoint", "recovery", "quality_answers",
+             "quality_version", "assess")
+
+#: the replica refuses writes anyway; its gate must still fire first
+REPLICA_GATED_OPS = ("answers", "holds", "add_facts", "pin", "unpin",
+                     "stats", "recovery", "quality_answers", "assess")
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def _daemon(tmp_path: Path, token=TOKEN) -> ServingDaemon:
+    daemon = ServingDaemon(ProgramBackend(parse_program(PROGRAM_TEXT)),
+                           tmp_path / "data", sync=False, auth_token=token)
+    daemon.recover()
+    return daemon
+
+
+def _connection(daemon) -> ConnectionState:
+    return ConnectionState(daemon.backend.versions)
+
+
+def _refused(daemon, op: str, connection: ConnectionState) -> bool:
+    response = daemon.handle({"op": op, "id": 1}, connection)
+    return (not response["ok"] and
+            response["error_type"] == "AuthenticationError")
+
+
+def _handshake(daemon, connection: ConnectionState, token=TOKEN) -> dict:
+    challenge = daemon.handle({"op": "auth_challenge", "id": 1}, connection)
+    assert challenge["ok"] and challenge["result"]["required"]
+    nonce = challenge["result"]["nonce"]
+    return daemon.handle({"op": "auth", "id": 2,
+                          "mac": compute_mac(token, nonce)}, connection)
+
+
+# -- the refusal matrix, primary ----------------------------------------------
+
+
+def test_primary_refuses_every_op_without_credentials(tmp_path):
+    daemon = _daemon(tmp_path)
+    try:
+        connection = _connection(daemon)
+        for op in GATED_OPS:
+            assert _refused(daemon, op, connection), \
+                f"op {op!r} was served without authentication"
+        # Liveness stays reachable, and advertises the requirement.
+        ping = daemon.handle({"op": "ping", "id": 1}, connection)
+        assert ping["ok"] and ping["result"]["auth_required"]
+        assert daemon.serving_stats.auth_failures == len(GATED_OPS)
+    finally:
+        daemon.stop()
+
+
+def test_primary_refuses_wrong_token_then_replayed_nonce(tmp_path):
+    daemon = _daemon(tmp_path)
+    try:
+        # Wrong token: the handshake itself fails, and the connection
+        # stays locked out.
+        wrong = _connection(daemon)
+        response = _handshake(daemon, wrong, token=b"not-the-token")
+        assert not response["ok"]
+        assert response["error_type"] == "AuthenticationError"
+        assert _refused(daemon, "answers", wrong)
+
+        # Replayed nonce, across connections: a MAC captured from one
+        # handshake never verifies against another's nonce.
+        victim = _connection(daemon)
+        challenge = daemon.handle({"op": "auth_challenge", "id": 1}, victim)
+        captured_mac = compute_mac(TOKEN, challenge["result"]["nonce"])
+        attacker = _connection(daemon)
+        daemon.handle({"op": "auth_challenge", "id": 1}, attacker)
+        replay = daemon.handle({"op": "auth", "id": 2,
+                                "mac": captured_mac}, attacker)
+        assert not replay["ok"]
+        assert replay["error_type"] == "AuthenticationError"
+        assert _refused(daemon, "stats", attacker)
+
+        # Replayed nonce, same connection: one failed attempt consumes
+        # the nonce, so even the *correct* MAC is dead afterwards.
+        burned = _connection(daemon)
+        challenge = daemon.handle({"op": "auth_challenge", "id": 1}, burned)
+        nonce = challenge["result"]["nonce"]
+        first = daemon.handle({"op": "auth", "id": 2, "mac": "wrong"},
+                              burned)
+        assert not first["ok"]
+        second = daemon.handle({"op": "auth", "id": 3,
+                                "mac": compute_mac(TOKEN, nonce)}, burned)
+        assert not second["ok"], "a consumed nonce verified again"
+        assert daemon.serving_stats.auth_failures >= 5
+    finally:
+        daemon.stop()
+
+
+def test_primary_handshake_unlocks_every_op(tmp_path):
+    daemon = _daemon(tmp_path)
+    try:
+        connection = _connection(daemon)
+        response = _handshake(daemon, connection)
+        assert response["ok"] and response["result"]["authenticated"]
+        answer = daemon.handle({"op": "answers", "id": 3,
+                                "query": "?(X, Y) :- Derived(X, Y)."},
+                               connection)
+        assert answer["ok"] and answer["result"]["rows"]
+        write = daemon.handle({"op": "add_facts", "id": 4,
+                               "facts": [["Base", ["authed", "b"]]]},
+                              connection)
+        assert write["ok"]
+        stats = daemon.handle({"op": "stats", "id": 5}, connection)
+        assert stats["ok"]
+        assert stats["result"]["serving"]["admission"]["auth_required"]
+        assert daemon.serving_stats.auth_failures == 0
+    finally:
+        daemon.stop()
+
+
+# -- the refusal matrix, replica ----------------------------------------------
+
+
+@pytest.fixture
+def shipped_primary(tmp_path):
+    """A primary data directory with a snapshot to seed a replica from."""
+    primary_dir = tmp_path / "primary"
+    seed = ServingDaemon(ProgramBackend(parse_program(PROGRAM_TEXT)),
+                         primary_dir, sync=False)
+    seed.recover()
+    seed.apply_write("add", [("Base", ("shipped", "b"))])
+    seed.checkpoint()
+    seed.stop()
+    return primary_dir
+
+
+def test_replica_refuses_and_unlocks_like_the_primary(tmp_path,
+                                                      shipped_primary):
+    replica = ReplicaDaemon(ProgramBackend(None), shipped_primary,
+                            tmp_path / "replica", auth_token=TOKEN)
+    replica.recover()
+    try:
+        connection = ConnectionState(replica.backend.versions)
+        for op in REPLICA_GATED_OPS:
+            assert _refused(replica, op, connection), \
+                f"replica op {op!r} was served without authentication"
+        assert replica.serving_stats.auth_failures == \
+            len(REPLICA_GATED_OPS)
+        ping = replica.handle({"op": "ping", "id": 1}, connection)
+        assert ping["ok"] and ping["result"]["auth_required"]
+
+        response = _handshake(replica, connection)
+        assert response["ok"] and response["result"]["authenticated"]
+        answer = replica.handle({"op": "answers", "id": 3,
+                                 "query": "?(X, Y) :- Derived(X, Y)."},
+                                connection)
+        assert answer["ok"] and answer["result"]["rows"]
+        stats = replica.handle({"op": "stats", "id": 4}, connection)
+        assert stats["ok"]
+        serving = stats["result"]["serving"]
+        assert serving["admission"]["auth_required"]
+        assert serving["counters"]["auth_failures"] == \
+            len(REPLICA_GATED_OPS)
+        # Writes stay refused, but as the replica refusal — the gate has
+        # already passed, so the error is about the role, not identity.
+        write = replica.handle({"op": "add_facts", "id": 5,
+                                "facts": [["Base", ["x", "b"]]]},
+                               connection)
+        assert not write["ok"]
+        assert write["error_type"] == "ServingProtocolError"
+    finally:
+        replica.stop()
+
+
+# -- over the wire ------------------------------------------------------------
+
+
+def _spawn_daemon(data_dir: Path, program_file: Path,
+                  token_file: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULT_CRASH", None)
+    env.pop("REPRO_FAULT_STALL", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serving.daemon",
+         "--data-dir", str(data_dir), "--program", str(program_file),
+         "--port", "0", "--quiet", "--no-sync",
+         "--auth-token-file", str(token_file)],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def test_auth_over_the_wire(tmp_path):
+    """A real daemon subprocess with --auth-token-file: the token-holding
+    client works end to end, the tokenless one is refused typed, the
+    wrong-token one fails its handshake."""
+    program_file = tmp_path / "program.dlg"
+    program_file.write_text(PROGRAM_TEXT, encoding="utf-8")
+    token_file = tmp_path / "token"
+    token_file.write_text(TOKEN.decode("ascii") + "\n", encoding="utf-8")
+    data_dir = tmp_path / "data"
+    process = _spawn_daemon(data_dir, program_file, token_file)
+    authed = None
+    try:
+        authed = ServingClient.connect(data_dir, wait=30.0,
+                                       auth_token=TOKEN)
+        authed.add_facts([("Base", ("wire", "b"))])
+        assert ("wire", "b") in authed.answers("?(X, Y) :- Derived(X, Y).")
+
+        anonymous = ServingClient.connect(data_dir, wait=5.0)
+        assert anonymous.ping()["auth_required"]
+        with pytest.raises(AuthenticationError):
+            anonymous.answers("?(X, Y) :- Derived(X, Y).")
+        with pytest.raises(AuthenticationError):
+            anonymous.add_facts([("Base", ("nope", "b"))])
+        anonymous.close()
+
+        with pytest.raises(AuthenticationError):
+            ServingClient.connect(data_dir, wait=5.0,
+                                  auth_token=b"wrong-token")
+
+        counters = authed.stats()["serving"]["group_commit"]
+        assert counters["auth_failures"] >= 3
+    finally:
+        if authed is not None:
+            try:
+                authed.shutdown()
+            except Exception:  # noqa: BLE001 - already gone
+                pass
+            authed.close()
+        if process.poll() is None:
+            process.wait(timeout=30)
+
+
+def test_tokenless_daemon_accepts_token_holding_client(tmp_path):
+    """Open mode interop: a client configured with a token talks to a
+    daemon that requires none (the handshake reports required=False)."""
+    daemon = _daemon(tmp_path, token=None)
+    host, port = daemon.start()
+    client = None
+    try:
+        client = ServingClient(host, port, auth_token=b"whatever")
+        assert not client.ping()["auth_required"]
+        client.add_facts([("Base", ("open", "b"))])
+        assert ("open", "b") in client.answers("?(X, Y) :- Derived(X, Y).")
+    finally:
+        if client is not None:
+            client.close()
+        daemon.stop()
+
+
+# -- token files --------------------------------------------------------------
+
+
+def test_load_token_refuses_empty_and_missing_files(tmp_path):
+    empty = tmp_path / "empty"
+    empty.write_text("  \n", encoding="utf-8")
+    with pytest.raises(ServingError):
+        load_token(empty)
+    with pytest.raises(ServingError):
+        load_token(tmp_path / "does-not-exist")
+    padded = tmp_path / "padded"
+    padded.write_text("  secret \n", encoding="utf-8")
+    assert load_token(padded) == b"secret"
