@@ -1,0 +1,6 @@
+"""The financial-compliance scenario: disjunctive rules + denial constraints."""
+
+from .data import FinComplianceSpec
+from .scenario import FinancialComplianceScenario
+
+__all__ = ["FinComplianceSpec", "FinancialComplianceScenario"]

@@ -1,0 +1,166 @@
+"""Seeded data for the financial-compliance scenario.
+
+Deterministic given :class:`FinComplianceSpec`.  The clean generator keeps
+the extensional data consistent with the freeze-window negative
+constraints (no approvals for the restricted desk's branch during the
+freeze month) and the settlement EGD (all desks of one branch settle in
+the branch's currency); :func:`violating_approval` returns the one row a
+test adds to witness an inconsistency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..md.builder import MDModelBuilder
+from ..md.instance import MDInstance
+from ..relational.instance import DatabaseInstance
+from ..workloads.generator import derive_rng
+from .dimensions import (branch_names, build_calendar_dimension,
+    build_orgunit_dimension, day_names, desk_names, month_of)
+
+#: the month the freeze-window constraints forbid (days d00..d02)
+FREEZE_MONTH = "m0"
+
+#: currencies cycled per branch (the settlement EGD's function)
+CURRENCIES = ("USD", "EUR", "GBP")
+
+#: traders referenced by trades and the CertifiedTrader source
+TRADER_POOL = tuple(f"trader{index}" for index in range(6))
+
+
+@dataclass
+class FinComplianceSpec:
+    """Size and seed knobs of the generated compliance domain."""
+
+    divisions: int = 2
+    branches_per_division: int = 2
+    desks_per_branch: int = 2
+    days: int = 6
+    #: extensional ``BranchApproval`` tuples
+    approvals: int = 8
+    #: extensional ``DivisionAudit`` tuples
+    audits: int = 4
+    #: ``Trades`` tuples in the instance under assessment
+    trades: int = 36
+    #: fraction of :data:`TRADER_POOL` listed in ``CertifiedTrader``
+    certified_fraction: float = 0.7
+    seed: int = 0
+
+    def scaled(self, **overrides) -> "FinComplianceSpec":
+        data = dict(self.__dict__)
+        data.update(overrides)
+        return FinComplianceSpec(**data)
+
+
+def spec_desks(spec: FinComplianceSpec) -> List[str]:
+    return desk_names(spec.divisions, spec.branches_per_division,
+                      spec.desks_per_branch)
+
+
+def spec_branches(spec: FinComplianceSpec) -> List[str]:
+    return branch_names(spec.divisions, spec.branches_per_division)
+
+
+def spec_days(spec: FinComplianceSpec) -> List[str]:
+    return day_names(spec.days)
+
+
+def restricted_desk(spec: FinComplianceSpec) -> str:
+    """The desk listed in ``RestrictedDesk`` (its branch is frozen)."""
+    return spec_desks(spec)[0]
+
+
+def restricted_branch(spec: FinComplianceSpec) -> str:
+    return spec_branches(spec)[0]
+
+
+def violating_approval(spec: FinComplianceSpec) -> Tuple[str, str, str]:
+    """A ``BranchApproval`` row that violates the freeze-window constraint
+    (approval for the restricted branch on a freeze-month day)."""
+    freeze_days = [day for day in spec_days(spec)
+                   if month_of(day) == FREEZE_MONTH]
+    return (restricted_branch(spec), freeze_days[0], "rogue-officer")
+
+
+def build_md_instance(spec: FinComplianceSpec) -> MDInstance:
+    """The multidimensional instance: dimensions + compliance relations."""
+    rng = derive_rng(random.Random(spec.seed), "fincompliance-md")
+    branches = spec_branches(spec)
+    days = spec_days(spec)
+    frozen = restricted_branch(spec)
+    clear_days = [day for day in days if month_of(day) != FREEZE_MONTH]
+
+    approval_rows = []
+    for index in range(spec.approvals):
+        branch = rng.choice(branches)
+        day = rng.choice(clear_days if branch == frozen else days)
+        approval_rows.append((branch, day, f"officer{index % 3}"))
+
+    divisions = sorted({branch.split("-")[0] for branch in branches})
+    audit_rows = [(rng.choice(divisions), rng.choice(days),
+                   f"audit-ref{index}")
+                  for index in range(spec.audits)]
+
+    settlement_rows = [(desk, CURRENCIES[branch_index % len(CURRENCIES)])
+                       for branch_index, branch in enumerate(branches)
+                       for desk in spec_desks(spec)
+                       if desk.startswith(branch + "-")]
+
+    return (MDModelBuilder()
+            .dimension(build_orgunit_dimension(
+                spec.divisions, spec.branches_per_division,
+                spec.desks_per_branch))
+            .dimension(build_calendar_dimension(spec.days))
+            .relation("BranchApproval",
+                      categorical=[("Branch", "OrgUnit", "Branch"),
+                                   ("Day", "FiscalCalendar", "Day")],
+                      non_categorical=["Officer"],
+                      rows=approval_rows)
+            .relation("DeskApproval",
+                      categorical=[("Desk", "OrgUnit", "Desk"),
+                                   ("Day", "FiscalCalendar", "Day")],
+                      non_categorical=["Officer", "Ref"])
+            .relation("DivisionAudit",
+                      categorical=[("Division", "OrgUnit", "Division"),
+                                   ("Day", "FiscalCalendar", "Day")],
+                      non_categorical=["Ref"],
+                      rows=audit_rows)
+            .relation("BranchReview",
+                      categorical=[("Branch", "OrgUnit", "Branch"),
+                                   ("Day", "FiscalCalendar", "Day")],
+                      non_categorical=["Ref"])
+            .relation("RestrictedDesk",
+                      categorical=[("Desk", "OrgUnit", "Desk")],
+                      non_categorical=["Reason"],
+                      rows=[(restricted_desk(spec), "sanctions")])
+            .relation("Settlement",
+                      categorical=[("Desk", "OrgUnit", "Desk")],
+                      non_categorical=["Currency"],
+                      rows=settlement_rows)
+            .build())
+
+
+def build_trades_instance(spec: FinComplianceSpec) -> DatabaseInstance:
+    """The instance under assessment:
+    ``Trades(Desk, Day, Trader, Amount)``."""
+    rng = derive_rng(random.Random(spec.seed), "fincompliance-trades")
+    desks = spec_desks(spec)
+    days = spec_days(spec)
+    instance = DatabaseInstance()
+    instance.declare("Trades", ["Desk", "Day", "Trader", "Amount"])
+    for _ in range(spec.trades):
+        instance.add("Trades",
+                     (rng.choice(desks), rng.choice(days),
+                      rng.choice(TRADER_POOL),
+                      round(1000.0 * rng.random(), 2)))
+    return instance
+
+
+def certified_traders(spec: FinComplianceSpec) -> List[Tuple[str]]:
+    """The ``CertifiedTrader`` external-source rows (a seeded subset)."""
+    rng = derive_rng(random.Random(spec.seed), "fincompliance-certified")
+    return [(trader,) for trader in TRADER_POOL
+            if rng.random() < spec.certified_fraction]

@@ -1,0 +1,75 @@
+"""The OrgUnit and FiscalCalendar dimensions of the compliance scenario.
+
+* **OrgUnit**: ``Desk → Branch → Division → Bank`` — trading desks grouped
+  into branches, branches into divisions, a single bank at the top.
+  Member labels are hierarchical (``V0``, ``V0-B1``, ``V0-B1-K0``).
+* **FiscalCalendar**: ``Day → Month → Year`` with days chunked into
+  months of three — month membership is what the freeze-window negative
+  constraints of :mod:`repro.fincompliance.ontology` navigate.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..md.builder import DimensionBuilder
+from ..md.instance import DimensionInstance
+
+#: days per fiscal month (fixed chunking keeps month labels stable)
+DAYS_PER_MONTH = 3
+
+
+def division_names(divisions: int) -> List[str]:
+    return [f"V{index}" for index in range(divisions)]
+
+
+def branch_names(divisions: int, branches_per_division: int) -> List[str]:
+    return [f"{division}-B{branch}"
+            for division in division_names(divisions)
+            for branch in range(branches_per_division)]
+
+
+def desk_names(divisions: int, branches_per_division: int,
+               desks_per_branch: int) -> List[str]:
+    return [f"{branch}-K{desk}"
+            for branch in branch_names(divisions, branches_per_division)
+            for desk in range(desks_per_branch)]
+
+
+def day_names(days: int) -> List[str]:
+    return [f"d{index:02d}" for index in range(days)]
+
+
+def month_of(day: str) -> str:
+    return f"m{int(day[1:]) // DAYS_PER_MONTH}"
+
+
+def build_orgunit_dimension(divisions: int, branches_per_division: int,
+                            desks_per_branch: int) -> DimensionInstance:
+    """The four-level OrgUnit hierarchy, single bank at the top."""
+    builder = (DimensionBuilder("OrgUnit")
+               .category_chain("Desk", "Branch", "Division", "Bank"))
+    for division in division_names(divisions):
+        builder.member_edge("Division", division, "Bank", "bank1")
+        for branch_index in range(branches_per_division):
+            branch = f"{division}-B{branch_index}"
+            builder.member_edge("Branch", branch, "Division", division)
+            for desk_index in range(desks_per_branch):
+                builder.member_edge("Desk", f"{branch}-K{desk_index}",
+                                    "Branch", branch)
+    return builder.build()
+
+
+def build_calendar_dimension(days: int) -> DimensionInstance:
+    """``Day → Month → Year``, months of :data:`DAYS_PER_MONTH` days."""
+    builder = (DimensionBuilder("FiscalCalendar")
+               .category_chain("Day", "Month", "Year"))
+    months = []
+    for day in day_names(days):
+        month = month_of(day)
+        builder.member_edge("Day", day, "Month", month)
+        if month not in months:
+            months.append(month)
+    for month in months:
+        builder.member_edge("Month", month, "Year", "fy1")
+    return builder.build()

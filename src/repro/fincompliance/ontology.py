@@ -1,0 +1,70 @@
+"""The compliance MD ontology: disjunctive navigation + denial constraints.
+
+Rule classes the hospital scenario leaves cold, by paper form:
+
+* **desk-approval rule** — plain downward navigation (form (4) with an
+  existential reference number), branch → desk;
+* **branch-review rule** — the form-(10) *disjunctive* shape of the
+  paper's rule (9): the head invents an existential **categorical**
+  member (*some* branch of the audited division hosted the review) shared
+  between a parent-child atom and a data atom;
+* **freeze-window constraints** — negative constraints (form (3),
+  inter-dimensional: OrgUnit + FiscalCalendar): no desk of the restricted
+  desk's branch may receive an approval during the freeze month;
+* **settlement EGD** — form (2): all desks of one branch settle in a
+  single currency.
+"""
+
+from __future__ import annotations
+
+from ..md.instance import MDInstance
+from ..ontology.mdontology import MDOntology
+from .data import FREEZE_MONTH
+
+#: Downward navigation Branch → Desk with an unknown reference number.
+RULE_DESK_APPROVAL = (
+    "exists R : DeskApproval(K, D, O, R) :- BranchApproval(B, D, O), "
+    "BranchDesk(B, K)."
+)
+
+#: Form (10): a division audit was hosted by *some* branch of the division.
+RULE_BRANCH_REVIEW = (
+    "exists B : DivisionBranch(V, B), BranchReview(B, D, R) :- "
+    "DivisionAudit(V, D, R)."
+)
+
+#: Form (3) denial: no approvals touch restricted desks in the freeze month.
+FREEZE_CONSTRAINT = (
+    "false :- DeskApproval(K, D, O, R), RestrictedDesk(K, X), "
+    f"MonthDay('{FREEZE_MONTH}', D)."
+)
+
+#: Form (2) EGD: one settlement currency per branch.
+SETTLEMENT_EGD = (
+    "C = C2 :- Settlement(K, C), Settlement(K2, C2), "
+    "BranchDesk(B, K), BranchDesk(B, K2)."
+)
+
+
+def build_ontology(md: MDInstance,
+                   include_branch_review: bool = True,
+                   include_freeze_constraint: bool = True,
+                   include_settlement_egd: bool = True) -> MDOntology:
+    """Build the compliance MD ontology over ``md``.
+
+    Unlike the hospital closure constraints, the freeze constraint is *on*
+    by default: the clean generator satisfies it, and
+    :func:`~repro.fincompliance.data.violating_approval` is how a test
+    makes ``is_consistent()`` flip.
+    """
+    ontology = MDOntology(md)
+    ontology.add_rule(RULE_DESK_APPROVAL, label="desk approval (down)")
+    if include_branch_review:
+        ontology.add_rule(RULE_BRANCH_REVIEW,
+                          label="branch review (form 10)")
+    if include_settlement_egd:
+        ontology.add_constraint(SETTLEMENT_EGD, label="settlement EGD")
+    if include_freeze_constraint:
+        ontology.add_constraint(FREEZE_CONSTRAINT,
+                                label="freeze-window denial")
+    return ontology

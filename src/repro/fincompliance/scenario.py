@@ -1,0 +1,90 @@
+"""The financial-compliance scenario: disjunctive rules + denials, served.
+
+A bank's desks stream ``Trades(Desk, Day, Trader, Amount)``; branch-level
+approvals cascade down to desks, division audits generate disjunctive
+branch reviews, the freeze-window denials police approvals against the
+restricted-desk list, and the settlement EGD keeps per-branch currencies
+functional.  A trade is *quality* when its desk held an approval that day
+and the trader is certified by the external ``CertifiedTrader`` source.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..quality.context import Context
+from ..scenarios import QualityScenarioBase
+from .data import (FinComplianceSpec, TRADER_POOL, build_md_instance,
+    build_trades_instance, certified_traders, spec_days, spec_desks)
+from .ontology import build_ontology
+
+#: Quality predicate: the desk held a (possibly inherited) approval that day.
+APPROVED_DESK_RULE = "ApprovedDesk(K, D) :- DeskApproval(K, D, O, R)."
+
+#: The quality version of Trades: approved desk and certified trader.
+TRADES_Q_RULE = (
+    "Trades_q(K, D, T, A) :- Trades_c(K, D, T, A), ApprovedDesk(K, D), "
+    "CertifiedTrader(T)."
+)
+
+
+class FinancialComplianceScenario(QualityScenarioBase):
+    """A seeded financial-compliance quality-assessment domain."""
+
+    name = "fincompliance"
+    assessed_relation = "Trades"
+
+    def __init__(self, spec: Optional[FinComplianceSpec] = None,
+                 include_branch_review: bool = True,
+                 include_freeze_constraint: bool = True,
+                 include_settlement_egd: bool = True):
+        self.spec = spec if spec is not None else FinComplianceSpec()
+        md = build_md_instance(self.spec)
+        ontology = build_ontology(
+            md, include_branch_review=include_branch_review,
+            include_freeze_constraint=include_freeze_constraint,
+            include_settlement_egd=include_settlement_egd)
+        super().__init__(md=md, ontology=ontology,
+                         context=self._build_context(ontology),
+                         instance=build_trades_instance(self.spec))
+        self._desks = spec_desks(self.spec)
+        self._days = spec_days(self.spec)
+
+    def _build_context(self, ontology) -> Context:
+        context = Context(ontology=ontology, name="fincompliance-context")
+        context.map_relation("Trades", arity=4)
+        context.add_external_source(
+            "CertifiedTrader", ["Trader"],
+            rows=certified_traders(self.spec))
+        context.add_quality_predicate(
+            "ApprovedDesk", [APPROVED_DESK_RULE],
+            description="desks covered by a branch approval on a given day")
+        context.define_quality_version(
+            "Trades", [TRADES_Q_RULE],
+            description="trades on an approved desk by a certified trader")
+        return context
+
+    # -- traffic-compiler contract -----------------------------------------
+
+    def queries(self) -> List[str]:
+        probe = self._desks[-1]
+        return [
+            "?(B, D, O) :- BranchApproval(B, D, O).",
+            "?(K, D) :- DeskApproval(K, D, O, R).",
+            "?(D, R) :- BranchReview(B, D, R).",
+            f"?(C) :- Settlement('{probe}', C).",
+            "?(K, D, T, A) :- Trades(K, D, T, A).",
+        ]
+
+    def quality_queries(self) -> List[str]:
+        probe = self._desks[1]
+        return [
+            "?(K, D, T, A) :- Trades(K, D, T, A).",
+            f"?(D, T, A) :- Trades('{probe}', D, T, A).",
+        ]
+
+    def fresh_assessed_row(self, rng: random.Random, index: int) -> Tuple:
+        return (rng.choice(self._desks), rng.choice(self._days),
+                TRADER_POOL[index % len(TRADER_POOL)],
+                round(1000.0 * rng.random(), 2))

@@ -1,0 +1,181 @@
+"""Scenario registry: every packaged quality-assessment domain, one API.
+
+The hospital running example (:mod:`repro.hospital`), the sensor network
+(:mod:`repro.sensornet`) and the financial-compliance domain
+(:mod:`repro.fincompliance`) each package an MD instance, an ontology, a
+quality context and an instance under assessment.  This module gives them
+one execution surface — :class:`QualityScenarioBase` — so the workload
+driver, the serving daemon (``--scenario``) and the differential suites
+can run any of them interchangeably:
+
+* a lazily materialized :meth:`~QualityScenarioBase.session` with
+  incremental :meth:`~QualityScenarioBase.record_rows` /
+  :meth:`~QualityScenarioBase.remove_rows` feeds;
+* :meth:`~QualityScenarioBase.save_session` /
+  :meth:`~QualityScenarioBase.restore_session` snapshot hooks;
+* a :meth:`~QualityScenarioBase.serving_backend` for
+  :class:`~repro.serving.daemon.ServingDaemon`;
+* the traffic-compiler contract — :meth:`~QualityScenarioBase.queries`,
+  :meth:`~QualityScenarioBase.quality_queries`,
+  :meth:`~QualityScenarioBase.fresh_assessed_row`,
+  :meth:`~QualityScenarioBase.binding` — consumed by
+  :mod:`repro.workloads.driver`;
+* :meth:`~QualityScenarioBase.update_stream` for the differential suites.
+
+``build_scenario("sensornet")`` constructs by name; :data:`SCENARIO_NAMES`
+is the CLI-facing list.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..engine.session import UpdateResult
+from ..quality.session import QualitySession
+
+
+class QualityScenarioBase:
+    """A packaged quality-assessment domain, ready to execute.
+
+    Subclasses call ``super().__init__(md, ontology, context, instance)``
+    with their built pieces, set :attr:`name` / :attr:`assessed_relation`,
+    and implement the traffic-compiler contract (:meth:`queries`,
+    :meth:`quality_queries`, :meth:`fresh_assessed_row`).
+    """
+
+    #: registry name (also the daemon's ``--scenario`` argument)
+    name: str = "scenario"
+    #: the relation under assessment (the one live updates target)
+    assessed_relation: str = ""
+
+    def __init__(self, md, ontology, context, instance):
+        self.md = md
+        self.ontology = ontology
+        self.context = context
+        self.instance = instance
+        self._session: Optional[QualitySession] = None
+
+    # -- execution ---------------------------------------------------------
+
+    def session(self) -> QualitySession:
+        """The scenario's long-lived quality session (chased once, reused)."""
+        if self._session is None:
+            self._session = self.context.session(self.instance)
+        return self._session
+
+    def record_rows(self, rows: Iterable[Sequence]) -> UpdateResult:
+        """Record new assessed-relation tuples (incremental)."""
+        update = self.session().add_facts(self.assessed_relation, rows)
+        for _, row in update.applied:
+            self.instance.add(self.assessed_relation, row)
+        return update
+
+    def remove_rows(self, rows: Iterable[Sequence]) -> UpdateResult:
+        """Retract assessed-relation tuples (provenance-driven deletion)."""
+        update = self.session().retract_facts(self.assessed_relation, rows)
+        for _, row in update.applied:
+            self.instance.relation(self.assessed_relation).discard(row)
+        return update
+
+    # -- persistence -------------------------------------------------------
+
+    def save_session(self, path: Union[str, Path]) -> Path:
+        """Snapshot the live quality session (materialization + data)."""
+        return self.session().save(path)
+
+    def restore_session(self, path: Union[str, Path]) -> QualitySession:
+        """Restore a session saved by :meth:`save_session`; the scenario's
+        ``instance`` copy is re-synchronized from the persisted one."""
+        self._session = QualitySession.load(self.context, path)
+        self.instance = self._session.instance.copy()
+        return self._session
+
+    # -- serving -----------------------------------------------------------
+
+    def serving_backend(self, engine: Optional[str] = None):
+        """A serving-daemon backend over this scenario's quality context."""
+        from ..serving.daemon import QualityBackend
+        return QualityBackend(self.context, self.instance, engine=engine)
+
+    # -- traffic-compiler contract -----------------------------------------
+
+    def queries(self) -> List[str]:
+        """Plain (certain-answer) queries the driver's query/holds ops draw
+        from; every one must be answerable by the served program."""
+        raise NotImplementedError
+
+    def quality_queries(self) -> List[str]:
+        """Queries over the assessed relation for quality-answer ops."""
+        raise NotImplementedError
+
+    def fresh_assessed_row(self, rng: random.Random, index: int) -> Tuple:
+        """One new assessed-relation row; must be deterministic in
+        ``(rng state, index)`` so compiled schedules are reproducible."""
+        raise NotImplementedError
+
+    def initial_rows(self) -> List[Tuple]:
+        """The assessed relation's current rows, deterministically ordered
+        (the driver seeds its retract pool from this)."""
+        return sorted(self.instance.relation(self.assessed_relation).rows(),
+                      key=repr)
+
+    def binding(self):
+        """This scenario as a :class:`~repro.workloads.driver.ScenarioBinding`."""
+        from ..workloads.driver import ScenarioBinding
+        return ScenarioBinding(
+            relation=self.assessed_relation,
+            queries=tuple(self.queries()),
+            quality_queries=tuple(self.quality_queries()),
+            initial_rows=tuple(self.initial_rows()),
+            fresh_row=self.fresh_assessed_row)
+
+    # -- update streams ----------------------------------------------------
+
+    def update_stream(self, steps: int = 10, adds_per_step: int = 2,
+                      retracts_per_step: int = 1, seed: int = 0):
+        """A deterministic add/retract stream against the assessed relation
+        (same vocabulary as :func:`~repro.workloads.updates.generate_update_stream`);
+        retracted rows always exist at their point in the stream."""
+        from ..workloads.generator import derive_rng
+        from ..workloads.updates import UpdateStep
+        rng = derive_rng(random.Random(seed), f"scenario-updates:{self.name}")
+        current = list(self.initial_rows())
+        stream: List[UpdateStep] = []
+        counter = 0
+        for _ in range(steps):
+            batch = UpdateStep()
+            for _ in range(adds_per_step):
+                row = self.fresh_assessed_row(rng, counter)
+                counter += 1
+                batch.adds.append((self.assessed_relation, row))
+                current.append(row)
+            for _ in range(min(retracts_per_step, max(0, len(current) - 1))):
+                victim = current.pop(rng.randrange(len(current)))
+                batch.retracts.append((self.assessed_relation, victim))
+            stream.append(batch)
+        return stream
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r})"
+
+
+#: scenario names accepted by ``build_scenario`` and the daemon CLI
+SCENARIO_NAMES = ("hospital", "sensornet", "fincompliance")
+
+
+def build_scenario(name: str, **options) -> QualityScenarioBase:
+    """Construct a registered scenario by name (extra keyword arguments
+    pass through to the scenario constructor, e.g. a size spec)."""
+    if name == "hospital":
+        from .hospital_adapter import HospitalQualityScenario
+        return HospitalQualityScenario(**options)
+    if name == "sensornet":
+        from ..sensornet.scenario import SensorNetworkScenario
+        return SensorNetworkScenario(**options)
+    if name == "fincompliance":
+        from ..fincompliance.scenario import FinancialComplianceScenario
+        return FinancialComplianceScenario(**options)
+    raise ValueError(
+        f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}")

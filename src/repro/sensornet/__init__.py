@@ -1,0 +1,6 @@
+"""The sensor-network scenario: deep downward navigation over a campus."""
+
+from .data import SensorNetSpec
+from .scenario import SensorNetworkScenario
+
+__all__ = ["SensorNetSpec", "SensorNetworkScenario"]

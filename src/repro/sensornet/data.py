@@ -1,0 +1,115 @@
+"""Seeded data for the sensor-network scenario.
+
+Everything is deterministic given :class:`SensorNetSpec` — same spec, same
+multidimensional instance, same readings, same calibration set — so a
+scenario built in one process (a benchmark compiling a traffic schedule)
+matches the one a daemon bootstrapped in another.
+
+``BuildingInspection`` is the only extensional inspection relation; the
+floor, room and sensor levels (``FloorInspection``, ``RoomCheck``,
+``SensorAudit``) are declared empty and *generated* by the downward
+dimensional rules of :mod:`repro.sensornet.ontology`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..md.builder import MDModelBuilder
+from ..md.instance import MDInstance
+from ..relational.instance import DatabaseInstance
+from ..workloads.generator import derive_rng
+from .dimensions import (build_calendar_dimension, build_location_dimension,
+    day_names, sensor_names)
+
+
+@dataclass
+class SensorNetSpec:
+    """Size and seed knobs of the generated sensor network."""
+
+    buildings: int = 2
+    floors_per_building: int = 2
+    rooms_per_floor: int = 2
+    sensors_per_room: int = 2
+    days: int = 6
+    #: extensional ``BuildingInspection`` tuples
+    inspections: int = 8
+    #: ``SensorReadings`` tuples in the instance under assessment
+    readings: int = 36
+    #: fraction of sensors listed in the ``CalibratedSensor`` source
+    calibrated_fraction: float = 0.7
+    seed: int = 0
+
+    def scaled(self, **overrides) -> "SensorNetSpec":
+        data = dict(self.__dict__)
+        data.update(overrides)
+        return SensorNetSpec(**data)
+
+
+def spec_sensors(spec: SensorNetSpec) -> List[str]:
+    return sensor_names(spec.buildings, spec.floors_per_building,
+                        spec.rooms_per_floor, spec.sensors_per_room)
+
+
+def spec_days(spec: SensorNetSpec) -> List[str]:
+    return day_names(spec.days)
+
+
+def build_md_instance(spec: SensorNetSpec) -> MDInstance:
+    """The multidimensional instance: dimensions + inspection relations."""
+    rng = derive_rng(random.Random(spec.seed), "sensornet-inspections")
+    buildings = [f"B{index}" for index in range(spec.buildings)]
+    days = spec_days(spec)
+    inspection_rows = [(rng.choice(buildings), rng.choice(days),
+                        f"inspector{index % 3}")
+                       for index in range(spec.inspections)]
+    return (MDModelBuilder()
+            .dimension(build_location_dimension(
+                spec.buildings, spec.floors_per_building,
+                spec.rooms_per_floor, spec.sensors_per_room))
+            .dimension(build_calendar_dimension(spec.days))
+            .relation("BuildingInspection",
+                      categorical=[("Building", "Location", "Building"),
+                                   ("Day", "Calendar", "Day")],
+                      non_categorical=["Inspector"],
+                      rows=inspection_rows)
+            .relation("CampusInspection",
+                      categorical=[("Campus", "Location", "Campus"),
+                                   ("Day", "Calendar", "Day")],
+                      non_categorical=["Inspector"])
+            .relation("FloorInspection",
+                      categorical=[("Floor", "Location", "Floor"),
+                                   ("Day", "Calendar", "Day")],
+                      non_categorical=["Inspector", "Note"])
+            .relation("RoomCheck",
+                      categorical=[("Room", "Location", "Room"),
+                                   ("Day", "Calendar", "Day")],
+                      non_categorical=["Note"])
+            .relation("SensorAudit",
+                      categorical=[("Sensor", "Location", "Sensor"),
+                                   ("Day", "Calendar", "Day")],
+                      non_categorical=["Note"])
+            .build())
+
+
+def build_readings_instance(spec: SensorNetSpec) -> DatabaseInstance:
+    """The instance under assessment: ``SensorReadings(Sensor, Day, Value)``."""
+    rng = derive_rng(random.Random(spec.seed), "sensornet-readings")
+    sensors = spec_sensors(spec)
+    days = spec_days(spec)
+    instance = DatabaseInstance()
+    instance.declare("SensorReadings", ["Sensor", "Day", "Value"])
+    for index in range(spec.readings):
+        instance.add("SensorReadings",
+                     (rng.choice(sensors), rng.choice(days),
+                      round(15.0 + 10.0 * rng.random(), 2)))
+    return instance
+
+
+def calibrated_sensors(spec: SensorNetSpec) -> List[Tuple[str]]:
+    """The ``CalibratedSensor`` external-source rows (a seeded subset)."""
+    rng = derive_rng(random.Random(spec.seed), "sensornet-calibration")
+    return [(sensor,) for sensor in spec_sensors(spec)
+            if rng.random() < spec.calibrated_fraction]

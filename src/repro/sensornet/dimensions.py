@@ -1,0 +1,93 @@
+"""The Location and Calendar dimensions of the sensor-network scenario.
+
+* **Location**: ``Sensor → Room → Floor → Building → Campus`` — a deep,
+  strict hierarchy (every sensor sits in exactly one room, every room on
+  one floor, ...) whose size is controlled by :class:`~repro.sensornet.data.SensorNetSpec`.
+  The depth is the point: dimensional rules navigate it *downward* across
+  three levels (building → floor → room → sensor), which the hospital
+  scenario never does.
+* **Calendar**: ``Day → Month → Year`` with days chunked into months of
+  three.
+
+Member labels are hierarchical (``B0``, ``B0-F1``, ``B0-F1-R0``,
+``B0-F1-R0-S1``) so a member's ancestry is readable in tests and traces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..md.builder import DimensionBuilder
+from ..md.instance import DimensionInstance
+
+#: days per calendar month (fixed chunking keeps month labels stable)
+DAYS_PER_MONTH = 3
+
+
+def building_names(buildings: int) -> List[str]:
+    return [f"B{index}" for index in range(buildings)]
+
+
+def floor_names(buildings: int, floors_per_building: int) -> List[str]:
+    return [f"{building}-F{floor}"
+            for building in building_names(buildings)
+            for floor in range(floors_per_building)]
+
+
+def room_names(buildings: int, floors_per_building: int,
+               rooms_per_floor: int) -> List[str]:
+    return [f"{floor}-R{room}"
+            for floor in floor_names(buildings, floors_per_building)
+            for room in range(rooms_per_floor)]
+
+
+def sensor_names(buildings: int, floors_per_building: int,
+                 rooms_per_floor: int, sensors_per_room: int) -> List[str]:
+    return [f"{room}-S{sensor}"
+            for room in room_names(buildings, floors_per_building,
+                                   rooms_per_floor)
+            for sensor in range(sensors_per_room)]
+
+
+def day_names(days: int) -> List[str]:
+    return [f"day{index:02d}" for index in range(days)]
+
+
+def month_of(day: str) -> str:
+    return f"month{int(day[3:]) // DAYS_PER_MONTH}"
+
+
+def build_location_dimension(buildings: int, floors_per_building: int,
+                             rooms_per_floor: int,
+                             sensors_per_room: int) -> DimensionInstance:
+    """The five-level Location hierarchy, single campus at the top."""
+    builder = (DimensionBuilder("Location")
+               .category_chain("Sensor", "Room", "Floor", "Building",
+                               "Campus"))
+    for building in building_names(buildings):
+        builder.member_edge("Building", building, "Campus", "mainCampus")
+        for floor_index in range(floors_per_building):
+            floor = f"{building}-F{floor_index}"
+            builder.member_edge("Floor", floor, "Building", building)
+            for room_index in range(rooms_per_floor):
+                room = f"{floor}-R{room_index}"
+                builder.member_edge("Room", room, "Floor", floor)
+                for sensor_index in range(sensors_per_room):
+                    builder.member_edge("Sensor", f"{room}-S{sensor_index}",
+                                        "Room", room)
+    return builder.build()
+
+
+def build_calendar_dimension(days: int) -> DimensionInstance:
+    """``Day → Month → Year``, months of :data:`DAYS_PER_MONTH` days."""
+    builder = (DimensionBuilder("Calendar")
+               .category_chain("Day", "Month", "Year"))
+    months = []
+    for day in day_names(days):
+        month = month_of(day)
+        builder.member_edge("Day", day, "Month", month)
+        if month not in months:
+            months.append(month)
+    for month in months:
+        builder.member_edge("Month", month, "Year", "y1")
+    return builder.build()

@@ -1,0 +1,75 @@
+"""The sensor-network MD ontology: a three-step downward-navigation chain.
+
+The hospital ontology drills down exactly one level (rule (8): unit →
+ward).  This scenario's point is *depth*: one extensional relation at the
+building level cascades down the Location hierarchy through three
+downward dimensional rules (form (4) with existentials, as in the paper's
+rule (8)), each consuming the — null-carrying — output of the previous
+one:
+
+* **floor rule** — every inspection of a building inspects each of its
+  floors, with an unknown per-floor note;
+* **room rule** — every floor inspection checks each room on the floor
+  (unknown detail), navigating *through* the invented note;
+* **sensor rule** — every room check audits each sensor in the room.
+
+An upward roll-up (building → campus) rides along for contrast, so both
+navigation directions fire on every ``BuildingInspection`` update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..md.instance import MDInstance
+from ..ontology.mdontology import MDOntology
+
+#: Upward navigation Building → Campus (form (4), as the paper's rule (7)).
+RULE_CAMPUS_ROLLUP = (
+    "CampusInspection(C, D, I) :- BuildingInspection(B, D, I), "
+    "CampusBuilding(C, B)."
+)
+
+#: Downward navigation Building → Floor with an unknown note.
+RULE_FLOOR_INSPECTION = (
+    "exists Z : FloorInspection(F, D, I, Z) :- BuildingInspection(B, D, I), "
+    "BuildingFloor(B, F)."
+)
+
+#: Downward navigation Floor → Room, consuming the floor rule's output.
+RULE_ROOM_CHECK = (
+    "exists W : RoomCheck(R, D, W) :- FloorInspection(F, D, I, Z), "
+    "FloorRoom(F, R)."
+)
+
+#: Downward navigation Room → Sensor — the third step of the chain.
+RULE_SENSOR_AUDIT = (
+    "exists V : SensorAudit(S, D, V) :- RoomCheck(R, D, W), RoomSensor(R, S)."
+)
+
+
+def build_ontology(md: MDInstance,
+                   include_campus_rollup: bool = True,
+                   include_sensor_audit: bool = True) -> MDOntology:
+    """Build the sensor-network MD ontology over ``md``.
+
+    ``include_sensor_audit=False`` stops the downward chain at the room
+    level (for experiments isolating chain depth); the floor and room
+    rules are always present — they are the scenario.
+    """
+    ontology = MDOntology(md)
+    if include_campus_rollup:
+        ontology.add_rule(RULE_CAMPUS_ROLLUP, label="campus roll-up")
+    ontology.add_rule(RULE_FLOOR_INSPECTION, label="floor inspection (down)")
+    ontology.add_rule(RULE_ROOM_CHECK, label="room check (down)")
+    if include_sensor_audit:
+        ontology.add_rule(RULE_SENSOR_AUDIT, label="sensor audit (down)")
+    return ontology
+
+
+def build_default_ontology(md: Optional[MDInstance] = None) -> MDOntology:
+    """The full ontology over the default-spec instance (convenience)."""
+    if md is None:
+        from .data import SensorNetSpec, build_md_instance
+        md = build_md_instance(SensorNetSpec())
+    return build_ontology(md)

@@ -1,0 +1,91 @@
+"""The sensor-network scenario: deep downward navigation + quality context.
+
+A campus full of sensors streams ``SensorReadings(Sensor, Day, Value)``;
+building-level inspections cascade down the Location hierarchy (building →
+floor → room → sensor) through the three downward rules of
+:mod:`repro.sensornet.ontology`.  The quality context declares a reading
+*quality* when its sensor was audited that day — i.e. the downward chain
+reached it — **and** the sensor is listed calibrated by the external
+``CalibratedSensor`` source.  Both conditions mirror the paper's guideline
+structure (a contextual navigation requirement plus an external quality
+predicate), but every navigation step here runs downhill.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..quality.context import Context
+from ..scenarios import QualityScenarioBase
+from .data import (SensorNetSpec, build_md_instance, build_readings_instance,
+    calibrated_sensors, spec_days, spec_sensors)
+from .ontology import build_ontology
+
+#: Quality predicate: the downward chain audited the sensor that day.
+AUDITED_SENSOR_RULE = "AuditedSensor(S, D) :- SensorAudit(S, D, V)."
+
+#: The quality version of SensorReadings: audited that day and calibrated.
+SENSOR_READINGS_Q_RULE = (
+    "SensorReadings_q(S, D, V) :- SensorReadings_c(S, D, V), "
+    "AuditedSensor(S, D), CalibratedSensor(S)."
+)
+
+
+class SensorNetworkScenario(QualityScenarioBase):
+    """A seeded sensor-network quality-assessment domain."""
+
+    name = "sensornet"
+    assessed_relation = "SensorReadings"
+
+    def __init__(self, spec: Optional[SensorNetSpec] = None,
+                 include_campus_rollup: bool = True,
+                 include_sensor_audit: bool = True):
+        self.spec = spec if spec is not None else SensorNetSpec()
+        md = build_md_instance(self.spec)
+        ontology = build_ontology(
+            md, include_campus_rollup=include_campus_rollup,
+            include_sensor_audit=include_sensor_audit)
+        super().__init__(md=md, ontology=ontology,
+                         context=self._build_context(ontology),
+                         instance=build_readings_instance(self.spec))
+        self._sensors = spec_sensors(self.spec)
+        self._days = spec_days(self.spec)
+
+    def _build_context(self, ontology) -> Context:
+        context = Context(ontology=ontology, name="sensornet-context")
+        context.map_relation("SensorReadings", arity=3)
+        context.add_external_source(
+            "CalibratedSensor", ["Sensor"],
+            rows=calibrated_sensors(self.spec))
+        context.add_quality_predicate(
+            "AuditedSensor", [AUDITED_SENSOR_RULE],
+            description="sensors reached by the downward inspection chain "
+                        "on a given day")
+        context.define_quality_version(
+            "SensorReadings", [SENSOR_READINGS_Q_RULE],
+            description="readings from a calibrated sensor audited that day")
+        return context
+
+    # -- traffic-compiler contract -----------------------------------------
+
+    def queries(self) -> List[str]:
+        probe = self._sensors[0]
+        return [
+            "?(B, D, I) :- BuildingInspection(B, D, I).",
+            "?(C, D, I) :- CampusInspection(C, D, I).",
+            "?(R, D) :- RoomCheck(R, D, W).",
+            f"?(D) :- SensorAudit('{probe}', D, V).",
+            "?(S, D, V) :- SensorReadings(S, D, V).",
+        ]
+
+    def quality_queries(self) -> List[str]:
+        probe = self._sensors[-1]
+        return [
+            "?(S, D, V) :- SensorReadings(S, D, V).",
+            f"?(D, V) :- SensorReadings('{probe}', D, V).",
+        ]
+
+    def fresh_assessed_row(self, rng: random.Random, index: int) -> Tuple:
+        return (rng.choice(self._sensors), rng.choice(self._days),
+                round(15.0 + 10.0 * rng.random(), 2))

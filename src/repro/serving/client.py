@@ -48,7 +48,7 @@ import random
 import socket
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Union
 
 from ..datalog.chase import Fact
 from ..engine.snapshot import decode_row
@@ -113,7 +113,9 @@ class ServingClient:
                  connect_timeout: float = 5.0,
                  auth_token: Optional[Union[str, bytes]] = None,
                  busy_retries: int = 8, unavailable_retries: int = 0,
-                 backoff_base: float = 0.05, backoff_max: float = 2.0):
+                 backoff_base: float = 0.05, backoff_max: float = 2.0,
+                 on_retry: Optional[Callable[[str, int, float],
+                                             None]] = None):
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -122,6 +124,10 @@ class ServingClient:
         self.unavailable_retries = unavailable_retries
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
+        #: called as ``on_retry(kind, attempt, floor)`` before each retry
+        #: sleep (``kind`` is ``"busy"`` or ``"unavailable"``) — how load
+        #: harnesses count retries without wrapping every call
+        self.on_retry = on_retry
         self._auth_token = auth_token
         if read_from not in ("primary", "replica"):
             raise ValueError(
@@ -266,12 +272,16 @@ class ServingClient:
                 if busy_left <= 0:
                     raise
                 busy_left -= 1
+                if self.on_retry is not None:
+                    self.on_retry("busy", attempt, exc.retry_after)
                 self._backoff(attempt, floor=exc.retry_after)
                 attempt += 1
             except (DaemonUnavailableError, DaemonShutdownError):
                 if unavailable_left <= 0 or op == "shutdown":
                     raise
                 unavailable_left -= 1
+                if self.on_retry is not None:
+                    self.on_retry("unavailable", attempt, 0.0)
                 self._backoff(attempt)
                 attempt += 1
                 try:

@@ -1227,6 +1227,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--program", metavar="FILE",
                         help="serve this Datalog± program text instead of "
                              "the default hospital quality session")
+    parser.add_argument("--scenario", metavar="NAME",
+                        help="serve a registered quality scenario "
+                             "(hospital, sensornet, fincompliance); "
+                             "mutually exclusive with --program")
     parser.add_argument("--engine", choices=("indexed", "naive", "columnar"))
     parser.add_argument("--no-sync", action="store_true",
                         help="skip fsync on WAL appends (faster; durable "
@@ -1271,9 +1275,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.program and args.scenario:
+        raise SystemExit("--program and --scenario are mutually exclusive")
     if args.program:
         text = Path(args.program).read_text(encoding="utf-8")
         backend = ProgramBackend(parse_program(text), engine=args.engine)
+    elif args.scenario:
+        from ..scenarios import build_scenario
+        backend = build_scenario(args.scenario).serving_backend(
+            engine=args.engine)
     else:
         from ..hospital import HospitalScenario
         scenario = HospitalScenario()

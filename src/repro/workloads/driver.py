@@ -1,0 +1,502 @@
+"""Open-loop traffic harness: compile a declarative mix, fire it, report.
+
+The closed-loop generators (:mod:`repro.workloads.updates`, the E12–E15
+streams) issue the next operation only after the previous one returns, so
+a slowdown in the system under test silently slows the *offered* load and
+hides tail latency — the classic coordinated-omission trap.  This driver
+is open-loop:
+
+1. :func:`compile_schedule` turns a :class:`TrafficSpec` (operation mix
+   over ``query`` / ``holds`` / ``add`` / ``retract`` / ``quality``,
+   target QPS, duration, seed) plus a :class:`ScenarioBinding` into a
+   deterministic, timestamped :class:`OpSchedule` — same spec and
+   binding, byte-identical schedule (:meth:`OpSchedule.encode`).
+2. :func:`run_schedule` fires the schedule against a target — an
+   in-process quality session (:class:`SessionTarget`) or a serving
+   daemon over the wire (:class:`ClientTarget`) — from a worker pool fed
+   by an arrival clock that **never waits on the system under test**: an
+   op whose turn arrives while every worker is busy is queued, and the
+   lag between its scheduled and actual start is recorded as
+   coordinated-omission *debt*, never skipped.
+3. The :class:`RunReport` gives per-op-class p50/p95/p99 latency
+   (measured from the *scheduled* arrival, so queueing counts), service
+   time, debt, typed-error counts by exception class, and the busy-retry
+   totals surfaced by :class:`~repro.serving.client.ServingClient`'s
+   ``on_retry`` hook.
+
+A daemon shutdown mid-run aborts cleanly: the first
+:class:`~repro.errors.DaemonShutdownError` /
+:class:`~repro.errors.DaemonUnavailableError` stops the arrival clock,
+the remaining ops are counted ``cancelled``, and every worker is joined
+before the report is returned — no stranded threads.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from queue import Queue
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple)
+
+from ..errors import DaemonShutdownError, DaemonUnavailableError
+from .generator import derive_rng
+
+OP_QUERY = "query"
+OP_HOLDS = "holds"
+OP_ADD = "add"
+OP_RETRACT = "retract"
+OP_QUALITY = "quality"
+
+#: every op class a mix may mention, in canonical order
+OP_CLASSES = (OP_QUERY, OP_HOLDS, OP_ADD, OP_RETRACT, OP_QUALITY)
+
+#: errors that abort the run (the daemon is gone; retrying is noise)
+STOP_ERRORS = (DaemonShutdownError, DaemonUnavailableError)
+
+
+@dataclass(frozen=True)
+class ScenarioBinding:
+    """What the compiler needs from a scenario to build payloads."""
+
+    #: the assessed relation add/retract ops target
+    relation: str
+    #: query texts the ``query``/``holds`` ops draw from
+    queries: Sequence[str]
+    #: query texts the ``quality`` answer ops draw from
+    quality_queries: Sequence[str]
+    #: rows seeding the retract pool (the relation's initial extension)
+    initial_rows: Sequence[Tuple]
+    #: ``fresh_row(rng, index)`` — a new deterministic assessed row
+    fresh_row: Callable[[random.Random, int], Tuple]
+
+
+@dataclass
+class TrafficSpec:
+    """The declarative description of one open-loop run."""
+
+    #: op-class fractions (normalized; unknown classes are an error)
+    mix: Mapping[str, float] = field(
+        default_factory=lambda: {OP_QUERY: 0.6, OP_HOLDS: 0.2,
+                                 OP_ADD: 0.1, OP_RETRACT: 0.05,
+                                 OP_QUALITY: 0.05})
+    #: target arrival rate (ops/second)
+    qps: float = 100.0
+    #: schedule length in seconds (ops = round(qps * duration))
+    duration: float = 1.0
+    seed: int = 0
+    #: rows per ``add`` op
+    adds_per_op: int = 2
+    #: rows per ``retract`` op (bounded by the simulated pool)
+    retracts_per_op: int = 1
+    #: share of ``quality`` ops that run a full assessment (the rest
+    #: ask quality answers)
+    assess_fraction: float = 0.25
+
+    def normalized_mix(self) -> Dict[str, float]:
+        """The mix as positive fractions summing to 1 (validated)."""
+        unknown = sorted(set(self.mix) - set(OP_CLASSES))
+        if unknown:
+            raise ValueError(f"unknown op classes in mix: {unknown}; "
+                             f"known: {', '.join(OP_CLASSES)}")
+        weights = {op: float(self.mix.get(op, 0.0)) for op in OP_CLASSES}
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError(f"negative mix fractions: {self.mix}")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("mix must have at least one positive fraction")
+        return {op: weight / total for op, weight in weights.items()
+                if weight > 0}
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One timestamped operation of a compiled schedule."""
+
+    index: int
+    #: scheduled arrival, seconds from the run's start
+    at: float
+    #: op class (one of :data:`OP_CLASSES`)
+    op: str
+    #: JSON-encodable payload: ``("q", text)`` for query/holds,
+    #: ``("rows", [row, ...])`` for add/retract, ``("assess",)`` or
+    #: ``("answers", text)`` for quality
+    payload: Tuple
+
+
+@dataclass
+class OpSchedule:
+    """A compiled, deterministic, timestamped op sequence."""
+
+    spec: TrafficSpec
+    relation: str
+    ops: List[ScheduledOp]
+
+    def class_counts(self) -> Counter:
+        return Counter(op.op for op in self.ops)
+
+    def encode(self) -> bytes:
+        """Canonical bytes of the schedule — byte-identical across runs
+        of the same spec + binding (the determinism oracle)."""
+        def plain(value: Any) -> Any:
+            if isinstance(value, (tuple, list)):
+                return [plain(item) for item in value]
+            return value
+        return json.dumps(
+            {"relation": self.relation,
+             "ops": [[op.index, op.at, op.op, plain(op.payload)]
+                     for op in self.ops]},
+            separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def compile_schedule(spec: TrafficSpec,
+                     binding: ScenarioBinding) -> OpSchedule:
+    """Compile ``spec`` against ``binding`` into an :class:`OpSchedule`.
+
+    Deterministic: op classes and payloads come from child streams of the
+    spec seed (:func:`~repro.workloads.generator.derive_rng`), arrivals
+    are ``index / qps``, and retracted rows are drawn from a simulated
+    pool that replays exactly at run time (initial rows plus every row an
+    earlier ``add`` op introduced).  A ``retract`` drawn against an empty
+    pool degrades to a ``query`` op rather than desynchronizing the
+    stream.
+    """
+    if spec.qps <= 0 or spec.duration <= 0:
+        raise ValueError("qps and duration must be positive")
+    if not binding.queries:
+        raise ValueError("binding has no queries for query/holds ops")
+    mix = spec.normalized_mix()
+    thresholds: List[Tuple[float, str]] = []
+    upper = 0.0
+    for op in OP_CLASSES:
+        if op in mix:
+            upper += mix[op]
+            thresholds.append((upper, op))
+
+    parent = random.Random(spec.seed)
+    class_rng = derive_rng(parent, "op-classes")
+    payload_rng = derive_rng(parent, "op-payloads")
+
+    pool = [tuple(row) for row in binding.initial_rows]
+    ops: List[ScheduledOp] = []
+    fresh_index = 0
+    total = max(1, int(round(spec.qps * spec.duration)))
+    for index in range(total):
+        draw = class_rng.random()
+        op = thresholds[-1][1]
+        for bound, candidate in thresholds:
+            if draw < bound:
+                op = candidate
+                break
+        if op == OP_RETRACT and not pool:
+            op = OP_QUERY
+        if op in (OP_QUERY, OP_HOLDS):
+            payload = ("q", payload_rng.choice(list(binding.queries)))
+        elif op == OP_ADD:
+            rows = []
+            for _ in range(max(1, spec.adds_per_op)):
+                rows.append(tuple(binding.fresh_row(payload_rng,
+                                                    fresh_index)))
+                fresh_index += 1
+            pool.extend(rows)
+            payload = ("rows", tuple(rows))
+        elif op == OP_RETRACT:
+            count = min(max(1, spec.retracts_per_op), len(pool))
+            rows = tuple(pool.pop(payload_rng.randrange(len(pool)))
+                         for _ in range(count))
+            payload = ("rows", rows)
+        else:  # OP_QUALITY
+            if (not binding.quality_queries
+                    or payload_rng.random() < spec.assess_fraction):
+                payload = ("assess",)
+            else:
+                payload = ("answers",
+                           payload_rng.choice(list(binding.quality_queries)))
+        ops.append(ScheduledOp(index=index, at=index / spec.qps, op=op,
+                               payload=payload))
+    return OpSchedule(spec=spec, relation=binding.relation, ops=ops)
+
+
+# -- targets ----------------------------------------------------------------
+
+
+class SessionTarget:
+    """Fire a schedule at an in-process quality session.
+
+    :class:`~repro.quality.session.QualitySession` is not internally
+    locked, so every op — reads included — runs under one lock; the
+    in-process target measures the engine serially, the wire target
+    measures real concurrency.
+    """
+
+    def __init__(self, session, relation: str):
+        self._session = session
+        self.relation = relation
+        self._lock = threading.Lock()
+
+    def make_worker(self) -> Callable[[ScheduledOp], None]:
+        session, relation, lock = self._session, self.relation, self._lock
+
+        def execute(op: ScheduledOp) -> None:
+            with lock:
+                if op.op == OP_QUERY:
+                    session.query_session.answers(op.payload[1])
+                elif op.op == OP_HOLDS:
+                    session.query_session.holds(op.payload[1])
+                elif op.op == OP_ADD:
+                    session.add_facts(relation,
+                                      [tuple(row) for row in op.payload[1]])
+                elif op.op == OP_RETRACT:
+                    session.retract_facts(
+                        relation, [tuple(row) for row in op.payload[1]])
+                elif op.payload[0] == "assess":
+                    session.assess()
+                else:
+                    session.quality_answers(op.payload[1])
+        return execute
+
+    def close(self) -> None:
+        pass
+
+
+class ClientTarget:
+    """Fire a schedule at a serving daemon over the wire.
+
+    ``connect`` is called once per worker (a
+    :class:`~repro.serving.client.ServingClient` owns one socket and is
+    not thread-safe) with an ``on_retry=`` keyword wired to this
+    target's retry counter, e.g.::
+
+        ClientTarget(lambda **kw: ServingClient.connect(
+                         data_dir, busy_retries=100, **kw),
+                     relation=binding.relation)
+    """
+
+    def __init__(self, connect: Callable[..., Any], relation: str):
+        self._connect = connect
+        self.relation = relation
+        self._clients: List[Any] = []
+        self._lock = threading.Lock()
+        self.retries: Counter = Counter()
+
+    def _note_retry(self, kind: str, attempt: int, floor: float) -> None:
+        with self._lock:
+            self.retries[kind] += 1
+
+    def make_worker(self) -> Callable[[ScheduledOp], None]:
+        client = self._connect(on_retry=self._note_retry)
+        with self._lock:
+            self._clients.append(client)
+        relation = self.relation
+
+        def execute(op: ScheduledOp) -> None:
+            if op.op == OP_QUERY:
+                client.answers(op.payload[1])
+            elif op.op == OP_HOLDS:
+                client.holds(op.payload[1])
+            elif op.op == OP_ADD:
+                client.add_facts([(relation, tuple(row))
+                                  for row in op.payload[1]])
+            elif op.op == OP_RETRACT:
+                client.retract_facts([(relation, tuple(row))
+                                      for row in op.payload[1]])
+            elif op.payload[0] == "assess":
+                client.assess()
+            else:
+                client.quality_answers(op.payload[1])
+        return execute
+
+    def close(self) -> None:
+        with self._lock:
+            clients, self._clients = list(self._clients), []
+        for client in clients:
+            client.close()
+
+
+# -- the runner -------------------------------------------------------------
+
+
+def _percentiles(values: List[float]) -> Dict[str, float]:
+    if not values:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    ordered = sorted(values)
+
+    def pick(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1)))]
+    return {"p50_ms": round(pick(0.50) * 1000, 3),
+            "p95_ms": round(pick(0.95) * 1000, 3),
+            "p99_ms": round(pick(0.99) * 1000, 3)}
+
+
+@dataclass
+class RunReport:
+    """What one open-loop run measured."""
+
+    #: per op class: count/ok/cancelled, errors by exception class,
+    #: corrected-latency and service-time percentiles, debt stats
+    classes: Dict[str, Dict[str, Any]]
+    scheduled: int
+    executed: int
+    ok: int
+    cancelled: int
+    errors: Dict[str, int]
+    #: busy/unavailable retries clients performed (wire target only)
+    retries: Dict[str, int]
+    #: wall-clock seconds from first scheduled arrival to full drain
+    elapsed: float
+    offered_qps: float
+    achieved_qps: float
+    #: total coordinated-omission debt (seconds ops started late)
+    debt_seconds: float
+    aborted: bool = False
+    abort_error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"classes": self.classes, "scheduled": self.scheduled,
+                "executed": self.executed, "ok": self.ok,
+                "cancelled": self.cancelled, "errors": dict(self.errors),
+                "retries": dict(self.retries),
+                "elapsed": round(self.elapsed, 6),
+                "offered_qps": round(self.offered_qps, 1),
+                "achieved_qps": round(self.achieved_qps, 1),
+                "debt_seconds": round(self.debt_seconds, 6),
+                "aborted": self.aborted, "abort_error": self.abort_error}
+
+
+#: per-executed-op record: (op class, error name or None, corrected
+#: latency, service time, debt) — or (op class, CANCELLED, 0, 0, 0)
+_CANCELLED = "__cancelled__"
+
+
+def run_schedule(schedule: OpSchedule, target, workers: int = 4,
+                 late_threshold: float = 0.001) -> RunReport:
+    """Fire ``schedule`` at ``target`` from ``workers`` threads.
+
+    The arrival clock (this thread) sleeps until each op's scheduled
+    time and enqueues it — an unbounded queue, so a slow target never
+    stalls arrivals.  Worker threads execute queued ops and measure:
+
+    * **corrected latency** — completion minus *scheduled* arrival
+      (queueing included: the coordinated-omission-safe number);
+    * **service time** — completion minus actual start;
+    * **debt** — actual start minus scheduled arrival, when positive.
+
+    The first :data:`STOP_ERRORS` exception aborts the run: arrivals
+    stop, queued and undispatched ops are counted ``cancelled``, and all
+    workers are joined before returning.  Every other exception is
+    recorded per class and the run continues.
+    """
+    queue: "Queue[Optional[ScheduledOp]]" = Queue()
+    abort = threading.Event()
+    abort_error: List[Optional[str]] = [None]
+    records: List[List[Tuple]] = [[] for _ in range(workers)]
+    executors = [target.make_worker() for _ in range(workers)]
+    # Arrivals start slightly in the future so op 0 isn't born late.
+    t0 = time.perf_counter() + 0.05
+
+    def worker(slot: List[Tuple],
+               execute: Callable[[ScheduledOp], None]) -> None:
+        while True:
+            op = queue.get()
+            if op is None:
+                return
+            if abort.is_set():
+                slot.append((op.op, _CANCELLED, 0.0, 0.0, 0.0))
+                continue
+            scheduled = t0 + op.at
+            start = time.perf_counter()
+            error = None
+            try:
+                execute(op)
+            except STOP_ERRORS as exc:
+                error = type(exc).__name__
+                abort_error[0] = error
+                abort.set()
+            except Exception as exc:  # noqa: BLE001 - recorded, run goes on
+                error = type(exc).__name__
+            end = time.perf_counter()
+            slot.append((op.op, error, end - scheduled, end - start,
+                         max(0.0, start - scheduled)))
+
+    threads = [threading.Thread(target=worker, args=(records[i], executors[i]),
+                                name=f"driver-worker-{i}", daemon=True)
+               for i in range(workers)]
+    for thread in threads:
+        thread.start()
+
+    undispatched = 0
+    try:
+        for op in schedule.ops:
+            if abort.is_set():
+                undispatched += 1
+                records[0].append((op.op, _CANCELLED, 0.0, 0.0, 0.0))
+                continue
+            wait = t0 + op.at - time.perf_counter()
+            if wait > 0:
+                time.sleep(wait)
+            queue.put(op)
+    finally:
+        for _ in threads:
+            queue.put(None)
+        for thread in threads:
+            thread.join()
+        target.close()
+    elapsed = max(1e-9, time.perf_counter() - t0)
+
+    classes: Dict[str, Dict[str, Any]] = {}
+    latencies: Dict[str, List[float]] = {}
+    services: Dict[str, List[float]] = {}
+    errors: Counter = Counter()
+    ok = cancelled = executed = 0
+    debt_total = 0.0
+    for slot in records:
+        for op_class, error, latency, service, debt in slot:
+            stats = classes.setdefault(
+                op_class, {"count": 0, "ok": 0, "cancelled": 0,
+                           "errors": {}, "late_ops": 0, "max_debt_ms": 0.0,
+                           "debt_seconds": 0.0})
+            stats["count"] += 1
+            if error == _CANCELLED:
+                stats["cancelled"] += 1
+                cancelled += 1
+                continue
+            executed += 1
+            debt_total += debt
+            stats["debt_seconds"] = round(stats["debt_seconds"] + debt, 6)
+            stats["max_debt_ms"] = round(
+                max(stats["max_debt_ms"], debt * 1000), 3)
+            if debt > late_threshold:
+                stats["late_ops"] += 1
+            if error is not None:
+                stats["errors"][error] = stats["errors"].get(error, 0) + 1
+                errors[error] += 1
+                continue
+            stats["ok"] += 1
+            ok += 1
+            latencies.setdefault(op_class, []).append(latency)
+            services.setdefault(op_class, []).append(service)
+    for op_class, stats in classes.items():
+        stats.update(_percentiles(latencies.get(op_class, [])))
+        stats["service_p50_ms"] = _percentiles(
+            services.get(op_class, []))["p50_ms"]
+        stats["service_p99_ms"] = _percentiles(
+            services.get(op_class, []))["p99_ms"]
+
+    return RunReport(
+        classes=classes,
+        scheduled=len(schedule.ops),
+        executed=executed,
+        ok=ok,
+        cancelled=cancelled,
+        errors=dict(errors),
+        retries=dict(getattr(target, "retries", {})),
+        elapsed=elapsed,
+        offered_qps=schedule.spec.qps,
+        achieved_qps=executed / elapsed,
+        debt_seconds=round(debt_total, 6),
+        aborted=abort.is_set(),
+        abort_error=abort_error[0])

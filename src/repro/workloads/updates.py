@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from ..datalog.chase import Fact
-from .generator import GeneratedWorkload
+from .generator import GeneratedWorkload, derive_rng
 
 BASE = "base"
 ASSESSMENT = "assessment"
@@ -61,7 +61,10 @@ def generate_update_stream(workload: GeneratedWorkload, steps: int = 10,
     """A deterministic stream of :class:`UpdateStep` batches for ``workload``."""
     if target not in (BASE, ASSESSMENT):
         raise ValueError(f"unknown update target {target!r}")
-    rng = random.Random(seed)
+    # A private child stream per (seed, target): base and assessment streams
+    # built from the same seed never share generator state (so building them
+    # in any order — or concurrently — yields identical steps).
+    rng = derive_rng(random.Random(seed), f"update-stream:{target}")
     members = _bottom_members_of(workload)
 
     if target == BASE:

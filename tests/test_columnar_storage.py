@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.datalog import parse_program
 from repro.engine.session import MaterializedProgram, QuerySession

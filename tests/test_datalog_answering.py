@@ -1,6 +1,5 @@
 """Tests for chase-based certain-answer query answering."""
 
-import pytest
 
 from repro.datalog import parse_program, parse_query
 from repro.datalog.answering import (certain_answers, certainly_holds, evaluate_boolean_query,

@@ -1,6 +1,5 @@
 """Tests for the Datalog± class hierarchy checks (Section II/III of the paper)."""
 
-import pytest
 
 from repro.datalog import parse_rule
 from repro.datalog.classes import (classify, compute_sticky_marking, is_guarded, is_linear,

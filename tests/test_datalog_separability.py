@@ -1,6 +1,5 @@
 """Tests for EGD/TGD separability analysis (Section III's separability claim)."""
 
-import pytest
 
 from repro.datalog import parse_program, parse_query, parse_rule
 from repro.datalog.separability import (check_separability_empirically, egd_separability_report,

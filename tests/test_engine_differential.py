@@ -20,7 +20,7 @@ Every generator is seeded, so failures reproduce deterministically.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List
 
 import pytest
 

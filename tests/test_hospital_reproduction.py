@@ -8,7 +8,7 @@ the examples).
 
 import pytest
 
-from repro.hospital import (DOCTOR_QUERY, HospitalScenario, MEASUREMENTS_QUALITY_ROWS,
+from repro.hospital import (MEASUREMENTS_QUALITY_ROWS,
                             MEASUREMENTS_ROWS, build_md_instance, build_ontology,
                             build_upward_only_ontology)
 from repro.md.validation import validate_md_instance

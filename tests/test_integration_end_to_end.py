@@ -5,7 +5,6 @@ context → assessment) and assert cross-algorithm agreement on both the
 hospital scenario and synthetic workloads.
 """
 
-import pytest
 
 from repro.datalog import DeterministicWSQAns, certain_answers, chase, parse_query
 from repro.datalog.rewriting import QueryRewriter

@@ -1,6 +1,5 @@
 """Tests for MD-ontology analysis (weak stickiness, separability, navigation)."""
 
-import pytest
 
 from repro.hospital import build_ontology, build_upward_only_ontology
 from repro.ontology.analysis import analyze, is_downward_only, is_upward_only

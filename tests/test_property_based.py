@@ -13,7 +13,6 @@ The invariants covered:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.datalog import TGD, Atom, DatalogProgram, Variable, chase

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QualityError
-from repro.quality.assessment import (DatabaseAssessment, RelationAssessment, assess_database,
+from repro.quality.assessment import (DatabaseAssessment, assess_database,
                                       assess_relation)
 from repro.relational.instance import DatabaseInstance, Relation
 from repro.relational.schema import RelationSchema

@@ -1,9 +1,8 @@
 """Tests for constraint-driven repair of categorical relations."""
 
-import pytest
 
 from repro.hospital import build_md_instance, build_ontology
-from repro.quality.repair import RepairReport, repair_md_instance
+from repro.quality.repair import repair_md_instance
 
 
 class TestRepair:

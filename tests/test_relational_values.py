@@ -1,6 +1,5 @@
 """Tests for labeled nulls and the value helpers."""
 
-import pytest
 
 from repro.relational.values import (Null, NullFactory, ground_values, is_ground, is_null,
                                      value_sort_key)

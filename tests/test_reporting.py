@@ -1,6 +1,5 @@
 """Tests for the text/Markdown report renderers."""
 
-import pytest
 
 from repro.md.validation import ValidationReport
 from repro.quality.cleaning import compare_answers

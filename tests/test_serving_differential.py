@@ -30,8 +30,8 @@ from repro.engine.session import MaterializedProgram
 from repro.hospital import HospitalScenario
 from repro.hospital.scenario import DOCTOR_QUERY
 from repro.serving import CompactionPolicy, ServingClient
-from repro.serving.daemon import ProgramBackend, QualityBackend, ServingDaemon
-from repro.serving.wal import OP_ADD, OP_RETRACT
+from repro.serving.daemon import ProgramBackend, ServingDaemon
+from repro.serving.wal import OP_ADD
 from repro.workloads import (WorkloadSpec, generate_update_stream,
                              generate_workload)
 

@@ -1,0 +1,215 @@
+"""The open-loop traffic harness (:mod:`repro.workloads.driver`).
+
+Covers the compiler (deterministic byte-identical schedules, mix
+adherence, retract-pool degradation, spec validation), the runner's
+coordinated-omission accounting (a too-slow target surfaces *debt*, never
+skipped ops), and the abort path (a daemon stopped mid-run yields a clean
+``aborted`` report with every worker thread joined).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.scenarios import build_scenario
+from repro.serving import ServingClient
+from repro.serving.daemon import ServingDaemon
+from repro.workloads.driver import (OP_CLASSES, ScenarioBinding,
+    SessionTarget, ClientTarget, TrafficSpec, compile_schedule, run_schedule)
+
+
+def _binding(rows: int = 8) -> ScenarioBinding:
+    return ScenarioBinding(
+        relation="R",
+        queries=("?(X) :- R(X, Y).", "?(Y) :- R('k0', Y)."),
+        quality_queries=("?(X) :- R_q(X, Y).",),
+        initial_rows=tuple((f"k{i}", i) for i in range(rows)),
+        fresh_row=lambda rng, index: (f"n{index}", rng.randrange(1000)))
+
+
+# -- the compiler ------------------------------------------------------------
+
+
+def test_same_seed_compiles_byte_identical_schedules():
+    spec = TrafficSpec(qps=500, duration=2.0, seed=11)
+    first = compile_schedule(spec, _binding())
+    second = compile_schedule(spec, _binding())
+    assert first.encode() == second.encode()
+    shifted = compile_schedule(
+        TrafficSpec(qps=500, duration=2.0, seed=12), _binding())
+    assert shifted.encode() != first.encode()
+
+
+def test_scenario_binding_is_reproducible_across_builds():
+    """Two independently built scenarios bind to byte-identical traffic."""
+    spec = TrafficSpec(qps=200, duration=1.0, seed=3)
+    first = compile_schedule(spec, build_scenario("sensornet").binding())
+    second = compile_schedule(spec, build_scenario("sensornet").binding())
+    assert first.encode() == second.encode()
+
+
+def test_mix_fractions_hold_over_a_long_schedule():
+    spec = TrafficSpec(qps=1000, duration=10.0, seed=5)
+    schedule = compile_schedule(spec, _binding())
+    counts = schedule.class_counts()
+    total = sum(counts.values())
+    assert total == 10000
+    for op, fraction in spec.normalized_mix().items():
+        observed = counts.get(op, 0) / total
+        # Retract ops may degrade to queries against an empty pool, and
+        # the draws are random: 0.02 is > 3 sigma at n=10000.
+        assert abs(observed - fraction) < 0.02, (op, observed, fraction)
+
+
+def test_arrivals_are_open_loop_timestamps():
+    spec = TrafficSpec(qps=100, duration=0.5, seed=0)
+    schedule = compile_schedule(spec, _binding())
+    assert [op.at for op in schedule.ops] == \
+        [index / 100 for index in range(50)]
+
+
+def test_empty_pool_retracts_degrade_to_queries():
+    spec = TrafficSpec(mix={"retract": 0.7, "query": 0.3},
+                       qps=100, duration=1.0, seed=2)
+    schedule = compile_schedule(spec, _binding(rows=0))
+    counts = schedule.class_counts()
+    assert counts.get("retract", 0) == 0
+    assert counts["query"] == len(schedule.ops)
+
+
+def test_retract_pool_replays_added_rows():
+    """Retract payloads only ever name initial rows or rows an earlier
+    add op introduced — the run-time replay can never miss."""
+    spec = TrafficSpec(mix={"add": 0.4, "retract": 0.6},
+                       qps=200, duration=1.0, seed=9)
+    schedule = compile_schedule(spec, _binding(rows=2))
+    live = {tuple(row) for row in _binding(rows=2).initial_rows}
+    for op in schedule.ops:
+        if op.op == "add":
+            live.update(tuple(row) for row in op.payload[1])
+        elif op.op == "retract":
+            for row in op.payload[1]:
+                assert tuple(row) in live, (op.index, row)
+                live.discard(tuple(row))
+
+
+@pytest.mark.parametrize("mix", [
+    {"query": 0.5, "scan": 0.5},        # unknown class
+    {"query": -0.5, "holds": 1.5},      # negative fraction
+    {"query": 0.0},                     # zero-sum
+])
+def test_invalid_mixes_are_rejected(mix):
+    with pytest.raises(ValueError):
+        TrafficSpec(mix=mix).normalized_mix()
+
+
+def test_invalid_spec_and_binding_are_rejected():
+    with pytest.raises(ValueError):
+        compile_schedule(TrafficSpec(qps=0), _binding())
+    with pytest.raises(ValueError):
+        compile_schedule(TrafficSpec(duration=-1), _binding())
+    empty = ScenarioBinding(relation="R", queries=(), quality_queries=(),
+                            initial_rows=(), fresh_row=lambda rng, i: (i,))
+    with pytest.raises(ValueError):
+        compile_schedule(TrafficSpec(), empty)
+
+
+def test_mix_normalization_drops_zero_classes():
+    mix = TrafficSpec(mix={"query": 3.0, "add": 1.0,
+                           "holds": 0.0}).normalized_mix()
+    assert mix == {"query": 0.75, "add": 0.25}
+    assert set(TrafficSpec().normalized_mix()) == set(OP_CLASSES)
+
+
+# -- coordinated-omission accounting -----------------------------------------
+
+
+class _SlowTarget:
+    """Every op takes ``delay`` seconds — slower than the arrival rate."""
+
+    def __init__(self, delay: float):
+        self.delay = delay
+        self.executed = 0
+        self._lock = threading.Lock()
+
+    def make_worker(self):
+        def execute(op):
+            time.sleep(self.delay)
+            with self._lock:
+                self.executed += 1
+        return execute
+
+    def close(self):
+        pass
+
+
+def test_unattainable_rate_surfaces_debt_not_skips():
+    """Offered 200 QPS, service time 4x the arrival interval, one worker:
+    the run must execute *every* op and report the lag as debt."""
+    spec = TrafficSpec(mix={"query": 1.0}, qps=200, duration=0.25, seed=1)
+    schedule = compile_schedule(spec, _binding())
+    target = _SlowTarget(delay=0.02)
+    report = run_schedule(schedule, target, workers=1)
+    assert not report.aborted
+    assert report.executed == report.scheduled == len(schedule.ops)
+    assert target.executed == len(schedule.ops)
+    assert report.cancelled == 0
+    assert report.debt_seconds > 0
+    stats = report.classes["query"]
+    assert stats["late_ops"] > 0
+    assert stats["max_debt_ms"] > 0
+    # Corrected latency includes queueing, so it dominates service time.
+    assert stats["p99_ms"] >= stats["service_p99_ms"]
+    assert report.achieved_qps < spec.qps
+
+
+def test_in_process_session_run_is_clean():
+    scenario = build_scenario("sensornet")
+    spec = TrafficSpec(qps=200, duration=0.5, seed=4)
+    schedule = compile_schedule(spec, scenario.binding())
+    report = run_schedule(
+        schedule, SessionTarget(scenario.session(), scenario.assessed_relation),
+        workers=2)
+    assert not report.aborted
+    assert report.errors == {}
+    assert report.ok == report.executed == report.scheduled
+    assert sum(stats["count"] for stats in report.classes.values()) == \
+        report.scheduled
+    assert report.as_dict()["classes"] == report.classes
+
+
+# -- abort on daemon shutdown ------------------------------------------------
+
+
+def test_daemon_stopped_mid_run_aborts_cleanly(tmp_path):
+    scenario = build_scenario("sensornet")
+    daemon = ServingDaemon(scenario.serving_backend(), tmp_path / "serve",
+                           sync=False)
+    daemon.recover()
+    host, port = daemon.start()
+
+    spec = TrafficSpec(qps=100, duration=3.0, seed=6)
+    schedule = compile_schedule(spec, scenario.binding())
+    target = ClientTarget(
+        lambda **kw: ServingClient(host, port, **kw),
+        relation=scenario.assessed_relation)
+
+    stopper = threading.Timer(0.4, daemon.stop)
+    stopper.start()
+    try:
+        report = run_schedule(schedule, target, workers=2)
+    finally:
+        stopper.join()
+        daemon.stop()
+
+    assert report.aborted
+    assert report.abort_error in ("DaemonShutdownError",
+                                  "DaemonUnavailableError")
+    assert report.cancelled > 0
+    assert report.executed + report.cancelled == report.scheduled
+    # No stranded worker threads: the runner joins everything it spawned.
+    assert not [thread for thread in threading.enumerate()
+                if thread.name.startswith("driver-worker-")]

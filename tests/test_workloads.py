@@ -1,6 +1,5 @@
 """Tests for the synthetic workload generator and query-workload helpers."""
 
-import pytest
 
 from repro.md.validation import validate_md_instance
 from repro.workloads import (WorkloadSpec, boolean_probe, full_scan_query, generate_workload,
@@ -111,3 +110,46 @@ class TestQueryHelpers:
         row = next(iter(tiny_workload.md.relation("Base0")))
         probe = boolean_probe(tiny_workload.ontology, "Base0", row)
         assert tiny_workload.ontology.holds(probe)
+
+
+class TestSeedPlumbing:
+    """Child streams (``derive_rng``) isolate components from each other's
+    draw counts — the regression class for the shared-``Random`` bug."""
+
+    def test_derive_rng_is_stable_and_label_separated(self):
+        import random
+
+        from repro.workloads import derive_rng
+
+        assert derive_rng(random.Random(5), "a").random() == \
+            derive_rng(random.Random(5), "a").random()
+        assert derive_rng(random.Random(5), "a").random() != \
+            derive_rng(random.Random(5), "b").random()
+
+    def test_assessment_layer_independent_of_base_tuple_count(self):
+        """Changing ``tuples_per_relation`` (a *base*-layer knob) must not
+        reshuffle the assessment instance — it did when both layers drew
+        from one shared generator."""
+        small = generate_workload(
+            WorkloadSpec(tuples_per_relation=10, assessment_tuples=20, seed=7))
+        large = generate_workload(
+            WorkloadSpec(tuples_per_relation=60, assessment_tuples=20, seed=7))
+        assert set(small.assessment_instance.relation("Readings")) == \
+            set(large.assessment_instance.relation("Readings"))
+        assert small.queries == large.queries
+
+    def test_update_streams_private_per_target(self, tiny_workload):
+        """Base and assessment streams from one seed never share state:
+        building them in either order yields identical steps."""
+        from repro.workloads import generate_update_stream
+
+        def steps(target):
+            return [(tuple(map(tuple, step.adds)),
+                     tuple(map(tuple, step.retracts)))
+                    for step in generate_update_stream(
+                        tiny_workload, steps=4, seed=3, target=target)]
+
+        base_first = (steps("base"), steps("assessment"))
+        assessment_first = (steps("assessment"), steps("base"))
+        assert base_first == (assessment_first[1], assessment_first[0])
+        assert steps("base") != steps("assessment")

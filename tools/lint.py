@@ -19,6 +19,14 @@ actually relies on in CI:
   (the naive oracle, batch-ineligible fallbacks) carry a
   ``# per-tuple: ok — <reason>`` comment on the loop line or the line
   above, which suppresses the check;
+* **un-floored wall-clock assertions in tests and benchmarks** — an
+  ``assert`` comparing a timing-derived value (anything computed from
+  ``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()``,
+  tracked through assignments) against a bare numeric literal.  Loaded CI
+  runners make such assertions flaky; compare against a noise-floored
+  budget (``max(FLOOR, ratio * baseline)``) or a named budget variable
+  instead, or annotate ``# wall-clock: ok — <reason>`` on the assert line
+  or the line above;
 * **syntax errors** — files that do not parse at all.
 
 Usage::
@@ -108,6 +116,89 @@ def _per_tuple_loops(path: Path, tree: ast.Module,
                f"section (batch it, or annotate '{SUPPRESS} — <reason>')")
 
 
+#: directories whose files carry timing assertions worth floor-checking
+WALL_CLOCK_ROOTS = ("tests/", "benchmarks/")
+WALL_SUPPRESS = "# wall-clock: ok"
+_TIMING_ATTRS = {"time", "monotonic", "perf_counter"}
+
+
+def _is_timing_call(node: ast.AST) -> bool:
+    """``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()``
+    (module-qualified or imported bare)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (func.attr in _TIMING_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time")
+    return (isinstance(func, ast.Name)
+            and func.id in ("monotonic", "perf_counter"))
+
+
+def _expr_tainted(expr: ast.AST, tainted: Set[str]) -> bool:
+    return any(_is_timing_call(node)
+               or (isinstance(node, ast.Name) and node.id in tainted)
+               for node in ast.walk(expr))
+
+
+def _tainted_names(tree: ast.Module) -> Set[str]:
+    """Names whose values derive (transitively) from a timing call."""
+    assigns = [node for node in ast.walk(tree)
+               if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign))
+               and node.value is not None]
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for node in assigns:
+            if not _expr_tainted(node.value, tainted):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name) and name.id not in tainted:
+                        tainted.add(name.id)
+                        changed = True
+    return tainted
+
+
+def _is_bare_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (isinstance(node, ast.Constant)
+            and isinstance(node.value, (int, float))
+            and not isinstance(node.value, bool))
+
+
+def _unfloored_wall_clock_asserts(path: Path, tree: ast.Module,
+                                  lines: List[str]) -> Iterator[str]:
+    normalized = str(path).replace("\\", "/")
+    if not any(root in normalized for root in WALL_CLOCK_ROOTS):
+        return
+    tainted = _tainted_names(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        compares = [inner for inner in ast.walk(node.test)
+                    if isinstance(inner, ast.Compare)]
+        if not any(
+                _expr_tainted(timing, tainted) and _is_bare_number(literal)
+                for compare in compares
+                for left, right in zip([compare.left] + compare.comparators,
+                                       compare.comparators)
+                for timing, literal in ((left, right), (right, left))):
+            continue
+        nearby = lines[max(node.lineno - 2, 0):node.lineno]
+        if any(WALL_SUPPRESS in line for line in nearby):
+            continue
+        yield (f"{path}:{node.lineno}: wall-clock delta asserted against a "
+               f"bare numeric literal (noise-floor it with a "
+               f"max(FLOOR, ...) budget, or annotate "
+               f"'{WALL_SUPPRESS} — <reason>')")
+
+
 def lint_file(path: Path) -> Iterator[str]:
     source = path.read_text(encoding="utf-8")
     try:
@@ -116,6 +207,7 @@ def lint_file(path: Path) -> Iterator[str]:
         yield f"{path}:{error.lineno}: syntax error: {error.msg}"
         return
     yield from _per_tuple_loops(path, tree, source.splitlines())
+    yield from _unfloored_wall_clock_asserts(path, tree, source.splitlines())
     imported = _imported_names(tree)
     used = _used_names(tree)
     seen: Set[str] = set()
